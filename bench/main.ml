@@ -1,0 +1,255 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation on the machine model and prints the measured
+   series next to the paper's expectation, then runs one Bechamel
+   micro-benchmark per experiment over that experiment's core
+   simulation primitive.
+
+     dune exec bench/main.exe            full reproduction + bechamel
+     dune exec bench/main.exe -- --quick reduced sizes (CI smoke)
+     dune exec bench/main.exe -- --no-bechamel
+     dune exec bench/main.exe -- fig11 tab02   (subset)               *)
+
+open Mt_machine
+open Mt_creator
+open Mt_launcher
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure/table reproduction                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Figures get drawn, not just tabulated: series selection per id. *)
+let chart_of (t : Microtools.Exp_table.t) =
+  let plot ?log_y ~x_label ~y_label spec =
+    Some
+      (Microtools.Ascii_plot.render ?log_y ~x_label ~y_label
+         (Microtools.Ascii_plot.of_table ~x_column:0 ~y_columns:spec t))
+  in
+  let levels = [ (1, "L1"); (2, "L2"); (3, "L3"); (4, "RAM") ] in
+  match t.Microtools.Exp_table.id with
+  | "fig03" -> plot ~x_label:"matrix size" ~y_label:"cycles/iter" [ (1, "matmul") ]
+  | "fig05" ->
+    plot ~x_label:"unroll" ~y_label:"cycles/iter"
+      [ (1, "original"); (2, "microbench") ]
+  | "fig11" | "fig12" -> plot ~x_label:"unroll" ~y_label:"cycles/insn" levels
+  | "fig13" -> plot ~x_label:"GHz" ~y_label:"tsc-cycles/load" levels
+  | "fig14" -> plot ~log_y:true ~x_label:"cores" ~y_label:"cycles/iter" [ (1, "fork") ]
+  | "fig15" | "fig16" ->
+    plot ~x_label:"alignment config" ~y_label:"cycles/iter" [ (2, "traversal") ]
+  | "fig17" | "fig18" ->
+    plot ~log_y:true ~x_label:"unroll" ~y_label:"cycles/element"
+      [ (2, "sequential"); (5, "openmp") ]
+  | "tiling" -> plot ~x_label:"tile" ~y_label:"cycles/iter" [ (1, "tiled matmul") ]
+  | _ -> None
+
+let run_experiments ~quick ids =
+  let fmt = Format.std_formatter in
+  Format.fprintf fmt
+    "MicroTools reproduction: paper figures/tables vs the machine model@.@.";
+  let tables =
+    List.filter_map
+      (fun id ->
+        match Microtools.Experiments.by_id id with
+        | Some f ->
+          let t = f ~quick () in
+          Microtools.Exp_table.print fmt t;
+          (match chart_of t with
+          | Some chart -> Format.fprintf fmt "%s@." chart
+          | None -> ());
+          Some t
+        | None ->
+          Format.fprintf fmt "unknown experiment %s@." id;
+          None)
+      ids
+  in
+  (* Compact recap: one line per experiment. *)
+  Format.fprintf fmt "=== summary (paper expectation vs measured) ===@.";
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "%-10s %s@." t.Microtools.Exp_table.id
+        (match t.Microtools.Exp_table.observations with
+        | o :: _ -> o
+        | [] -> "see table above"))
+    tables;
+  Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Each experiment's core simulation primitive, small enough that
+   Bechamel can sample it repeatedly. *)
+
+let x5650 = Config.nehalem_x5650_2s
+
+let sandy = Config.sandy_bridge_e31240
+
+let x7550 = Config.nehalem_x7550_4s
+
+let matmul_primitive n () =
+  let driver =
+    match Mt_kernels.Matmul.make_driver ~machine:x5650 ~n (`Original 1) with
+    | Ok d -> d
+    | Error msg -> failwith msg
+  in
+  match Mt_kernels.Matmul.sample_run ~rows:1 ~cols:2 driver with
+  | Ok s -> s.Mt_kernels.Matmul.cycles_per_iteration
+  | Error msg -> failwith msg
+
+let stream_variant opcode unroll =
+  match
+    Creator.generate
+      (Mt_kernels.Streams.loadstore_spec ~opcode ~unroll:(unroll, unroll)
+         ~swap_after:false ())
+  with
+  | [ v ] -> v
+  | _ -> failwith "expected one variant"
+
+let launch_primitive ?(machine = x5650) ?(cores = 1) ?(openmp = 0) ?(freq = None)
+    variant () =
+  let opts =
+    {
+      (Options.default machine) with
+      Options.array_bytes = 16 * 1024;
+      repetitions = 1;
+      experiments = 1;
+      cores;
+      openmp_threads = openmp;
+      frequency_ghz = freq;
+    }
+  in
+  match Launcher.launch opts (Source.From_variant variant) with
+  | Ok r -> r.Report.value
+  | Error msg -> failwith msg
+
+let alignment_primitive ~arrays ~cores () =
+  let spec = Mt_kernels.Streams.multi_array_spec ~arrays () in
+  let variant = List.hd (Creator.generate spec) in
+  let opts =
+    {
+      (Options.default x7550) with
+      Options.array_bytes = 16 * 1024;
+      warmup = false;
+      repetitions = 1;
+      experiments = 1;
+      cores;
+      alignments = [ 0; 512; 1024; 1536 ];
+    }
+  in
+  match Launcher.launch opts (Source.From_variant variant) with
+  | Ok r -> r.Report.value
+  | Error msg -> failwith msg
+
+let generation_primitive () =
+  List.length (Creator.generate (Mt_kernels.Streams.loadstore_spec ()))
+
+let preset_primitive () =
+  List.for_all
+    (fun (_, cfg) -> Result.is_ok (Config.validate cfg))
+    Config.presets
+
+let bechamel_tests () =
+  let open Bechamel in
+  let movaps8 = stream_variant Mt_isa.Insn.MOVAPS 8 in
+  let movss4 = stream_variant Mt_isa.Insn.MOVSS 4 in
+  [
+    Test.make ~name:"fig03:matmul-size" (Staged.stage (matmul_primitive 64));
+    Test.make ~name:"fig04:matmul-align" (Staged.stage (matmul_primitive 48));
+    Test.make ~name:"fig05:matmul-unroll" (Staged.stage (matmul_primitive 96));
+    Test.make ~name:"fig11:movaps-stream" (Staged.stage (launch_primitive movaps8));
+    Test.make ~name:"fig12:movss-stream" (Staged.stage (launch_primitive movss4));
+    Test.make ~name:"fig13:freq-sweep"
+      (Staged.stage (launch_primitive ~freq:(Some 1.6) movaps8));
+    Test.make ~name:"fig14:fork-contention"
+      (Staged.stage (launch_primitive ~cores:6 movaps8));
+    Test.make ~name:"fig15:align-8core"
+      (Staged.stage (alignment_primitive ~arrays:4 ~cores:8));
+    Test.make ~name:"fig16:align-32core"
+      (Staged.stage (alignment_primitive ~arrays:4 ~cores:32));
+    Test.make ~name:"fig17:openmp-cached"
+      (Staged.stage (launch_primitive ~machine:sandy ~openmp:4 movss4));
+    Test.make ~name:"fig18:openmp-ram"
+      (Staged.stage (launch_primitive ~machine:sandy ~openmp:4 movaps8));
+    Test.make ~name:"tab01:preset-validate" (Staged.stage preset_primitive);
+    Test.make ~name:"tab02:openmp-vs-seq"
+      (Staged.stage (launch_primitive ~machine:sandy movss4));
+    Test.make ~name:"gen_counts:generate-510" (Staged.stage generation_primitive);
+    Test.make ~name:"ablation:feature-toggle"
+      (Staged.stage (fun () ->
+           let no_prefetch =
+             Config.with_features x5650
+               { x5650.Config.features with Config.prefetcher = false }
+           in
+           Result.is_ok (Config.validate no_prefetch)));
+    Test.make ~name:"parmodes:mode-dispatch"
+      (Staged.stage (fun () ->
+           let opts =
+             { (Options.default sandy) with
+               Options.array_bytes = 16 * 1024; repetitions = 1; experiments = 1;
+               mpi_ranks = 4 }
+           in
+           match Launcher.launch opts (Source.From_variant movss4) with
+           | Ok r -> r.Report.value
+           | Error msg -> failwith msg));
+    Test.make ~name:"energy:accounting"
+      (Staged.stage (fun () ->
+           let opts =
+             { (Options.default sandy) with
+               Options.array_bytes = 16 * 1024; repetitions = 1; experiments = 1 }
+           in
+           let variant = movss4 in
+           match
+             Mt_launcher.Protocol.prepare opts
+               (Mt_creator.Variant.concrete_body variant)
+               (Option.get variant.Mt_creator.Variant.abi)
+           with
+           | Error msg -> failwith msg
+           | Ok p -> (
+             match Mt_launcher.Protocol.run_once p with
+             | Ok o -> Mt_machine.Energy.joules sandy o
+             | Error msg -> failwith msg)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  print_endline "=== bechamel: harness-primitive timings (one per experiment) ===";
+  Printf.printf "%-28s %16s %10s\n" "experiment" "ns/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let ns = Analyze.OLS.estimates est in
+          let r2 = Analyze.OLS.r_square est in
+          match ns with
+          | Some [ per_run ] ->
+            Printf.printf "%-28s %16.0f %10s\n" name per_run
+              (match r2 with Some r -> Printf.sprintf "%.3f" r | None -> "-")
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        results)
+    (bechamel_tests ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  let ids =
+    match List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args with
+    | [] -> Microtools.Experiments.ids
+    | ids -> ids
+  in
+  run_experiments ~quick ids;
+  if not no_bechamel then run_bechamel ()

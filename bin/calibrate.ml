@@ -1,0 +1,79 @@
+(* Developer tool: prints raw simulator behaviour (cycles per load for
+   stream kernels across hierarchy levels and unroll factors) so the
+   machine-model calibration can be checked against the paper's
+   figures without going through MicroCreator/MicroLauncher. *)
+
+open Mt_isa
+open Mt_machine
+
+let make_stream_kernel ~unroll ~stride ~opcode =
+  let body = ref [] in
+  for i = unroll - 1 downto 0 do
+    body :=
+      Insn.Insn
+        (Insn.make opcode
+           [ Operand.mem ~base:(Reg.gpr64 Reg.RSI) ~disp:(i * stride) ();
+             Operand.reg (Reg.xmm (i mod 8)) ])
+      :: !body
+  done;
+  [ Insn.Label "L6" ]
+  @ !body
+  @ [
+      Insn.Insn (Insn.make Insn.ADD [ Operand.imm (unroll * stride); Operand.reg (Reg.gpr64 Reg.RSI) ]);
+      Insn.Insn (Insn.make Insn.ADD [ Operand.imm unroll; Operand.reg (Reg.gpr32 Reg.RAX) ]);
+      Insn.Insn (Insn.make Insn.SUB [ Operand.imm unroll; Operand.reg (Reg.gpr64 Reg.RDI) ]);
+      Insn.Insn (Insn.make (Insn.Jcc Insn.G) [ Operand.label "L6" ]);
+      Insn.Insn (Insn.make Insn.RET []);
+    ]
+
+let run_case cfg ~unroll ~array_bytes ~opcode ~stride =
+  let prog = make_stream_kernel ~unroll ~stride ~opcode in
+  let mem = Memory.create cfg in
+  let mm = Memmap.create () in
+  let region = Memmap.alloc mm ~size:array_bytes ~align:4096 ~offset:0 in
+  let iters = array_bytes / (stride * unroll) in
+  let init = [ (Reg.gpr64 Reg.RSI, region.base); (Reg.gpr64 Reg.RDI, iters * unroll) ] in
+  let compiled = match Core.compile prog with Ok c -> c | Error e -> failwith (Core.error_to_string e) in
+  (* Warm run, then measure. *)
+  (match Core.run ~init cfg mem compiled with Ok _ -> () | Error e -> failwith (Core.error_to_string e));
+  match Core.run ~init cfg mem compiled with
+  | Ok r -> r.cycles /. float_of_int (iters * unroll)
+  | Error e -> failwith (Core.error_to_string e)
+
+let () =
+  let cfg = Config.nehalem_x5650_2s in
+  let levels =
+    [ ("L1", 16 * 1024); ("L2", 64 * 1024); ("L3", 512 * 1024); ("RAM", 32 * 1024 * 1024) ]
+  in
+  List.iter
+    (fun (opcode, name, stride) ->
+      Printf.printf "\n== %s loads: cycles per load ==\n" name;
+      Printf.printf "%-6s" "unroll";
+      List.iter (fun (lname, _) -> Printf.printf "%8s" lname) levels;
+      print_newline ();
+      for unroll = 1 to 8 do
+        Printf.printf "%-6d" unroll;
+        List.iter
+          (fun (_, bytes) ->
+            let c = run_case cfg ~unroll ~array_bytes:bytes ~opcode ~stride in
+            Printf.printf "%8.2f" c)
+          levels;
+        print_newline ()
+      done)
+    [ (Insn.MOVAPS, "movaps", 16); (Insn.MOVSS, "movss", 4) ];
+  (* Multi-core RAM contention: cycles/load for the 8-unrolled movaps
+     kernel when n cores stream concurrently. *)
+  Printf.printf "\n== movaps x8 from RAM, cycles/load vs streaming cores ==\n";
+  for n = 1 to 12 do
+    let mem = Memory.create ~ram_sharers:n cfg in
+    let mm = Memmap.create () in
+    let region = Memmap.alloc mm ~size:(32 * 1024 * 1024) ~align:4096 ~offset:0 in
+    let prog = make_stream_kernel ~unroll:8 ~stride:16 ~opcode:Insn.MOVAPS in
+    let iters = 32 * 1024 * 1024 / (16 * 8) in
+    let init = [ (Reg.gpr64 Reg.RSI, region.base); (Reg.gpr64 Reg.RDI, iters * 8) ] in
+    let compiled = match Core.compile prog with Ok c -> c | Error e -> failwith (Core.error_to_string e) in
+    (match Core.run ~init cfg mem compiled with Ok _ -> () | Error e -> failwith (Core.error_to_string e));
+    (match Core.run ~init cfg mem compiled with
+    | Ok r -> Printf.printf "cores=%2d  %6.2f cycles/load\n" n (r.cycles /. float_of_int (iters * 8))
+    | Error e -> failwith (Core.error_to_string e))
+  done

@@ -1,0 +1,125 @@
+(* The whole MicroTools workflow as one command (Section 2's tuning
+   loop): an XML kernel description in, every generated variant
+   measured, the ranking and the winner out.
+
+     mt_study descriptions/loadstore.xml --array-kb 32 --per element *)
+
+open Cmdliner
+open Mt_launcher
+
+let run input machine machine_file array_kb per repetitions experiments top csv =
+  let resolved =
+    match machine_file with
+    | Some path -> Mt_machine.Config_io.of_file path
+    | None -> (
+      match Mt_machine.Config.find_preset machine with
+      | Some cfg -> Ok cfg
+      | None ->
+        Error
+          (Printf.sprintf "unknown machine %s (known: %s)" machine
+             (String.concat ", " (List.map fst Mt_machine.Config.presets))))
+  in
+  match resolved with
+  | Error msg ->
+    Printf.eprintf "mt_study: %s\n" msg;
+    2
+  | Ok cfg -> (
+    let per =
+      match per with
+      | "pass" -> Options.Per_pass
+      | "instruction" -> Options.Per_instruction
+      | "element" -> Options.Per_element
+      | _ -> Options.Per_call
+    in
+    let opts =
+      {
+        (Options.default cfg) with
+        Options.array_bytes = array_kb * 1024;
+        per;
+        repetitions;
+        experiments;
+      }
+    in
+    let ic = open_in_bin input in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Microtools.Study.of_description text opts with
+    | Error msg ->
+      Printf.eprintf "mt_study: %s: %s\n" input msg;
+      1
+    | Ok study -> (
+      let variants = Microtools.Study.variants study in
+      Printf.printf "generated %d variants; measuring on %s...\n\n"
+        (List.length variants) cfg.Mt_machine.Config.name;
+      let outcomes = Microtools.Study.run study in
+      let ok = Microtools.Study.successes outcomes in
+      let ranked =
+        List.sort (fun (_, a) (_, b) -> compare a.Report.value b.Report.value) ok
+      in
+      let shown = if top > 0 then top else List.length ranked in
+      List.iteri
+        (fun i (v, r) ->
+          if i < shown then
+            Printf.printf "%3d. %-44s %10.3f %s/%s\n" (i + 1)
+              (Mt_creator.Variant.id v) r.Report.value r.Report.unit_label
+              r.Report.per_label)
+        ranked;
+      if List.length ranked > shown then
+        Printf.printf "     ... and %d more (use --top 0 for all)\n"
+          (List.length ranked - shown);
+      Printf.printf "\nper-unroll minima:\n";
+      List.iter
+        (fun (u, v) -> Printf.printf "  unroll %d: %.3f\n" u v)
+        (Microtools.Study.min_per_unroll outcomes);
+      (match
+         Microtools.Analysis.recommend_unroll
+           (Microtools.Study.min_per_unroll outcomes)
+       with
+      | Some u -> Printf.printf "recommended unroll factor: %d\n" u
+      | None -> ());
+      (match csv with
+      | Some path ->
+        Mt_stats.Csv.save (Microtools.Study.csv outcomes) path;
+        Printf.printf "full results written to %s\n" path
+      | None -> ());
+      match Microtools.Study.best outcomes with
+      | Some (v, r) ->
+        Printf.printf "\nbest variant: %s at %.3f %s/%s\n"
+          (Mt_creator.Variant.id v) r.Report.value r.Report.unit_label
+          r.Report.per_label;
+        0
+      | None ->
+        prerr_endline "mt_study: no variant succeeded";
+        1))
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DESCRIPTION" ~doc:"XML kernel description.")
+
+let machine_arg =
+  Arg.(value & opt string "nehalem_x5650_2s" & info [ "machine" ] ~doc:"Machine preset.")
+
+let machine_file_arg =
+  Arg.(value & opt (some file) None & info [ "machine-file" ] ~docv:"XML" ~doc:"Machine description file.")
+
+let array_arg = Arg.(value & opt int 64 & info [ "array-kb" ] ~doc:"Array size in KiB.")
+
+let per_arg =
+  Arg.(value & opt (enum [ ("pass", "pass"); ("instruction", "instruction"); ("element", "element"); ("call", "call") ]) "element"
+       & info [ "per" ] ~doc:"Normalisation unit.")
+
+let reps_arg = Arg.(value & opt int 2 & info [ "repetitions" ] ~doc:"Calls per experiment.")
+
+let exps_arg = Arg.(value & opt int 5 & info [ "experiments" ] ~doc:"Experiments per variant.")
+
+let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~doc:"Ranked variants to print (0 = all).")
+
+let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write all results as CSV.")
+
+let cmd =
+  let doc = "generate a kernel's variation space and rank every variant" in
+  Cmd.v (Cmd.info "mt_study" ~doc)
+    Term.(
+      const run $ input_arg $ machine_arg $ machine_file_arg $ array_arg
+      $ per_arg $ reps_arg $ exps_arg $ top_arg $ csv_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,54 @@
+(* Alignment sweeps under multi-core pressure — the Section 5.2.2
+   study: a multi-array traversal whose cost swings with the arrays'
+   relative page offsets once several cores saturate memory.
+
+   Run with: dune exec examples/alignment_study.exe *)
+
+open Mt_machine
+open Mt_creator
+open Mt_launcher
+
+let machine = Config.nehalem_x7550_4s
+
+let () =
+  let spec = Mt_kernels.Streams.multi_array_spec ~arrays:4 () in
+  let variant =
+    match Creator.generate spec with
+    | v :: _ -> v
+    | [] -> failwith "no variant"
+  in
+  let program = Variant.concrete_body variant in
+  let abi = Option.get variant.Variant.abi in
+  let opts =
+    {
+      (Options.default machine) with
+      Options.array_bytes = 128 * 1024;
+      per = Options.Per_pass;
+      warmup = false;
+      repetitions = 1;
+      experiments = 1;
+      cores = 8;
+    }
+  in
+  let configs = Alignment.stride_configs ~arrays:4 ~step:256 ~modulus:4096 in
+  Printf.printf "sweeping %d alignment configurations of 4 arrays on 8 cores...\n\n"
+    (List.length configs);
+  match Alignment.sweep opts program abi ~configs with
+  | Error msg -> failwith msg
+  | Ok points ->
+    List.iter
+      (fun (p : Alignment.point) ->
+        Printf.printf "  offsets %-22s %8.2f cycles/iteration\n"
+          (String.concat "/" (List.map string_of_int p.Alignment.offsets))
+          p.Alignment.report.Report.value)
+      points;
+    let best = Alignment.best points and worst = Alignment.worst points in
+    Printf.printf "\nbest  %s at %.2f\n"
+      (String.concat "/" (List.map string_of_int best.Alignment.offsets))
+      best.Alignment.report.Report.value;
+    Printf.printf "worst %s at %.2f (%.0f%% slower)\n"
+      (String.concat "/" (List.map string_of_int worst.Alignment.offsets))
+      worst.Alignment.report.Report.value
+      (Alignment.spread points *. 100.);
+    print_endline "\nMicroLauncher sweeps these configurations automatically; the";
+    print_endline "spread is why it re-checks alignment for every kernel it runs."

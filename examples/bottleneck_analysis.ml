@@ -1,0 +1,132 @@
+(* Automated analysis of MicroTools data (the paper's Section 7 future
+   work): classify what bounds each kernel, find the knee of a size
+   sweep, pick an unroll factor, and compare the energy of regular vs
+   streaming stores.
+
+   Run with: dune exec examples/bottleneck_analysis.exe *)
+
+open Mt_machine
+open Mt_creator
+open Mt_launcher
+open Microtools
+
+let machine = Config.nehalem_x5650_2s
+
+let one_variant spec =
+  match Creator.generate spec with
+  | [ v ] -> v
+  | vs -> failwith (Printf.sprintf "expected 1 variant, got %d" (List.length vs))
+
+let outcome_of ?(array_kb = 16) variant =
+  let opts =
+    {
+      (Options.default machine) with
+      Options.array_bytes = array_kb * 1024;
+      repetitions = 1;
+      experiments = 1;
+    }
+  in
+  let prepared =
+    match
+      Protocol.prepare opts (Variant.concrete_body variant)
+        (Option.get variant.Variant.abi)
+    with
+    | Ok p -> p
+    | Error msg -> failwith msg
+  in
+  ignore (Protocol.run_once prepared);
+  match Protocol.run_once prepared with
+  | Ok o -> o
+  | Error msg -> failwith msg
+
+let () =
+  (* 1. Bottleneck classification across kernel flavours. *)
+  print_endline "== what bounds each kernel? ==";
+  List.iter
+    (fun (label, spec, array_kb) ->
+      let o = outcome_of ~array_kb (one_variant spec) in
+      Printf.printf "  %-22s %s\n" label (Analysis.describe machine o))
+    [
+      ("movss x8 in L1", Mt_kernels.Streams.movss_unrolled_spec ~unroll:8 (), 16);
+      ("movss x8, 4 MiB (L3)", Mt_kernels.Streams.movss_unrolled_spec ~unroll:8 (), 4096);
+      ( "stride-1024 walk",
+        Mt_kernels.Streams.strided_spec ~strides:[ 1024 ] (),
+        2048 );
+      ( "stencil (3-point)",
+        Mt_kernels.Streams.stencil_spec ~unroll:(1, 1) (),
+        16 );
+    ];
+  (* 2. Knee detection on the Fig. 3 size sweep. *)
+  print_endline "\n== knee of the matmul size sweep ==";
+  let series =
+    List.map
+      (fun n ->
+        let d =
+          match Mt_kernels.Matmul.make_driver ~machine ~n (`Original 1) with
+          | Ok d -> d
+          | Error m -> failwith m
+        in
+        match Mt_kernels.Matmul.sample_run ~rows:1 ~cols:8 ~warm_cols:8 d with
+        | Ok s -> (float_of_int n, s.Mt_kernels.Matmul.cycles_per_iteration)
+        | Error m -> failwith m)
+      [ 100; 200; 300; 400; 500; 600; 700 ]
+  in
+  (match Analysis.find_knee series with
+  | Some k ->
+    Printf.printf "  performance cliff after n = %.0f: %.1f -> %.1f cycles/iter (%.1fx)\n"
+      k.Analysis.at k.Analysis.before k.Analysis.after k.Analysis.ratio
+  | None -> print_endline "  no knee found");
+  (* 3. Unroll recommendation from a generated study. *)
+  print_endline "\n== recommended unroll factor (movss, L1-resident) ==";
+  let study =
+    Study.create
+      (Mt_kernels.Streams.loadstore_spec ~opcode:Mt_isa.Insn.MOVSS ~stride:4
+         ~swap_after:false ())
+      {
+        (Options.default machine) with
+        Options.array_bytes = 16 * 1024;
+        per = Options.Per_element;
+        repetitions = 1;
+        experiments = 2;
+      }
+  in
+  let mins = Study.min_per_unroll (Study.run study) in
+  List.iter (fun (u, v) -> Printf.printf "  unroll %d: %.3f cycles/element\n" u v) mins;
+  (match Analysis.recommend_unroll mins with
+  | Some u -> Printf.printf "  -> use unroll %d (smallest within 2%% of the best)\n" u
+  | None -> print_endline "  -> no recommendation");
+  (* 4. Energy: regular vs streaming stores on a RAM-resident buffer. *)
+  print_endline "\n== energy: movaps stores vs movntps streaming stores (1 MiB, cold) ==";
+  List.iter
+    (fun streaming ->
+      let v =
+        one_variant (Mt_kernels.Streams.store_stream_spec ~streaming ~unroll:(8, 8) ())
+      in
+      let opts =
+        {
+          (Options.default machine) with
+          Options.array_bytes = 1024 * 1024;
+          warmup = false;
+          repetitions = 1;
+          experiments = 1;
+        }
+      in
+      let prepared =
+        match
+          Protocol.prepare opts (Variant.concrete_body v) (Option.get v.Variant.abi)
+        with
+        | Ok p -> p
+        | Error m -> failwith m
+      in
+      match Protocol.run_once prepared with
+      | Error m -> failwith m
+      | Ok o ->
+        let elements = float_of_int (o.Core.rax * 8) in
+        Printf.printf "  %-8s %6.2f cycles/pass, %6.2f nJ/store, %s\n"
+          (if streaming then "movntps" else "movaps")
+          (o.Core.cycles /. float_of_int o.Core.rax)
+          (Energy.joules machine o *. 1e9 /. elements)
+          (Analysis.bottleneck_to_string (Analysis.classify machine o)))
+    [ false; true ];
+  print_endline "\nStreaming stores skip the read-for-ownership: half the DRAM";
+  print_endline "traffic, visibly fewer cycles and nanojoules per element."

@@ -1,0 +1,84 @@
+(* Quickstart: describe a kernel in the XML input language, generate
+   its variation space with MicroCreator, run every variant with
+   MicroLauncher, and print the winner.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Mt_machine
+open Mt_creator
+open Mt_launcher
+
+(* The paper's Figure 6 example: one 16-byte SSE move per loop pass,
+   swappable to a store after unrolling, unroll factors 1..4. *)
+let description =
+  {|
+<kernel name="quickstart">
+  <instruction>
+    <operation>movaps</operation>
+    <memory>
+      <register><name>r1</name></register>
+      <offset>0</offset>
+    </memory>
+    <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+    <swap_after_unroll/>
+  </instruction>
+  <unrolling><min>1</min><max>4</max></unrolling>
+  <induction>
+    <register><name>r1</name></register>
+    <increment>16</increment>
+    <offset>16</offset>
+  </induction>
+  <induction>
+    <register><name>r0</name></register>
+    <increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/>
+  </induction>
+  <induction>
+    <register><phyName>%eax</phyName></register>
+    <increment>1</increment>
+    <not_affected_unroll/>
+  </induction>
+  <branch_information><label>L6</label><test>jge</test></branch_information>
+</kernel>
+|}
+
+let () =
+  (* 1. Generate the benchmark-program set. *)
+  let variants =
+    match Creator.generate_from_string description with
+    | Ok vs -> vs
+    | Error msg -> failwith msg
+  in
+  Printf.printf "MicroCreator generated %d benchmark programs\n" (List.length variants);
+  (* Show one of them as the assembly MicroLauncher would load. *)
+  let sample = List.find (fun v -> v.Variant.unroll = 3) variants in
+  print_newline ();
+  print_string (Emit.assembly sample);
+  print_newline ();
+  (* 2. Run them all on the dual-socket Nehalem model, reporting rdtsc
+     cycles per moved element. *)
+  let opts =
+    {
+      (Options.default Config.nehalem_x5650_2s) with
+      Options.array_bytes = 32 * 1024;
+      per = Options.Per_element;
+      repetitions = 2;
+      experiments = 5;
+    }
+  in
+  let outcomes = Launcher.run_variants opts variants in
+  List.iter
+    (fun (v, result) ->
+      match result with
+      | Ok report ->
+        Printf.printf "%-40s %8.3f cycles/element\n" (Variant.id v) report.Report.value
+      | Error msg -> Printf.printf "%-40s failed: %s\n" (Variant.id v) msg)
+    outcomes;
+  (* 3. The tuning answer. *)
+  match Launcher.best_variant opts variants with
+  | Ok (Some (v, report)) ->
+    Printf.printf "\nbest variant: %s at %.3f cycles/element\n" (Variant.id v)
+      report.Report.value
+  | Ok None -> print_endline "no variant succeeded"
+  | Error msg -> failwith msg

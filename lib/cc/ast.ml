@@ -1,0 +1,80 @@
+type ctype = Tint | Tdouble | Tfloat | Tptr of ctype
+
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr
+  | Bin of binop * expr * expr
+
+type cond = Lt of string * expr | Le of string * expr
+
+type stmt =
+  | Decl of ctype * string * expr option
+  | Assign of string * expr
+  | Assign_op of string * binop * expr
+  | Store of string * expr * expr
+  | Store_op of string * expr * binop * expr
+  | For of {
+      var : string;
+      init : expr;
+      cond : cond;
+      step : int;
+      body : stmt list;
+    }
+  | Return of expr
+
+type func = {
+  fname : string;
+  params : (ctype * string) list;
+  body : stmt list;
+}
+
+let rec string_of_ctype = function
+  | Tint -> "int"
+  | Tdouble -> "double"
+  | Tfloat -> "float"
+  | Tptr t -> string_of_ctype t ^ " *"
+
+let binop_symbol = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec pp_expr fmt = function
+  | Int_lit n -> Format.pp_print_int fmt n
+  | Float_lit f -> Format.pp_print_float fmt f
+  | Var v -> Format.pp_print_string fmt v
+  | Index (a, e) -> Format.fprintf fmt "%s[%a]" a pp_expr e
+  | Bin (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+
+let rec pp_stmt fmt = function
+  | Decl (t, name, None) -> Format.fprintf fmt "%s %s;" (string_of_ctype t) name
+  | Decl (t, name, Some e) ->
+    Format.fprintf fmt "%s %s = %a;" (string_of_ctype t) name pp_expr e
+  | Assign (v, e) -> Format.fprintf fmt "%s = %a;" v pp_expr e
+  | Assign_op (v, op, e) ->
+    Format.fprintf fmt "%s %s= %a;" v (binop_symbol op) pp_expr e
+  | Store (a, i, e) -> Format.fprintf fmt "%s[%a] = %a;" a pp_expr i pp_expr e
+  | Store_op (a, i, op, e) ->
+    Format.fprintf fmt "%s[%a] %s= %a;" a pp_expr i (binop_symbol op) pp_expr e
+  | For { var; init; cond; step; body } ->
+    let cond_str =
+      match cond with
+      | Lt (v, b) -> Format.asprintf "%s < %a" v pp_expr b
+      | Le (v, b) -> Format.asprintf "%s <= %a" v pp_expr b
+    in
+    Format.fprintf fmt "@[<v 2>for (%s = %a; %s; %s += %d) {@,%a@]@,}" var
+      pp_expr init cond_str var step
+      (Format.pp_print_list pp_stmt)
+      body
+  | Return e -> Format.fprintf fmt "return %a;" pp_expr e
+
+let pp_func fmt f =
+  let params =
+    String.concat ", "
+      (List.map (fun (t, n) -> string_of_ctype t ^ " " ^ n) f.params)
+  in
+  Format.fprintf fmt "@[<v 2>int %s(%s) {@,%a@]@,}@." f.fname params
+    (Format.pp_print_list pp_stmt)
+    f.body

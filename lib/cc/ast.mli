@@ -1,0 +1,49 @@
+(** Abstract syntax of the C subset MicroLauncher compiles
+    (Section 4.1: "As input, the launcher accepts any assembly, source
+    code (C or Fortran)...").  The subset covers the paper's kernel
+    style — Figure 1's matrix multiply compiles unmodified once written
+    with array subscripts: one function, [int]/[double]/[float]
+    scalars, pointer parameters, canonical counted [for] loops, array
+    subscripts with affine index expressions, and compound
+    assignments. *)
+
+type ctype = Tint | Tdouble | Tfloat | Tptr of ctype
+
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr  (** [a\[e\]] *)
+  | Bin of binop * expr * expr
+
+(** Loop-continuation tests, canonical form [var OP bound]. *)
+type cond = Lt of string * expr | Le of string * expr
+
+type stmt =
+  | Decl of ctype * string * expr option  (** [double acc = 0.0;] *)
+  | Assign of string * expr  (** [x = e;] *)
+  | Assign_op of string * binop * expr  (** [x += e;] *)
+  | Store of string * expr * expr  (** [a\[e1\] = e2;] *)
+  | Store_op of string * expr * binop * expr  (** [a\[e1\] += e2;] *)
+  | For of {
+      var : string;
+      init : expr;
+      cond : cond;
+      step : int;
+      body : stmt list;
+    }
+  | Return of expr
+
+type func = {
+  fname : string;
+  params : (ctype * string) list;
+  body : stmt list;
+}
+
+val string_of_ctype : ctype -> string
+
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_func : Format.formatter -> func -> unit

@@ -1,0 +1,506 @@
+open Mt_isa
+open Mt_creator
+
+exception Codegen_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
+
+(* Element kinds for floating-point data. *)
+type fp_kind = F32 | F64
+
+let elt_bytes = function F32 -> 4 | F64 -> 8
+
+type binding =
+  | Bint of Reg.t
+  | Bfp of Reg.t * fp_kind
+  | Bptr of Reg.t * fp_kind
+
+type state = {
+  env : (string, binding) Hashtbl.t;
+  mutable code : Insn.item list;  (* reversed *)
+  mutable labels : int;
+  mutable int_pool : Reg.t list;
+  mutable fp_pool : Reg.t list;
+  mutable outer_loop : (string * int) option;  (* outermost loop var, step *)
+}
+
+let param_regs = Reg.[ RDI; RSI; RDX; RCX; R8; R9 ]
+
+let int_local_regs = Reg.[ RBX; R10; R11; R12; R13 ]
+
+let addr_scratch = (Reg.gpr64 Reg.R14, Reg.gpr64 Reg.R15)
+
+let fp_local_regs = List.init 8 (fun i -> Reg.xmm (8 + i))
+
+let fp_temp_regs = List.init 8 (fun i -> Reg.xmm i)
+
+let emit st insn = st.code <- Insn.Insn insn :: st.code
+
+let emit_label st label = st.code <- Insn.Label label :: st.code
+
+let fresh_label st =
+  let l = Printf.sprintf "Lc%d" st.labels in
+  st.labels <- st.labels + 1;
+  l
+
+let lookup st name =
+  match Hashtbl.find_opt st.env name with
+  | Some b -> b
+  | None -> fail "undeclared identifier %s" name
+
+let int_reg st name =
+  match lookup st name with
+  | Bint r -> r
+  | Bfp _ -> fail "%s is floating-point, expected int" name
+  | Bptr _ -> fail "%s is a pointer, expected int" name
+
+let fp_binding st name =
+  match lookup st name with
+  | Bfp (r, k) -> (r, k)
+  | Bint _ -> fail "%s is an int, expected floating-point" name
+  | Bptr _ -> fail "%s is a pointer, expected a scalar" name
+
+let ptr_binding st name =
+  match lookup st name with
+  | Bptr (r, k) -> (r, k)
+  | Bint _ | Bfp _ -> fail "%s is not an array" name
+
+let alloc_int st name =
+  match st.int_pool with
+  | r :: rest ->
+    st.int_pool <- rest;
+    Hashtbl.replace st.env name (Bint r);
+    r
+  | [] -> fail "too many int locals (at %s)" name
+
+let alloc_fp st name kind =
+  match st.fp_pool with
+  | r :: rest ->
+    st.fp_pool <- rest;
+    Hashtbl.replace st.env name (Bfp (r, kind));
+    r
+  | [] -> fail "too many floating-point locals (at %s)" name
+
+(* ------------------------------------------------------------------ *)
+(* Integer expressions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Materialise an int expression into [dst]. *)
+let rec eval_int_into st dst (e : Ast.expr) =
+  match e with
+  | Ast.Int_lit n -> emit st (Insn.make Insn.MOV [ Operand.imm n; Operand.reg dst ])
+  | Ast.Var v ->
+    let r = int_reg st v in
+    if not (Reg.equal r dst) then
+      emit st (Insn.make Insn.MOV [ Operand.reg r; Operand.reg dst ])
+  | Ast.Bin (op, lhs, rhs) -> (
+    eval_int_into st dst lhs;
+    let apply opc src = emit st (Insn.make opc [ src; Operand.reg dst ]) in
+    let opc =
+      match op with
+      | Ast.Add -> Insn.ADD
+      | Ast.Sub -> Insn.SUB
+      | Ast.Mul -> Insn.IMUL
+      | Ast.Div -> fail "integer division is not supported"
+    in
+    match rhs with
+    | Ast.Int_lit n -> apply opc (Operand.imm n)
+    | Ast.Var v -> apply opc (Operand.reg (int_reg st v))
+    | rhs ->
+      (* Evaluate the right side into the second scratch register. *)
+      let _, scratch2 = addr_scratch in
+      if Reg.equal dst scratch2 then
+        fail "integer expression too deep (nested products of sums)";
+      eval_int_into st scratch2 rhs;
+      apply opc (Operand.reg scratch2))
+  | Ast.Float_lit _ -> fail "floating-point value in an integer context"
+  | Ast.Index _ -> fail "loaded array values cannot be used as integers"
+
+(* The address operand for [array[idx]]. *)
+let address_of st array (idx : Ast.expr) =
+  let base, kind = ptr_binding st array in
+  let elt = elt_bytes kind in
+  let scale = if elt = 4 then 4 else 8 in
+  match idx with
+  | Ast.Int_lit n -> (Operand.mem ~base ~disp:(n * elt) (), kind)
+  | Ast.Var v -> (Operand.mem ~base ~index:(int_reg st v) ~scale (), kind)
+  | Ast.Bin (Ast.Add, Ast.Var v, Ast.Int_lit k)
+  | Ast.Bin (Ast.Add, Ast.Int_lit k, Ast.Var v) ->
+    (Operand.mem ~base ~index:(int_reg st v) ~scale ~disp:(k * elt) (), kind)
+  | idx ->
+    let scratch1, _ = addr_scratch in
+    eval_int_into st scratch1 idx;
+    (Operand.mem ~base ~index:scratch1 ~scale (), kind)
+
+(* ------------------------------------------------------------------ *)
+(* Floating-point expressions                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mov_op = function F32 -> Insn.MOVSS | F64 -> Insn.MOVSD
+
+let arith_op kind (op : Ast.binop) =
+  match kind, op with
+  | F64, Ast.Add -> Insn.ADDSD
+  | F64, Ast.Sub -> Insn.SUBSD
+  | F64, Ast.Mul -> Insn.MULSD
+  | F64, Ast.Div -> Insn.DIVSD
+  | F32, Ast.Add -> Insn.ADDSS
+  | F32, Ast.Sub -> Insn.SUBSS
+  | F32, Ast.Mul -> Insn.MULSS
+  | F32, Ast.Div -> Insn.DIVSS
+
+(* Temp pool for expression evaluation is a simple free list. *)
+type fp_temps = { mutable free : Reg.t list }
+
+let new_temps () = { free = fp_temp_regs }
+
+let temp_take temps =
+  match temps.free with
+  | r :: rest ->
+    temps.free <- rest;
+    r
+  | [] -> fail "floating-point expression too deep"
+
+let temp_release temps r =
+  if List.exists (fun t -> Reg.equal t r) fp_temp_regs then
+    temps.free <- r :: temps.free
+
+let unify_kind a b =
+  match a, b with
+  | Some ka, Some kb when ka <> kb -> fail "mixing float and double in one expression"
+  | Some k, _ | _, Some k -> Some k
+  | None, None -> None
+
+(* Infer the element kind of an fp expression. *)
+let rec infer_kind st (e : Ast.expr) =
+  match e with
+  | Ast.Float_lit _ | Ast.Int_lit _ -> None
+  | Ast.Var v -> (
+    match lookup st v with
+    | Bfp (_, k) -> Some k
+    | Bint _ -> fail "%s is an int inside a floating-point expression" v
+    | Bptr _ -> fail "%s is an array; subscript it" v)
+  | Ast.Index (a, _) ->
+    let _, k = ptr_binding st a in
+    Some k
+  | Ast.Bin (_, lhs, rhs) -> unify_kind (infer_kind st lhs) (infer_kind st rhs)
+
+(* Evaluate an fp expression into a register from [temps]; the caller
+   releases it. *)
+let rec eval_fp st temps kind (e : Ast.expr) =
+  match e with
+  | Ast.Float_lit 0. ->
+    let t = temp_take temps in
+    emit st (Insn.make Insn.PXOR [ Operand.reg t; Operand.reg t ]);
+    t
+  | Ast.Float_lit f ->
+    fail "only the literal 0.0 is supported (%g needs a memory constant)" f
+  | Ast.Int_lit 0 ->
+    let t = temp_take temps in
+    emit st (Insn.make Insn.PXOR [ Operand.reg t; Operand.reg t ]);
+    t
+  | Ast.Int_lit n -> fail "integer literal %d in a floating-point context" n
+  | Ast.Var v ->
+    let r, k = fp_binding st v in
+    if k <> kind then fail "%s has the wrong element width" v;
+    let t = temp_take temps in
+    emit st (Insn.make (mov_op kind) [ Operand.reg r; Operand.reg t ]);
+    t
+  | Ast.Index (a, idx) ->
+    let mem, k = address_of st a idx in
+    if k <> kind then fail "%s has the wrong element width" a;
+    let t = temp_take temps in
+    emit st (Insn.make (mov_op kind) [ mem; Operand.reg t ]);
+    t
+  | Ast.Bin (op, lhs, rhs) -> (
+    let t = eval_fp st temps kind lhs in
+    match rhs with
+    | Ast.Index (a, idx) ->
+      (* Fold the load into the arithmetic instruction, as compilers
+         do: [mulsd (mem), %xmm]. *)
+      let mem, k = address_of st a idx in
+      if k <> kind then fail "%s has the wrong element width" a;
+      emit st (Insn.make (arith_op kind op) [ mem; Operand.reg t ]);
+      t
+    | rhs ->
+      let u = eval_fp st temps kind rhs in
+      emit st (Insn.make (arith_op kind op) [ Operand.reg u; Operand.reg t ]);
+      temp_release temps u;
+      t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_stmt st (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (Ast.Tint, name, init) -> (
+    let r = alloc_int st name in
+    match init with
+    | None -> ()
+    | Some e -> eval_int_into st r e)
+  | Ast.Decl (((Ast.Tdouble | Ast.Tfloat) as t), name, init) -> (
+    let kind = if t = Ast.Tfloat then F32 else F64 in
+    let r = alloc_fp st name kind in
+    match init with
+    | None -> ()
+    | Some (Ast.Float_lit 0.) | Some (Ast.Int_lit 0) ->
+      emit st (Insn.make Insn.PXOR [ Operand.reg r; Operand.reg r ])
+    | Some e ->
+      let temps = new_temps () in
+      let t = eval_fp st temps kind e in
+      emit st (Insn.make (mov_op kind) [ Operand.reg t; Operand.reg r ]))
+  | Ast.Decl (Ast.Tptr _, name, _) ->
+    fail "pointer locals are not supported (%s); use array subscripts" name
+  | Ast.Assign (v, e) -> (
+    match lookup st v with
+    | Bint r -> eval_int_into st r e
+    | Bfp (r, kind) -> (
+      (match infer_kind st e with
+      | Some k when k <> kind -> fail "assignment to %s mixes element widths" v
+      | Some _ | None -> ());
+      match e with
+      | Ast.Float_lit 0. | Ast.Int_lit 0 ->
+        emit st (Insn.make Insn.PXOR [ Operand.reg r; Operand.reg r ])
+      | e ->
+        let temps = new_temps () in
+        let t = eval_fp st temps kind e in
+        emit st (Insn.make (mov_op kind) [ Operand.reg t; Operand.reg r ]))
+    | Bptr _ -> fail "cannot assign to array %s" v)
+  | Ast.Assign_op (v, op, e) -> (
+    match lookup st v with
+    | Bint r -> (
+      let opc =
+        match op with
+        | Ast.Add -> Insn.ADD
+        | Ast.Sub -> Insn.SUB
+        | Ast.Mul -> Insn.IMUL
+        | Ast.Div -> fail "integer division is not supported"
+      in
+      match e with
+      | Ast.Int_lit n -> emit st (Insn.make opc [ Operand.imm n; Operand.reg r ])
+      | Ast.Var u -> emit st (Insn.make opc [ Operand.reg (int_reg st u); Operand.reg r ])
+      | e ->
+        let scratch1, _ = addr_scratch in
+        eval_int_into st scratch1 e;
+        emit st (Insn.make opc [ Operand.reg scratch1; Operand.reg r ]))
+    | Bfp (r, kind) -> (
+      match e with
+      | Ast.Index (a, idx) ->
+        let mem, k = address_of st a idx in
+        if k <> kind then fail "%s has the wrong element width" a;
+        emit st (Insn.make (arith_op kind op) [ mem; Operand.reg r ])
+      | Ast.Bin _ | Ast.Var _ | Ast.Float_lit _ | Ast.Int_lit _ ->
+        let temps = new_temps () in
+        let t = eval_fp st temps kind e in
+        emit st (Insn.make (arith_op kind op) [ Operand.reg t; Operand.reg r ]))
+    | Bptr _ -> fail "cannot assign to array %s" v)
+  | Ast.Store (a, idx, e) ->
+    let mem, kind = address_of st a idx in
+    let temps = new_temps () in
+    let t = eval_fp st temps kind e in
+    emit st (Insn.make (mov_op kind) [ Operand.reg t; mem ])
+  | Ast.Store_op (a, idx, op, e) ->
+    (* a[i] op= e  ==>  t = a[i]; t = t op e; a[i] = t *)
+    let mem, kind = address_of st a idx in
+    let temps = new_temps () in
+    let t = temp_take temps in
+    emit st (Insn.make (mov_op kind) [ mem; Operand.reg t ]);
+    (match e with
+    | Ast.Index (a2, idx2) ->
+      let mem2, k2 = address_of st a2 idx2 in
+      if k2 <> kind then fail "%s has the wrong element width" a2;
+      emit st (Insn.make (arith_op kind op) [ mem2; Operand.reg t ])
+    | e ->
+      let u = eval_fp st temps kind e in
+      emit st (Insn.make (arith_op kind op) [ Operand.reg u; Operand.reg t ]);
+      temp_release temps u);
+    (* Recompute the address: index scratch may have been clobbered. *)
+    let mem, _ = address_of st a idx in
+    emit st (Insn.make (mov_op kind) [ Operand.reg t; mem ])
+  | Ast.For { var; init; cond; step; body } ->
+    if step <= 0 then fail "for-loop step must be positive";
+    let var_reg =
+      match Hashtbl.find_opt st.env var with
+      | Some (Bint r) -> r
+      | Some _ -> fail "loop variable %s is not an int" var
+      | None -> alloc_int st var
+    in
+    if st.outer_loop = None then st.outer_loop <- Some (var, step);
+    eval_int_into st var_reg init;
+    let label = fresh_label st in
+    emit_label st label;
+    List.iter (gen_stmt st) body;
+    emit st (Insn.make Insn.ADD [ Operand.imm step; Operand.reg var_reg ]);
+    let bound_operand =
+      match cond with
+      | Ast.Lt (_, Ast.Int_lit n) | Ast.Le (_, Ast.Int_lit n) -> Operand.imm n
+      | Ast.Lt (_, Ast.Var b) | Ast.Le (_, Ast.Var b) -> Operand.reg (int_reg st b)
+      | Ast.Lt (_, e) | Ast.Le (_, e) ->
+        fail "loop bounds must be a variable or constant, not %s"
+          (Format.asprintf "%a" Ast.pp_expr e)
+    in
+    (* cmp bound, var  sets flags from var - bound. *)
+    emit st (Insn.make Insn.CMP [ bound_operand; Operand.reg var_reg ]);
+    let jcc =
+      match cond with Ast.Lt _ -> Insn.Jcc Insn.L | Ast.Le _ -> Insn.Jcc Insn.LE
+    in
+    emit st (Insn.make jcc [ Operand.label label ])
+  | Ast.Return (Ast.Var v) ->
+    let r = int_reg st v in
+    emit st (Insn.make Insn.MOV [ Operand.reg r; Operand.reg (Reg.gpr64 Reg.RAX) ])
+  | Ast.Return e ->
+    fail "return must name an int variable, not %s"
+      (Format.asprintf "%a" Ast.pp_expr e)
+
+(* ------------------------------------------------------------------ *)
+(* Function compilation and ABI derivation                             *)
+(* ------------------------------------------------------------------ *)
+
+let c_identifier s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    s
+
+let bind_params st (params : (Ast.ctype * string) list) =
+  if List.length params > List.length param_regs then
+    fail "more than %d parameters" (List.length param_regs);
+  List.iteri
+    (fun i (t, name) ->
+      let reg = Reg.gpr64 (List.nth param_regs i) in
+      let binding =
+        match t with
+        | Ast.Tint -> Bint reg
+        | Ast.Tptr Ast.Tdouble -> Bptr (reg, F64)
+        | Ast.Tptr Ast.Tfloat -> Bptr (reg, F32)
+        | Ast.Tptr t -> fail "unsupported pointer element type %s" (Ast.string_of_ctype t)
+        | Ast.Tdouble | Ast.Tfloat ->
+          fail "floating-point parameters are not supported (%s)" name
+      in
+      Hashtbl.replace st.env name binding)
+    params
+
+(* Bytes an array advances per pass of the outermost loop: elt * step
+   when it is subscripted by (an affine function of) the outer loop
+   variable, else one element. *)
+let rec index_uses_var (e : Ast.expr) var =
+  match e with
+  | Ast.Var v -> v = var
+  | Ast.Bin (_, a, b) -> index_uses_var a var || index_uses_var b var
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Index _ -> false
+
+let rec array_strides (body : Ast.stmt list) outer acc =
+  List.fold_left
+    (fun acc s ->
+      match (s : Ast.stmt) with
+      | Ast.Store (a, idx, e) | Ast.Store_op (a, idx, _, e) ->
+        let acc = note_expr e outer acc in
+        note_index a idx outer acc
+      | Ast.Assign (_, e) | Ast.Assign_op (_, _, e) | Ast.Return e ->
+        note_expr e outer acc
+      | Ast.Decl (_, _, Some e) -> note_expr e outer acc
+      | Ast.Decl (_, _, None) -> acc
+      | Ast.For { body; _ } -> array_strides body outer acc)
+    acc body
+
+and note_expr (e : Ast.expr) outer acc =
+  match e with
+  | Ast.Index (a, idx) -> note_index a idx outer acc
+  | Ast.Bin (_, x, y) -> note_expr y outer (note_expr x outer acc)
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ -> acc
+
+and note_index a idx outer acc =
+  match outer with
+  | Some (var, step) when index_uses_var idx var ->
+    (a, step) :: acc
+  | _ -> acc
+
+let compile_function (f : Ast.func) =
+  try
+    let st =
+      {
+        env = Hashtbl.create 16;
+        code = [];
+        labels = 0;
+        int_pool = List.map Reg.gpr64 int_local_regs;
+        fp_pool = fp_local_regs;
+        outer_loop = None;
+      }
+    in
+    bind_params st f.Ast.params;
+    List.iter (gen_stmt st) f.Ast.body;
+    emit st (Insn.make Insn.RET []);
+    let program = List.rev st.code in
+    (* Validate everything we emitted. *)
+    List.iter
+      (fun item ->
+        match item with
+        | Insn.Insn i -> (
+          match Semantics.validate i with
+          | Ok () -> ()
+          | Error msg -> fail "internal: emitted invalid instruction: %s" msg)
+        | Insn.Label _ | Insn.Comment _ | Insn.Directive _ -> ())
+      program;
+    (* Launcher contract. *)
+    let counter =
+      match f.Ast.params with
+      | (Ast.Tint, name) :: _ -> (
+        match Hashtbl.find_opt st.env name with
+        | Some (Bint r) -> r
+        | _ -> Reg.gpr64 Reg.RDI)
+      | _ -> fail "the first parameter must be the int trip count"
+    in
+    let strides = array_strides f.Ast.body st.outer_loop [] in
+    let pointers =
+      List.filteri (fun i _ -> i > 0) f.Ast.params
+      |> List.filter_map (fun (t, name) ->
+             match t, Hashtbl.find_opt st.env name with
+             | Ast.Tptr _, Some (Bptr (r, kind)) ->
+               let elt = elt_bytes kind in
+               let stride =
+                 match List.assoc_opt name strides with
+                 | Some step -> elt * step
+                 | None -> elt
+               in
+               Some (r, stride)
+             | _ -> None)
+    in
+    let insns = Insn.insns program in
+    let loads = List.length (List.filter Semantics.is_load insns) in
+    let stores = List.length (List.filter Semantics.is_store insns) in
+    let bytes =
+      List.fold_left
+        (fun acc i ->
+          if Semantics.memory_access i <> Semantics.No_access then
+            acc + Semantics.data_bytes i
+          else acc)
+        0 insns
+    in
+    let returns_trip_count =
+      match f.Ast.params, List.rev f.Ast.body with
+      | (Ast.Tint, n) :: _, Ast.Return (Ast.Var v) :: _ -> v = n
+      | _ -> false
+    in
+    let abi =
+      {
+        Abi.function_name = c_identifier f.Ast.fname;
+        counter;
+        (* Up-counting loops: a trip count of n executes n passes. *)
+        counter_step = 0;
+        pointers;
+        pass_counter =
+          (if returns_trip_count then Some (Reg.gpr64 Reg.RAX) else None);
+        unroll = 1;
+        loads_per_pass = loads;
+        stores_per_pass = stores;
+        bytes_per_pass = bytes;
+      }
+    in
+    Ok (program, abi)
+  with Codegen_error msg -> Error ("cc: " ^ msg)
+
+let compile source =
+  match Parse.func_of_string source with
+  | Error msg -> Error ("cc: " ^ msg)
+  | Ok f -> compile_function f

@@ -1,0 +1,30 @@
+(** Naive code generation from the C kernel subset to the ISA: every
+    value lives in a fixed register, index expressions are recomputed
+    at each use, loops become label/add/cmp/jcc skeletons.  This is the
+    fidelity point of Section 4.1 — MicroLauncher "compiles the kernel
+    code" — with a deliberately simple -O0-style compiler.
+
+    Register convention (SysV-flavoured):
+    - parameters take [%rdi %rsi %rdx %rcx %r8 %r9] in order;
+    - [int] locals take [%rbx %r10 %r11 %r12 %r13];
+    - [%r14 %r15] are address-computation scratch;
+    - [double]/[float] locals take [%xmm8..%xmm15], expression
+      temporaries [%xmm0..%xmm7];
+    - the return value goes to [%rax].
+
+    Restrictions (reported as [Error _]): the only floating-point
+    literal is [0.0] (there is no fp-immediate instruction; real
+    kernels load other constants from memory), expressions must not mix
+    [float] and [double], [return] must name an [int] variable, and the
+    register pools above bound the number of live locals. *)
+
+val compile_function :
+  Ast.func -> (Mt_isa.Insn.program * Mt_creator.Abi.t, string) result
+(** Compile one kernel and derive its launcher contract: the first
+    [int] parameter is the trip count (with [counter_step = 0]:
+    up-counting loops execute exactly [n] passes), pointer parameters
+    become launcher-allocated arrays, and [%rax] carries the return
+    value (the pass count when the kernel returns [n]). *)
+
+val compile : string -> (Mt_isa.Insn.program * Mt_creator.Abi.t, string) result
+(** Parse ({!Parse.func_of_string}) and compile. *)

@@ -1,0 +1,386 @@
+exception Syntax_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string  (* int double float for return *)
+  | PUNCT of string  (* ( ) { } [ ] ; , = += -= *= /= ++ < <= * + - / *)
+  | EOF
+
+type lexer = { src : string; mutable pos : int; mutable line : int }
+
+let fail lx fmt =
+  Printf.ksprintf (fun s -> raise (Syntax_error (Printf.sprintf "line %d: %s" lx.line s))) fmt
+
+let keywords = [ "int"; "double"; "float"; "for"; "return" ]
+
+let is_ident_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws lx =
+  let n = String.length lx.src in
+  if lx.pos < n then begin
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' ->
+      lx.pos <- lx.pos + 1;
+      skip_ws lx
+    | '\n' ->
+      lx.pos <- lx.pos + 1;
+      lx.line <- lx.line + 1;
+      skip_ws lx
+    | '/' when lx.pos + 1 < n && lx.src.[lx.pos + 1] = '/' ->
+      while lx.pos < n && lx.src.[lx.pos] <> '\n' do
+        lx.pos <- lx.pos + 1
+      done;
+      skip_ws lx
+    | '/' when lx.pos + 1 < n && lx.src.[lx.pos + 1] = '*' ->
+      lx.pos <- lx.pos + 2;
+      let rec close () =
+        if lx.pos + 1 >= n then fail lx "unterminated comment"
+        else if lx.src.[lx.pos] = '*' && lx.src.[lx.pos + 1] = '/' then
+          lx.pos <- lx.pos + 2
+        else begin
+          if lx.src.[lx.pos] = '\n' then lx.line <- lx.line + 1;
+          lx.pos <- lx.pos + 1;
+          close ()
+        end
+      in
+      close ();
+      skip_ws lx
+    | _ -> ()
+  end
+
+let next_token lx =
+  skip_ws lx;
+  let n = String.length lx.src in
+  if lx.pos >= n then EOF
+  else begin
+    let c = lx.src.[lx.pos] in
+    if is_digit c then begin
+      let start = lx.pos in
+      while lx.pos < n && is_digit lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      if lx.pos < n && lx.src.[lx.pos] = '.' then begin
+        lx.pos <- lx.pos + 1;
+        while lx.pos < n && is_digit lx.src.[lx.pos] do
+          lx.pos <- lx.pos + 1
+        done;
+        FLOAT (float_of_string (String.sub lx.src start (lx.pos - start)))
+      end
+      else INT (int_of_string (String.sub lx.src start (lx.pos - start)))
+    end
+    else if is_ident_char c && not (is_digit c) then begin
+      let start = lx.pos in
+      while lx.pos < n && is_ident_char lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      let word = String.sub lx.src start (lx.pos - start) in
+      if List.mem word keywords then KW word else IDENT word
+    end
+    else begin
+      let two =
+        if lx.pos + 1 < n then String.sub lx.src lx.pos 2 else ""
+      in
+      match two with
+      | "+=" | "-=" | "*=" | "/=" | "++" | "<=" ->
+        lx.pos <- lx.pos + 2;
+        PUNCT two
+      | _ -> (
+        lx.pos <- lx.pos + 1;
+        match c with
+        | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '=' | '<' | '*' | '+'
+        | '-' | '/' ->
+          PUNCT (String.make 1 c)
+        | c -> fail lx "unexpected character %C" c)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { lx : lexer; mutable tok : token }
+
+let advance p = p.tok <- next_token p.lx
+
+let perror p fmt =
+  Printf.ksprintf
+    (fun s -> raise (Syntax_error (Printf.sprintf "line %d: %s" p.lx.line s)))
+    fmt
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "%S" s
+  | EOF -> "end of input"
+
+let expect p punct =
+  match p.tok with
+  | PUNCT s when s = punct -> advance p
+  | t -> perror p "expected %S, got %s" punct (token_to_string t)
+
+let expect_kw p kw =
+  match p.tok with
+  | KW s when s = kw -> advance p
+  | t -> perror p "expected %S, got %s" kw (token_to_string t)
+
+let ident p =
+  match p.tok with
+  | IDENT s ->
+    advance p;
+    s
+  | t -> perror p "expected an identifier, got %s" (token_to_string t)
+
+let parse_type p =
+  let base =
+    match p.tok with
+    | KW "int" -> Ast.Tint
+    | KW "double" -> Ast.Tdouble
+    | KW "float" -> Ast.Tfloat
+    | t -> perror p "expected a type, got %s" (token_to_string t)
+  in
+  advance p;
+  let rec stars t =
+    match p.tok with
+    | PUNCT "*" ->
+      advance p;
+      stars (Ast.Tptr t)
+    | _ -> t
+  in
+  stars base
+
+let rec parse_expr p =
+  let lhs = parse_term p in
+  let rec tail lhs =
+    match p.tok with
+    | PUNCT "+" ->
+      advance p;
+      tail (Ast.Bin (Ast.Add, lhs, parse_term p))
+    | PUNCT "-" ->
+      advance p;
+      tail (Ast.Bin (Ast.Sub, lhs, parse_term p))
+    | _ -> lhs
+  in
+  tail lhs
+
+and parse_term p =
+  let lhs = parse_factor p in
+  let rec tail lhs =
+    match p.tok with
+    | PUNCT "*" ->
+      advance p;
+      tail (Ast.Bin (Ast.Mul, lhs, parse_factor p))
+    | PUNCT "/" ->
+      advance p;
+      tail (Ast.Bin (Ast.Div, lhs, parse_factor p))
+    | _ -> lhs
+  in
+  tail lhs
+
+and parse_factor p =
+  match p.tok with
+  | INT n ->
+    advance p;
+    Ast.Int_lit n
+  | FLOAT f ->
+    advance p;
+    Ast.Float_lit f
+  | PUNCT "-" -> (
+    advance p;
+    match p.tok with
+    | INT n ->
+      advance p;
+      Ast.Int_lit (-n)
+    | FLOAT f ->
+      advance p;
+      Ast.Float_lit (-.f)
+    | _ -> Ast.Bin (Ast.Sub, Ast.Int_lit 0, parse_factor p))
+  | PUNCT "(" ->
+    advance p;
+    let e = parse_expr p in
+    expect p ")";
+    e
+  | IDENT name -> (
+    advance p;
+    match p.tok with
+    | PUNCT "[" ->
+      advance p;
+      let idx = parse_expr p in
+      expect p "]";
+      Ast.Index (name, idx)
+    | _ -> Ast.Var name)
+  | t -> perror p "expected an expression, got %s" (token_to_string t)
+
+let binop_of_compound = function
+  | "+=" -> Ast.Add
+  | "-=" -> Ast.Sub
+  | "*=" -> Ast.Mul
+  | "/=" -> Ast.Div
+  | s -> invalid_arg ("binop_of_compound: " ^ s)
+
+let rec parse_stmt p =
+  match p.tok with
+  | KW ("int" | "double" | "float") ->
+    let t = parse_type p in
+    let name = ident p in
+    let init =
+      match p.tok with
+      | PUNCT "=" ->
+        advance p;
+        Some (parse_expr p)
+      | _ -> None
+    in
+    expect p ";";
+    Ast.Decl (t, name, init)
+  | KW "return" ->
+    advance p;
+    let e = parse_expr p in
+    expect p ";";
+    Ast.Return e
+  | KW "for" ->
+    advance p;
+    expect p "(";
+    let var = ident p in
+    expect p "=";
+    let init = parse_expr p in
+    expect p ";";
+    let cond_var = ident p in
+    if cond_var <> var then
+      perror p "for-loop test must use the loop variable %s" var;
+    let cond =
+      match p.tok with
+      | PUNCT "<" ->
+        advance p;
+        Ast.Lt (var, parse_expr p)
+      | PUNCT "<=" ->
+        advance p;
+        Ast.Le (var, parse_expr p)
+      | t -> perror p "expected < or <=, got %s" (token_to_string t)
+    in
+    expect p ";";
+    let step_var = ident p in
+    if step_var <> var then
+      perror p "for-loop increment must use the loop variable %s" var;
+    let step =
+      match p.tok with
+      | PUNCT "++" ->
+        advance p;
+        1
+      | PUNCT "+=" -> (
+        advance p;
+        match p.tok with
+        | INT n ->
+          advance p;
+          n
+        | t -> perror p "expected a constant step, got %s" (token_to_string t))
+      | t -> perror p "expected ++ or +=, got %s" (token_to_string t)
+    in
+    expect p ")";
+    expect p "{";
+    let body = parse_block p in
+    Ast.For { var; init; cond; step; body }
+  | IDENT name -> (
+    advance p;
+    match p.tok with
+    | PUNCT "[" -> (
+      advance p;
+      let idx = parse_expr p in
+      expect p "]";
+      match p.tok with
+      | PUNCT "=" ->
+        advance p;
+        let e = parse_expr p in
+        expect p ";";
+        Ast.Store (name, idx, e)
+      | PUNCT (("+=" | "-=" | "*=" | "/=") as op) ->
+        advance p;
+        let e = parse_expr p in
+        expect p ";";
+        Ast.Store_op (name, idx, binop_of_compound op, e)
+      | t -> perror p "expected an assignment, got %s" (token_to_string t))
+    | PUNCT "=" ->
+      advance p;
+      let e = parse_expr p in
+      expect p ";";
+      Ast.Assign (name, e)
+    | PUNCT (("+=" | "-=" | "*=" | "/=") as op) ->
+      advance p;
+      let e = parse_expr p in
+      expect p ";";
+      Ast.Assign_op (name, binop_of_compound op, e)
+    | t -> perror p "expected an assignment to %s, got %s" name (token_to_string t))
+  | t -> perror p "expected a statement, got %s" (token_to_string t)
+
+and parse_block p =
+  let rec go acc =
+    match p.tok with
+    | PUNCT "}" ->
+      advance p;
+      List.rev acc
+    | EOF -> perror p "unterminated block"
+    | _ -> go (parse_stmt p :: acc)
+  in
+  go []
+
+let parse_func p =
+  expect_kw p "int";
+  let fname = ident p in
+  expect p "(";
+  let rec params acc =
+    match p.tok with
+    | PUNCT ")" ->
+      advance p;
+      List.rev acc
+    | _ ->
+      let t = parse_type p in
+      let name = ident p in
+      let acc = (t, name) :: acc in
+      (match p.tok with
+      | PUNCT "," ->
+        advance p;
+        params acc
+      | PUNCT ")" ->
+        advance p;
+        List.rev acc
+      | t -> perror p "expected , or ), got %s" (token_to_string t))
+  in
+  let params = params [] in
+  expect p "{";
+  let body = parse_block p in
+  { Ast.fname; params; body }
+
+let make_parser src =
+  let lx = { src; pos = 0; line = 1 } in
+  let p = { lx; tok = EOF } in
+  advance p;
+  p
+
+let func_of_string src =
+  match
+    let p = make_parser src in
+    let f = parse_func p in
+    (match p.tok with EOF -> () | t -> perror p "trailing input: %s" (token_to_string t));
+    f
+  with
+  | f -> Ok f
+  | exception Syntax_error msg -> Error msg
+
+let expr_of_string src =
+  match
+    let p = make_parser src in
+    let e = parse_expr p in
+    (match p.tok with EOF -> () | t -> perror p "trailing input: %s" (token_to_string t));
+    e
+  with
+  | e -> Ok e
+  | exception Syntax_error msg -> Error msg

@@ -1,0 +1,29 @@
+(** Recursive-descent parser for the C kernel subset (see {!Ast}).
+
+    Grammar sketch:
+    {v
+    func   := "int" ident "(" params ")" "{" stmt* "}"
+    params := type ident ("," type ident)*
+    type   := ("int" | "double" | "float") "*"*
+    stmt   := type ident ("=" expr)? ";"
+            | ident ("=" | "+=" | "-=" | "*=" | "/=") expr ";"
+            | ident "[" expr "]" ("=" | "+=" | "-=" | "*=" | "/=") expr ";"
+            | "for" "(" ident "=" expr ";" ident ("<"|"<=") expr ";" incr ")"
+              "{" stmt* "}"
+            | "return" expr ";"
+    incr   := ident "++" | ident "+=" int
+    expr   := term (("+"|"-") term)*
+    term   := factor (("*"|"/") factor)*
+    factor := int | float | ident | ident "[" expr "]" | "(" expr ")"
+    v}
+
+    Comments ([/* ... */] and [// ...]) are skipped. *)
+
+exception Syntax_error of string
+(** Raised with a message carrying the 1-based line number. *)
+
+val func_of_string : string -> (Ast.func, string) result
+(** Parse one kernel function. *)
+
+val expr_of_string : string -> (Ast.expr, string) result
+(** Parse a standalone expression (tests). *)

@@ -1,0 +1,136 @@
+open Mt_machine
+
+type bottleneck =
+  | Front_end
+  | Load_port
+  | Store_port
+  | Fp_ports
+  | Memory_bandwidth
+  | Memory_latency
+  | Tlb
+  | Dependency_chain
+
+let bottleneck_to_string = function
+  | Front_end -> "front-end (issue width)"
+  | Load_port -> "load port"
+  | Store_port -> "store port"
+  | Fp_ports -> "floating-point ports"
+  | Memory_bandwidth -> "memory bandwidth"
+  | Memory_latency -> "memory latency"
+  | Tlb -> "TLB page walks"
+  | Dependency_chain -> "dependency chains"
+
+type utilization = (bottleneck * float) list
+
+let utilizations (cfg : Config.t) (o : Core.outcome) =
+  let cycles = Float.max 1. o.Core.cycles in
+  let per count ports = float_of_int count /. float_of_int ports /. cycles in
+  let m = o.Core.mem in
+  let line = float_of_int cfg.Config.l1.Config.line_bytes in
+  let ram_bytes = float_of_int m.Memory.ram_accesses *. line in
+  let ram_share = Config.ram_stream_bytes_per_cycle cfg ~sharers:1 in
+  let demand_misses = max 0 (m.Memory.ram_accesses - m.Memory.prefetched_fills) in
+  let ram_latency = Config.cycles_of_ns cfg cfg.Config.ram_latency_ns in
+  [
+    (Front_end, per o.Core.instructions cfg.Config.issue_width);
+    (Load_port, per o.Core.loads cfg.Config.load_ports);
+    (Store_port, per o.Core.stores cfg.Config.store_ports);
+    (Fp_ports, per o.Core.fp_ops (cfg.Config.fp_add_ports + cfg.Config.fp_mul_ports));
+    (Memory_bandwidth, ram_bytes /. ram_share /. cycles);
+    ( Memory_latency,
+      float_of_int demand_misses *. ram_latency
+      /. float_of_int cfg.Config.miss_parallelism /. cycles );
+    (Tlb, float_of_int m.Memory.page_walks *. 30. /. cycles);
+  ]
+
+let classify ?(threshold = 0.55) cfg o =
+  let utils = utilizations cfg o in
+  let busiest, busy =
+    List.fold_left
+      (fun (bb, bu) (b, u) -> if u > bu then (b, u) else (bb, bu))
+      (Dependency_chain, 0.) utils
+  in
+  if busy >= threshold then busiest else Dependency_chain
+
+type knee = { at : float; before : float; after : float; ratio : float }
+
+let find_knee ?(min_ratio = 1.5) series =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) series in
+  let rec scan best = function
+    | (x1, y1) :: ((_, y2) :: _ as rest) when y1 > 0. ->
+      let ratio = y2 /. y1 in
+      let best =
+        match best with
+        | Some k when k.ratio >= ratio -> best
+        | _ when ratio >= min_ratio -> Some { at = x1; before = y1; after = y2; ratio }
+        | best -> best
+      in
+      scan best rest
+    | _ :: rest -> scan best rest
+    | [] -> best
+  in
+  scan None sorted
+
+let recommend_unroll ?(tolerance = 0.02) points =
+  match points with
+  | [] -> None
+  | points ->
+    let best = List.fold_left (fun acc (_, v) -> Float.min acc v) infinity points in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) points in
+    List.find_map
+      (fun (u, v) -> if v <= best *. (1. +. tolerance) then Some u else None)
+      sorted
+
+let describe cfg o =
+  let utils = utilizations cfg o in
+  let busiest = classify cfg o in
+  let details =
+    utils
+    |> List.filter (fun (_, u) -> u >= 0.10)
+    |> List.map (fun (b, u) -> Printf.sprintf "%s %.0f%%" (bottleneck_to_string b) (u *. 100.))
+    |> String.concat ", "
+  in
+  let ipc = float_of_int o.Core.instructions /. Float.max 1. o.Core.cycles in
+  Printf.sprintf
+    "%d instructions in %.0f cycles (IPC %.2f); bound by %s%s"
+    o.Core.instructions o.Core.cycles ipc
+    (bottleneck_to_string busiest)
+    (if details = "" then "" else " [busy: " ^ details ^ "]")
+
+type roofline = {
+  intensity : float;
+  achieved_gflops : float;
+  compute_roof_gflops : float;
+  memory_roof_gflops : float;
+  bound : [ `Compute | `Memory ];
+}
+
+let roofline (cfg : Config.t) (o : Core.outcome) =
+  let seconds = o.Core.cycles /. (cfg.Config.core_ghz *. 1e9) in
+  let flops = float_of_int o.Core.fp_ops in
+  let dram_bytes =
+    float_of_int o.Core.mem.Memory.ram_accesses
+    *. float_of_int cfg.Config.l1.Config.line_bytes
+  in
+  let intensity = if dram_bytes = 0. then infinity else flops /. dram_bytes in
+  let achieved_gflops = if seconds = 0. then 0. else flops /. seconds /. 1e9 in
+  let compute_roof_gflops =
+    float_of_int (cfg.Config.fp_add_ports + cfg.Config.fp_mul_ports)
+    *. cfg.Config.core_ghz
+  in
+  let bw_gbps =
+    Config.ram_stream_bytes_per_cycle cfg ~sharers:1 *. cfg.Config.core_ghz
+  in
+  let memory_roof_gflops =
+    if intensity = infinity then compute_roof_gflops else intensity *. bw_gbps
+  in
+  let bound =
+    if memory_roof_gflops < compute_roof_gflops then `Memory else `Compute
+  in
+  { intensity; achieved_gflops; compute_roof_gflops; memory_roof_gflops; bound }
+
+let roofline_to_string r =
+  Printf.sprintf
+    "%.3g flop/byte, %.2f GF/s achieved; roofs: compute %.2f, memory %.2f -> %s-bound"
+    r.intensity r.achieved_gflops r.compute_roof_gflops r.memory_roof_gflops
+    (match r.bound with `Compute -> "compute" | `Memory -> "memory")

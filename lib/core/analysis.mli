@@ -1,0 +1,72 @@
+(** Automated interpretation of MicroTools data — the paper's Section 7
+    future work ("data-mining techniques allow to process the
+    MicroTools data in order to automate the analysis").
+
+    Three analyses: classify what resource bounds a run, find the knee
+    of a measured series (where a size sweep leaves a cache level), and
+    recommend an unroll factor from a study's results. *)
+
+open Mt_machine
+
+(** What a kernel run spent its time on. *)
+type bottleneck =
+  | Front_end  (** Decode/issue width. *)
+  | Load_port
+  | Store_port
+  | Fp_ports
+  | Memory_bandwidth  (** DRAM fill-path saturation. *)
+  | Memory_latency  (** Un-prefetched miss latency. *)
+  | Tlb  (** Page-walk serialization. *)
+  | Dependency_chain  (** Nothing saturated: latency chains dominate. *)
+
+val bottleneck_to_string : bottleneck -> string
+
+(** Estimated utilisation of each resource over a run: the fraction of
+    the run's cycles the resource was busy (can exceed 1 slightly when
+    the estimate is coarse). *)
+type utilization = (bottleneck * float) list
+
+val utilizations : Config.t -> Core.outcome -> utilization
+(** Per-resource busy fractions computed from the run's counters. *)
+
+val classify : ?threshold:float -> Config.t -> Core.outcome -> bottleneck
+(** The most-utilised resource, or {!Dependency_chain} when nothing
+    reaches [threshold] (default 0.55) of the run's cycles. *)
+
+(** A detected discontinuity in a measured series. *)
+type knee = {
+  at : float;  (** The x value where the jump begins. *)
+  before : float;  (** y just before the jump. *)
+  after : float;  (** y just after. *)
+  ratio : float;  (** after / before. *)
+}
+
+val find_knee : ?min_ratio:float -> (float * float) list -> knee option
+(** The largest consecutive jump in the series (sorted by x), when its
+    ratio is at least [min_ratio] (default 1.5) — e.g. the Fig. 3 cliff
+    between sizes 500 and 600. *)
+
+val recommend_unroll : ?tolerance:float -> (int * float) list -> int option
+(** Given per-unroll measured values, the smallest unroll factor within
+    [tolerance] (default 2 %) of the best — the "compiler hint" answer
+    of Section 2. *)
+
+val describe : Config.t -> Core.outcome -> string
+(** A one-paragraph human-readable diagnosis of a run. *)
+
+(** A roofline-model placement of a run: arithmetic intensity from the
+    counters, achieved floating-point rate vs the compute and memory
+    roofs. *)
+type roofline = {
+  intensity : float;  (** FP operations per DRAM byte. *)
+  achieved_gflops : float;
+  compute_roof_gflops : float;  (** Scalar-SSE issue limit of the FP ports. *)
+  memory_roof_gflops : float;  (** intensity × DRAM stream bandwidth. *)
+  bound : [ `Compute | `Memory ];
+}
+
+val roofline : Config.t -> Core.outcome -> roofline
+(** Place a run on the machine's roofline.  With no DRAM traffic the
+    intensity is infinite and the run is compute-bound by definition. *)
+
+val roofline_to_string : roofline -> string

@@ -1,0 +1,94 @@
+type series = { label : string; points : (float * float) list }
+
+let markers = [| '*'; '+'; 'o'; '#'; 'x'; '@'; '%'; '&' |]
+
+let render ?(width = 56) ?(height = 16) ?(log_y = false) ?(x_label = "x")
+    ?(y_label = "y") series_list =
+  let all_points = List.concat_map (fun s -> s.points) series_list in
+  if all_points = [] then "(no data to plot)\n"
+  else begin
+    let xs = List.map fst all_points in
+    let ys = List.map snd all_points in
+    let x0 = List.fold_left Float.min infinity xs in
+    let x1 = List.fold_left Float.max neg_infinity xs in
+    let min_pos =
+      List.fold_left
+        (fun acc y -> if y > 0. then Float.min acc y else acc)
+        infinity ys
+    in
+    let transform y =
+      if log_y then log10 (Float.max y (if min_pos = infinity then 1e-9 else min_pos))
+      else y
+    in
+    let ty = List.map transform ys in
+    let y0 = List.fold_left Float.min infinity ty in
+    let y1 = List.fold_left Float.max neg_infinity ty in
+    let xspan = if x1 > x0 then x1 -. x0 else 1. in
+    let yspan = if y1 > y0 then y1 -. y0 else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let marker = markers.(si mod Array.length markers) in
+        List.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float ((x -. x0) /. xspan *. float_of_int (width - 1))
+            in
+            let cy =
+              int_of_float
+                ((transform y -. y0) /. yspan *. float_of_int (height - 1))
+            in
+            let row = height - 1 - max 0 (min (height - 1) cy) in
+            let col = max 0 (min (width - 1) cx) in
+            if grid.(row).(col) = ' ' then grid.(row).(col) <- marker)
+          s.points)
+      series_list;
+    let buf = Buffer.create ((width + 12) * (height + 4)) in
+    let untransform v = if log_y then 10. ** v else v in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s\n" y_label (if log_y then " (log scale)" else ""));
+    Array.iteri
+      (fun row line ->
+        let frac = 1. -. (float_of_int row /. float_of_int (height - 1)) in
+        let yv = untransform (y0 +. (frac *. yspan)) in
+        (* Label the top, middle and bottom rows. *)
+        let label =
+          if row = 0 || row = height - 1 || row = height / 2 then
+            Printf.sprintf "%8.3g" yv
+          else String.make 8 ' '
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s |%s|\n" label (String.init width (Array.get line))))
+      grid;
+    Buffer.add_string buf
+      (Printf.sprintf "%8s +%s+\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%8s  %-8.4g%s%8.4g  (%s)\n" "" x0
+         (String.make (max 1 (width - 16)) ' ')
+         x1 x_label);
+    Buffer.add_string buf "          ";
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%c %s   " markers.(si mod Array.length markers) s.label))
+      series_list;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end
+
+let of_table ~x_column ~y_columns (t : Exp_table.t) =
+  List.map
+    (fun (col, label) ->
+      let points =
+        List.filter_map
+          (fun row ->
+            match
+              ( float_of_string_opt (List.nth_opt row x_column |> Option.value ~default:""),
+                float_of_string_opt (List.nth_opt row col |> Option.value ~default:"") )
+            with
+            | Some x, Some y -> Some (x, y)
+            | _ -> None)
+          t.Exp_table.rows
+      in
+      { label; points })
+    y_columns

@@ -1,0 +1,29 @@
+(** ASCII charts for reproduced figures: the paper's evaluation is
+    figures, so the bench harness draws them, not just tabulates them.
+    Multi-series scatter/line charts with optional logarithmic y axes
+    (Figures 14, 17 and 18 are log-scale in the paper). *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y), any order. *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_y:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Render up to 8 series (markers [*+o#x@%&] in order) on one chart,
+    [width] × [height] characters of plot area (defaults 56 × 16).
+    Points sharing a cell show the earliest series' marker.  Returns a
+    note for empty input.  With [log_y], the y axis is log-10 (zero or
+    negative values are clamped to the smallest positive point). *)
+
+val of_table :
+  x_column:int -> y_columns:(int * string) list -> Exp_table.t -> series list
+(** Lift numeric columns of an experiment table into series ([x_column]
+    and [y_columns] are 0-based column indices with labels).  Rows
+    whose cells do not parse as numbers are skipped. *)

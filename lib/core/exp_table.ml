@@ -1,0 +1,53 @@
+type t = {
+  id : string;
+  title : string;
+  columns : string list;
+  rows : string list list;
+  expectation : string;
+  observations : string list;
+}
+
+let make ~id ~title ~columns ~expectation ?(observations = []) rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length columns then
+        invalid_arg
+          (Printf.sprintf "Exp_table.make %s: row width %d vs %d columns" id
+             (List.length row) (List.length columns)))
+    rows;
+  { id; title; columns; rows; expectation; observations }
+
+let cell_f x = Printf.sprintf "%.3f" x
+
+let print fmt t =
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length col) t.rows)
+      t.columns
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let print_row cells =
+    Format.fprintf fmt "  %s@."
+      (String.concat "  " (List.map2 pad cells widths))
+  in
+  (* Multi-line OCaml string literals leave runs of spaces behind;
+     collapse them for display. *)
+  let normalize s =
+    String.split_on_char ' ' s
+    |> List.filter (fun w -> w <> "")
+    |> String.concat " "
+  in
+  Format.fprintf fmt "=== %s: %s ===@." t.id (normalize t.title);
+  print_row t.columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row t.rows;
+  Format.fprintf fmt "  paper: %s@." (normalize t.expectation);
+  List.iter (fun o -> Format.fprintf fmt "  measured: %s@." (normalize o)) t.observations;
+  Format.fprintf fmt "@."
+
+let to_csv t =
+  let doc = Mt_stats.Csv.create ~header:t.columns in
+  List.iter (Mt_stats.Csv.add_row doc) t.rows;
+  doc

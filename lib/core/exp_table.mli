@@ -1,0 +1,31 @@
+(** Result tables for experiment reproductions: a uniform printable
+    shape for every figure and table of the paper, carrying the paper's
+    expectation next to the measured outcome. *)
+
+type t = {
+  id : string;  (** "fig11", "tab02", ... *)
+  title : string;
+  columns : string list;
+  rows : string list list;
+  expectation : string;  (** What the paper reports for this experiment. *)
+  observations : string list;
+      (** Measured take-aways, filled by the experiment code. *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  columns:string list ->
+  expectation:string ->
+  ?observations:string list ->
+  string list list ->
+  t
+
+val cell_f : float -> string
+(** Numeric cell with 3 significant decimals. *)
+
+val print : Format.formatter -> t -> unit
+(** Render as an aligned text table with the expectation and
+    observations underneath. *)
+
+val to_csv : t -> Mt_stats.Csv.t

@@ -1,0 +1,89 @@
+open Mt_creator
+open Mt_launcher
+
+type t = {
+  spec : Spec.t;
+  options : Options.t;
+  ctx : Pass.context;
+  pipeline : Pass.pipeline option;
+  mutable generated : Variant.t list option;
+}
+
+let create ?(ctx = Pass.default_context) ?pipeline spec options =
+  { spec; options; ctx; pipeline; generated = None }
+
+let of_description ?ctx text options =
+  match Description.of_string text with
+  | Error msg -> Error msg
+  | Ok spec -> Ok (create ?ctx spec options)
+
+let variants t =
+  match t.generated with
+  | Some vs -> vs
+  | None ->
+    let vs = Creator.generate ~ctx:t.ctx ?pipeline:t.pipeline t.spec in
+    t.generated <- Some vs;
+    vs
+
+type outcome = { variant : Variant.t; result : (Report.t, string) result }
+
+let run t =
+  List.map
+    (fun variant -> { variant; result = Launcher.launch t.options (Source.From_variant variant) })
+    (variants t)
+
+let successes outcomes =
+  List.filter_map
+    (fun o -> match o.result with Ok r -> Some (o.variant, r) | Error _ -> None)
+    outcomes
+
+let best outcomes =
+  List.fold_left
+    (fun acc (v, r) ->
+      match acc with
+      | Some (_, b) when b.Report.value <= r.Report.value -> acc
+      | Some _ | None -> Some (v, r))
+    None (successes outcomes)
+
+let by_unroll outcomes =
+  let ok = successes outcomes in
+  let unrolls =
+    List.sort_uniq compare (List.map (fun (v, _) -> v.Variant.unroll) ok)
+  in
+  List.map
+    (fun u -> (u, List.filter (fun (v, _) -> v.Variant.unroll = u) ok))
+    unrolls
+
+let min_per_unroll outcomes =
+  List.filter_map
+    (fun (u, group) ->
+      match group with
+      | [] -> None
+      | group ->
+        Some
+          ( u,
+            List.fold_left
+              (fun acc (_, r) -> Float.min acc r.Report.value)
+              infinity group ))
+    (by_unroll outcomes)
+
+let csv outcomes =
+  let doc =
+    Mt_stats.Csv.create ~header:[ "variant"; "unroll"; "status"; "value"; "min"; "max" ]
+  in
+  List.iter
+    (fun o ->
+      let id = Variant.id o.variant in
+      let unroll = string_of_int o.variant.Variant.unroll in
+      match o.result with
+      | Ok r ->
+        Mt_stats.Csv.add_row doc
+          [
+            id; unroll; "ok";
+            Printf.sprintf "%.6g" r.Report.value;
+            Printf.sprintf "%.6g" r.Report.summary.Mt_stats.minimum;
+            Printf.sprintf "%.6g" r.Report.summary.Mt_stats.maximum;
+          ]
+      | Error msg -> Mt_stats.Csv.add_row doc [ id; unroll; "error: " ^ msg; ""; ""; "" ])
+    outcomes;
+  doc

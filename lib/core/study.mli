@@ -1,0 +1,42 @@
+(** The end-to-end MicroTools workflow of Section 2: describe a kernel
+    once, let MicroCreator generate the variation space, run every
+    variant through MicroLauncher under one set of options, and compare
+    — "testing slight variations in the code or runtime environment to
+    help automate the tuning process". *)
+
+open Mt_creator
+open Mt_launcher
+
+type t
+
+val create :
+  ?ctx:Pass.context -> ?pipeline:Pass.pipeline -> Spec.t -> Options.t -> t
+
+val of_description :
+  ?ctx:Pass.context -> string -> Options.t -> (t, string) result
+(** Build a study from an XML description document. *)
+
+val variants : t -> Variant.t list
+(** The generated variation space (computed once, cached). *)
+
+(** One variant's fate in the study. *)
+type outcome = { variant : Variant.t; result : (Report.t, string) result }
+
+val run : t -> outcome list
+(** Measure every variant under the study's launcher options. *)
+
+val successes : outcome list -> (Variant.t * Report.t) list
+
+val best : outcome list -> (Variant.t * Report.t) option
+(** The variant with the lowest measured value. *)
+
+val by_unroll : outcome list -> (int * (Variant.t * Report.t) list) list
+(** Successful outcomes grouped by unroll factor, ascending — the
+    grouping behind Figures 5, 11, 12, 17, 18. *)
+
+val min_per_unroll : outcome list -> (int * float) list
+(** The paper's per-unroll-group minimum ("for each unroll group, the
+    minimum value was taken"). *)
+
+val csv : outcome list -> Mt_stats.Csv.t
+(** Variant id, unroll, decisions, measured value (or error). *)

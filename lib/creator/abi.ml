@@ -1,0 +1,37 @@
+open Mt_isa
+
+type t = {
+  function_name : string;
+  counter : Reg.t;
+  counter_step : int;
+  pointers : (Reg.t * int) list;
+  pass_counter : Reg.t option;
+  unroll : int;
+  loads_per_pass : int;
+  stores_per_pass : int;
+  bytes_per_pass : int;
+}
+
+let passes_for_bytes t bytes =
+  let max_step =
+    List.fold_left (fun acc (_, step) -> max acc (abs step)) 0 t.pointers
+  in
+  if max_step = 0 then 1 else max 1 (bytes / max_step)
+
+(* Generated loops test [jge] after the decrement, so a trip count of
+   [step * (passes - 1)] executes exactly [passes] passes. *)
+let trip_count_for_passes t passes =
+  let step = abs t.counter_step in
+  if step = 0 then passes else step * max 0 (passes - 1)
+
+let payload_per_pass t = t.loads_per_pass + t.stores_per_pass
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>function %s: counter %a step %d, unroll %d, %d loads + %d stores per pass@,"
+    t.function_name Reg.pp t.counter t.counter_step t.unroll t.loads_per_pass
+    t.stores_per_pass;
+  List.iter
+    (fun (r, step) -> Format.fprintf fmt "  array %a advances %d bytes/pass@," Reg.pp r step)
+    t.pointers;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,40 @@
+(** The contract between a generated kernel and MicroLauncher
+    (Section 4.4): how the trip count and array base pointers arrive,
+    what the loop advances per pass, and what [%rax] counts at exit. *)
+
+open Mt_isa
+
+type t = {
+  function_name : string;
+  counter : Reg.t;  (** Receives the trip count [n] (the [last_induction] register). *)
+  counter_step : int;
+      (** Signed change of [counter] per loop pass, after unroll scaling. *)
+  pointers : (Reg.t * int) list;
+      (** Array base registers, in argument order, each with the bytes
+          it advances per loop pass.  MicroLauncher allocates one array
+          per entry ([--nbvectors]). *)
+  pass_counter : Reg.t option;
+      (** Register incremented once per pass — [%eax] under the paper's
+          return-value convention; [None] if the kernel does not count. *)
+  unroll : int;
+  loads_per_pass : int;
+  stores_per_pass : int;
+  bytes_per_pass : int;  (** Data bytes touched per loop pass. *)
+}
+
+val passes_for_bytes : t -> int -> int
+(** [passes_for_bytes abi bytes] is how many loop passes traverse
+    [bytes] of each array once (at least 1). *)
+
+val trip_count_for_passes : t -> int -> int
+(** The [n] to pass so the loop executes exactly the given number of
+    passes under the generated kernels' [jge]-after-decrement exit
+    test: [|counter_step| * (passes - 1)].  A hand-written kernel with
+    a [jg]-style test runs one pass fewer — harmless, because the
+    launcher normalises by the kernel-reported pass count. *)
+
+val payload_per_pass : t -> int
+(** Loads plus stores per pass — the per-instruction divisor used by
+    Figures 11 and 12. *)
+
+val pp : Format.formatter -> t -> unit

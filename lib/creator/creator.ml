@@ -1,0 +1,27 @@
+let generate ?(ctx = Pass.default_context) ?pipeline ?(use_plugins = true) spec =
+  let pipeline =
+    match pipeline with Some p -> p | None -> Passes.default_pipeline ()
+  in
+  let pipeline = if use_plugins then Plugin.apply pipeline else pipeline in
+  Pass.run ~ctx pipeline spec
+
+let generate_from_string ?ctx ?use_plugins text =
+  match Description.of_string text with
+  | Error msg -> Error msg
+  | Ok spec -> (
+    match generate ?ctx ?use_plugins spec with
+    | variants -> Ok variants
+    | exception Pass.Generation_error msg -> Error msg)
+
+let generate_from_file ?ctx ?use_plugins path =
+  match Description.of_file path with
+  | Error msg -> Error msg
+  | Ok spec -> (
+    match generate ?ctx ?use_plugins spec with
+    | variants -> Ok variants
+    | exception Pass.Generation_error msg -> Error msg)
+
+let generate_to_dir ?ctx ?use_plugins ?language ~dir path =
+  match generate_from_file ?ctx ?use_plugins path with
+  | Error msg -> Error msg
+  | Ok variants -> Ok (Emit.write_all ?language ~dir variants)

@@ -1,0 +1,30 @@
+(** MicroCreator's top-level interface: description in, generated
+    benchmark-program variants out. *)
+
+val generate :
+  ?ctx:Pass.context ->
+  ?pipeline:Pass.pipeline ->
+  ?use_plugins:bool ->
+  Spec.t ->
+  Variant.t list
+(** Run the pass pipeline (default {!Passes.default_pipeline}) over a
+    description.  When [use_plugins] is true (the default), registered
+    {!Plugin}s rewrite the pipeline first.
+    @raise Pass.Generation_error on an invalid description. *)
+
+val generate_from_string :
+  ?ctx:Pass.context -> ?use_plugins:bool -> string -> (Variant.t list, string) result
+(** Parse an XML description and generate. *)
+
+val generate_from_file :
+  ?ctx:Pass.context -> ?use_plugins:bool -> string -> (Variant.t list, string) result
+
+val generate_to_dir :
+  ?ctx:Pass.context ->
+  ?use_plugins:bool ->
+  ?language:[ `Assembly | `C ] ->
+  dir:string ->
+  string ->
+  (string list, string) result
+(** End-to-end command-line behaviour: description file in, one
+    program file per variant out; returns the written paths. *)

@@ -1,0 +1,296 @@
+open Mt_isa
+module X = Mt_xml
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let int_of e tag =
+  match X.child_int e tag with
+  | Some n -> n
+  | None -> bad "<%s> requires an integer <%s> child" e.X.tag tag
+
+let parse_reg_spec (e : X.element) =
+  match X.child_text e "name" with
+  | Some name -> Spec.Named name
+  | None -> (
+    match X.child_text e "phyName" with
+    | None -> bad "<register> needs a <name> or <phyName> child"
+    | Some phy -> (
+      let rmin = X.child_int e "min" and rmax = X.child_int e "max" in
+      match rmin, rmax with
+      | Some rmin, Some rmax ->
+        if String.lowercase_ascii phy <> "%xmm" && String.lowercase_ascii phy <> "xmm"
+        then bad "rotation ranges are only supported for %%xmm registers, not %s" phy
+        else Spec.Xmm_rotation { rmin; rmax }
+      | None, None -> (
+        match Reg.of_name phy with
+        | Some r -> Spec.Phys r
+        | None -> bad "unknown physical register %s" phy)
+      | Some _, None | None, Some _ -> bad "<register> rotation needs both <min> and <max>"))
+
+let parse_choices e =
+  match X.find_children e "choice" with
+  | [] -> None
+  | choices -> Some (List.map X.text_content choices)
+
+let int_list_of_choices e =
+  match parse_choices e with
+  | Some texts ->
+    List.map
+      (fun t ->
+        match int_of_string_opt (String.trim t) with
+        | Some n -> n
+        | None -> bad "<%s>: choice %S is not an integer" e.X.tag t)
+      texts
+  | None -> (
+    match int_of_string_opt (String.trim (X.text_content e)) with
+    | Some n -> [ n ]
+    | None -> bad "<%s>: %S is not an integer" e.X.tag (X.text_content e))
+
+let opcode_of_text t =
+  match Insn.opcode_of_mnemonic (String.trim t) with
+  | Some op -> op
+  | None -> bad "unknown operation %S" t
+
+let parse_operand (e : X.element) =
+  match e.X.tag with
+  | "register" -> Some (Spec.S_reg (parse_reg_spec e))
+  | "memory" -> (
+    match X.find_child e "register" with
+    | None -> bad "<memory> needs a <register> child"
+    | Some r ->
+      let offset = Option.value ~default:0 (X.child_int e "offset") in
+      Some (Spec.S_mem { base = parse_reg_spec r; offset }))
+  | "immediate" -> (
+    match int_list_of_choices e with
+    | [ one ] -> Some (Spec.S_imm one)
+    | several -> Some (Spec.S_imm_choice several))
+  | "operation" | "move_bytes" | "swap_after_unroll" | "swap_before_unroll" | "repeat" ->
+    None
+  | tag -> bad "unexpected <%s> inside <instruction>" tag
+
+let parse_instruction (e : X.element) =
+  let op =
+    match X.find_child e "operation", X.find_child e "move_bytes" with
+    | Some _, Some _ -> bad "<instruction> has both <operation> and <move_bytes>"
+    | None, None -> bad "<instruction> needs an <operation> or <move_bytes>"
+    | Some o, None -> (
+      match parse_choices o with
+      | Some texts -> Spec.Op_choice (List.map opcode_of_text texts)
+      | None -> Spec.Fixed (opcode_of_text (X.text_content o)))
+    | None, Some m -> (
+      match int_of_string_opt (String.trim (X.text_content m)) with
+      | Some b -> Spec.Move_bytes b
+      | None -> bad "<move_bytes>: %S is not an integer" (X.text_content m))
+  in
+  let operands = List.filter_map parse_operand (X.children_elements e) in
+  let repeat =
+    match X.find_child e "repeat" with
+    | None -> None
+    | Some r -> Some (int_of r "min", int_of r "max")
+  in
+  Spec.instr
+    ~swap_before:(X.has_child e "swap_before_unroll")
+    ~swap_after:(X.has_child e "swap_after_unroll")
+    ?repeat op operands
+
+let parse_induction (e : X.element) =
+  let reg =
+    match X.find_child e "register" with
+    | Some r -> parse_reg_spec r
+    | None -> bad "<induction> needs a <register> child"
+  in
+  let increments =
+    match X.find_child e "increment" with
+    | Some i -> int_list_of_choices i
+    | None -> bad "<induction> needs an <increment> child"
+  in
+  let linked_to =
+    match X.find_child e "linked" with
+    | None -> None
+    | Some l -> (
+      match X.find_child l "register" with
+      | Some r -> (
+        match parse_reg_spec r with
+        | Spec.Named n -> Some n
+        | Spec.Phys p -> Some (Reg.name p)
+        | Spec.Xmm_rotation _ -> bad "<linked> register cannot be a rotation range")
+      | None -> bad "<linked> needs a <register> child")
+  in
+  Spec.induction
+    ~offset:(Option.value ~default:0 (X.child_int e "offset"))
+    ?linked_to
+    ~last:(X.has_child e "last_induction")
+    ~unaffected:(X.has_child e "not_affected_unroll")
+    reg increments
+
+let parse_branch (e : X.element) =
+  let label =
+    match X.child_text e "label" with
+    | Some l -> l
+    | None -> bad "<branch_information> needs a <label>"
+  in
+  let test =
+    match X.child_text e "test" with
+    | Some t -> opcode_of_text t
+    | None -> bad "<branch_information> needs a <test>"
+  in
+  { Spec.label; test }
+
+let of_xml (root : X.element) =
+  try
+    if root.X.tag <> "kernel" then bad "root element must be <kernel>, got <%s>" root.X.tag;
+    let name = Option.value ~default:"kernel" (X.attribute root "name") in
+    let instructions = ref [] in
+    let inductions = ref [] in
+    let unroll = ref (1, 1) in
+    let branch = ref None in
+    List.iter
+      (fun (e : X.element) ->
+        match e.X.tag with
+        | "instruction" -> instructions := parse_instruction e :: !instructions
+        | "induction" -> inductions := parse_induction e :: !inductions
+        | "unrolling" -> unroll := (int_of e "min", int_of e "max")
+        | "branch_information" -> branch := Some (parse_branch e)
+        | "name" | "comment" -> ()
+        | tag -> bad "unexpected <%s> inside <kernel>" tag)
+      (X.children_elements root);
+    let umin, umax = !unroll in
+    let spec =
+      {
+        Spec.name;
+        instructions = List.rev !instructions;
+        unroll_min = umin;
+        unroll_max = umax;
+        inductions = List.rev !inductions;
+        branch = !branch;
+      }
+    in
+    match Spec.validate spec with Ok () -> Ok spec | Error msg -> Error msg
+  with
+  | Bad msg -> Error msg
+  | X.Parse_error msg -> Error msg
+
+let of_string s =
+  match X.parse_string s with
+  | exception X.Parse_error msg -> Error msg
+  | root -> of_xml root
+
+let of_file path =
+  match X.parse_file path with
+  | exception X.Parse_error msg -> Error msg
+  | exception Sys_error msg -> Error msg
+  | root -> of_xml root
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let reg_spec_to_xml r =
+  let children =
+    match r with
+    | Spec.Named n -> [ X.Element (X.elem_text "name" n) ]
+    | Spec.Phys p -> [ X.Element (X.elem_text "phyName" (Reg.name p)) ]
+    | Spec.Xmm_rotation { rmin; rmax } ->
+      [
+        X.Element (X.elem_text "phyName" "%xmm");
+        X.Element (X.elem_text "min" (string_of_int rmin));
+        X.Element (X.elem_text "max" (string_of_int rmax));
+      ]
+  in
+  X.elem "register" children
+
+let choices_to_xml tag values =
+  match values with
+  | [ one ] -> X.elem_text tag (string_of_int one)
+  | several ->
+    X.elem tag
+      (List.map (fun v -> X.Element (X.elem_text "choice" (string_of_int v))) several)
+
+let operand_to_xml = function
+  | Spec.S_reg r -> reg_spec_to_xml r
+  | Spec.S_mem { base; offset } ->
+    X.elem "memory"
+      [
+        X.Element (reg_spec_to_xml base);
+        X.Element (X.elem_text "offset" (string_of_int offset));
+      ]
+  | Spec.S_imm n -> X.elem_text "immediate" (string_of_int n)
+  | Spec.S_imm_choice ns -> choices_to_xml "immediate" ns
+
+let instruction_to_xml (i : Spec.instr_spec) =
+  let op =
+    match i.op with
+    | Spec.Fixed op -> X.elem_text "operation" (Insn.mnemonic op)
+    | Spec.Op_choice ops ->
+      X.elem "operation"
+        (List.map (fun op -> X.Element (X.elem_text "choice" (Insn.mnemonic op))) ops)
+    | Spec.Move_bytes b -> X.elem_text "move_bytes" (string_of_int b)
+  in
+  let flags =
+    (if i.swap_before_unroll then [ X.Element (X.elem "swap_before_unroll" []) ] else [])
+    @ if i.swap_after_unroll then [ X.Element (X.elem "swap_after_unroll" []) ] else []
+  in
+  let repeat =
+    match i.repeat with
+    | None -> []
+    | Some (lo, hi) ->
+      [
+        X.Element
+          (X.elem "repeat"
+             [
+               X.Element (X.elem_text "min" (string_of_int lo));
+               X.Element (X.elem_text "max" (string_of_int hi));
+             ]);
+      ]
+  in
+  X.elem "instruction"
+    ((X.Element op :: List.map (fun o -> X.Element (operand_to_xml o)) i.operands)
+    @ flags @ repeat)
+
+let induction_to_xml (i : Spec.induction_spec) =
+  let children =
+    [ X.Element (reg_spec_to_xml i.ind_reg); X.Element (choices_to_xml "increment" i.increments) ]
+    @ (if i.ind_offset <> 0 then [ X.Element (X.elem_text "offset" (string_of_int i.ind_offset)) ] else [])
+    @ (match i.linked_to with
+      | Some n ->
+        [ X.Element (X.elem "linked" [ X.Element (X.elem "register" [ X.Element (X.elem_text "name" n) ]) ]) ]
+      | None -> [])
+    @ (if i.is_last then [ X.Element (X.elem "last_induction" []) ] else [])
+    @ if i.unaffected_by_unroll then [ X.Element (X.elem "not_affected_unroll" []) ] else []
+  in
+  X.elem "induction" children
+
+let to_xml (spec : Spec.t) =
+  let children =
+    List.map (fun i -> X.Element (instruction_to_xml i)) spec.instructions
+    @ [
+        X.Element
+          (X.elem "unrolling"
+             [
+               X.Element (X.elem_text "min" (string_of_int spec.unroll_min));
+               X.Element (X.elem_text "max" (string_of_int spec.unroll_max));
+             ]);
+      ]
+    @ List.map (fun i -> X.Element (induction_to_xml i)) spec.inductions
+    @
+    match spec.branch with
+    | None -> []
+    | Some b ->
+      [
+        X.Element
+          (X.elem "branch_information"
+             [
+               X.Element (X.elem_text "label" b.label);
+               X.Element (X.elem_text "test" (Insn.mnemonic b.test));
+             ]);
+      ]
+  in
+  X.elem ~attrs:[ ("name", spec.name) ] "kernel" children
+
+let to_string spec = X.to_string (to_xml spec)

@@ -1,0 +1,47 @@
+(** The XML kernel-description language of Section 3.1 (Figures 6
+    and 9).
+
+    Document shape:
+    {v
+    <kernel name="loadstore">
+      <instruction>
+        <operation>movaps</operation>          (or <choice> children,
+                                                or <move_bytes>16</move_bytes>)
+        <memory>
+          <register><name>r1</name></register>
+          <offset>0</offset>
+        </memory>
+        <register>
+          <phyName>%xmm</phyName><min>0</min><max>8</max>
+        </register>
+        <swap_after_unroll/>
+      </instruction>
+      <unrolling><min>1</min><max>8</max></unrolling>
+      <induction>
+        <register><name>r1</name></register>
+        <increment>16</increment>
+        <offset>16</offset>
+      </induction>
+      <induction>
+        <register><name>r0</name></register>
+        <increment>-1</increment>
+        <linked><register><name>r1</name></register></linked>
+        <last_induction/>
+      </induction>
+      <branch_information><label>L6</label><test>jge</test></branch_information>
+    </kernel>
+    v} *)
+
+val of_xml : Mt_xml.element -> (Spec.t, string) result
+
+val of_string : string -> (Spec.t, string) result
+(** Parse a description document.  XML syntax errors are reported in
+    the [Error] case, not raised. *)
+
+val of_file : string -> (Spec.t, string) result
+
+val to_xml : Spec.t -> Mt_xml.element
+(** Render a spec back to the document language ([of_xml] of the result
+    round-trips). *)
+
+val to_string : Spec.t -> string

@@ -1,0 +1,32 @@
+(** Emission of generated variants as assembly or C source
+    (Section 3.4: "The generated programs are either in assembly format
+    or in C source code"). *)
+
+val assembly : Variant.t -> string
+(** The AT&T assembly listing, with a header comment recording the
+    variant's generation decisions and launcher ABI. *)
+
+val c_source : Variant.t -> string
+(** A C translation unit defining
+    [int <name>(int n, void *a0, ...)] whose body is the same kernel
+    as GCC extended inline assembly. *)
+
+val file_name : Variant.t -> string
+(** Deterministic base name (no extension) for the variant. *)
+
+val write_assembly : dir:string -> Variant.t -> string
+(** Write the [.s] file into [dir] (created if missing); returns the
+    path. *)
+
+val write_c : dir:string -> Variant.t -> string
+
+val write_all : ?language:[ `Assembly | `C ] -> dir:string -> Variant.t list -> string list
+(** Emit every variant (default assembly); returns the paths. *)
+
+val object_container : Variant.t list -> string
+(** Bundle many variants into one object container (a [.mto] file) —
+    the stand-in for the paper's object-file/dynamic-library inputs
+    (Section 4.1): an XML archive of named functions, each carrying its
+    assembly listing.  MicroLauncher picks one by function name. *)
+
+val write_object : path:string -> Variant.t list -> unit

@@ -1,0 +1,62 @@
+exception Generation_error of string
+
+type context = { max_variants : int; random_selection : int option; seed : int }
+
+let default_context = { max_variants = 100_000; random_selection = None; seed = 1 }
+
+type t = {
+  name : string;
+  description : string;
+  gate : context -> Variant.t -> bool;
+  transform : context -> Variant.t -> Variant.t list;
+}
+
+let make ?(gate = fun _ _ -> true) ~name ~description transform =
+  { name; description; gate; transform }
+
+type pipeline = t list
+
+let truncate n xs =
+  let rec go k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: go (k - 1) rest
+  in
+  go n xs
+
+let run ?(ctx = default_context) pipeline spec =
+  let step variants pass =
+    let next =
+      List.concat_map
+        (fun v -> if pass.gate ctx v then pass.transform ctx v else [ v ])
+        variants
+    in
+    truncate ctx.max_variants next
+  in
+  List.fold_left step [ Variant.of_spec spec ] pipeline
+
+let names pipeline = List.map (fun p -> p.name) pipeline
+
+let find pipeline name = List.find_opt (fun p -> p.name = name) pipeline
+
+let replace pipeline name pass =
+  if not (List.exists (fun p -> p.name = name) pipeline) then raise Not_found;
+  List.map (fun p -> if p.name = name then pass else p) pipeline
+
+let remove pipeline name = List.filter (fun p -> p.name <> name) pipeline
+
+let insert_at ~before pipeline anchor pass =
+  if not (List.exists (fun p -> p.name = anchor) pipeline) then raise Not_found;
+  List.concat_map
+    (fun p ->
+      if p.name = anchor then if before then [ pass; p ] else [ p; pass ]
+      else [ p ])
+    pipeline
+
+let insert_before pipeline anchor pass = insert_at ~before:true pipeline anchor pass
+
+let insert_after pipeline anchor pass = insert_at ~before:false pipeline anchor pass
+
+let set_gate pipeline name gate =
+  if not (List.exists (fun p -> p.name = name) pipeline) then raise Not_found;
+  List.map (fun p -> if p.name = name then { p with gate } else p) pipeline

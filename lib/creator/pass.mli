@@ -1,0 +1,67 @@
+(** MicroCreator's pass framework (Section 3.2): a pipeline of
+    independent source-to-source passes, each guarded by a gate
+    predicate the user (or a plugin) may override.  A pass maps one
+    variant to any number of successor variants, so the pipeline is a
+    breadth-first expansion from the single input description to the
+    full generated program set. *)
+
+exception Generation_error of string
+
+(** Generation-wide knobs. *)
+type context = {
+  max_variants : int;
+      (** Hard cap on the population after each pass (the paper's
+          "the user can limit the number of benchmark programs"). *)
+  random_selection : int option;
+      (** When [Some k], the instruction-selection pass samples at most
+          [k] choices per choice point instead of enumerating all. *)
+  seed : int;  (** Seed for the random-selection sampling. *)
+}
+
+val default_context : context
+(** [max_variants = 100_000], exhaustive selection, seed 1. *)
+
+type t = {
+  name : string;
+  description : string;
+  gate : context -> Variant.t -> bool;
+  transform : context -> Variant.t -> Variant.t list;
+}
+
+val make :
+  ?gate:(context -> Variant.t -> bool) ->
+  name:string ->
+  description:string ->
+  (context -> Variant.t -> Variant.t list) ->
+  t
+(** Build a pass; the default gate always fires. *)
+
+(** {1 Pipelines} *)
+
+type pipeline = t list
+
+val run : ?ctx:context -> pipeline -> Spec.t -> Variant.t list
+(** Expand a description through the pipeline.  Gated-off passes copy
+    variants through unchanged.
+    @raise Generation_error on an invalid description or an internal
+    pass failure. *)
+
+val names : pipeline -> string list
+
+val find : pipeline -> string -> t option
+
+val replace : pipeline -> string -> t -> pipeline
+(** Replace the pass with the given name.
+    @raise Not_found if absent. *)
+
+val remove : pipeline -> string -> pipeline
+
+val insert_before : pipeline -> string -> t -> pipeline
+(** @raise Not_found if the anchor pass is absent. *)
+
+val insert_after : pipeline -> string -> t -> pipeline
+(** @raise Not_found if the anchor pass is absent. *)
+
+val set_gate : pipeline -> string -> (context -> Variant.t -> bool) -> pipeline
+(** Override one pass's gate (the paper's gate-redefinition feature).
+    @raise Not_found if the pass is absent. *)

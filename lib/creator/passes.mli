@@ -1,0 +1,50 @@
+(** The nineteen passes of MicroCreator's source-to-source pipeline
+    (Section 3.2), in execution order:
+
+    + [validate-spec] — reject malformed descriptions.
+    + [canonicalize] — collapse singleton choices, fill defaults.
+    + [instruction-repetition] — expand per-instruction repeat ranges.
+    + [instruction-selection] — fork one variant per opcode choice
+      (exhaustive, or seeded sampling under
+      {!Pass.context.random_selection}).
+    + [move-semantics] — lower byte-count moves to aligned / unaligned /
+      vector / scalar encodings.
+    + [stride-selection] — fork one variant per induction increment.
+    + [immediate-selection] — fork one variant per immediate choice.
+    + [operand-swap-pre] — swap flagged operands before unrolling
+      (whole-kernel load↔store variants).
+    + [unrolling] — replicate the body for each unroll factor,
+      adjusting displacements by the induction offsets.
+    + [operand-swap-post] — swap flagged operands after unrolling
+      (all load/store interleavings: 2^copies variants — the paper's
+      510-variant example).
+    + [register-rotation] — resolve XMM rotation ranges per copy.
+    + [lowering] — abstract instructions to concrete ISA instructions.
+    + [induction-insertion] — append induction updates (scaled by the
+      unroll factor unless marked [not_affected_unroll]).
+    + [branch-generation] — place the loop label and conditional jump.
+    + [register-allocation] — map logical registers to physical ones
+      (counter to [%rdi], array pointers to the SysV argument
+      registers).
+    + [finalize-abi] — prologue/epilogue and the {!Abi.t} record.
+    + [peephole] — drop dead zero-increment updates.
+    + [alignment-directives] — [.text]/[.globl]/[.align] furniture.
+    + [deduplicate] — collapse variants with identical output.
+*)
+
+val default_pipeline : unit -> Pass.pipeline
+(** A fresh copy of the nineteen-pass pipeline. *)
+
+val pass_names : string list
+(** Names in execution order (for documentation and tests). *)
+
+val find_pass : string -> Pass.t
+(** Look up one of the built-in passes by name.
+    @raise Not_found for unknown names. *)
+
+val allocation_map : Spec.t -> (string * Mt_isa.Reg.t) list
+(** The deterministic logical-to-physical register assignment used by
+    [register-allocation] and [finalize-abi]: the loop counter gets
+    [%rdi] (where the trip count arrives), memory bases get the
+    argument registers [%rsi %rdx %rcx %r8 %r9] in order of first use,
+    and remaining names draw from the scratch pool. *)

@@ -1,0 +1,28 @@
+module type PLUGIN = sig
+  val name : string
+
+  val plugin_init : Pass.pipeline -> Pass.pipeline
+end
+
+let plugins : (module PLUGIN) list ref = ref []
+
+let name_of (module P : PLUGIN) = P.name
+
+let register p =
+  let name = name_of p in
+  if List.exists (fun q -> name_of q = name) !plugins then
+    plugins := List.map (fun q -> if name_of q = name then p else q) !plugins
+  else plugins := !plugins @ [ p ]
+
+let unregister name = plugins := List.filter (fun q -> name_of q <> name) !plugins
+
+let registered () = List.map name_of !plugins
+
+let apply pipeline =
+  List.fold_left
+    (fun pipe p ->
+      let (module P : PLUGIN) = p in
+      P.plugin_init pipe)
+    pipeline !plugins
+
+let clear () = plugins := []

@@ -1,0 +1,31 @@
+(** MicroCreator's plugin system (Section 3.3).
+
+    The paper loads user dynamic libraries exposing a [pluginInit]
+    function that may add, remove or replace passes and override pass
+    gates.  OCaml's sealed runtime has no [dlopen], so a plugin here is
+    a first-class module registered programmatically — the same
+    extension surface with the same entry-point shape. *)
+
+module type PLUGIN = sig
+  val name : string
+
+  val plugin_init : Pass.pipeline -> Pass.pipeline
+  (** Called when a generation starts; receives the current pipeline
+      and returns the (possibly rewritten) pipeline to use. *)
+end
+
+val register : (module PLUGIN) -> unit
+(** Add a plugin.  Plugins apply in registration order.  Registering a
+    plugin with an already-registered name replaces it in place. *)
+
+val unregister : string -> unit
+(** Remove a plugin by name (no-op if absent). *)
+
+val registered : unit -> string list
+(** Names in application order. *)
+
+val apply : Pass.pipeline -> Pass.pipeline
+(** Run every registered plugin's [plugin_init] over the pipeline. *)
+
+val clear : unit -> unit
+(** Remove all plugins (tests). *)

@@ -1,0 +1,181 @@
+open Mt_isa
+
+type reg_spec =
+  | Phys of Reg.t
+  | Named of string
+  | Xmm_rotation of { rmin : int; rmax : int }
+
+type operand_spec =
+  | S_reg of reg_spec
+  | S_mem of { base : reg_spec; offset : int }
+  | S_imm of int
+  | S_imm_choice of int list
+
+type op_spec = Fixed of Insn.opcode | Op_choice of Insn.opcode list | Move_bytes of int
+
+type instr_spec = {
+  op : op_spec;
+  operands : operand_spec list;
+  swap_before_unroll : bool;
+  swap_after_unroll : bool;
+  repeat : (int * int) option;
+  copy_index : int;
+}
+
+type induction_spec = {
+  ind_reg : reg_spec;
+  increments : int list;
+  ind_offset : int;
+  linked_to : string option;
+  is_last : bool;
+  unaffected_by_unroll : bool;
+}
+
+type branch_spec = { label : string; test : Insn.opcode }
+
+type t = {
+  name : string;
+  instructions : instr_spec list;
+  unroll_min : int;
+  unroll_max : int;
+  inductions : induction_spec list;
+  branch : branch_spec option;
+}
+
+let instr ?(swap_before = false) ?(swap_after = false) ?repeat op operands =
+  {
+    op;
+    operands;
+    swap_before_unroll = swap_before;
+    swap_after_unroll = swap_after;
+    repeat;
+    copy_index = 0;
+  }
+
+let induction ?(offset = 0) ?linked_to ?(last = false) ?(unaffected = false) reg
+    increments =
+  {
+    ind_reg = reg;
+    increments;
+    ind_offset = offset;
+    linked_to;
+    is_last = last;
+    unaffected_by_unroll = unaffected;
+  }
+
+let registers_of_reg_spec = function
+  | Phys r -> Some r
+  | Named _ | Xmm_rotation _ -> None
+
+let instruction_count t = List.length t.instructions
+
+let reg_spec_key = function
+  | Phys r -> "phys:" ^ Reg.name r
+  | Named n -> "named:" ^ n
+  | Xmm_rotation { rmin; rmax } -> Printf.sprintf "xmm:%d:%d" rmin rmax
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () = if t.instructions = [] then err "kernel %s: no instructions" t.name else Ok () in
+  let* () =
+    if t.unroll_min < 1 || t.unroll_max < t.unroll_min then
+      err "kernel %s: bad unroll range [%d, %d]" t.name t.unroll_min t.unroll_max
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc i ->
+        let* () = acc in
+        let* () =
+          match i.repeat with
+          | Some (lo, hi) when lo < 1 || hi < lo ->
+            err "kernel %s: bad repeat range [%d, %d]" t.name lo hi
+          | Some _ | None -> Ok ()
+        in
+        let* () =
+          match i.op with
+          | Op_choice [] -> err "kernel %s: empty opcode choice" t.name
+          | Move_bytes b when b <> 4 && b <> 8 && b <> 16 ->
+            err "kernel %s: move_bytes %d not in {4, 8, 16}" t.name b
+          | Fixed _ | Op_choice _ | Move_bytes _ -> Ok ()
+        in
+        List.fold_left
+          (fun acc op ->
+            let* () = acc in
+            match op with
+            | S_imm_choice [] -> err "kernel %s: empty immediate choice" t.name
+            | S_reg (Xmm_rotation { rmin; rmax }) | S_mem { base = Xmm_rotation { rmin; rmax }; _ }
+              when rmin < 0 || rmax <= rmin || rmax > 16 ->
+              err "kernel %s: bad xmm rotation [%d, %d)" t.name rmin rmax
+            | S_reg _ | S_mem _ | S_imm _ | S_imm_choice _ -> Ok ())
+          (Ok ()) i.operands)
+      (Ok ()) t.instructions
+  in
+  let* () =
+    List.fold_left
+      (fun acc (ind : induction_spec) ->
+        let* () = acc in
+        if ind.increments = [] then err "kernel %s: induction with no increment" t.name
+        else Ok ())
+      (Ok ()) t.inductions
+  in
+  let keys = List.map (fun i -> reg_spec_key i.ind_reg) t.inductions in
+  let* () =
+    if List.length (List.sort_uniq compare keys) <> List.length keys then
+      err "kernel %s: duplicate induction registers" t.name
+    else Ok ()
+  in
+  let lasts = List.filter (fun i -> i.is_last) t.inductions in
+  match t.branch with
+  | None -> Ok ()
+  | Some b -> (
+    let* () =
+      if List.length lasts <> 1 then
+        err "kernel %s: a branch requires exactly one <last_induction/>" t.name
+      else Ok ()
+    in
+    match b.test with
+    | Insn.Jcc _ -> Ok ()
+    | op -> err "kernel %s: branch test %s is not a conditional jump" t.name (Insn.mnemonic op))
+
+let pp_reg_spec fmt = function
+  | Phys r -> Reg.pp fmt r
+  | Named n -> Format.fprintf fmt "<%s>" n
+  | Xmm_rotation { rmin; rmax } -> Format.fprintf fmt "%%xmm[%d..%d)" rmin rmax
+
+let pp_operand fmt = function
+  | S_reg r -> pp_reg_spec fmt r
+  | S_mem { base; offset } -> Format.fprintf fmt "%d(%a)" offset pp_reg_spec base
+  | S_imm n -> Format.fprintf fmt "$%d" n
+  | S_imm_choice ns ->
+    Format.fprintf fmt "$({%s})" (String.concat "|" (List.map string_of_int ns))
+
+let pp_op fmt = function
+  | Fixed op -> Format.pp_print_string fmt (Insn.mnemonic op)
+  | Op_choice ops ->
+    Format.fprintf fmt "{%s}" (String.concat "|" (List.map Insn.mnemonic ops))
+  | Move_bytes b -> Format.fprintf fmt "move%db" b
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>kernel %s (unroll %d..%d)@," t.name t.unroll_min t.unroll_max;
+  List.iter
+    (fun i ->
+      Format.fprintf fmt "  %a %a@," pp_op i.op
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_operand)
+        i.operands)
+    t.instructions;
+  List.iter
+    (fun ind ->
+      Format.fprintf fmt "  induction %a += {%s}%s%s@," pp_reg_spec ind.ind_reg
+        (String.concat "|" (List.map string_of_int ind.increments))
+        (if ind.is_last then " [last]" else "")
+        (if ind.unaffected_by_unroll then " [not-unrolled]" else ""))
+    t.inductions;
+  (match t.branch with
+  | Some b -> Format.fprintf fmt "  branch %s -> %s@," (Insn.mnemonic b.test) b.label
+  | None -> ());
+  Format.fprintf fmt "@]"

@@ -1,0 +1,100 @@
+(** MicroCreator kernel descriptions — the in-memory form of the XML
+    input language of Section 3.1 (Figures 6 and 9 of the paper). *)
+
+open Mt_isa
+
+(** A register position in a description: a physical register, a named
+    logical register (resolved by the register-allocation pass), or an
+    XMM range rotated across unroll copies to break dependences. *)
+type reg_spec =
+  | Phys of Reg.t
+  | Named of string
+  | Xmm_rotation of { rmin : int; rmax : int }
+      (** [\[rmin, rmax)] — copy [i] of the unrolled body uses
+          [%xmm(rmin + i mod (rmax - rmin))]. *)
+
+type operand_spec =
+  | S_reg of reg_spec
+  | S_mem of { base : reg_spec; offset : int }
+  | S_imm of int  (** A fixed immediate. *)
+  | S_imm_choice of int list
+      (** The immediate-selection pass forks one variant per value. *)
+
+(** What operation an instruction performs. *)
+type op_spec =
+  | Fixed of Insn.opcode
+  | Op_choice of Insn.opcode list
+      (** Instruction-selection forks one variant per opcode. *)
+  | Move_bytes of int
+      (** Move semantics (Section 3.1): only the byte count is given;
+          the move-semantics pass tries aligned / unaligned / vector /
+          scalar encodings. *)
+
+type instr_spec = {
+  op : op_spec;
+  operands : operand_spec list;
+  swap_before_unroll : bool;
+  swap_after_unroll : bool;
+  repeat : (int * int) option;
+      (** Replicate this instruction [min..max] times (instruction
+          repetition). *)
+  copy_index : int;
+      (** Which unroll copy this instruction belongs to (0 before the
+          unrolling pass). *)
+}
+
+type induction_spec = {
+  ind_reg : reg_spec;
+  increments : int list;  (** Stride choices; one variant per value. *)
+  ind_offset : int;
+      (** Memory-displacement step between unroll copies for operands
+          based on this register. *)
+  linked_to : string option;
+      (** Follows the unroll scaling of another induction register. *)
+  is_last : bool;  (** [<last_induction/>]: sets the flags the branch tests. *)
+  unaffected_by_unroll : bool;
+      (** [<not_affected_unroll/>]: increments once per loop pass
+          regardless of the unroll factor (Fig. 9's iteration counter). *)
+}
+
+type branch_spec = { label : string; test : Insn.opcode }
+
+type t = {
+  name : string;
+  instructions : instr_spec list;
+  unroll_min : int;
+  unroll_max : int;
+  inductions : induction_spec list;
+  branch : branch_spec option;
+}
+
+val instr :
+  ?swap_before:bool ->
+  ?swap_after:bool ->
+  ?repeat:int * int ->
+  op_spec ->
+  operand_spec list ->
+  instr_spec
+(** Build an instruction spec with the usual defaults. *)
+
+val induction :
+  ?offset:int ->
+  ?linked_to:string ->
+  ?last:bool ->
+  ?unaffected:bool ->
+  reg_spec ->
+  int list ->
+  induction_spec
+
+val validate : t -> (unit, string) result
+(** Structural checks: non-empty instruction list, sane unroll range,
+    exactly one last induction when a branch is present, branch opcode
+    is a conditional jump, rotation ranges non-empty, repeat ranges
+    sane, induction registers distinct. *)
+
+val registers_of_reg_spec : reg_spec -> Reg.t option
+(** The concrete register, when already physical. *)
+
+val instruction_count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+open Mt_isa
+
+type body = Abstract of Spec.instr_spec list | Concrete of Insn.program
+
+type t = {
+  spec : Spec.t;
+  body : body;
+  unroll : int;
+  decisions : (string * string) list;
+  abi : Abi.t option;
+}
+
+let of_spec spec =
+  {
+    spec;
+    body = Abstract spec.Spec.instructions;
+    unroll = 1;
+    decisions = [];
+    abi = None;
+  }
+
+let decide v key value = { v with decisions = (key, value) :: v.decisions }
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    s
+
+let id v =
+  let parts =
+    List.rev_map (fun (k, value) -> Printf.sprintf "%s=%s" k value) v.decisions
+  in
+  sanitize (String.concat "-" (v.spec.Spec.name :: parts))
+
+let abstract_body v =
+  match v.body with
+  | Abstract instrs -> instrs
+  | Concrete _ -> invalid_arg "Variant.abstract_body: body already lowered"
+
+let concrete_body v =
+  match v.body with
+  | Concrete prog -> prog
+  | Abstract _ -> invalid_arg "Variant.concrete_body: body not lowered yet"
+
+let is_concrete v = match v.body with Concrete _ -> true | Abstract _ -> false
+
+let equal_output a b =
+  match a.body, b.body with
+  | Concrete pa, Concrete pb -> Insn.program_to_string pa = Insn.program_to_string pb
+  | Abstract ia, Abstract ib -> ia = ib && a.unroll = b.unroll
+  | (Concrete _ | Abstract _), _ -> false

@@ -1,0 +1,43 @@
+(** A benchmark-program variant flowing through MicroCreator's pass
+    pipeline.  A pass maps each variant to zero or more successors; the
+    pipeline's output is the full set of generated programs. *)
+
+open Mt_isa
+
+(** The kernel body: abstract (spec instructions, possibly still with
+    choices, logical registers and rotation ranges) until the late
+    passes lower it to concrete instructions. *)
+type body = Abstract of Spec.instr_spec list | Concrete of Insn.program
+
+type t = {
+  spec : Spec.t;  (** The originating description. *)
+  body : body;
+  unroll : int;
+  decisions : (string * string) list;
+      (** Choice record, newest first — becomes the variant id. *)
+  abi : Abi.t option;  (** Set by the finalize pass. *)
+}
+
+val of_spec : Spec.t -> t
+(** The initial variant: abstract body equal to the spec's instruction
+    list, unroll factor 1, no decisions. *)
+
+val decide : t -> string -> string -> t
+(** [decide v key value] records a generation decision. *)
+
+val id : t -> string
+(** Deterministic identifier derived from the kernel name and the
+    decision record, usable as a file name, e.g.
+    ["loadstore-u3-swap2:store"]. *)
+
+val abstract_body : t -> Spec.instr_spec list
+(** @raise Invalid_argument if the body is already concrete. *)
+
+val concrete_body : t -> Insn.program
+(** @raise Invalid_argument if the body is still abstract. *)
+
+val is_concrete : t -> bool
+
+val equal_output : t -> t -> bool
+(** Two variants generate the same program text (used by the
+    deduplication pass). *)

@@ -1,0 +1,22 @@
+(** AT&T-syntax assembly reader.  This is how MicroLauncher accepts
+    [.s] files produced by MicroCreator (or written by hand). *)
+
+exception Syntax_error of string
+(** Raised with a message including the 1-based line number. *)
+
+val parse_operand : string -> Operand.t
+(** Parse a single operand: [$42], [%rsi], [-8(%rax,%rbx,4)], [.L6].
+    @raise Syntax_error on malformed input. *)
+
+val parse_line : string -> Insn.item option
+(** Parse one listing line.  Returns [None] for blank lines.  Comments
+    ([#] to end of line) are stripped; a pure comment line yields
+    [Some (Comment _)].  Lines starting with [.] and ending without [:]
+    are directives.  @raise Syntax_error on malformed input. *)
+
+val parse_program : string -> Insn.program
+(** Parse a whole listing.  @raise Syntax_error with the offending line
+    number on malformed input. *)
+
+val parse_file : string -> Insn.program
+(** [parse_file path] reads and parses an assembly file. *)

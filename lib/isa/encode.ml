@@ -1,0 +1,130 @@
+open Insn
+
+(* Component sizes. *)
+
+let is_extended = function
+  | Reg.Gpr (n, _) ->
+    (match n with
+    | Reg.R8 | Reg.R9 | Reg.R10 | Reg.R11 | Reg.R12 | Reg.R13 | Reg.R14 | Reg.R15 -> true
+    | _ -> false)
+  | Reg.Xmm n -> n >= 8
+  | Reg.Logical _ -> false
+
+let is_w64 = function Reg.Gpr (_, Reg.W64) -> true | _ -> false
+
+let operand_regs op =
+  Operand.registers_read op @ (match op with Operand.Reg r -> [ r ] | _ -> [])
+
+(* REX is needed for a 64-bit *data* operand (REX.W) or any extended
+   register anywhere; 64-bit addressing alone is the default and costs
+   nothing. *)
+let rex_bytes operands =
+  let any_extended =
+    List.exists (fun r -> is_extended r) (List.concat_map operand_regs operands)
+  in
+  let data_w64 =
+    List.exists (function Operand.Reg r -> is_w64 r | _ -> false) operands
+  in
+  if any_extended || data_w64 then 1 else 0
+
+(* ModRM memory-operand tail: SIB + displacement. *)
+let mem_tail = function
+  | Operand.Mem m ->
+    let sib =
+      if m.Operand.index <> None then 1
+      else begin
+        (* RSP/R12 as base force a SIB byte. *)
+        match m.Operand.base with
+        | Some (Reg.Gpr ((Reg.RSP | Reg.R12), _)) -> 1
+        | _ -> 0
+      end
+    in
+    let disp =
+      if m.Operand.disp = 0 then begin
+        (* RBP/R13 base needs an explicit disp8 even for 0. *)
+        match m.Operand.base with
+        | Some (Reg.Gpr ((Reg.RBP | Reg.R13), _)) -> 1
+        | _ -> 0
+      end
+      else if m.Operand.disp >= -128 && m.Operand.disp <= 127 then 1
+      else 4
+    in
+    sib + disp
+  | Operand.Reg _ | Operand.Imm _ | Operand.Label _ -> 0
+
+let imm_bytes ~imm8_ok operands =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Operand.Imm n ->
+        acc + (if imm8_ok && n >= -128 && n <= 127 then 1 else 4)
+      | Operand.Reg _ | Operand.Mem _ | Operand.Label _ -> acc)
+    0 operands
+
+let tails operands = List.fold_left (fun acc op -> acc + mem_tail op) 0 operands
+
+(* Opcode bytes, including mandatory prefixes. *)
+let opcode_bytes = function
+  | MOV | ADD | SUB | CMP | TEST | AND | OR | XOR | LEA | INC | DEC | NEG
+  | SHL | SHR ->
+    1
+  | IMUL -> 2 (* 0F AF *)
+  | MOVAPS | MOVUPS -> 2 (* 0F 28/10 *)
+  | MOVAPD | MOVUPD | MOVDQA | MOVDQU | MOVNTDQ -> 3 (* 66/F3 0F xx *)
+  | MOVNTPS -> 2 (* 0F 2B *)
+  | MOVSS | MOVSD -> 3 (* F3/F2 0F 10 *)
+  | ADDPS | SUBPS | MULPS | DIVPS -> 2
+  | ADDSS | ADDSD | ADDPD | SUBSS | SUBSD | SUBPD | MULSS | MULSD | MULPD
+  | DIVSS | DIVSD | DIVPD | SQRTSS | SQRTSD ->
+    3
+  | PADDD | PSUBD | PAND | POR | PXOR -> 3 (* 66 0F xx *)
+  | PREFETCHT0 | PREFETCHT1 | PREFETCHNTA -> 2 (* 0F 18 *)
+  | JMP -> 1
+  | Jcc _ -> 2 (* short form; generated loops are small *)
+  | NOP -> 1
+  | RET -> 1
+
+let has_modrm i =
+  match i.op with
+  | JMP | Jcc _ | NOP | RET -> false
+  | _ -> i.operands <> []
+
+let length i =
+  match i.op with
+  | JMP -> 2 (* opcode + rel8 *)
+  | Jcc _ -> 2
+  | NOP | RET -> 1
+  | _ ->
+    let imm8_ok =
+      (* ALU group 0x83 sign-extends imm8; mov does not. *)
+      match i.op with
+      | ADD | SUB | CMP | AND | OR | XOR | SHL | SHR -> true
+      | _ -> false
+    in
+    opcode_bytes i.op
+    + (if has_modrm i then 1 else 0)
+    + rex_bytes i.operands
+    + tails i.operands
+    + imm_bytes ~imm8_ok i.operands
+
+let program_bytes program =
+  List.fold_left (fun acc i -> acc + length i) 0 (insns program)
+
+let loop_body_bytes program =
+  (* Bytes from the first label to (and including) the first backward
+     conditional branch. *)
+  let rec skip_to_label = function
+    | Label _ :: rest -> rest
+    | _ :: rest -> skip_to_label rest
+    | [] -> []
+  in
+  let rec sum acc = function
+    | Insn ({ op = Jcc _; _ } as i) :: _ -> acc + length i
+    | Insn i :: rest -> sum (acc + length i) rest
+    | (Label _ | Comment _ | Directive _) :: rest -> sum acc rest
+    | [] -> acc
+  in
+  sum 0 (skip_to_label program)
+
+let fits_loop_buffer ?(buffer_bytes = 256) program =
+  loop_body_bytes program <= buffer_bytes

@@ -1,0 +1,23 @@
+(** Estimated x86-64 encoding lengths.
+
+    The machine model schedules uops, not bytes, but code footprint
+    still matters to a benchmark designer: a loop that outgrows the
+    decoded-uop loop buffer re-fetches from the instruction cache every
+    iteration on real parts.  This module estimates encoded sizes with
+    the standard prefix/opcode/ModRM/SIB/displacement/immediate rules
+    (exact for the subset the generators emit, within a byte or two for
+    unusual operand mixes). *)
+
+val length : Insn.t -> int
+(** Estimated encoded bytes of one instruction. *)
+
+val program_bytes : Insn.program -> int
+(** Total encoded bytes of a listing's instructions. *)
+
+val loop_body_bytes : Insn.program -> int
+(** Bytes between the first label and the backward branch — the part
+    that must fit the loop buffer. *)
+
+val fits_loop_buffer : ?buffer_bytes:int -> Insn.program -> bool
+(** Whether the loop body fits a Nehalem-class loop stream detector
+    (default 256 bytes / 28 uops-ish window, byte-approximated). *)

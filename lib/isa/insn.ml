@@ -1,0 +1,103 @@
+type cond = E | NE | G | GE | L | LE | A | AE | B | BE | S | NS
+
+type opcode =
+  | MOV | MOVSS | MOVSD | MOVAPS | MOVAPD | MOVUPS | MOVUPD | LEA
+  | MOVDQA | MOVDQU
+  | MOVNTPS | MOVNTDQ
+  | PREFETCHT0 | PREFETCHT1 | PREFETCHNTA
+  | ADD | SUB | INC | DEC | CMP | TEST | AND | OR | XOR | SHL | SHR | IMUL | NEG
+  | ADDSS | ADDSD | ADDPS | ADDPD
+  | SUBSS | SUBSD | SUBPS | SUBPD
+  | MULSS | MULSD | MULPS | MULPD
+  | DIVSS | DIVSD | DIVPS | DIVPD
+  | SQRTSS | SQRTSD
+  | PADDD | PSUBD | PAND | POR | PXOR
+  | JMP
+  | Jcc of cond
+  | NOP
+  | RET
+
+type t = { op : opcode; operands : Operand.t list }
+
+type item = Insn of t | Label of string | Comment of string | Directive of string
+
+type program = item list
+
+let make op operands = { op; operands }
+
+let cond_suffix = function
+  | E -> "e" | NE -> "ne" | G -> "g" | GE -> "ge" | L -> "l" | LE -> "le"
+  | A -> "a" | AE -> "ae" | B -> "b" | BE -> "be" | S -> "s" | NS -> "ns"
+
+let all_conds = [ E; NE; G; GE; L; LE; A; AE; B; BE; S; NS ]
+
+let mnemonic = function
+  | MOV -> "mov" | MOVSS -> "movss" | MOVSD -> "movsd" | MOVAPS -> "movaps"
+  | MOVAPD -> "movapd" | MOVUPS -> "movups" | MOVUPD -> "movupd" | LEA -> "lea"
+  | ADD -> "add" | SUB -> "sub" | INC -> "inc" | DEC -> "dec" | CMP -> "cmp"
+  | TEST -> "test" | AND -> "and" | OR -> "or" | XOR -> "xor" | SHL -> "shl"
+  | SHR -> "shr" | IMUL -> "imul" | NEG -> "neg"
+  | ADDSS -> "addss" | ADDSD -> "addsd" | ADDPS -> "addps" | ADDPD -> "addpd"
+  | SUBSS -> "subss" | SUBSD -> "subsd" | SUBPS -> "subps" | SUBPD -> "subpd"
+  | MULSS -> "mulss" | MULSD -> "mulsd" | MULPS -> "mulps" | MULPD -> "mulpd"
+  | MOVDQA -> "movdqa" | MOVDQU -> "movdqu"
+  | MOVNTPS -> "movntps" | MOVNTDQ -> "movntdq"
+  | PREFETCHT0 -> "prefetcht0" | PREFETCHT1 -> "prefetcht1"
+  | PREFETCHNTA -> "prefetchnta"
+  | PADDD -> "paddd" | PSUBD -> "psubd" | PAND -> "pand" | POR -> "por"
+  | PXOR -> "pxor"
+  | DIVSS -> "divss" | DIVSD -> "divsd" | DIVPS -> "divps" | DIVPD -> "divpd"
+  | SQRTSS -> "sqrtss" | SQRTSD -> "sqrtsd"
+  | JMP -> "jmp"
+  | Jcc c -> "j" ^ cond_suffix c
+  | NOP -> "nop"
+  | RET -> "ret"
+
+let all_opcodes =
+  [ MOV; MOVSS; MOVSD; MOVAPS; MOVAPD; MOVUPS; MOVUPD; LEA;
+    ADD; SUB; INC; DEC; CMP; TEST; AND; OR; XOR; SHL; SHR; IMUL; NEG;
+    ADDSS; ADDSD; ADDPS; ADDPD; SUBSS; SUBSD; SUBPS; SUBPD;
+    MULSS; MULSD; MULPS; MULPD; DIVSS; DIVSD; DIVPS; DIVPD;
+    SQRTSS; SQRTSD; MOVDQA; MOVDQU; MOVNTPS; MOVNTDQ;
+    PREFETCHT0; PREFETCHT1; PREFETCHNTA;
+    PADDD; PSUBD; PAND; POR; PXOR; JMP; NOP; RET ]
+  @ List.map (fun c -> Jcc c) all_conds
+
+let opcode_of_mnemonic =
+  let table = Hashtbl.create 64 in
+  List.iter (fun op -> Hashtbl.replace table (mnemonic op) op) all_opcodes;
+  (* GNU as accepts width-suffixed GPR mnemonics; map the common ones. *)
+  List.iter
+    (fun (m, op) -> Hashtbl.replace table m op)
+    [ "movq", MOV; "movl", MOV; "addq", ADD; "addl", ADD; "subq", SUB;
+      "subl", SUB; "cmpq", CMP; "cmpl", CMP; "leaq", LEA; "leal", LEA;
+      "incq", INC; "incl", INC; "decq", DEC; "decl", DEC; "imulq", IMUL;
+      "imull", IMUL; "testq", TEST; "testl", TEST; "xorq", XOR; "xorl", XOR;
+      "andq", AND; "andl", AND; "orq", OR; "orl", OR; "shlq", SHL;
+      "shrq", SHR; "negq", NEG; "jz", Jcc E; "jnz", Jcc NE ];
+  fun s -> Hashtbl.find_opt table (String.lowercase_ascii s)
+
+let to_string i =
+  match i.operands with
+  | [] -> mnemonic i.op
+  | ops -> mnemonic i.op ^ " " ^ String.concat ", " (List.map Operand.to_string ops)
+
+let pp fmt i = Format.pp_print_string fmt (to_string i)
+
+let equal a b = a.op = b.op && List.equal Operand.equal a.operands b.operands
+
+let map_registers f i = { i with operands = List.map (Operand.map_registers f) i.operands }
+
+let insns program =
+  List.filter_map
+    (function Insn i -> Some i | Label _ | Comment _ | Directive _ -> None)
+    program
+
+let item_to_string = function
+  | Insn i -> "\t" ^ to_string i
+  | Label l -> l ^ ":"
+  | Comment c -> "\t# " ^ c
+  | Directive d -> "\t" ^ d
+
+let program_to_string program =
+  String.concat "\n" (List.map item_to_string program) ^ "\n"

@@ -1,0 +1,67 @@
+(** Instructions and instruction streams for the x86-64 subset that
+    MicroCreator emits and the machine substrate executes. *)
+
+(** Condition codes for conditional branches. *)
+type cond = E | NE | G | GE | L | LE | A | AE | B | BE | S | NS
+
+type opcode =
+  (* Data movement. *)
+  | MOV | MOVSS | MOVSD | MOVAPS | MOVAPD | MOVUPS | MOVUPD | LEA
+  | MOVDQA | MOVDQU
+  | MOVNTPS | MOVNTDQ  (** Non-temporal (streaming) stores. *)
+  | PREFETCHT0 | PREFETCHT1 | PREFETCHNTA  (** Software prefetch hints. *)
+  (* GPR ALU. *)
+  | ADD | SUB | INC | DEC | CMP | TEST | AND | OR | XOR | SHL | SHR | IMUL | NEG
+  (* SSE floating point. *)
+  | ADDSS | ADDSD | ADDPS | ADDPD
+  | SUBSS | SUBSD | SUBPS | SUBPD
+  | MULSS | MULSD | MULPS | MULPD
+  | DIVSS | DIVSD | DIVPS | DIVPD
+  | SQRTSS | SQRTSD
+  (* Integer SSE. *)
+  | PADDD | PSUBD | PAND | POR | PXOR
+  (* Control. *)
+  | JMP
+  | Jcc of cond
+  | NOP
+  | RET
+
+(** One instruction: opcode plus operands in AT&T order (sources first,
+    destination last). *)
+type t = { op : opcode; operands : Operand.t list }
+
+(** An element of an assembly listing. *)
+type item =
+  | Insn of t
+  | Label of string
+  | Comment of string
+  | Directive of string  (** Raw directive line, e.g. [".align 16"]. *)
+
+type program = item list
+
+val make : opcode -> Operand.t list -> t
+
+val mnemonic : opcode -> string
+(** AT&T mnemonic, lowercase, e.g. ["movaps"], ["jge"]. *)
+
+val opcode_of_mnemonic : string -> opcode option
+(** Inverse of {!mnemonic}. *)
+
+val to_string : t -> string
+(** Full AT&T rendering, e.g. ["movaps 16(%rsi), %xmm1"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val map_registers : (Reg.t -> Reg.t) -> t -> t
+(** Substitute registers throughout the operands. *)
+
+val insns : program -> t list
+(** The instructions of a listing, dropping labels/comments/directives. *)
+
+val program_to_string : program -> string
+(** Render a listing, one item per line, instructions indented. *)
+
+val all_opcodes : opcode list
+(** Every opcode, for exhaustive table tests. *)

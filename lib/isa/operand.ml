@@ -1,0 +1,58 @@
+type mem = { base : Reg.t option; index : Reg.t option; scale : int; disp : int }
+
+type t = Imm of int | Reg of Reg.t | Mem of mem | Label of string
+
+let imm n = Imm n
+
+let reg r = Reg r
+
+let mem ?base ?index ?(scale = 1) ?(disp = 0) () =
+  if scale <> 1 && scale <> 2 && scale <> 4 && scale <> 8 then
+    invalid_arg (Printf.sprintf "Operand.mem: invalid scale %d" scale);
+  Mem { base; index; scale; disp }
+
+let label s = Label s
+
+let registers_read = function
+  | Imm _ | Label _ -> []
+  | Reg r -> [ r ]
+  | Mem m -> List.filter_map Fun.id [ m.base; m.index ]
+
+let is_mem = function Mem _ -> true | Imm _ | Reg _ | Label _ -> false
+
+let to_string = function
+  | Imm n -> Printf.sprintf "$%d" n
+  | Reg r -> Reg.name r
+  | Label s -> s
+  | Mem m ->
+    let disp = if m.disp = 0 && (m.base <> None || m.index <> None) then "" else string_of_int m.disp in
+    let inner =
+      match m.base, m.index with
+      | None, None -> ""
+      | Some b, None -> Printf.sprintf "(%s)" (Reg.name b)
+      | None, Some i -> Printf.sprintf "(,%s,%d)" (Reg.name i) m.scale
+      | Some b, Some i -> Printf.sprintf "(%s,%s,%d)" (Reg.name b) (Reg.name i) m.scale
+    in
+    disp ^ inner
+
+let pp fmt op = Format.pp_print_string fmt (to_string op)
+
+let equal a b =
+  match a, b with
+  | Imm x, Imm y -> x = y
+  | Label x, Label y -> String.equal x y
+  | Reg x, Reg y -> Reg.equal x y
+  | Mem x, Mem y ->
+    Option.equal Reg.equal x.base y.base
+    && Option.equal Reg.equal x.index y.index
+    && x.scale = y.scale && x.disp = y.disp
+  | (Imm _ | Label _ | Reg _ | Mem _), _ -> false
+
+let map_registers f = function
+  | (Imm _ | Label _) as op -> op
+  | Reg r -> Reg (f r)
+  | Mem m -> Mem { m with base = Option.map f m.base; index = Option.map f m.index }
+
+let shift_disp n = function
+  | Mem m -> Mem { m with disp = m.disp + n }
+  | (Imm _ | Reg _ | Label _) as op -> op

@@ -1,0 +1,46 @@
+(** Instruction operands in AT&T order (sources first, destination last). *)
+
+(** A memory reference: [disp(base, index, scale)]. *)
+type mem = {
+  base : Reg.t option;
+  index : Reg.t option;
+  scale : int;  (** 1, 2, 4 or 8. *)
+  disp : int;
+}
+
+type t =
+  | Imm of int  (** [$n] immediate. *)
+  | Reg of Reg.t
+  | Mem of mem
+  | Label of string  (** Branch target. *)
+
+val imm : int -> t
+
+val reg : Reg.t -> t
+
+val mem : ?base:Reg.t -> ?index:Reg.t -> ?scale:int -> ?disp:int -> unit -> t
+(** Build a memory operand.  @raise Invalid_argument on a scale other
+    than 1, 2, 4, 8. *)
+
+val label : string -> t
+
+val registers_read : t -> Reg.t list
+(** Registers this operand reads when used as a source or as an address
+    ([base]/[index] of a memory operand). *)
+
+val is_mem : t -> bool
+
+val to_string : t -> string
+(** AT&T rendering: [$42], [%rsi], [16(%rsi,%rax,8)], [.L6]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val map_registers : (Reg.t -> Reg.t) -> t -> t
+(** Apply a register substitution to every register occurrence,
+    including inside memory operands. *)
+
+val shift_disp : int -> t -> t
+(** [shift_disp n op] adds [n] to the displacement of a memory operand;
+    other operands are unchanged.  Used by the unrolling pass. *)

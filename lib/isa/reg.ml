@@ -1,0 +1,102 @@
+type gpr_name =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+type width = W8 | W16 | W32 | W64
+
+type t = Gpr of gpr_name * width | Xmm of int | Logical of string
+
+let gpr64 n = Gpr (n, W64)
+
+let gpr32 n = Gpr (n, W32)
+
+let xmm n =
+  if n < 0 || n > 15 then invalid_arg (Printf.sprintf "Reg.xmm: %d out of 0..15" n);
+  Xmm n
+
+let logical s = Logical s
+
+let all_gpr_names =
+  [ RAX; RCX; RDX; RBX; RSP; RBP; RSI; RDI; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let allocatable_gprs =
+  [ RSI; RDI; RCX; RDX; RBX; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+(* Base name without width decoration, e.g. "ax" component tables. *)
+let gpr_names_64 = function
+  | RAX -> "rax" | RBX -> "rbx" | RCX -> "rcx" | RDX -> "rdx"
+  | RSI -> "rsi" | RDI -> "rdi" | RBP -> "rbp" | RSP -> "rsp"
+  | R8 -> "r8" | R9 -> "r9" | R10 -> "r10" | R11 -> "r11"
+  | R12 -> "r12" | R13 -> "r13" | R14 -> "r14" | R15 -> "r15"
+
+let gpr_names_32 = function
+  | RAX -> "eax" | RBX -> "ebx" | RCX -> "ecx" | RDX -> "edx"
+  | RSI -> "esi" | RDI -> "edi" | RBP -> "ebp" | RSP -> "esp"
+  | R8 -> "r8d" | R9 -> "r9d" | R10 -> "r10d" | R11 -> "r11d"
+  | R12 -> "r12d" | R13 -> "r13d" | R14 -> "r14d" | R15 -> "r15d"
+
+let gpr_names_16 = function
+  | RAX -> "ax" | RBX -> "bx" | RCX -> "cx" | RDX -> "dx"
+  | RSI -> "si" | RDI -> "di" | RBP -> "bp" | RSP -> "sp"
+  | R8 -> "r8w" | R9 -> "r9w" | R10 -> "r10w" | R11 -> "r11w"
+  | R12 -> "r12w" | R13 -> "r13w" | R14 -> "r14w" | R15 -> "r15w"
+
+let gpr_names_8 = function
+  | RAX -> "al" | RBX -> "bl" | RCX -> "cl" | RDX -> "dl"
+  | RSI -> "sil" | RDI -> "dil" | RBP -> "bpl" | RSP -> "spl"
+  | R8 -> "r8b" | R9 -> "r9b" | R10 -> "r10b" | R11 -> "r11b"
+  | R12 -> "r12b" | R13 -> "r13b" | R14 -> "r14b" | R15 -> "r15b"
+
+let name = function
+  | Gpr (n, W64) -> "%" ^ gpr_names_64 n
+  | Gpr (n, W32) -> "%" ^ gpr_names_32 n
+  | Gpr (n, W16) -> "%" ^ gpr_names_16 n
+  | Gpr (n, W8) -> "%" ^ gpr_names_8 n
+  | Xmm n -> Printf.sprintf "%%xmm%d" n
+  | Logical s -> s
+
+let of_name s =
+  let s = if String.length s > 0 && s.[0] = '%' then String.sub s 1 (String.length s - 1) else s in
+  let find table width =
+    List.find_opt (fun n -> table n = s) all_gpr_names
+    |> Option.map (fun n -> Gpr (n, width))
+  in
+  let xmm_of s =
+    if String.length s > 3 && String.sub s 0 3 = "xmm" then
+      match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+      | Some n when n >= 0 && n <= 15 -> Some (Xmm n)
+      | _ -> None
+    else None
+  in
+  match find gpr_names_64 W64 with
+  | Some r -> Some r
+  | None -> (
+    match find gpr_names_32 W32 with
+    | Some r -> Some r
+    | None -> (
+      match find gpr_names_16 W16 with
+      | Some r -> Some r
+      | None -> (
+        match find gpr_names_8 W8 with
+        | Some r -> Some r
+        | None -> xmm_of s)))
+
+let width_bytes = function
+  | Gpr (_, W8) -> 1
+  | Gpr (_, W16) -> 2
+  | Gpr (_, W32) -> 4
+  | Gpr (_, W64) -> 8
+  | Xmm _ -> 16
+  | Logical _ -> 8
+
+let canonical = function
+  | Gpr (n, _) -> Gpr (n, W64)
+  | (Xmm _ | Logical _) as r -> r
+
+let is_physical = function Gpr _ | Xmm _ -> true | Logical _ -> false
+
+let equal a b = canonical a = canonical b
+
+let compare a b = Stdlib.compare (canonical a) (canonical b)
+
+let pp fmt r = Format.pp_print_string fmt (name r)

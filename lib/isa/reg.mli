@@ -1,0 +1,62 @@
+(** x86-64 registers, plus the logical (pre-allocation) registers used by
+    MicroCreator kernel descriptions ([r0], [r1], ...). *)
+
+(** The sixteen general-purpose register names. *)
+type gpr_name =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+(** Access width of a general-purpose register. *)
+type width = W8 | W16 | W32 | W64
+
+type t =
+  | Gpr of gpr_name * width
+  | Xmm of int  (** [Xmm n] with [0 <= n <= 15]. *)
+  | Logical of string
+      (** A MicroCreator logical register, resolved to a physical register
+          by the register-allocation pass. *)
+
+val gpr64 : gpr_name -> t
+(** 64-bit view of a GPR. *)
+
+val gpr32 : gpr_name -> t
+(** 32-bit view of a GPR. *)
+
+val xmm : int -> t
+(** [xmm n] is [%xmmn].  @raise Invalid_argument unless [0 <= n <= 15]. *)
+
+val logical : string -> t
+(** A logical register by name. *)
+
+val name : t -> string
+(** AT&T name with the [%] sigil, e.g. ["%rsi"], ["%xmm3"].  Logical
+    registers print as their bare name. *)
+
+val of_name : string -> t option
+(** Inverse of {!name} for physical registers: accepts with or without
+    the leading [%].  Returns [None] for unknown names. *)
+
+val width_bytes : t -> int
+(** Storage width in bytes: 1/2/4/8 for GPRs by view, 16 for XMM.
+    Logical registers are treated as 8 (they always become GPRs). *)
+
+val canonical : t -> t
+(** Same register ignoring the access width: widens GPR views to W64.
+    Used as the key for dependence tracking. *)
+
+val is_physical : t -> bool
+(** [true] for GPR and XMM registers, [false] for logical registers. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val all_gpr_names : gpr_name list
+(** All sixteen GPR names, in encoding order. *)
+
+val allocatable_gprs : gpr_name list
+(** GPRs the register allocator may hand out to logical registers:
+    everything except [RSP] and [RBP] (stack) and [RAX] (reserved for
+    the iteration-count return convention of Section 4.4). *)

@@ -1,0 +1,294 @@
+type port = Load | Store | Alu | Fp_add | Fp_mul | Fp_div | Branch_port
+
+type access =
+  | No_access
+  | Load_access of Operand.mem * int
+  | Store_access of Operand.mem * int
+  | Load_store_access of Operand.mem * int
+
+open Insn
+
+(* Opcode classification helpers. *)
+
+let is_sse_move = function
+  | MOVSS | MOVSD | MOVAPS | MOVAPD | MOVUPS | MOVUPD | MOVDQA | MOVDQU
+  | MOVNTPS | MOVNTDQ -> true
+  | _ -> false
+
+let is_move op = op = MOV || is_sse_move op
+
+let sse_arith_class = function
+  | ADDSS | ADDSD | ADDPS | ADDPD | SUBSS | SUBSD | SUBPS | SUBPD -> Some Fp_add
+  | MULSS | MULSD | MULPS | MULPD -> Some Fp_mul
+  | DIVSS | DIVSD | DIVPS | DIVPD | SQRTSS | SQRTSD -> Some Fp_div
+  | _ -> None
+
+let is_sse_arith op = sse_arith_class op <> None
+
+let is_gpr_alu = function
+  | ADD | SUB | INC | DEC | CMP | TEST | AND | OR | XOR | SHL | SHR | IMUL | NEG -> true
+  | _ -> false
+
+let is_sse_int_alu = function
+  | PADDD | PSUBD | PAND | POR | PXOR -> true
+  | _ -> false
+
+let is_prefetch_op = function
+  | PREFETCHT0 | PREFETCHT1 | PREFETCHNTA -> true
+  | _ -> false
+
+let is_non_temporal_op = function MOVNTPS | MOVNTDQ -> true | _ -> false
+
+(* Bytes moved per opcode, where fixed by the opcode itself. *)
+let fixed_width = function
+  | MOVSS | ADDSS | SUBSS | MULSS | DIVSS | SQRTSS -> Some 4
+  | MOVSD | ADDSD | SUBSD | MULSD | DIVSD | SQRTSD -> Some 8
+  | MOVAPS | MOVAPD | MOVUPS | MOVUPD | MOVDQA | MOVDQU | MOVNTPS | MOVNTDQ
+  | ADDPS | ADDPD | SUBPS | SUBPD | MULPS | MULPD | DIVPS | DIVPD
+  | PADDD | PSUBD | PAND | POR | PXOR -> Some 16
+  | PREFETCHT0 | PREFETCHT1 | PREFETCHNTA -> Some 64 (* whole line *)
+  | _ -> None
+
+let register_operand_width i =
+  let widths =
+    List.filter_map
+      (function Operand.Reg r -> Some (Reg.width_bytes r) | _ -> None)
+      i.operands
+  in
+  match widths with [] -> 8 | w :: _ -> w
+
+let data_bytes i =
+  match i.op with
+  | LEA | JMP | Jcc _ | NOP | RET -> 0
+  | op -> (
+    match fixed_width op with
+    | Some w -> w
+    | None -> register_operand_width i)
+
+let mem_operand i =
+  if i.op = LEA then None
+  else
+    List.find_map (function Operand.Mem m -> Some m | _ -> None) i.operands
+
+(* The memory operand's role: x86 convention is AT&T order, destination
+   last.  A memory destination of a plain move is a pure store; of an
+   ALU op, a read-modify-write. *)
+let memory_access i =
+  match mem_operand i with
+  | None -> No_access
+  | Some m ->
+    let bytes = data_bytes i in
+    if is_prefetch_op i.op then Load_access (m, bytes)
+    else begin
+      let mem_is_last =
+        match List.rev i.operands with
+        | Operand.Mem _ :: _ -> true
+        | _ -> false
+      in
+      if not mem_is_last then Load_access (m, bytes)
+      else if is_move i.op then Store_access (m, bytes)
+      else if i.op = CMP || i.op = TEST then Load_access (m, bytes)
+      else Load_store_access (m, bytes)
+    end
+
+let is_load i =
+  match memory_access i with
+  | Load_access _ | Load_store_access _ -> true
+  | No_access | Store_access _ -> false
+
+let is_store i =
+  match memory_access i with
+  | Store_access _ | Load_store_access _ -> true
+  | No_access | Load_access _ -> false
+
+let is_branch i = match i.op with JMP | Jcc _ -> true | _ -> false
+
+let is_memory_move i = is_move i.op && mem_operand i <> None
+
+let required_alignment i =
+  match i.op with
+  | MOVAPS | MOVAPD | MOVDQA | MOVNTPS | MOVNTDQ
+  | ADDPS | ADDPD | SUBPS | SUBPD | MULPS | MULPD | DIVPS | DIVPD
+  | PADDD | PSUBD | PAND | POR | PXOR ->
+    if mem_operand i <> None then 16 else 1
+  | _ -> 1
+
+let is_prefetch i = is_prefetch_op i.op
+
+let is_non_temporal i = is_non_temporal_op i.op
+
+let exec_latency i =
+  match i.op with
+  | MOV | MOVSS | MOVSD | MOVAPS | MOVAPD | MOVUPS | MOVUPD
+  | MOVDQA | MOVDQU | MOVNTPS | MOVNTDQ -> 1
+  | PREFETCHT0 | PREFETCHT1 | PREFETCHNTA -> 1
+  | PADDD | PSUBD | PAND | POR | PXOR -> 1
+  | LEA -> 1
+  | ADD | SUB | INC | DEC | CMP | TEST | AND | OR | XOR | SHL | SHR | NEG -> 1
+  | IMUL -> 3
+  | ADDSS | ADDSD | ADDPS | ADDPD | SUBSS | SUBSD | SUBPS | SUBPD -> 3
+  | MULSS | MULSD | MULPS | MULPD -> 4
+  | DIVSS | DIVSD | DIVPS | DIVPD -> 22
+  | SQRTSS | SQRTSD -> 21
+  | JMP | Jcc _ -> 1
+  | NOP | RET -> 1
+
+let compute_port i =
+  match i.op with
+  | JMP | Jcc _ -> Some Branch_port
+  | NOP | RET -> None
+  | op -> (
+    match sse_arith_class op with
+    | Some p -> Some p
+    | None ->
+      if is_gpr_alu op || is_sse_int_alu op || op = LEA then Some Alu
+      else if is_move op then Some Alu (* register-to-register move *)
+      else None)
+
+let ports i =
+  if is_prefetch i then [ Load ]
+  else
+  match memory_access i with
+  | No_access -> (
+    match compute_port i with None -> [] | Some p -> [ p ])
+  | Load_access _ ->
+    (* A pure load has no compute uop; a load-op keeps its compute uop. *)
+    if is_move i.op then [ Load ]
+    else Load :: (match compute_port i with None -> [] | Some p -> [ p ])
+  | Store_access _ -> [ Store ]
+  | Load_store_access _ ->
+    Load :: Store :: (match compute_port i with None -> [] | Some p -> [ p ])
+
+let destination i =
+  match i.op with
+  | CMP | TEST | JMP | Jcc _ | NOP | RET -> None
+  | INC | DEC | NEG -> (
+    match i.operands with [ Operand.Reg r ] -> Some r | _ -> None)
+  | _ -> (
+    match List.rev i.operands with
+    | Operand.Reg r :: _ -> Some r
+    | _ -> None)
+
+(* Two-operand instructions whose destination is also read. *)
+let dest_is_read op =
+  is_gpr_alu op || is_sse_arith op || is_sse_int_alu op
+
+let sources i =
+  let addr_regs =
+    List.concat_map
+      (function Operand.Mem _ as m -> Operand.registers_read m | _ -> [])
+      i.operands
+  in
+  let explicit =
+    match i.operands with
+    | [] -> []
+    | operands ->
+      let rec split_last acc = function
+        | [] -> List.rev acc, None
+        | [ last ] -> List.rev acc, Some last
+        | x :: rest -> split_last (x :: acc) rest
+      in
+      let srcs, last = split_last [] operands in
+      let src_regs =
+        List.concat_map
+          (function Operand.Reg r -> [ r ] | _ -> [])
+          srcs
+      in
+      let last_regs =
+        match last with
+        | Some (Operand.Reg r) when dest_is_read i.op || i.op = CMP || i.op = TEST -> [ r ]
+        | Some (Operand.Reg r) when i.op = INC || i.op = DEC || i.op = NEG -> [ r ]
+        | _ -> []
+      in
+      src_regs @ last_regs
+  in
+  (* De-duplicate while keeping order. *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun r ->
+      let key = Reg.canonical r in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    (explicit @ addr_regs)
+
+let sets_flags i =
+  match i.op with
+  | ADD | SUB | INC | DEC | CMP | TEST | AND | OR | XOR | SHL | SHR | IMUL | NEG -> true
+  | _ -> false
+
+let reads_flags i = match i.op with Jcc _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_reg = function Operand.Reg _ -> true | _ -> false
+
+let is_xmm_or_logical = function
+  | Operand.Reg (Reg.Xmm _) | Operand.Reg (Reg.Logical _) -> true
+  | _ -> false
+
+let is_gpr_or_logical = function
+  | Operand.Reg (Reg.Gpr _) | Operand.Reg (Reg.Logical _) -> true
+  | _ -> false
+
+let is_mem = Operand.is_mem
+
+let is_imm = function Operand.Imm _ -> true | _ -> false
+
+let is_label = function Operand.Label _ -> true | _ -> false
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let validate i =
+  let mem_count = List.length (List.filter is_mem i.operands) in
+  if mem_count > 1 then err "%s: more than one memory operand" (to_string i)
+  else begin
+    match i.op, i.operands with
+    | MOV, [ src; dst ] ->
+      if (is_imm src || is_reg src || is_mem src) && (is_reg dst || is_mem dst) then
+        if is_mem src && is_mem dst then err "mov: memory-to-memory is not encodable"
+        else Ok ()
+      else err "mov: bad operand kinds in %s" (to_string i)
+    | (MOVSS | MOVSD | MOVAPS | MOVAPD | MOVUPS | MOVUPD | MOVDQA | MOVDQU), [ src; dst ] ->
+      if (is_xmm_or_logical src || is_mem src) && (is_xmm_or_logical dst || is_mem dst)
+      then
+        if is_mem src && is_mem dst then err "%s: memory-to-memory" (mnemonic i.op)
+        else Ok ()
+      else err "%s: operands must be xmm or memory" (mnemonic i.op)
+    | (MOVNTPS | MOVNTDQ), [ src; dst ] ->
+      if is_xmm_or_logical src && is_mem dst then Ok ()
+      else err "%s: streaming stores go xmm -> memory" (mnemonic i.op)
+    | (PREFETCHT0 | PREFETCHT1 | PREFETCHNTA), [ op1 ] ->
+      if is_mem op1 then Ok ()
+      else err "%s: expects one memory operand" (mnemonic i.op)
+    | LEA, [ src; dst ] ->
+      if is_mem src && is_gpr_or_logical dst then Ok ()
+      else err "lea: expects memory source and register destination"
+    | (ADD | SUB | AND | OR | XOR | CMP | TEST | IMUL), [ src; dst ] ->
+      if (is_imm src || is_reg src || is_mem src) && (is_reg dst || is_mem dst) then
+        if is_mem src && is_mem dst then err "%s: memory-to-memory" (mnemonic i.op)
+        else Ok ()
+      else err "%s: bad operand kinds" (mnemonic i.op)
+    | (SHL | SHR), [ src; dst ] ->
+      if is_imm src && (is_reg dst || is_mem dst) then Ok ()
+      else err "%s: expects immediate count and register/memory" (mnemonic i.op)
+    | (INC | DEC | NEG), [ op1 ] ->
+      if is_reg op1 || is_mem op1 then Ok ()
+      else err "%s: expects one register or memory operand" (mnemonic i.op)
+    | ( ( ADDSS | ADDSD | ADDPS | ADDPD | SUBSS | SUBSD | SUBPS | SUBPD
+        | MULSS | MULSD | MULPS | MULPD | DIVSS | DIVSD | DIVPS | DIVPD
+        | SQRTSS | SQRTSD | PADDD | PSUBD | PAND | POR | PXOR ),
+        [ src; dst ] ) ->
+      if (is_xmm_or_logical src || is_mem src) && is_xmm_or_logical dst then Ok ()
+      else err "%s: expects xmm/mem source and xmm destination" (mnemonic i.op)
+    | (JMP | Jcc _), [ target ] ->
+      if is_label target then Ok ()
+      else err "%s: expects a label operand" (mnemonic i.op)
+    | (NOP | RET), [] -> Ok ()
+    | op, operands ->
+      err "%s: wrong arity %d" (mnemonic op) (List.length operands)
+  end

@@ -1,0 +1,65 @@
+(** Static semantics of the ISA subset: operand shapes, register
+    read/write sets, memory behaviour, and the execution-resource
+    metadata the machine substrate schedules with. *)
+
+(** Execution port classes of the modelled cores. *)
+type port = Load | Store | Alu | Fp_add | Fp_mul | Fp_div | Branch_port
+
+(** Memory behaviour of one instruction.  x86 allows at most one memory
+    operand; read-modify-write instructions both load and store it. *)
+type access =
+  | No_access
+  | Load_access of Operand.mem * int  (** address expression, bytes. *)
+  | Store_access of Operand.mem * int
+  | Load_store_access of Operand.mem * int
+
+val memory_access : Insn.t -> access
+
+val data_bytes : Insn.t -> int
+(** Bytes moved by a memory access of this instruction (4 for [movss],
+    16 for [movaps], register width for [mov], ...).  0 when the
+    instruction cannot access memory ([lea], branches, ...). *)
+
+val required_alignment : Insn.t -> int
+(** Alignment the hardware demands of a memory operand: 16 for aligned
+    SSE ops ([movaps], [addps], ...), 1 otherwise. *)
+
+val is_load : Insn.t -> bool
+
+val is_store : Insn.t -> bool
+
+val is_branch : Insn.t -> bool
+
+val is_prefetch : Insn.t -> bool
+(** Software prefetch hint: touches memory but never stalls or faults. *)
+
+val is_non_temporal : Insn.t -> bool
+(** Streaming store: bypasses the cache hierarchy (write-combining). *)
+
+val is_memory_move : Insn.t -> bool
+(** [true] for the mov-family opcodes when one operand is memory — the
+    kernels the paper's figures are built from. *)
+
+val exec_latency : Insn.t -> int
+(** Execution latency in core cycles, excluding any memory access time
+    (the cache model adds that). *)
+
+val ports : Insn.t -> port list
+(** The micro-op port demands of the instruction, e.g. a store is
+    [[Store]], a load-and-multiply is [[Load; Fp_mul]]. *)
+
+val destination : Insn.t -> Reg.t option
+(** The register written, if any. *)
+
+val sources : Insn.t -> Reg.t list
+(** Registers read: explicit sources, read-modify-write destinations,
+    and address registers of memory operands. *)
+
+val sets_flags : Insn.t -> bool
+
+val reads_flags : Insn.t -> bool
+
+val validate : Insn.t -> (unit, string) result
+(** Check the operand shape (arity, operand kinds, no mem-to-mem, XMM
+    where required).  Logical registers are accepted anywhere a register
+    is. *)

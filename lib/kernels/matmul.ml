@@ -1,0 +1,316 @@
+open Mt_isa
+open Mt_machine
+open Mt_creator
+
+let matrix_bytes ~n = n * n * 8
+
+let b_reg = Reg.gpr64 Reg.RSI
+
+let c_reg = Reg.gpr64 Reg.RDX
+
+let res_reg = Reg.gpr64 Reg.RCX
+
+let counter_reg = Reg.gpr64 Reg.RDI
+
+let accumulator = Reg.xmm 15
+
+let original_program ~n ~unroll =
+  if unroll < 1 then invalid_arg "Matmul.original_program: unroll < 1";
+  let copy k =
+    let load_reg = Reg.xmm (k mod 8) in
+    [
+      Insn.Insn
+        (Insn.make Insn.MOVSD
+           [ Operand.mem ~base:b_reg ~disp:(8 * k) (); Operand.reg load_reg ]);
+      Insn.Insn
+        (Insn.make Insn.MULSD
+           [ Operand.mem ~base:c_reg ~disp:(8 * n * k) (); Operand.reg load_reg ]);
+      Insn.Insn
+        (Insn.make Insn.ADDSD [ Operand.reg load_reg; Operand.reg accumulator ]);
+      Insn.Insn
+        (Insn.make Insn.MOVSD [ Operand.reg accumulator; Operand.mem ~base:res_reg () ]);
+    ]
+  in
+  [ Insn.Insn (Insn.make Insn.XOR [ Operand.reg (Reg.gpr32 Reg.RAX); Operand.reg (Reg.gpr32 Reg.RAX) ]);
+    Insn.Label "L3" ]
+  @ List.concat (List.init unroll copy)
+  @ [
+      Insn.Insn (Insn.make Insn.ADD [ Operand.imm (8 * unroll); Operand.reg b_reg ]);
+      Insn.Insn (Insn.make Insn.ADD [ Operand.imm (8 * n * unroll); Operand.reg c_reg ]);
+      Insn.Insn (Insn.make Insn.ADD [ Operand.imm 1; Operand.reg (Reg.gpr32 Reg.RAX) ]);
+      Insn.Insn (Insn.make Insn.SUB [ Operand.imm unroll; Operand.reg counter_reg ]);
+      Insn.Insn (Insn.make (Insn.Jcc Insn.GE) [ Operand.label "L3" ]);
+      Insn.Insn (Insn.make Insn.RET []);
+    ]
+
+let micro_spec ~n ~unroll =
+  let umin, umax = unroll in
+  {
+    Spec.name = Printf.sprintf "matmul%d" n;
+    instructions =
+      [
+        Spec.instr (Spec.Fixed Insn.MOVSD)
+          [
+            Spec.S_mem { base = Spec.Named "rB"; offset = 0 };
+            Spec.S_reg (Spec.Xmm_rotation { rmin = 0; rmax = 8 });
+          ];
+        Spec.instr (Spec.Fixed Insn.MULSD)
+          [
+            Spec.S_mem { base = Spec.Named "rC"; offset = 0 };
+            Spec.S_reg (Spec.Xmm_rotation { rmin = 0; rmax = 8 });
+          ];
+        Spec.instr (Spec.Fixed Insn.ADDSD)
+          [
+            Spec.S_reg (Spec.Xmm_rotation { rmin = 0; rmax = 8 });
+            Spec.S_reg (Spec.Phys accumulator);
+          ];
+        Spec.instr (Spec.Fixed Insn.MOVSD)
+          [
+            Spec.S_reg (Spec.Phys accumulator);
+            Spec.S_mem { base = Spec.Named "rRes"; offset = 0 };
+          ];
+      ];
+    unroll_min = umin;
+    unroll_max = umax;
+    inductions =
+      [
+        Spec.induction ~offset:8 (Spec.Named "rB") [ 8 ];
+        Spec.induction ~offset:(8 * n) (Spec.Named "rC") [ 8 * n ];
+        Spec.induction ~linked_to:"rB" ~last:true (Spec.Named "r0") [ -1 ];
+        Spec.induction ~unaffected:true (Spec.Phys (Reg.gpr32 Reg.RAX)) [ 1 ];
+      ];
+    branch = Some { Spec.label = "L3"; test = Insn.Jcc Insn.GE };
+  }
+
+type driver = {
+  cfg : Config.t;
+  memory : Memory.t;
+  compiled : Core.compiled;
+  n : int;
+  unroll : int;
+  a_base : int;
+  b_base : int;
+  c_base : int;
+  b_ptr : Reg.t;
+  c_ptr : Reg.t;
+  res_ptr : Reg.t;
+  counter : Reg.t;
+  trip : int;  (** Initial counter value for one full k-loop. *)
+}
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let make_driver ?(alignments = (0, 0, 0)) ~machine ~n source =
+  if n < 1 then err "matmul: n < 1"
+  else begin
+    let a_off, b_off, c_off = alignments in
+    let memmap = Memmap.create () in
+    let alloc offset = (Memmap.alloc memmap ~size:(matrix_bytes ~n) ~align:4096 ~offset).Memmap.base in
+    let a_base = alloc a_off in
+    let b_base = alloc b_off in
+    let c_base = alloc c_off in
+    let build program unroll b_ptr c_ptr res_ptr counter trip =
+      match Core.compile program with
+      | Error e -> err "matmul: %s" (Core.error_to_string e)
+      | Ok compiled ->
+        Ok
+          {
+            cfg = machine;
+            memory = Memory.create machine;
+            compiled;
+            n;
+            unroll;
+            a_base;
+            b_base;
+            c_base;
+            b_ptr;
+            c_ptr;
+            res_ptr;
+            counter;
+            trip;
+          }
+    in
+    match source with
+    | `Original unroll ->
+      (* jge exits after the counter drops below zero: start at n - unroll
+         for exactly n/unroll passes. *)
+      build (original_program ~n ~unroll) unroll b_reg c_reg res_reg counter_reg
+        (n - unroll)
+    | `Micro variant -> (
+      match variant.Variant.abi with
+      | None -> err "matmul: variant %s has no ABI" (Variant.id variant)
+      | Some abi -> (
+        match abi.Abi.pointers with
+        | [ (b_ptr, _); (c_ptr, _); (res_ptr, _) ] ->
+          build (Variant.concrete_body variant) abi.Abi.unroll b_ptr c_ptr res_ptr
+            abi.Abi.counter
+            (Abi.trip_count_for_passes abi (n / abi.Abi.unroll))
+        | pointers -> err "matmul: variant has %d pointers, expected 3" (List.length pointers)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tiling                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tiled_program ~n ~tile ~rows ~jj_tiles =
+  if tile < 1 || n mod tile <> 0 then
+    invalid_arg "Matmul.tiled_program: tile must divide n";
+  if rows < 1 || rows > n then invalid_arg "Matmul.tiled_program: bad rows";
+  if jj_tiles < 1 || jj_tiles > n / tile then
+    invalid_arg "Matmul.tiled_program: bad jj_tiles";
+  let jj = Reg.gpr64 Reg.R8
+  and kk = Reg.gpr64 Reg.R9
+  and iv = Reg.gpr64 Reg.R10
+  and jv = Reg.gpr64 Reg.R11
+  and kv = Reg.gpr64 Reg.R12
+  and bj = Reg.gpr64 Reg.R13
+  and bk = Reg.gpr64 Reg.R14
+  and t1 = Reg.gpr64 Reg.RBX
+  and t2 = Reg.gpr64 Reg.R15 in
+  let acc = Reg.xmm 1 and tmp = Reg.xmm 0 in
+  let i_ op ops = Insn.Insn (Insn.make op ops) in
+  (* t := a*n + b, as an element index. *)
+  let index t a b =
+    [
+      i_ Insn.MOV [ Operand.reg a; Operand.reg t ];
+      i_ Insn.IMUL [ Operand.reg counter_reg; Operand.reg t ];
+      i_ Insn.ADD [ Operand.reg b; Operand.reg t ];
+    ]
+  in
+  [
+    i_ Insn.XOR [ Operand.reg (Reg.gpr32 Reg.RAX); Operand.reg (Reg.gpr32 Reg.RAX) ];
+    i_ Insn.MOV [ Operand.imm 0; Operand.reg jj ];
+    Insn.Label "Ltjj";
+    i_ Insn.MOV [ Operand.reg jj; Operand.reg bj ];
+    i_ Insn.ADD [ Operand.imm tile; Operand.reg bj ];
+    i_ Insn.MOV [ Operand.imm 0; Operand.reg kk ];
+    Insn.Label "Ltkk";
+    i_ Insn.MOV [ Operand.reg kk; Operand.reg bk ];
+    i_ Insn.ADD [ Operand.imm tile; Operand.reg bk ];
+    i_ Insn.MOV [ Operand.imm 0; Operand.reg iv ];
+    Insn.Label "Lti";
+    i_ Insn.MOV [ Operand.reg jj; Operand.reg jv ];
+    Insn.Label "Ltj";
+  ]
+  @ index t1 iv jv
+  @ [
+      i_ Insn.MOVSD [ Operand.mem ~base:res_reg ~index:t1 ~scale:8 (); Operand.reg acc ];
+      i_ Insn.MOV [ Operand.reg kk; Operand.reg kv ];
+      Insn.Label "Ltk";
+    ]
+  @ index t1 iv kv
+  @ [ i_ Insn.MOVSD [ Operand.mem ~base:b_reg ~index:t1 ~scale:8 (); Operand.reg tmp ] ]
+  @ index t2 kv jv
+  @ [
+      i_ Insn.MULSD [ Operand.mem ~base:c_reg ~index:t2 ~scale:8 (); Operand.reg tmp ];
+      i_ Insn.ADDSD [ Operand.reg tmp; Operand.reg acc ];
+      i_ Insn.ADD [ Operand.imm 1; Operand.reg (Reg.gpr32 Reg.RAX) ];
+      i_ Insn.ADD [ Operand.imm 1; Operand.reg kv ];
+      i_ Insn.CMP [ Operand.reg bk; Operand.reg kv ];
+      i_ (Insn.Jcc Insn.L) [ Operand.label "Ltk" ];
+    ]
+  @ index t1 iv jv
+  @ [
+      i_ Insn.MOVSD [ Operand.reg acc; Operand.mem ~base:res_reg ~index:t1 ~scale:8 () ];
+      i_ Insn.ADD [ Operand.imm 1; Operand.reg jv ];
+      i_ Insn.CMP [ Operand.reg bj; Operand.reg jv ];
+      i_ (Insn.Jcc Insn.L) [ Operand.label "Ltj" ];
+      i_ Insn.ADD [ Operand.imm 1; Operand.reg iv ];
+      i_ Insn.CMP [ Operand.imm rows; Operand.reg iv ];
+      i_ (Insn.Jcc Insn.L) [ Operand.label "Lti" ];
+      i_ Insn.ADD [ Operand.imm tile; Operand.reg kk ];
+      i_ Insn.CMP [ Operand.reg counter_reg; Operand.reg kk ];
+      i_ (Insn.Jcc Insn.L) [ Operand.label "Ltkk" ];
+      i_ Insn.ADD [ Operand.imm tile; Operand.reg jj ];
+      i_ Insn.CMP [ Operand.imm (jj_tiles * tile); Operand.reg jj ];
+      i_ (Insn.Jcc Insn.L) [ Operand.label "Ltjj" ];
+      i_ Insn.RET [];
+    ]
+
+let tiled_cycles ?(rows = 2) ?(jj_tiles = 1) ~machine ~n ~tile () =
+  match tiled_program ~n ~tile ~rows ~jj_tiles with
+  | exception Invalid_argument msg -> Error msg
+  | program -> (
+    match Core.compile program with
+    | Error e -> Error (Core.error_to_string e)
+    | Ok compiled -> (
+      let memory = Memory.create machine in
+      let memmap = Memmap.create () in
+      let alloc () =
+        (Memmap.alloc memmap ~size:(matrix_bytes ~n) ~align:4096 ~offset:0).Memmap.base
+      in
+      let init =
+        [
+          (counter_reg, n);
+          (res_reg, alloc ());
+          (b_reg, alloc ());
+          (c_reg, alloc ());
+        ]
+      in
+      let run () = Core.run ~init machine memory compiled in
+      match run () with
+      | Error e -> Error (Core.error_to_string e)
+      | Ok _ -> (
+        match run () with
+        | Error e -> Error (Core.error_to_string e)
+        | Ok outcome ->
+          if outcome.Core.rax = 0 then Error "tiled multiply executed no iterations"
+          else Ok (outcome.Core.cycles /. float_of_int outcome.Core.rax))))
+
+type sample = {
+  cycles_per_iteration : float;
+  iterations : int;
+  mem : Memory.counters;
+}
+
+let sample_run ?(rows = 2) ?(cols = 16) ?(warm_cols = 0) d =
+  let cols = min cols d.n in
+  let rows = min rows d.n in
+  let warm_cols = min warm_cols (d.n - cols) in
+  let total_cycles = ref 0. in
+  let total_iters = ref 0 in
+  let failure = ref None in
+  let run_column i j =
+    let init =
+      [
+        (d.b_ptr, d.b_base + (i * d.n * 8));
+        (d.c_ptr, d.c_base + (j * 8));
+        (d.res_ptr, d.a_base + (((i * d.n) + j) * 8));
+        (d.counter, d.trip);
+      ]
+    in
+    Core.run ~init d.cfg d.memory d.compiled
+  in
+  (* The loop nest is i-outer, j-inner; cache state flows from one
+     k-loop call into the next, as in the real multiply.  [warm_cols]
+     untimed lead-in columns put the sampler mid-multiply, where the
+     fresh-cache-line phase is independent of the arrays' offsets. *)
+  for j = 0 to warm_cols - 1 do
+    if !failure = None then begin
+      match run_column 0 j with
+      | Ok _ -> ()
+      | Error e -> failure := Some (Core.error_to_string e)
+    end
+  done;
+  for i = 0 to rows - 1 do
+    for j = warm_cols to warm_cols + cols - 1 do
+      if !failure = None then begin
+        match run_column i j with
+        | Ok outcome ->
+          total_cycles := !total_cycles +. outcome.Core.cycles;
+          total_iters := !total_iters + (outcome.Core.rax * d.unroll)
+        | Error e -> failure := Some (Core.error_to_string e)
+      end
+    done
+  done;
+  match !failure with
+  | Some msg -> Error msg
+  | None ->
+    if !total_iters = 0 then Error "matmul: no iterations executed"
+    else
+      Ok
+        {
+          cycles_per_iteration = !total_cycles /. float_of_int !total_iters;
+          iterations = !total_iters;
+          mem = Memory.counters d.memory;
+        }

@@ -1,0 +1,86 @@
+(** The Section 2 motivating example: the naive matrix-multiply inner
+    kernel (Figure 1/2), both as the GCC-style assembly the paper shows
+    and as a MicroCreator description, plus a sampled driver that
+    measures cycles per inner-loop iteration on the machine model.
+
+    One inner k-loop computes [res(i,j) += B(i,k) * C(k,j)]: the B row
+    is a sequential stride-8 stream, the C column walks with stride
+    [8n] (the access that falls out of the caches as [n] grows —
+    Figure 3), and the result element is stored every iteration, as in
+    the paper's Figure 2. *)
+
+open Mt_isa
+open Mt_creator
+
+val original_program : n:int -> unroll:int -> Insn.program
+(** The Figure 2 kernel, unrolled GCC-style: load registers rotate
+    through [%xmm0..7], a single [%xmm15] accumulator, a store per
+    copy, [jge] loop.  Registers: B row in [%rsi], C column in [%rdx],
+    result element address in [%rcx], counter in [%rdi], pass count in
+    [%eax]. *)
+
+val micro_spec : n:int -> unroll:int * int -> Spec.t
+(** The same kernel abstracted into the MicroCreator input format; the
+    pipeline generates one variant per unroll factor. *)
+
+(** A matmul instance bound to the machine model. *)
+type driver
+
+val make_driver :
+  ?alignments:int * int * int ->
+  machine:Mt_machine.Config.t ->
+  n:int ->
+  [ `Original of int | `Micro of Variant.t ] ->
+  (driver, string) result
+(** [`Original u] uses {!original_program} with unroll [u]; [`Micro v]
+    runs a MicroCreator-generated variant (its ABI names the pointer
+    registers).  [alignments] offsets the three matrices within a 4 KiB
+    boundary (Figure 4). *)
+
+type sample = {
+  cycles_per_iteration : float;  (** Core cycles per k-loop iteration. *)
+  iterations : int;  (** Inner iterations simulated. *)
+  mem : Mt_machine.Memory.counters;
+}
+
+val sample_run :
+  ?rows:int -> ?cols:int -> ?warm_cols:int -> driver -> (sample, string) result
+(** Simulate the inner loop at [rows × cols] sampled [(i, j)] positions
+    (defaults 2 × 16), sharing cache state across calls exactly as the
+    real loop nest does.  [warm_cols] (default 0) runs that many
+    untimed lead-in columns first so the measured window sits
+    mid-multiply — needed when comparing alignments, where the cold
+    lead-in would otherwise bias the sampled window. *)
+
+val matrix_bytes : n:int -> int
+(** Storage for one [n × n] double matrix. *)
+
+(** {1 Tiling (the Section 2 optimisation)}
+
+    "Tiling ... allows the complete multiplication to be performed in
+    steps, each tile being calculated separately ... The right tiling
+    size is a correct ratio between space and temporal locality."  The
+    tiled program below keeps each [tile × tile] block of the column
+    matrix cache- and TLB-resident, which removes the Fig. 3 cliff. *)
+
+val tiled_program : n:int -> tile:int -> rows:int -> jj_tiles:int -> Mt_isa.Insn.program
+(** The tiled loop nest
+    [for jj (for kk (for i (for j in tile (for k in tile))))] over a
+    sampled slab: [rows] values of [i] and [jj_tiles] tile columns
+    (both full [n] when set to [n] and [n/tile]).  Registers follow
+    {!original_program}'s convention ([%rsi]=A result, [%rdx]=B,
+    [%rcx]=C, [%rdi]=n); [%rax] counts executed inner iterations.
+    @raise Invalid_argument unless [tile] divides [n] and the sampling
+    bounds fit. *)
+
+val tiled_cycles :
+  ?rows:int ->
+  ?jj_tiles:int ->
+  machine:Mt_machine.Config.t ->
+  n:int ->
+  tile:int ->
+  unit ->
+  (float, string) result
+(** Cycles per inner iteration of the sampled tiled multiply (warm
+    caches, like {!sample_run}).  [tile = n] degenerates to the naive
+    untied loop nest. *)

@@ -1,0 +1,231 @@
+open Mt_isa
+open Mt_creator
+
+let eax_pass_counter =
+  Spec.induction ~unaffected:true (Spec.Phys (Reg.gpr32 Reg.RAX)) [ 1 ]
+
+let counter_induction ~linked_to =
+  Spec.induction ~linked_to ~last:true (Spec.Named "r0") [ -1 ]
+
+let branch = { Spec.label = "L6"; test = Insn.Jcc Insn.GE }
+
+let loadstore_spec ?(name = "loadstore") ?(opcode = Insn.MOVAPS) ?(stride = 16)
+    ?(unroll = (1, 8)) ?(swap_after = true) ?(xmm_range = (0, 8)) () =
+  let rmin, rmax = xmm_range in
+  let umin, umax = unroll in
+  {
+    Spec.name;
+    instructions =
+      [
+        Spec.instr ~swap_after (Spec.Fixed opcode)
+          [
+            Spec.S_mem { base = Spec.Named "r1"; offset = 0 };
+            Spec.S_reg (Spec.Xmm_rotation { rmin; rmax });
+          ];
+      ];
+    unroll_min = umin;
+    unroll_max = umax;
+    inductions =
+      [
+        Spec.induction ~offset:stride (Spec.Named "r1") [ stride ];
+        counter_induction ~linked_to:"r1";
+        eax_pass_counter;
+      ];
+    branch = Some branch;
+  }
+
+let move_width_spec ?(name = "movewidth") ?(unroll = (1, 8)) () =
+  let base = loadstore_spec ~name ~unroll () in
+  let instructions =
+    List.map
+      (fun (i : Spec.instr_spec) ->
+        { i with Spec.op = Spec.Op_choice [ Insn.MOVSS; Insn.MOVSD; Insn.MOVAPS; Insn.MOVAPD ] })
+      base.Spec.instructions
+  in
+  { base with Spec.instructions }
+
+let multi_array_spec ?(name = "multiarray") ?(opcode = Insn.MOVSS)
+    ?(element_bytes = 4) ?(unroll = (1, 1)) ~arrays () =
+  if arrays < 1 then invalid_arg "Streams.multi_array_spec: arrays < 1";
+  let umin, umax = unroll in
+  let pointer i = Printf.sprintf "p%d" i in
+  {
+    Spec.name;
+    instructions =
+      List.init arrays (fun i ->
+          Spec.instr (Spec.Fixed opcode)
+            [
+              Spec.S_mem { base = Spec.Named (pointer i); offset = 0 };
+              Spec.S_reg (Spec.Phys (Reg.xmm (i mod 16)));
+            ]);
+    unroll_min = umin;
+    unroll_max = umax;
+    inductions =
+      List.init arrays (fun i ->
+          Spec.induction ~offset:element_bytes (Spec.Named (pointer i)) [ element_bytes ])
+      @ [ counter_induction ~linked_to:(pointer 0); eax_pass_counter ];
+    branch = Some branch;
+  }
+
+let movss_unrolled_spec ?name ~unroll () =
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "movss_u%d" unroll
+  in
+  loadstore_spec ~name ~opcode:Insn.MOVSS ~stride:4 ~unroll:(unroll, unroll)
+    ~swap_after:false ()
+
+let strided_spec ?(name = "strided") ?(opcode = Insn.MOVSS)
+    ?(strides = [ 4; 16; 64; 256; 1024 ]) ?(unroll = (1, 1)) () =
+  let umin, umax = unroll in
+  {
+    Spec.name;
+    instructions =
+      [
+        Spec.instr (Spec.Fixed opcode)
+          [
+            Spec.S_mem { base = Spec.Named "r1"; offset = 0 };
+            Spec.S_reg (Spec.Xmm_rotation { rmin = 0; rmax = 8 });
+          ];
+      ];
+    unroll_min = umin;
+    unroll_max = umax;
+    inductions =
+      [
+        (* The stride-selection pass forks one variant per value; the
+           unroll pass scales the chosen stride's displacement via the
+           offset, which we leave at the smallest stride (offsets only
+           matter within a pass). *)
+        Spec.induction ~offset:(List.fold_left min max_int strides)
+          (Spec.Named "r1") strides;
+        counter_induction ~linked_to:"r1";
+        eax_pass_counter;
+      ];
+    branch = Some branch;
+  }
+
+let store_stream_spec ?(name = "storestream") ?(streaming = false)
+    ?(unroll = (1, 8)) () =
+  let umin, umax = unroll in
+  let opcode = if streaming then Insn.MOVNTPS else Insn.MOVAPS in
+  {
+    Spec.name;
+    instructions =
+      [
+        Spec.instr (Spec.Fixed opcode)
+          [
+            Spec.S_reg (Spec.Xmm_rotation { rmin = 0; rmax = 8 });
+            Spec.S_mem { base = Spec.Named "r1"; offset = 0 };
+          ];
+      ];
+    unroll_min = umin;
+    unroll_max = umax;
+    inductions =
+      [
+        Spec.induction ~offset:16 (Spec.Named "r1") [ 16 ];
+        counter_induction ~linked_to:"r1";
+        eax_pass_counter;
+      ];
+    branch = Some branch;
+  }
+
+let stencil_spec ?(name = "stencil3") ?(unroll = (1, 4)) () =
+  let umin, umax = unroll in
+  let load disp reg =
+    Spec.instr (Spec.Fixed Insn.MOVSD)
+      [ Spec.S_mem { base = Spec.Named "rA"; offset = disp }; Spec.S_reg (Spec.Phys (Reg.xmm reg)) ]
+  in
+  {
+    Spec.name;
+    instructions =
+      [
+        load 0 0;
+        load 8 1;
+        load 16 2;
+        Spec.instr (Spec.Fixed Insn.ADDSD)
+          [ Spec.S_reg (Spec.Phys (Reg.xmm 0)); Spec.S_reg (Spec.Phys (Reg.xmm 1)) ];
+        Spec.instr (Spec.Fixed Insn.ADDSD)
+          [ Spec.S_reg (Spec.Phys (Reg.xmm 2)); Spec.S_reg (Spec.Phys (Reg.xmm 1)) ];
+        Spec.instr (Spec.Fixed Insn.MOVSD)
+          [ Spec.S_reg (Spec.Phys (Reg.xmm 1)); Spec.S_mem { base = Spec.Named "rB"; offset = 0 } ];
+      ];
+    unroll_min = umin;
+    unroll_max = umax;
+    inductions =
+      [
+        Spec.induction ~offset:8 (Spec.Named "rA") [ 8 ];
+        Spec.induction ~offset:8 (Spec.Named "rB") [ 8 ];
+        counter_induction ~linked_to:"rA";
+        eax_pass_counter;
+      ];
+    branch = Some branch;
+  }
+
+let prefetched_spec ?(name = "prefetched") ?(distance = 512) ?(unroll = (1, 8)) () =
+  let umin, umax = unroll in
+  {
+    Spec.name;
+    instructions =
+      [
+        Spec.instr (Spec.Fixed Insn.MOVSS)
+          [
+            Spec.S_mem { base = Spec.Named "r1"; offset = 0 };
+            Spec.S_reg (Spec.Xmm_rotation { rmin = 0; rmax = 8 });
+          ];
+        Spec.instr (Spec.Fixed Insn.PREFETCHT0)
+          [ Spec.S_mem { base = Spec.Named "r1"; offset = distance } ];
+      ];
+    unroll_min = umin;
+    unroll_max = umax;
+    inductions =
+      [
+        Spec.induction ~offset:4 (Spec.Named "r1") [ 4 ];
+        counter_induction ~linked_to:"r1";
+        eax_pass_counter;
+      ];
+    branch = Some branch;
+  }
+
+type stream_kernel = Copy | Scale | Add | Triad
+
+let stream_kernel_name = function
+  | Copy -> "copy"
+  | Scale -> "scale"
+  | Add -> "add"
+  | Triad -> "triad"
+
+(* Scalar factors are written as a zero-initialised local: the machine
+   model does not track floating-point values, only the access and
+   dependence structure, which is identical. *)
+let stream_kernel_source = function
+  | Copy ->
+    {|int copy(int n, double *a, double *b) {
+        int i;
+        for (i = 0; i < n; i++) { b[i] = a[i]; }
+        return n;
+      }|}
+  | Scale ->
+    {|int scale(int n, double *a, double *b) {
+        int i;
+        double s = 0.0;
+        for (i = 0; i < n; i++) { b[i] = a[i] * s; }
+        return n;
+      }|}
+  | Add ->
+    {|int add(int n, double *a, double *b, double *c) {
+        int i;
+        for (i = 0; i < n; i++) { c[i] = a[i] + b[i]; }
+        return n;
+      }|}
+  | Triad ->
+    {|int triad(int n, double *a, double *b, double *c) {
+        int i;
+        double s = 0.0;
+        for (i = 0; i < n; i++) { c[i] = a[i] + b[i] * s; }
+        return n;
+      }|}
+
+let stream_kernel_bytes_per_pass = function
+  | Copy | Scale -> 16
+  | Add | Triad -> 24
+
+let description_xml spec = Description.to_string spec

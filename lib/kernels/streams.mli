@@ -1,0 +1,92 @@
+(** Ready-made MicroCreator descriptions for the paper's stream
+    workloads: the (Load|Store)+ kernels of Section 3.1 and the
+    multi-array traversals of Section 5.2.2. *)
+
+open Mt_isa
+open Mt_creator
+
+val loadstore_spec :
+  ?name:string ->
+  ?opcode:Insn.opcode ->
+  ?stride:int ->
+  ?unroll:int * int ->
+  ?swap_after:bool ->
+  ?xmm_range:int * int ->
+  unit ->
+  Spec.t
+(** The Figure 6 kernel: one SSE move per copy against a strided
+    pointer, XMM rotation, a linked loop counter, the [%eax] pass
+    counter, and a [jge] branch.  Defaults mirror the paper: [movaps],
+    stride 16, unroll 1–8, [swap_after] on, XMM range [0, 8).
+    With the defaults the pipeline yields the paper's 510 variants. *)
+
+val move_width_spec : ?name:string -> ?unroll:int * int -> unit -> Spec.t
+(** Same kernel with the opcode left as a choice among [movss],
+    [movsd], [movaps], [movapd] — the "more than two thousand programs
+    from a single input file" example (4 × 510 = 2040 variants). *)
+
+val multi_array_spec :
+  ?name:string ->
+  ?opcode:Insn.opcode ->
+  ?element_bytes:int ->
+  ?unroll:int * int ->
+  arrays:int ->
+  unit ->
+  Spec.t
+(** A stride-one traversal of [arrays] arrays per pass (one load each),
+    the kernel behind the alignment studies of Figures 15 and 16. *)
+
+val movss_unrolled_spec : ?name:string -> unroll:int -> unit -> Spec.t
+(** A single-array [movss] load kernel at a fixed unroll factor — the
+    OpenMP workload of Figures 17/18 and Table 2. *)
+
+val strided_spec :
+  ?name:string ->
+  ?opcode:Insn.opcode ->
+  ?strides:int list ->
+  ?unroll:int * int ->
+  unit ->
+  Spec.t
+(** A load kernel whose pointer stride is left as a choice list — the
+    Section 3.5 stride study.  The stride-selection pass forks one
+    variant per stride; defaults sweep 4, 16, 64, 256 and 1024 bytes
+    with [movss]. *)
+
+val store_stream_spec :
+  ?name:string -> ?streaming:bool -> ?unroll:int * int -> unit -> Spec.t
+(** A pure store stream: [movaps] (write-allocate, double DRAM traffic)
+    or, with [streaming], [movntps] (non-temporal: the write-combining
+    path with single-direction traffic).  The ablation behind the
+    classic memset-style optimisation. *)
+
+val stencil_spec : ?name:string -> ?unroll:int * int -> unit -> Spec.t
+(** A 3-point stencil pass (Section 3.5's "users are modeling ...
+    stencil codes"): load [a(i-1)], [a(i)], [a(i+1)] as doubles, two
+    [addsd], store to [b(i)]. *)
+
+val prefetched_spec :
+  ?name:string -> ?distance:int -> ?unroll:int * int -> unit -> Spec.t
+(** The movss load stream with a software [prefetcht0] touching
+    [distance] bytes ahead of the pointer in every pass. *)
+
+(** {1 STREAM-style kernels}
+
+    The classic memory-system micro-benchmarks (the lineage the paper
+    cites through Jalby et al. [14]), as C sources for the built-in
+    compiler. *)
+
+type stream_kernel = Copy | Scale | Add | Triad
+
+val stream_kernel_name : stream_kernel -> string
+
+val stream_kernel_source : stream_kernel -> string
+(** The C source: [copy: b\[i\] = a\[i\]], [scale: b\[i\] = a\[i\] * s]
+    (with [s] pre-zeroed — values are untracked), [add: c\[i\] = a\[i\]
+    + b\[i\]], [triad: c\[i\] = a\[i\] + b\[i\] * s]. *)
+
+val stream_kernel_bytes_per_pass : stream_kernel -> int
+(** Data bytes each pass moves (for bandwidth computation): 16 for
+    copy/scale, 24 for add/triad. *)
+
+val description_xml : Spec.t -> string
+(** The XML document for a spec (what ships in [descriptions/]). *)

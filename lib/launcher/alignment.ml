@@ -1,0 +1,66 @@
+type config = int list
+
+let configs ~arrays ~candidates ?(limit = 4096) () =
+  if arrays <= 0 then invalid_arg "Alignment.configs: arrays <= 0";
+  if candidates = [] then invalid_arg "Alignment.configs: no candidates";
+  let rec go n =
+    if n = 0 then [ [] ]
+    else begin
+      let tails = go (n - 1) in
+      List.concat_map (fun c -> List.map (fun tail -> c :: tail) tails) candidates
+    end
+  in
+  let all = go arrays in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take limit all
+
+let stride_configs ~arrays ~step ~modulus =
+  if arrays <= 0 || step <= 0 || modulus <= 0 then
+    invalid_arg "Alignment.stride_configs: non-positive argument";
+  List.init (modulus / step) (fun k ->
+      List.init arrays (fun i -> k * step * (i + 1) mod modulus))
+
+type point = { offsets : config; report : Report.t }
+
+let sweep opts program abi ~configs =
+  let measure_config offsets =
+    let opts = { opts with Options.alignments = offsets } in
+    if opts.Options.cores > 1 then
+      Result.map (fun r -> r.Fork_mode.aggregate) (Fork_mode.run opts program abi)
+    else
+      Result.bind (Protocol.prepare opts program abi) (Protocol.measure ~mode:"seq")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | offsets :: rest -> (
+      match measure_config offsets with
+      | Ok report -> go ({ offsets; report } :: acc) rest
+      | Error msg ->
+        if opts.Options.keep_failures then go acc rest else Error msg)
+  in
+  go [] configs
+
+let best points =
+  match points with
+  | [] -> invalid_arg "Alignment.best: no points"
+  | p :: rest ->
+    List.fold_left
+      (fun acc q -> if q.report.Report.value < acc.report.Report.value then q else acc)
+      p rest
+
+let worst points =
+  match points with
+  | [] -> invalid_arg "Alignment.worst: no points"
+  | p :: rest ->
+    List.fold_left
+      (fun acc q -> if q.report.Report.value > acc.report.Report.value then q else acc)
+      p rest
+
+let spread points =
+  let lo = (best points).report.Report.value in
+  let hi = (worst points).report.Report.value in
+  if lo = 0. then 0. else (hi -. lo) /. lo

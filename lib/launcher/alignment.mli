@@ -1,0 +1,40 @@
+(** Alignment sweeps (Sections 4.0, 5.2.2): run the same kernel while
+    varying each array's offset within the allocation boundary, to find
+    the configurations where performance collapses or peaks. *)
+
+open Mt_creator
+
+type config = int list
+(** One offset per array. *)
+
+val configs : arrays:int -> candidates:int list -> ?limit:int -> unit -> config list
+(** The cartesian product of candidate offsets over [arrays] arrays, in
+    lexicographic order, truncated to [limit] (default 4096)
+    configurations.  @raise Invalid_argument if [arrays <= 0] or the
+    candidate list is empty. *)
+
+val stride_configs : arrays:int -> step:int -> modulus:int -> config list
+(** A cheaper diagonal family: configuration [k] offsets array [i] by
+    [(k * step * (i + 1)) mod modulus].  Produces [modulus / step]
+    configurations covering aligned and conflicting layouts. *)
+
+type point = { offsets : config; report : Report.t }
+
+val sweep :
+  Options.t ->
+  Mt_isa.Insn.program ->
+  Abi.t ->
+  configs:config list ->
+  (point list, string) result
+(** Measure every configuration (sequentially, or under fork mode when
+    [opts.cores > 1], reporting the aggregate).  Stops at the first
+    error unless [opts.keep_failures] is set, in which case failing
+    configurations are skipped. *)
+
+val best : point list -> point
+(** Lowest reported value.  @raise Invalid_argument on empty input. *)
+
+val worst : point list -> point
+
+val spread : point list -> float
+(** [(worst - best) / best] — the paper's alignment-impact metric. *)

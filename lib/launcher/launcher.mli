@@ -1,0 +1,41 @@
+(** MicroLauncher's front door: load a kernel from any supported
+    source, dispatch on the execution mode the options select, and
+    return (or batch) measurement reports. *)
+
+open Mt_creator
+
+val run_sequential : Options.t -> Source.t -> (Report.t, string) result
+(** Pinned single-core execution with the full stability protocol. *)
+
+val run_fork : Options.t -> Source.t -> (Fork_mode.outcome, string) result
+(** The same kernel forked onto [opts.cores] cores. *)
+
+val run_openmp : Options.t -> Source.t -> (Report.t, string) result
+(** OpenMP parallel-for execution on [opts.openmp_threads] threads. *)
+
+val run_mpi : Options.t -> Source.t -> (Report.t, string) result
+(** SPMD execution over [opts.mpi_ranks] processes with per-phase
+    communication (see {!Mpi_mode}). *)
+
+val launch : Options.t -> Source.t -> (Report.t, string) result
+(** Mode dispatch: MPI when [mpi_ranks > 0], OpenMP when
+    [openmp_threads > 0], fork aggregate when [cores > 1], sequential
+    otherwise.  Writes the CSV when [opts.csv_path] is set. *)
+
+val run_standalone :
+  Options.t -> Mt_isa.Insn.program -> (Report.t, string) result
+(** Stand-alone program mode (Section 4.1): time a whole program that
+    has no launcher ABI — no arrays, no per-iteration normalisation,
+    value is per call.  With [opts.cores > 1] the program forks onto
+    that many cores (the mode's "multi-core aspect"). *)
+
+val run_variants :
+  Options.t -> Variant.t list -> (Variant.t * (Report.t, string) result) list
+(** The MicroCreator→MicroLauncher link: measure every generated
+    variant under the same options. *)
+
+val best_variant :
+  Options.t -> Variant.t list -> ((Variant.t * Report.t) option, string) result
+(** Measure all variants and return the fastest (lowest value); [None]
+    when every variant failed and [opts.keep_failures] is set,
+    [Error] on the first failure otherwise. *)

@@ -1,0 +1,88 @@
+let ( let* ) = Result.bind
+
+let rec collect_chunks opts program abi threads = function
+  | [] -> Ok []
+  | (c : Mt_openmp.chunk) :: rest ->
+    let* prepared =
+      Protocol.prepare ~sharers:threads ~passes:c.Mt_openmp.iterations
+        ~start_pass:c.Mt_openmp.start_iteration ~noise_salt:c.Mt_openmp.thread opts
+        program abi
+    in
+    let* tail = collect_chunks opts program abi threads rest in
+    Ok ((c, prepared) :: tail)
+
+let runtime_of opts =
+  let threads = opts.Options.openmp_threads in
+  let rt = Mt_openmp.default_runtime ~threads in
+  let chunk = Option.value ~default:1 opts.Options.openmp_chunk in
+  let schedule =
+    match opts.Options.openmp_schedule, opts.Options.openmp_chunk with
+    | Options.Omp_static, None -> Mt_openmp.Static
+    | Options.Omp_static, Some size -> Mt_openmp.Static_chunk size
+    | Options.Omp_dynamic, _ -> Mt_openmp.Dynamic chunk
+    | Options.Omp_guided, _ -> Mt_openmp.Guided chunk
+  in
+  { rt with Mt_openmp.schedule }
+
+let setup opts program abi =
+  let threads = opts.Options.openmp_threads in
+  if threads < 1 then Error "OpenMP mode requires openmp_threads >= 1"
+  else begin
+    let rt = runtime_of opts in
+    (* The whole iteration space, as loop passes of the kernel. *)
+    let* probe = Protocol.prepare opts program abi in
+    let total = Protocol.passes_per_call probe in
+    let chunks = Mt_openmp.chunks_of rt ~total in
+    let* prepared_chunks = collect_chunks opts program abi threads chunks in
+    Ok (rt, total, prepared_chunks)
+  end
+
+let one_region cfg rt total prepared_chunks =
+  let run_chunk (c : Mt_openmp.chunk) ~sharers:_ =
+    let prepared =
+      List.assoc_opt c
+        (List.map (fun (c', p) -> (c', p)) prepared_chunks)
+    in
+    match prepared with
+    | None -> 0.
+    | Some p -> (
+      match Protocol.run_once p with
+      | Ok outcome -> outcome.Mt_machine.Core.cycles
+      | Error _ -> 0.)
+  in
+  Mt_openmp.parallel_for cfg rt ~total ~run_chunk
+
+let region_cycles opts program abi =
+  let* rt, total, prepared_chunks = setup opts program abi in
+  let cfg = Options.effective_machine opts in
+  (* Warm each thread's caches once, as the sequential protocol does. *)
+  List.iter (fun (_, p) -> ignore (Protocol.run_once p)) prepared_chunks;
+  Ok (one_region cfg rt total prepared_chunks)
+
+let run opts program abi =
+  let* rt, total, prepared_chunks = setup opts program abi in
+  match prepared_chunks with
+  | [] -> Error "OpenMP mode: empty iteration space"
+  | (_, first) :: _ ->
+    let cfg = Options.effective_machine opts in
+    if opts.Options.warmup then
+      List.iter (fun (_, p) -> ignore (Protocol.run_once p)) prepared_chunks;
+    let reps = opts.Options.repetitions in
+    let experiment () =
+      let rec go r acc =
+        if r = 0 then acc
+        else
+          go (r - 1)
+            (acc
+            +. opts.Options.call_overhead_cycles
+            +. one_region cfg rt total prepared_chunks)
+      in
+      go reps 0.
+    in
+    let totals = List.init opts.Options.experiments (fun _ -> experiment ()) in
+    let report =
+      Protocol.report_of_totals
+        ~mode:(Printf.sprintf "openmp:%d" opts.Options.openmp_threads)
+        first ~actual_passes:total totals
+    in
+    Ok report

@@ -1,0 +1,201 @@
+open Mt_isa
+open Mt_machine
+open Mt_creator
+
+type prepared = {
+  opts : Options.t;
+  cfg : Config.t;
+  compiled : Core.compiled;
+  abi : Abi.t;
+  init : (Reg.t * int) list;
+  bases : int list;
+  passes : int;
+  memory : Memory.t;
+  noise : Noise.t;
+  empty_cycles : float;
+}
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* Cost of calling an empty kernel on this machine: the baseline the
+   overhead subtraction removes (Fig. 10's "overhead calculation"). *)
+let empty_kernel_cycles cfg =
+  let empty = [ Insn.Insn (Insn.make Insn.RET []) ] in
+  let memory = Memory.create cfg in
+  match Core.run_program cfg memory empty with
+  | Ok r -> r.Core.cycles
+  | Error _ -> 1.
+
+let prepare ?sharers ?passes ?(start_pass = 0) ?(noise_salt = 0) opts program abi =
+  match Options.validate opts with
+  | Error msg -> Error msg
+  | Ok () -> (
+    let cfg = Options.effective_machine opts in
+    match Core.compile program with
+    | Error e -> err "%s: %s" abi.Abi.function_name (Core.error_to_string e)
+    | Ok compiled ->
+      let ram_sharers =
+        match opts.Options.ram_sharers with
+        | Some n -> n
+        | None -> Option.value ~default:1 sharers
+      in
+      let memory = Memory.create ~ram_sharers cfg in
+      let array_count =
+        match opts.Options.nbvectors with
+        | Some n -> n
+        | None -> List.length abi.Abi.pointers
+      in
+      if array_count < List.length abi.Abi.pointers then
+        err "kernel %s needs %d arrays, --nbvectors gave %d" abi.Abi.function_name
+          (List.length abi.Abi.pointers) array_count
+      else begin
+        let memmap = Memmap.create () in
+        let bases =
+          List.init array_count (fun i ->
+              let offset = Options.alignment_for opts i in
+              let region =
+                Memmap.alloc memmap ~size:opts.Options.array_bytes
+                  ~align:opts.Options.alignment_modulus ~offset
+              in
+              region.Memmap.base)
+        in
+        let passes =
+          match passes, opts.Options.trip_passes with
+          | Some p, _ -> p
+          | None, Some p -> p
+          | None, None -> Abi.passes_for_bytes abi opts.Options.array_bytes
+        in
+        (* A chunked (OpenMP) thread starts its traversal [start_pass]
+           passes into each array. *)
+        let pointer_inits =
+          List.mapi
+            (fun i (r, step) ->
+              (r, List.nth bases (i mod array_count) + (start_pass * step)))
+            abi.Abi.pointers
+        in
+        let init =
+          (abi.Abi.counter, Abi.trip_count_for_passes abi passes) :: pointer_inits
+        in
+        let noise =
+          Noise.create
+            ~seed:(opts.Options.noise_seed + (noise_salt * 7919))
+            (Options.noise_env opts)
+        in
+        Ok
+          {
+            opts;
+            cfg;
+            compiled;
+            abi;
+            init;
+            bases;
+            passes;
+            memory;
+            noise;
+            empty_cycles = empty_kernel_cycles cfg;
+          }
+      end)
+
+let passes_per_call p = p.passes
+
+let array_bases p = p.bases
+
+let run_once p =
+  match
+    Core.run ~init:p.init ~max_instructions:p.opts.Options.max_instructions p.cfg
+      p.memory p.compiled
+  with
+  | Ok outcome -> Ok outcome
+  | Error e -> err "%s: %s" p.abi.Abi.function_name (Core.error_to_string e)
+
+let overhead_cycles p = p.opts.Options.call_overhead_cycles +. p.empty_cycles
+
+let per_call_divisor p actual_passes =
+  match p.opts.Options.per with
+  | Options.Per_pass -> float_of_int (max 1 actual_passes)
+  | Options.Per_instruction ->
+    float_of_int (max 1 (actual_passes * Abi.payload_per_pass p.abi))
+  | Options.Per_element ->
+    float_of_int (max 1 (actual_passes * p.abi.Abi.unroll))
+  | Options.Per_call -> 1.
+
+let per_label opts =
+  match opts.Options.per with
+  | Options.Per_pass -> "pass"
+  | Options.Per_instruction -> "instruction"
+  | Options.Per_element -> "element"
+  | Options.Per_call -> "call"
+
+let unit_label opts =
+  match opts.Options.eval_method with
+  | Options.Rdtsc -> "tsc-cycles"
+  | Options.Wallclock_ns -> "ns"
+
+let convert p core_cycles =
+  match p.opts.Options.eval_method with
+  | Options.Rdtsc -> core_cycles *. Config.tsc_per_core_cycle p.cfg
+  | Options.Wallclock_ns -> core_cycles /. p.cfg.Config.core_ghz
+
+let measure_totals p =
+  let opts = p.opts in
+  let ( let* ) = Result.bind in
+  (* Cache heating (Section 4.5): one un-timed call. *)
+  let* first =
+    if opts.Options.warmup then Result.map Option.some (run_once p) else Ok None
+  in
+  (* Trust the kernel's own iteration count when it provides one (the
+     %eax convention of Section 4.4). *)
+  let actual_passes =
+    match p.abi.Abi.pass_counter, first with
+    | Some _, Some outcome when outcome.Core.rax > 0 -> outcome.Core.rax
+    | (Some _ | None), _ -> p.passes
+  in
+  let reps = opts.Options.repetitions in
+  let run_experiment () =
+    let rec go r acc =
+      if r = 0 then Ok acc
+      else
+        match run_once p with
+        | Error msg -> Error msg
+        | Ok outcome ->
+          go (r - 1) (acc +. outcome.Core.cycles +. opts.Options.call_overhead_cycles)
+    in
+    go reps 0.
+  in
+  let rec collect e acc =
+    if e = 0 then Ok (List.rev acc)
+    else
+      match run_experiment () with
+      | Error msg -> Error msg
+      | Ok total -> collect (e - 1) (total :: acc)
+  in
+  let* totals = collect opts.Options.experiments [] in
+  Ok (totals, actual_passes)
+
+let report_of_totals ?(mode = "seq") ?noise p ~actual_passes totals =
+  let opts = p.opts in
+  let noise = Option.value ~default:p.noise noise in
+  let totals = List.map (Noise.perturb noise) totals in
+  let totals =
+    if opts.Options.drop_first_experiment then List.tl totals else totals
+  in
+  let reps = opts.Options.repetitions in
+  let overhead = if opts.Options.subtract_overhead then overhead_cycles p else 0. in
+  let divisor = per_call_divisor p actual_passes *. float_of_int reps in
+  let values =
+    List.map
+      (fun total ->
+        let net = Float.max 0. (total -. (overhead *. float_of_int reps)) in
+        convert p net /. divisor)
+      totals
+  in
+  let mem = Memory.counters p.memory in
+  Report.make
+    ~id:p.abi.Abi.function_name ~mode ~unit_label:(unit_label opts)
+    ~per_label:(per_label opts) ~passes_per_call:actual_passes
+    ~calls_per_experiment:reps ~mem (Array.of_list values)
+
+let measure ?mode p =
+  match measure_totals p with
+  | Error msg -> Error msg
+  | Ok (totals, actual_passes) -> Ok (report_of_totals ?mode p ~actual_passes totals)

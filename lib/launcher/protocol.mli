@@ -1,0 +1,60 @@
+(** MicroLauncher's measurement engine (Sections 4.5, 4.7 and the
+    Figure 10 pseudo-code): allocate arrays at controlled alignments,
+    heat the caches with one un-timed call, run an outer loop of
+    experiments each timing an inner loop of kernel calls, subtract the
+    call overhead, and normalise to the requested unit. *)
+
+open Mt_creator
+
+type prepared
+(** A kernel bound to a machine, a memory pipeline and allocated
+    arrays, ready to run. *)
+
+val prepare :
+  ?sharers:int ->
+  ?passes:int ->
+  ?start_pass:int ->
+  ?noise_salt:int ->
+  Options.t ->
+  Mt_isa.Insn.program ->
+  Abi.t ->
+  (prepared, string) result
+(** Bind a kernel.  [sharers] is how many cores contend for DRAM
+    (parallel modes); [passes] overrides the loop passes per call
+    (default: one traversal of the array, or [opts.trip_passes]);
+    [start_pass] begins the traversal that many passes into each array
+    (OpenMP chunking); [noise_salt] decorrelates the noise of sibling
+    processes. *)
+
+val passes_per_call : prepared -> int
+
+val array_bases : prepared -> int list
+(** Allocated base addresses (alignment tests inspect these). *)
+
+val run_once : prepared -> (Mt_machine.Core.outcome, string) result
+(** A single kernel call against the current cache state. *)
+
+val measure : ?mode:string -> prepared -> (Report.t, string) result
+(** The full protocol.  The reported value and per-experiment series
+    are in the unit implied by the options ([rdtsc] reference cycles by
+    default), divided by the per-unit count ([Per_pass] by default). *)
+
+val measure_totals : prepared -> (float list * int, string) result
+(** The raw protocol: un-perturbed per-experiment core-cycle totals
+    plus the kernel-reported pass count.  Parallel modes reuse one
+    simulation across symmetric processes and apply per-process noise
+    via {!report_of_totals}. *)
+
+val report_of_totals :
+  ?mode:string ->
+  ?noise:Mt_machine.Noise.t ->
+  prepared ->
+  actual_passes:int ->
+  float list ->
+  Report.t
+(** Normalise raw totals into a report (noise, overhead subtraction,
+    unit conversion, per-unit division). *)
+
+val overhead_cycles : prepared -> float
+(** The per-call overhead the protocol subtracts (function-call cost
+    plus an empty kernel's cycles), in core cycles. *)

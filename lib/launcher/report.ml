@@ -1,0 +1,73 @@
+type t = {
+  id : string;
+  mode : string;
+  unit_label : string;
+  per_label : string;
+  experiments : float array;
+  value : float;
+  summary : Mt_stats.summary;
+  passes_per_call : int;
+  calls_per_experiment : int;
+  mem : Mt_machine.Memory.counters option;
+}
+
+let make ~id ~mode ~unit_label ~per_label ?(passes_per_call = 0)
+    ?(calls_per_experiment = 0) ?mem experiments =
+  if Array.length experiments = 0 then
+    invalid_arg "Report.make: no experiment values";
+  let summary = Mt_stats.summarize experiments in
+  {
+    id;
+    mode;
+    unit_label;
+    per_label;
+    experiments;
+    value = summary.Mt_stats.median;
+    summary;
+    passes_per_call;
+    calls_per_experiment;
+    mem;
+  }
+
+let csv ?(full = false) reports =
+  let max_experiments =
+    List.fold_left (fun acc r -> max acc (Array.length r.experiments)) 0 reports
+  in
+  let header =
+    [ "id"; "mode"; "unit"; "per"; "value"; "min"; "median"; "max"; "stddev";
+      "experiments"; "passes_per_call" ]
+    @ (if full then List.init max_experiments (fun i -> Printf.sprintf "run%d" i) else [])
+  in
+  let doc = Mt_stats.Csv.create ~header in
+  List.iter
+    (fun r ->
+      let s = r.summary in
+      let row =
+        [
+          r.id; r.mode; r.unit_label; r.per_label;
+          Printf.sprintf "%.6g" r.value;
+          Printf.sprintf "%.6g" s.Mt_stats.minimum;
+          Printf.sprintf "%.6g" s.Mt_stats.median;
+          Printf.sprintf "%.6g" s.Mt_stats.maximum;
+          Printf.sprintf "%.6g" s.Mt_stats.stddev;
+          string_of_int s.Mt_stats.count;
+          string_of_int r.passes_per_call;
+        ]
+        @
+        if full then
+          List.init max_experiments (fun i ->
+              if i < Array.length r.experiments then
+                Printf.sprintf "%.6g" r.experiments.(i)
+              else "")
+        else []
+      in
+      Mt_stats.Csv.add_row doc row)
+    reports;
+  doc
+
+let save_csv ?full reports path = Mt_stats.Csv.save (csv ?full reports) path
+
+let pp fmt r =
+  Format.fprintf fmt "%s [%s] %.3f %s/%s (min %.3f, max %.3f, n=%d)" r.id r.mode
+    r.value r.unit_label r.per_label r.summary.Mt_stats.minimum
+    r.summary.Mt_stats.maximum r.summary.Mt_stats.count

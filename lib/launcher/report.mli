@@ -1,0 +1,39 @@
+(** Measurement records and the CSV output MicroLauncher produces
+    (Section 4.3). *)
+
+type t = {
+  id : string;  (** Kernel/variant identifier. *)
+  mode : string;  (** "seq", "fork:N", "openmp:N", "standalone". *)
+  unit_label : string;  (** "tsc-cycles" or "ns". *)
+  per_label : string;  (** "pass", "instruction", "element", "call". *)
+  experiments : float array;
+      (** One already-normalised value per outer experiment. *)
+  value : float;  (** The reported number: median over experiments. *)
+  summary : Mt_stats.summary;
+  passes_per_call : int;
+  calls_per_experiment : int;
+  mem : Mt_machine.Memory.counters option;
+}
+
+val make :
+  id:string ->
+  mode:string ->
+  unit_label:string ->
+  per_label:string ->
+  ?passes_per_call:int ->
+  ?calls_per_experiment:int ->
+  ?mem:Mt_machine.Memory.counters ->
+  float array ->
+  t
+(** Build a record from per-experiment values.
+    @raise Invalid_argument on an empty array. *)
+
+val csv : ?full:bool -> t list -> Mt_stats.Csv.t
+(** The launcher's CSV: one row per measurement with id, mode, value,
+    min/median/max/stddev.  With [full], one extra column per
+    experiment. *)
+
+val save_csv : ?full:bool -> t list -> string -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One-line human-readable summary. *)

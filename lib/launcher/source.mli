@@ -1,0 +1,39 @@
+(** Kernel inputs MicroLauncher accepts (Section 4.1): a MicroCreator
+    variant in memory, an assembly listing (text or file) carrying the
+    "# abi:" header MicroCreator emits, or an explicit program + ABI
+    pair for hand-written kernels. *)
+
+open Mt_creator
+
+type t =
+  | From_variant of Variant.t
+  | From_program of Mt_isa.Insn.program * Abi.t
+      (** Hand-written kernel with an explicit launcher contract. *)
+  | From_assembly_text of string
+      (** An AT&T listing whose comments carry the MicroCreator ABI
+          header. *)
+  | From_file of string
+      (** Path to a [.s] file with the ABI header, or a [.c] file:
+          either MicroCreator's inline-assembly output, or a plain C
+          kernel compiled on the fly by {!Mt_cc.Codegen} ("the launcher
+          compiles the kernel code", Section 4.1). *)
+  | From_object of string * string option
+      (** A [.mto] object container (the stand-in for object-file and
+          dynamic-library inputs) and the entry point's function name —
+          "a command-line parameter provides the function name to the
+          launcher" (Section 4.1).  [None] picks the only function and
+          errors when the container holds several. *)
+
+val load : t -> (Mt_isa.Insn.program * Abi.t, string) result
+(** Resolve any source to an executable program plus its ABI. *)
+
+val parse_abi_comments : Mt_isa.Insn.program -> (Abi.t, string) result
+(** Extract the launcher contract from "abi:" / "abi-array:" comment
+    lines (how the two tools link up, Section 4.4). *)
+
+val object_functions : string -> (string list, string) result
+(** The function names inside a [.mto] container file. *)
+
+val parse_c_source : string -> (Mt_isa.Insn.program * Abi.t, string) result
+(** Recover the kernel from a MicroCreator C translation unit: the
+    extended-asm template strings plus the ABI header comments. *)

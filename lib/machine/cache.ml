@@ -1,0 +1,84 @@
+type t = {
+  geom : Config.cache_geom;
+  sets : int;
+  ways : int;
+  line_shift : int;
+  (* tags.(set * ways + way) holds a line number, or -1 when invalid.
+     Within a set, way 0 is most recently used: a hit moves its tag to
+     the front, a miss shifts everything down and inserts at the front
+     (true LRU, cheap for the small associativities we model). *)
+  tags : int array;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let log2_exact n =
+  let rec go k m = if m = 1 then k else go (k + 1) (m lsr 1) in
+  if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Cache: not a power of two";
+  go 0 n
+
+let create (geom : Config.cache_geom) =
+  let sets = geom.size_bytes / (geom.line_bytes * geom.associativity) in
+  if sets <= 0 then invalid_arg "Cache.create: set count must be positive";
+  {
+    geom;
+    sets;
+    ways = geom.associativity;
+    line_shift = log2_exact geom.line_bytes;
+    tags = Array.make (sets * geom.associativity) (-1);
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let geometry t = t.geom
+
+let line_of_addr t addr = addr lsr t.line_shift
+
+(* Power-of-two set counts index by mask; others (e.g. a 12 MiB L3) by
+   modulo, which is what sliced LLCs amount to for our purposes. *)
+let set_of_line t line =
+  if t.sets land (t.sets - 1) = 0 then line land (t.sets - 1) else line mod t.sets
+
+let find_way t base line =
+  let rec go way =
+    if way >= t.ways then -1
+    else if t.tags.(base + way) = line then way
+    else go (way + 1)
+  in
+  go 0
+
+let promote t base way line =
+  (* Shift tags [0, way) down by one and put [line] in front. *)
+  for i = way downto 1 do
+    t.tags.(base + i) <- t.tags.(base + i - 1)
+  done;
+  t.tags.(base) <- line
+
+let access t line =
+  let base = set_of_line t line * t.ways in
+  let way = find_way t base line in
+  if way >= 0 then begin
+    t.hit_count <- t.hit_count + 1;
+    if way > 0 then promote t base way line;
+    true
+  end
+  else begin
+    t.miss_count <- t.miss_count + 1;
+    promote t base (t.ways - 1) line;
+    false
+  end
+
+let probe t line =
+  let base = set_of_line t line * t.ways in
+  find_way t base line >= 0
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.hit_count <- 0;
+  t.miss_count <- 0
+
+let hits t = t.hit_count
+
+let misses t = t.miss_count
+
+let set_count t = t.sets

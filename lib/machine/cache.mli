@@ -1,0 +1,33 @@
+(** A set-associative cache with LRU replacement, simulated on real
+    line addresses.  Alignment-induced set conflicts between
+    concurrently streamed arrays emerge from this model directly. *)
+
+type t
+
+val create : Config.cache_geom -> t
+
+val geometry : t -> Config.cache_geom
+
+val access : t -> int -> bool
+(** [access t line] looks up line number [line] (byte address divided by
+    the line size is the caller's job — see {!line_of_addr}); on a miss
+    the line is allocated, evicting the LRU way.  Returns [true] on
+    hit. *)
+
+val probe : t -> int -> bool
+(** Like {!access} but without updating any state. *)
+
+val line_of_addr : t -> int -> int
+(** Byte address to line number. *)
+
+val reset : t -> unit
+(** Invalidate every line and zero the counters. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val set_count : t -> int
+
+val set_of_line : t -> int -> int
+(** The set index a line maps to (for conflict diagnostics in tests). *)

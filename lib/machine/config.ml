@@ -1,0 +1,273 @@
+type cache_geom = { size_bytes : int; associativity : int; line_bytes : int }
+
+type features = {
+  prefetcher : bool;
+  tlb : bool;
+  alias_interference : bool;
+  split_penalty : bool;
+}
+
+let all_features =
+  { prefetcher = true; tlb = true; alias_interference = true; split_penalty = true }
+
+type energy_params = {
+  alu_pj : float;
+  fp_pj : float;
+  load_pj : float;
+  store_pj : float;
+  l2_fill_pj : float;
+  l3_fill_pj : float;
+  dram_line_pj : float;
+  core_static_w : float;
+  uncore_static_w : float;
+}
+
+(* Representative 32 nm-era numbers: register-file ops cost a few pJ,
+   cache line movements tens to hundreds, a DRAM line ~2 nJ; a Nehalem
+   core leaks a handful of watts. *)
+let default_energy =
+  {
+    alu_pj = 8.;
+    fp_pj = 25.;
+    load_pj = 30.;
+    store_pj = 35.;
+    l2_fill_pj = 180.;
+    l3_fill_pj = 450.;
+    dram_line_pj = 2000.;
+    core_static_w = 4.0;
+    uncore_static_w = 6.0;
+  }
+
+type t = {
+  name : string;
+  nominal_ghz : float;
+  core_ghz : float;
+  sockets : int;
+  cores_per_socket : int;
+  issue_width : int;
+  rob_size : int;
+  load_ports : int;
+  store_ports : int;
+  alu_ports : int;
+  fp_add_ports : int;
+  fp_mul_ports : int;
+  branch_ports : int;
+  l1 : cache_geom;
+  l2 : cache_geom;
+  l3 : cache_geom;
+  l1_latency_cycles : int;
+  l2_latency_cycles : int;
+  l3_latency_ns : float;
+  ram_latency_ns : float;
+  l2_bandwidth_bytes_per_cycle : float;
+  l3_bandwidth_bytes_per_cycle : float;
+  socket_bandwidth_gbps : float;
+  bandwidth_contention_slope : float;
+  memory_interleaved : bool;
+  miss_parallelism : int;
+  split_line_penalty_cycles : int;
+  page_4k_alias_penalty_cycles : float;
+  mispredict_penalty_cycles : int;
+  features : features;
+  energy : energy_params;
+}
+
+let core_count t = t.sockets * t.cores_per_socket
+
+let cycles_of_ns t ns = ns *. t.core_ghz
+
+let tsc_per_core_cycle t = t.nominal_ghz /. t.core_ghz
+
+let with_core_ghz t ghz = { t with core_ghz = ghz }
+
+let with_features t features = { t with features }
+
+let ram_stream_bytes_per_cycle t ~sharers =
+  let sharers = max 1 sharers in
+  (* A single core sustains at most [miss_parallelism] line fills in
+     flight, i.e. mlp * line / ram_latency bytes per second. *)
+  let line = float_of_int t.l3.line_bytes in
+  let core_limit_gbps = float_of_int t.miss_parallelism *. line /. t.ram_latency_ns in
+  let controllers = if t.memory_interleaved then t.sockets else 1 in
+  let machine_gbps =
+    t.socket_bandwidth_gbps *. float_of_int controllers
+    /. (1. +. (t.bandwidth_contention_slope *. float_of_int (sharers - 1)))
+  in
+  let share_gbps = min core_limit_gbps (machine_gbps /. float_of_int sharers) in
+  (* GB/s = bytes/ns; divide by core frequency to get bytes/cycle. *)
+  share_gbps /. t.core_ghz
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error msg in
+  let geom_ok name g =
+    if not (is_power_of_two g.line_bytes) then
+      Error (Printf.sprintf "%s: line size %d not a power of two" name g.line_bytes)
+    else if g.associativity <= 0 then
+      Error (Printf.sprintf "%s: associativity %d <= 0" name g.associativity)
+    else if g.size_bytes mod (g.line_bytes * g.associativity) <> 0 then
+      Error (Printf.sprintf "%s: size %d not divisible by line*assoc" name g.size_bytes)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = check (t.core_ghz > 0.) "core_ghz <= 0" in
+  let* () = check (t.nominal_ghz > 0.) "nominal_ghz <= 0" in
+  let* () = check (t.sockets > 0 && t.cores_per_socket > 0) "empty topology" in
+  let* () = check (t.issue_width > 0) "issue_width <= 0" in
+  let* () = check (t.rob_size > t.issue_width) "rob_size too small" in
+  let* () =
+    check
+      (t.load_ports > 0 && t.store_ports > 0 && t.alu_ports > 0
+      && t.fp_add_ports > 0 && t.fp_mul_ports > 0 && t.branch_ports > 0)
+      "every port class needs at least one port"
+  in
+  let* () = geom_ok "l1" t.l1 in
+  let* () = geom_ok "l2" t.l2 in
+  let* () = geom_ok "l3" t.l3 in
+  let* () =
+    check
+      (t.l1.line_bytes = t.l2.line_bytes && t.l2.line_bytes = t.l3.line_bytes)
+      "all levels must share one line size"
+  in
+  let* () = check (t.l1_latency_cycles > 0 && t.l2_latency_cycles > t.l1_latency_cycles)
+      "l2 latency must exceed l1" in
+  let* () = check (t.l3_latency_ns > 0. && t.ram_latency_ns > t.l3_latency_ns)
+      "ram latency must exceed l3" in
+  let* () = check (t.socket_bandwidth_gbps > 0.) "socket bandwidth <= 0" in
+  let* () = check (t.miss_parallelism > 0) "miss_parallelism <= 0" in
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 presets                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let kib n = n * 1024
+
+let mib n = n * 1024 * 1024
+
+(* Dual-socket Xeon X5650 (Westmere-EP, the paper calls it Nehalem):
+   6 cores/socket, 2.67 GHz, 32K/256K/12M caches, 3 DDR3 channels. *)
+let nehalem_x5650_2s =
+  {
+    name = "nehalem_x5650_2s";
+    nominal_ghz = 2.67;
+    core_ghz = 2.67;
+    sockets = 2;
+    cores_per_socket = 6;
+    issue_width = 4;
+    rob_size = 128;
+    load_ports = 1;
+    store_ports = 1;
+    alu_ports = 3;
+    fp_add_ports = 1;
+    fp_mul_ports = 1;
+    branch_ports = 1;
+    l1 = { size_bytes = kib 32; associativity = 8; line_bytes = 64 };
+    l2 = { size_bytes = kib 256; associativity = 8; line_bytes = 64 };
+    l3 = { size_bytes = mib 12; associativity = 16; line_bytes = 64 };
+    l1_latency_cycles = 4;
+    l2_latency_cycles = 10;
+    l3_latency_ns = 15.0;
+    ram_latency_ns = 65.0;
+    l2_bandwidth_bytes_per_cycle = 32.0;
+    l3_bandwidth_bytes_per_cycle = 10.0;
+    (* 3 DDR3-1333 channels sustain ~23.5 GB/s per socket; with one
+       core limited to mlp*line/latency = 7.9 GB/s, the interleaved
+       two-socket budget saturates at 47/7.9 = 6 streaming cores — the
+       Fig. 14 knee. *)
+    socket_bandwidth_gbps = 23.5;
+    bandwidth_contention_slope = 0.;
+    memory_interleaved = true;
+    miss_parallelism = 8;
+    split_line_penalty_cycles = 3;
+    page_4k_alias_penalty_cycles = 1.0;
+    mispredict_penalty_cycles = 17;
+    features = all_features;
+    energy = default_energy;
+  }
+
+(* Xeon E3-1240 (Sandy Bridge): 4 cores, 3.3 GHz, 2 load ports. *)
+let sandy_bridge_e31240 =
+  {
+    name = "sandy_bridge_e31240";
+    nominal_ghz = 3.3;
+    core_ghz = 3.3;
+    sockets = 1;
+    cores_per_socket = 4;
+    issue_width = 4;
+    rob_size = 168;
+    load_ports = 2;
+    store_ports = 1;
+    alu_ports = 3;
+    fp_add_ports = 1;
+    fp_mul_ports = 1;
+    branch_ports = 1;
+    l1 = { size_bytes = kib 32; associativity = 8; line_bytes = 64 };
+    l2 = { size_bytes = kib 256; associativity = 8; line_bytes = 64 };
+    l3 = { size_bytes = mib 8; associativity = 16; line_bytes = 64 };
+    l1_latency_cycles = 4;
+    l2_latency_cycles = 12;
+    l3_latency_ns = 8.0;
+    ram_latency_ns = 60.0;
+    l2_bandwidth_bytes_per_cycle = 32.0;
+    l3_bandwidth_bytes_per_cycle = 16.0;
+    socket_bandwidth_gbps = 18.0;
+    bandwidth_contention_slope = 0.;
+    memory_interleaved = false;
+    miss_parallelism = 10;
+    split_line_penalty_cycles = 3;
+    page_4k_alias_penalty_cycles = 1.0;
+    mispredict_penalty_cycles = 15;
+    features = all_features;
+    energy = { default_energy with core_static_w = 3.0; uncore_static_w = 4.0 };
+  }
+
+(* Quad-socket Xeon X7550 (Nehalem-EX): 8 cores/socket, 2.0 GHz,
+   buffered DDR3 with comparatively low per-socket stream bandwidth. *)
+let nehalem_x7550_4s =
+  {
+    name = "nehalem_x7550_4s";
+    nominal_ghz = 2.0;
+    core_ghz = 2.0;
+    sockets = 4;
+    cores_per_socket = 8;
+    issue_width = 4;
+    rob_size = 128;
+    load_ports = 1;
+    store_ports = 1;
+    alu_ports = 3;
+    fp_add_ports = 1;
+    fp_mul_ports = 1;
+    branch_ports = 1;
+    l1 = { size_bytes = kib 32; associativity = 8; line_bytes = 64 };
+    l2 = { size_bytes = kib 256; associativity = 8; line_bytes = 64 };
+    l3 = { size_bytes = mib 18; associativity = 16; line_bytes = 64 };
+    l1_latency_cycles = 4;
+    l2_latency_cycles = 10;
+    l3_latency_ns = 22.0;
+    ram_latency_ns = 110.0;
+    l2_bandwidth_bytes_per_cycle = 32.0;
+    l3_bandwidth_bytes_per_cycle = 12.0;
+    (* Buffered DDR3 behind serial memory buffers: decent per-socket
+       peak, but aggregate efficiency collapses as all 32 cores stream
+       (measured STREAM on this class of machine is ~20 GB/s). *)
+    socket_bandwidth_gbps = 9.0;
+    bandwidth_contention_slope = 0.03;
+    memory_interleaved = true;
+    miss_parallelism = 8;
+    split_line_penalty_cycles = 3;
+    page_4k_alias_penalty_cycles = 1.0;
+    mispredict_penalty_cycles = 17;
+    features = all_features;
+    energy = { default_energy with core_static_w = 5.0; uncore_static_w = 10.0 };
+  }
+
+let presets =
+  [
+    ("sandy_bridge_e31240", sandy_bridge_e31240);
+    ("nehalem_x5650_2s", nehalem_x5650_2s);
+    ("nehalem_x7550_4s", nehalem_x7550_4s);
+  ]
+
+let find_preset name = List.assoc_opt name presets

@@ -1,0 +1,137 @@
+(** Machine descriptions: core resources, cache geometry, latencies and
+    bandwidths.  Presets model the three machines of the paper's
+    Table 1. *)
+
+(** Geometry of one cache level. *)
+type cache_geom = {
+  size_bytes : int;
+  associativity : int;
+  line_bytes : int;
+}
+
+(** Model-feature toggles, for ablation studies: every mechanism the
+    reproduction's shapes depend on can be switched off to measure its
+    contribution (see [bench/main.exe ablation]). *)
+type features = {
+  prefetcher : bool;  (** Stream prefetch (Figs. 11/12 bandwidth-bound levels). *)
+  tlb : bool;  (** TLB + page walker (Fig. 3's size-500 cliff). *)
+  alias_interference : bool;  (** 4K-alias replays (Figs. 15/16 bands). *)
+  split_penalty : bool;  (** Cache-line-split surcharge. *)
+}
+
+val all_features : features
+(** Everything on — the default in every preset. *)
+
+(** Energy accounting parameters (the paper's "performance or power
+    utilization" axis).  Per-event energies in picojoules, static power
+    in watts; values are representative of 32 nm-era server parts. *)
+type energy_params = {
+  alu_pj : float;  (** Per simple integer uop. *)
+  fp_pj : float;  (** Per floating-point uop. *)
+  load_pj : float;  (** Per L1 load access. *)
+  store_pj : float;  (** Per store access. *)
+  l2_fill_pj : float;  (** Per line filled from L2. *)
+  l3_fill_pj : float;  (** Per line filled from L3. *)
+  dram_line_pj : float;  (** Per line transferred from DRAM. *)
+  core_static_w : float;  (** Static/leakage power per active core. *)
+  uncore_static_w : float;  (** Per-socket uncore share while active. *)
+}
+
+type t = {
+  name : string;
+  (* Clocking.  The TSC ticks at [nominal_ghz] regardless of the core
+     clock (invariant-TSC behaviour the paper relies on in Fig. 13). *)
+  nominal_ghz : float;
+  core_ghz : float;
+  (* Topology. *)
+  sockets : int;
+  cores_per_socket : int;
+  (* Front end and execution ports (per core). *)
+  issue_width : int;
+  rob_size : int;  (** Instruction window: limits run-ahead over long-latency loads. *)
+  load_ports : int;
+  store_ports : int;
+  alu_ports : int;
+  fp_add_ports : int;
+  fp_mul_ports : int;
+  branch_ports : int;
+  (* Memory hierarchy.  L1/L2 are per-core, L3 is shared per socket.
+     L1/L2 latencies are in core cycles (they scale with the core
+     clock); L3/RAM latencies are in nanoseconds (uncore/DRAM do not
+     follow core frequency scaling) — this split is what Fig. 13
+     measures. *)
+  l1 : cache_geom;
+  l2 : cache_geom;
+  l3 : cache_geom;
+  l1_latency_cycles : int;
+  l2_latency_cycles : int;
+  l3_latency_ns : float;
+  ram_latency_ns : float;
+  (* Sustained fill bandwidths, per core, for prefetched streams. *)
+  l2_bandwidth_bytes_per_cycle : float;
+  l3_bandwidth_bytes_per_cycle : float;
+  (* DRAM. *)
+  socket_bandwidth_gbps : float;  (** GB/s per socket's memory controller. *)
+  bandwidth_contention_slope : float;
+      (** Aggregate-bandwidth degradation per extra streaming core:
+          effective = peak / (1 + slope * (sharers - 1)).  Models row
+          conflicts and cross-socket traffic on buffered-memory parts
+          (Nehalem-EX); 0 for well-behaved controllers. *)
+  memory_interleaved : bool;
+      (** When true, DRAM pages interleave across all sockets'
+          controllers, so every core competes for the machine-wide
+          bandwidth (the paper's dual-socket fork experiment, Fig. 14). *)
+  miss_parallelism : int;  (** Outstanding line fills per core (fill buffers). *)
+  (* Penalties. *)
+  split_line_penalty_cycles : int;  (** Access straddling a cache line. *)
+  page_4k_alias_penalty_cycles : float;
+      (** Per-iteration stall when two concurrently-streamed arrays
+          collide modulo 4 KiB (Section 5.2.2 alignment studies). *)
+  mispredict_penalty_cycles : int;
+  features : features;
+  energy : energy_params;
+}
+
+val core_count : t -> int
+(** Total cores: [sockets * cores_per_socket]. *)
+
+val cycles_of_ns : t -> float -> float
+(** Convert nanoseconds to core cycles at the current core clock. *)
+
+val tsc_per_core_cycle : t -> float
+(** Reference (TSC) cycles elapsed per core cycle: [nominal / core]. *)
+
+val with_core_ghz : t -> float -> t
+(** Same machine with the core clock changed (Fig. 13 frequency sweep). *)
+
+val with_features : t -> features -> t
+(** Same machine with model features toggled (ablation studies). *)
+
+val ram_stream_bytes_per_cycle : t -> sharers:int -> float
+(** Sustained DRAM stream bandwidth available to one core, in bytes per
+    core cycle, when [sharers] cores stream concurrently: the minimum of
+    the core's own miss-parallelism limit and its fair share of the
+    (possibly interleaved) controller bandwidth. *)
+
+val validate : t -> (unit, string) result
+(** Sanity-check a configuration (power-of-two geometry, positive
+    latencies, at least one port of each kind used by the ISA). *)
+
+(** {1 Table 1 presets} *)
+
+val sandy_bridge_e31240 : t
+(** Intel Xeon E3-1240 (Sandy Bridge), 4 cores, 3.3 GHz — Figs. 17, 18,
+    Table 2. *)
+
+val nehalem_x5650_2s : t
+(** Dual-socket Intel Xeon X5650 (Nehalem/Westmere), 2×6 cores,
+    2.67 GHz — Figs. 2–5, 11–14. *)
+
+val nehalem_x7550_4s : t
+(** Quad-socket Intel Xeon X7550 (Nehalem-EX), 4×8 cores — Figs. 15,
+    16. *)
+
+val presets : (string * t) list
+(** All presets keyed by name, for CLI lookup. *)
+
+val find_preset : string -> t option

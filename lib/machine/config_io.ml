@@ -1,0 +1,215 @@
+module X = Mt_xml
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let attr_int e name default =
+  match X.attribute e name with
+  | None -> Ok default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> Ok n
+    | None -> err "<%s %s=%S>: not an integer" e.X.tag name s)
+
+let attr_float e name default =
+  match X.attribute e name with
+  | None -> Ok default
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f -> Ok f
+    | None -> err "<%s %s=%S>: not a number" e.X.tag name s)
+
+let attr_bool e name default =
+  match X.attribute e name with
+  | None -> Ok default
+  | Some "true" -> Ok true
+  | Some "false" -> Ok false
+  | Some s -> err "<%s %s=%S>: expected true or false" e.X.tag name s
+
+let ( let* ) = Result.bind
+
+let parse_cache_geom e (geom : Config.cache_geom) =
+  let* size_kb = attr_int e "size_kb" (geom.Config.size_bytes / 1024) in
+  let* associativity = attr_int e "associativity" geom.Config.associativity in
+  let* line_bytes = attr_int e "line_bytes" geom.Config.line_bytes in
+  Ok { Config.size_bytes = size_kb * 1024; associativity; line_bytes }
+
+let of_xml (root : X.element) =
+  if root.X.tag <> "machine" then
+    err "root element must be <machine>, got <%s>" root.X.tag
+  else begin
+    let* base =
+      match X.attribute root "base" with
+      | None -> Ok Config.nehalem_x5650_2s
+      | Some name -> (
+        match Config.find_preset name with
+        | Some cfg -> Ok cfg
+        | None -> err "unknown base preset %S" name)
+    in
+    let cfg = ref base in
+    (match X.attribute root "name" with
+    | Some name -> cfg := { !cfg with Config.name }
+    | None -> ());
+    let result =
+      List.fold_left
+        (fun acc (e : X.element) ->
+          let* () = acc in
+          match e.X.tag with
+          | "clock" ->
+            let* nominal_ghz = attr_float e "nominal_ghz" !cfg.Config.nominal_ghz in
+            let* core_ghz = attr_float e "core_ghz" nominal_ghz in
+            cfg := { !cfg with Config.nominal_ghz; core_ghz };
+            Ok ()
+          | "topology" ->
+            let* sockets = attr_int e "sockets" !cfg.Config.sockets in
+            let* cores_per_socket =
+              attr_int e "cores_per_socket" !cfg.Config.cores_per_socket
+            in
+            cfg := { !cfg with Config.sockets; cores_per_socket };
+            Ok ()
+          | "core" ->
+            let* issue_width = attr_int e "issue_width" !cfg.Config.issue_width in
+            let* rob_size = attr_int e "rob_size" !cfg.Config.rob_size in
+            let* load_ports = attr_int e "load_ports" !cfg.Config.load_ports in
+            let* store_ports = attr_int e "store_ports" !cfg.Config.store_ports in
+            let* alu_ports = attr_int e "alu_ports" !cfg.Config.alu_ports in
+            let* fp_add_ports = attr_int e "fp_add_ports" !cfg.Config.fp_add_ports in
+            let* fp_mul_ports = attr_int e "fp_mul_ports" !cfg.Config.fp_mul_ports in
+            let* branch_ports = attr_int e "branch_ports" !cfg.Config.branch_ports in
+            cfg :=
+              { !cfg with
+                Config.issue_width; rob_size; load_ports; store_ports;
+                alu_ports; fp_add_ports; fp_mul_ports; branch_ports };
+            Ok ()
+          | "cache" -> (
+            match X.attribute e "level" with
+            | Some "l1" ->
+              let* l1 = parse_cache_geom e !cfg.Config.l1 in
+              let* l1_latency_cycles =
+                attr_int e "latency_cycles" !cfg.Config.l1_latency_cycles
+              in
+              cfg := { !cfg with Config.l1; l1_latency_cycles };
+              Ok ()
+            | Some "l2" ->
+              let* l2 = parse_cache_geom e !cfg.Config.l2 in
+              let* l2_latency_cycles =
+                attr_int e "latency_cycles" !cfg.Config.l2_latency_cycles
+              in
+              let* l2_bandwidth_bytes_per_cycle =
+                attr_float e "bandwidth_bytes_per_cycle"
+                  !cfg.Config.l2_bandwidth_bytes_per_cycle
+              in
+              cfg :=
+                { !cfg with Config.l2; l2_latency_cycles; l2_bandwidth_bytes_per_cycle };
+              Ok ()
+            | Some "l3" ->
+              let* l3 = parse_cache_geom e !cfg.Config.l3 in
+              let* l3_latency_ns = attr_float e "latency_ns" !cfg.Config.l3_latency_ns in
+              let* l3_bandwidth_bytes_per_cycle =
+                attr_float e "bandwidth_bytes_per_cycle"
+                  !cfg.Config.l3_bandwidth_bytes_per_cycle
+              in
+              cfg :=
+                { !cfg with Config.l3; l3_latency_ns; l3_bandwidth_bytes_per_cycle };
+              Ok ()
+            | Some lvl -> err "<cache level=%S>: expected l1, l2 or l3" lvl
+            | None -> err "<cache> needs a level attribute")
+          | "dram" ->
+            let* ram_latency_ns = attr_float e "latency_ns" !cfg.Config.ram_latency_ns in
+            let* socket_bandwidth_gbps =
+              attr_float e "socket_bandwidth_gbps" !cfg.Config.socket_bandwidth_gbps
+            in
+            let* memory_interleaved =
+              attr_bool e "interleaved" !cfg.Config.memory_interleaved
+            in
+            let* miss_parallelism =
+              attr_int e "miss_parallelism" !cfg.Config.miss_parallelism
+            in
+            let* bandwidth_contention_slope =
+              attr_float e "contention_slope" !cfg.Config.bandwidth_contention_slope
+            in
+            cfg :=
+              { !cfg with
+                Config.ram_latency_ns; socket_bandwidth_gbps; memory_interleaved;
+                miss_parallelism; bandwidth_contention_slope };
+            Ok ()
+          | tag -> err "unexpected <%s> inside <machine>" tag)
+        (Ok ())
+        (X.children_elements root)
+    in
+    let* () = result in
+    let* () = Config.validate !cfg in
+    Ok !cfg
+  end
+
+let of_string s =
+  match X.parse_string s with
+  | exception X.Parse_error msg -> Error msg
+  | root -> of_xml root
+
+let of_file path =
+  match X.parse_file path with
+  | exception X.Parse_error msg -> Error msg
+  | exception Sys_error msg -> Error msg
+  | root -> of_xml root
+
+let to_xml (cfg : Config.t) =
+  let attr_i name v = (name, string_of_int v) in
+  let attr_f name v = (name, Printf.sprintf "%g" v) in
+  let cache level (g : Config.cache_geom) extra =
+    X.elem "cache"
+      ~attrs:
+        ([ ("level", level); attr_i "size_kb" (g.Config.size_bytes / 1024);
+           attr_i "associativity" g.Config.associativity;
+           attr_i "line_bytes" g.Config.line_bytes ]
+        @ extra)
+      []
+  in
+  X.elem "machine"
+    ~attrs:[ ("name", cfg.Config.name) ]
+    [
+      X.Element
+        (X.elem "clock"
+           ~attrs:
+             [ attr_f "nominal_ghz" cfg.Config.nominal_ghz;
+               attr_f "core_ghz" cfg.Config.core_ghz ]
+           []);
+      X.Element
+        (X.elem "topology"
+           ~attrs:
+             [ attr_i "sockets" cfg.Config.sockets;
+               attr_i "cores_per_socket" cfg.Config.cores_per_socket ]
+           []);
+      X.Element
+        (X.elem "core"
+           ~attrs:
+             [ attr_i "issue_width" cfg.Config.issue_width;
+               attr_i "rob_size" cfg.Config.rob_size;
+               attr_i "load_ports" cfg.Config.load_ports;
+               attr_i "store_ports" cfg.Config.store_ports;
+               attr_i "alu_ports" cfg.Config.alu_ports;
+               attr_i "fp_add_ports" cfg.Config.fp_add_ports;
+               attr_i "fp_mul_ports" cfg.Config.fp_mul_ports;
+               attr_i "branch_ports" cfg.Config.branch_ports ]
+           []);
+      X.Element
+        (cache "l1" cfg.Config.l1 [ attr_i "latency_cycles" cfg.Config.l1_latency_cycles ]);
+      X.Element
+        (cache "l2" cfg.Config.l2
+           [ attr_i "latency_cycles" cfg.Config.l2_latency_cycles;
+             attr_f "bandwidth_bytes_per_cycle" cfg.Config.l2_bandwidth_bytes_per_cycle ]);
+      X.Element
+        (cache "l3" cfg.Config.l3
+           [ attr_f "latency_ns" cfg.Config.l3_latency_ns;
+             attr_f "bandwidth_bytes_per_cycle" cfg.Config.l3_bandwidth_bytes_per_cycle ]);
+      X.Element
+        (X.elem "dram"
+           ~attrs:
+             [ attr_f "latency_ns" cfg.Config.ram_latency_ns;
+               attr_f "socket_bandwidth_gbps" cfg.Config.socket_bandwidth_gbps;
+               ("interleaved", string_of_bool cfg.Config.memory_interleaved);
+               attr_i "miss_parallelism" cfg.Config.miss_parallelism;
+               attr_f "contention_slope" cfg.Config.bandwidth_contention_slope ]
+           []);
+    ]
+
+let to_string cfg = X.to_string (to_xml cfg)

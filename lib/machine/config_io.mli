@@ -1,0 +1,34 @@
+(** Machine descriptions as XML documents, so new targets need no
+    recompilation — the paper's "the tools are entirely independent of
+    the underlying architecture" (Section 7).
+
+    Document shape (all latencies/bandwidths in the units of
+    {!Config.t}; omitted fields default to the [base] preset's values,
+    default [nehalem_x5650_2s]):
+
+    {v
+    <machine name="my_box" base="sandy_bridge_e31240">
+      <clock nominal_ghz="3.0" core_ghz="3.0"/>
+      <topology sockets="2" cores_per_socket="8"/>
+      <core issue_width="4" rob_size="168" load_ports="2" store_ports="1"
+            alu_ports="3" fp_add_ports="1" fp_mul_ports="1" branch_ports="1"/>
+      <cache level="l1" size_kb="32" associativity="8" line_bytes="64" latency_cycles="4"/>
+      <cache level="l2" size_kb="256" associativity="8" latency_cycles="12"/>
+      <cache level="l3" size_kb="20480" associativity="16" latency_ns="9.0"
+             bandwidth_bytes_per_cycle="16"/>
+      <dram latency_ns="60" socket_bandwidth_gbps="25" interleaved="false"
+            miss_parallelism="10" contention_slope="0.0"/>
+    </machine>
+    v} *)
+
+val of_xml : Mt_xml.element -> (Config.t, string) result
+
+val of_string : string -> (Config.t, string) result
+
+val of_file : string -> (Config.t, string) result
+(** Parse and {!Config.validate} a machine file. *)
+
+val to_xml : Config.t -> Mt_xml.element
+(** Write a configuration back out (round-trips through {!of_xml}). *)
+
+val to_string : Config.t -> string

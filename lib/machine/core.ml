@@ -1,0 +1,381 @@
+open Mt_isa
+
+type outcome = {
+  cycles : float;
+  instructions : int;
+  rax : int;
+  mem : Memory.counters;
+  branches : int;
+  mispredicts : int;
+  loads : int;
+  stores : int;
+  fp_ops : int;
+  alu_ops : int;
+}
+
+type error =
+  | Unallocated_register of string
+  | Unknown_label of string
+  | Alignment_fault of { pc : int; addr : int; required : int }
+  | Fuel_exhausted of int
+  | Invalid_instruction of string
+
+let error_to_string = function
+  | Unallocated_register r -> Printf.sprintf "unallocated logical register %s" r
+  | Unknown_label l -> Printf.sprintf "branch to unknown label %s" l
+  | Alignment_fault { pc; addr; required } ->
+    Printf.sprintf "alignment fault at instruction %d: address %#x requires %d-byte alignment"
+      pc addr required
+  | Fuel_exhausted n -> Printf.sprintf "fuel exhausted after %d instructions" n
+  | Invalid_instruction msg -> Printf.sprintf "invalid instruction: %s" msg
+
+(* Register scoreboard slots: GPRs 0..15, XMM 16..31, flags 32. *)
+let slot_count = 33
+
+let flags_slot = 32
+
+let slot_of_reg = function
+  | Reg.Gpr (n, _) -> Exec.gpr_index n
+  | Reg.Xmm n -> 16 + n
+  | Reg.Logical _ -> -1
+
+type control = Fall | Jump of int | Cond of Insn.cond * int | Return
+
+type decoded = {
+  insn : Insn.t;
+  srcs : int array;
+  dst : int;
+  ports : Semantics.port array;
+  latency : float;
+  mem_op : Operand.mem option;
+  mem_bytes : int;
+  mem_write : bool;
+  mem_prefetch : bool;
+  mem_nt : bool;
+  align_req : int;
+  d_sets_flags : bool;
+  d_reads_flags : bool;
+  control : control;
+}
+
+type compiled = decoded array
+
+exception Compile_error of error
+
+let compile_insn labels pc insn =
+  (match Semantics.validate insn with
+  | Ok () -> ()
+  | Error msg -> raise (Compile_error (Invalid_instruction msg)));
+  let target () =
+    match insn.Insn.operands with
+    | [ Operand.Label l ] -> (
+      match Hashtbl.find_opt labels l with
+      | Some idx -> idx
+      | None -> raise (Compile_error (Unknown_label l)))
+    | _ -> raise (Compile_error (Invalid_instruction (Insn.to_string insn)))
+  in
+  let control =
+    match insn.Insn.op with
+    | Insn.JMP -> Jump (target ())
+    | Insn.Jcc c -> Cond (c, target ())
+    | Insn.RET -> Return
+    | _ -> Fall
+  in
+  ignore pc;
+  let mem_op, mem_bytes, mem_write =
+    match Semantics.memory_access insn with
+    | Semantics.No_access -> None, 0, false
+    | Semantics.Load_access (m, b) -> Some m, b, false
+    | Semantics.Store_access (m, b) -> Some m, b, true
+    | Semantics.Load_store_access (m, b) -> Some m, b, true
+  in
+  {
+    insn;
+    srcs = Array.of_list (List.filter_map (fun r ->
+        let s = slot_of_reg r in
+        if s < 0 then raise (Compile_error (Unallocated_register (Reg.name r)));
+        Some s)
+        (Semantics.sources insn));
+    dst =
+      (match Semantics.destination insn with
+      | None -> -1
+      | Some r ->
+        let s = slot_of_reg r in
+        if s < 0 then raise (Compile_error (Unallocated_register (Reg.name r)));
+        s);
+    ports = Array.of_list (Semantics.ports insn);
+    latency = float_of_int (Semantics.exec_latency insn);
+    mem_op;
+    mem_bytes;
+    mem_write;
+    mem_prefetch = Semantics.is_prefetch insn;
+    mem_nt = Semantics.is_non_temporal insn;
+    align_req = Semantics.required_alignment insn;
+    d_sets_flags = Semantics.sets_flags insn;
+    d_reads_flags = Semantics.reads_flags insn;
+    control;
+  }
+
+let compile (program : Insn.program) =
+  (* First pass: map labels to the index of the following instruction. *)
+  let labels = Hashtbl.create 8 in
+  let count = ref 0 in
+  List.iter
+    (function
+      | Insn.Insn _ -> incr count
+      | Insn.Label l -> Hashtbl.replace labels l !count
+      | Insn.Comment _ | Insn.Directive _ -> ())
+    program;
+  try
+    let decoded = ref [] in
+    let pc = ref 0 in
+    List.iter
+      (function
+        | Insn.Insn i ->
+          decoded := compile_insn labels !pc i :: !decoded;
+          incr pc
+        | Insn.Label _ | Insn.Comment _ | Insn.Directive _ -> ())
+      program;
+    Ok (Array.of_list (List.rev !decoded))
+  with Compile_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Cycle-granular port booking with gap filling: a uop that becomes
+   ready at cycle [t] takes the first cycle >= t in which fewer than
+   [ports] uops are already booked — younger ready uops slot into the
+   holes older stalled uops leave, as a real scheduler does.  The ring
+   remembers [window] cycles; bookings never spread wider than the
+   instruction window allows in practice. *)
+module Booker = struct
+  type t = {
+    ports : int;
+    window : int;
+    counts : int array;
+    cycle_of : int array;
+  }
+
+  let window = 8192
+
+  let create ~ports =
+    { ports; window; counts = Array.make window 0; cycle_of = Array.make window min_int }
+
+  let rec book t c =
+    let idx = c mod t.window in
+    if t.cycle_of.(idx) <> c then begin
+      t.cycle_of.(idx) <- c;
+      t.counts.(idx) <- 0
+    end;
+    if t.counts.(idx) < t.ports then begin
+      t.counts.(idx) <- t.counts.(idx) + 1;
+      c
+    end
+    else book t (c + 1)
+
+  (* Book [occupancy] consecutive cycles starting no earlier than
+     [time]; returns the first booked cycle as a float. *)
+  let book_from t ~time ~occupancy =
+    let start = book t (int_of_float (Float.ceil time)) in
+    let rec extend c remaining =
+      if remaining > 0 then begin
+        ignore (book t c);
+        extend (c + 1) (remaining - 1)
+      end
+    in
+    extend (start + 1) (occupancy - 1);
+    float_of_int start
+end
+
+type port_file = {
+  load : Booker.t;
+  store : Booker.t;
+  alu : Booker.t;
+  fp_add : Booker.t;
+  fp_mul : Booker.t;
+  branch : Booker.t;
+}
+
+let make_ports (cfg : Config.t) =
+  {
+    load = Booker.create ~ports:cfg.load_ports;
+    store = Booker.create ~ports:cfg.store_ports;
+    alu = Booker.create ~ports:cfg.alu_ports;
+    fp_add = Booker.create ~ports:cfg.fp_add_ports;
+    fp_mul = Booker.create ~ports:cfg.fp_mul_ports;
+    branch = Booker.create ~ports:cfg.branch_ports;
+  }
+
+let port_booker pf = function
+  | Semantics.Load -> pf.load
+  | Semantics.Store -> pf.store
+  | Semantics.Alu -> pf.alu
+  | Semantics.Fp_add -> pf.fp_add
+  | Semantics.Fp_mul | Semantics.Fp_div -> pf.fp_mul
+  | Semantics.Branch_port -> pf.branch
+
+let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
+    (memory : Memory.t) (prog : compiled) =
+  let exec = Exec.create () in
+  List.iter (fun (r, v) -> Exec.set exec r v) init;
+  let ready = Array.make slot_count 0. in
+  (* Issue time of the last write to each register: with register
+     renaming a second write need not wait for the first to complete,
+     but writes to one architectural register still claim rename slots
+     in order — modelled as one-cycle issue serialization. *)
+  let wissue = Array.make slot_count 0. in
+  let ports = make_ports cfg in
+  let rob = Array.make cfg.rob_size 0. in
+  let decode_step = 1. /. float_of_int cfg.issue_width in
+  let fetch = ref 0. in
+  let last_retire = ref 0. in
+  let last_completion = ref 0. in
+  let issued = ref 0 in
+  let branches = ref 0 in
+  let mispredicts = ref 0 in
+  let loads = ref 0 in
+  let stores = ref 0 in
+  let fp_ops = ref 0 in
+  let alu_ops = ref 0 in
+  let pc = ref 0 in
+  let stop = ref None in
+  Memory.drain memory;
+  Memory.reset_counters memory;
+  while !stop = None do
+    if !pc < 0 || !pc >= Array.length prog then stop := Some (Ok ())
+    else if !issued >= max_instructions then
+      stop := Some (Error (Fuel_exhausted !issued))
+    else begin
+      let d = prog.(!pc) in
+      (* Window: cannot dispatch until the instruction rob_size back
+         has retired. *)
+      let window_ready = rob.(!issued mod cfg.rob_size) in
+      let t = ref (Float.max !fetch window_ready) in
+      Array.iter (fun s -> if ready.(s) > !t then t := ready.(s)) d.srcs;
+      if d.d_reads_flags && ready.(flags_slot) > !t then t := ready.(flags_slot);
+      (* WAW: renamed, but serialized by one issue slot. *)
+      if d.dst >= 0 && wissue.(d.dst) +. 1. > !t then t := wissue.(d.dst) +. 1.;
+      (* Ports: each uop books the first free cycle at or after the
+         ready time; the instruction issues when its last uop does. *)
+      let issue = ref !t in
+      Array.iter
+        (fun p ->
+          let booker = port_booker ports p in
+          let occupancy =
+            if p = Semantics.Fp_div then int_of_float d.latency else 1
+          in
+          let slot = Booker.book_from booker ~time:!t ~occupancy in
+          if slot > !issue then issue := slot)
+        d.ports;
+      let issue = !issue in
+      (* Memory access. *)
+      let completion = ref (issue +. d.latency) in
+      (match d.mem_op with
+      | None -> ()
+      | Some m ->
+        let addr = Exec.address_of exec m in
+        if d.mem_prefetch then
+          (* A prefetch hint warms the memory pipeline but never stalls
+             the instruction stream and never faults. *)
+          ignore (Memory.access memory ~now:issue ~addr ~bytes:d.mem_bytes ~write:false)
+        else if d.align_req > 1 && addr mod d.align_req <> 0 then
+          stop := Some (Error (Alignment_fault { pc = !pc; addr; required = d.align_req }))
+        else begin
+          let data_ready =
+            Memory.access ~nt:d.mem_nt memory ~now:issue ~addr ~bytes:d.mem_bytes
+              ~write:d.mem_write
+          in
+          (* A line-split access replays: it occupies its port for one
+             extra slot, so split-heavy streams lose throughput too. *)
+          if Memory.last_access_was_split memory then begin
+            let booker =
+              port_booker ports (if d.mem_write then Semantics.Store else Semantics.Load)
+            in
+            ignore (Booker.book_from booker ~time:issue ~occupancy:1)
+          end;
+          if data_ready +. d.latency -. 1. > !completion then
+            completion := data_ready +. d.latency -. 1.
+        end);
+      match !stop with
+      | Some _ -> ()
+      | None ->
+        let completion = !completion in
+        if d.dst >= 0 then begin
+          ready.(d.dst) <- completion;
+          wissue.(d.dst) <- issue
+        end;
+        if d.d_sets_flags then ready.(flags_slot) <- issue +. 1.;
+        (* In-order retirement pressure. *)
+        (match d.mem_op with
+        | Some _ -> if d.mem_write then incr stores else incr loads
+        | None -> ());
+        Array.iter
+          (fun p ->
+            match p with
+            | Semantics.Fp_add | Semantics.Fp_mul | Semantics.Fp_div -> incr fp_ops
+            | Semantics.Alu -> incr alu_ops
+            | Semantics.Load | Semantics.Store | Semantics.Branch_port -> ())
+          d.ports;
+        (match trace with
+        | Some f -> f !pc d.insn ~issue ~completion
+        | None -> ());
+        let retire = Float.max completion !last_retire in
+        rob.(!issued mod cfg.rob_size) <- retire;
+        last_retire := retire;
+        if completion > !last_completion then last_completion := completion;
+        (* The front end decodes at issue_width per cycle regardless of
+           stalled instructions (they wait in the scheduler); run-ahead
+           is bounded by the rob window above.  A taken branch redirects
+           with no bubble (loop branches live in the BTB); the final
+           not-taken exit pays the mispredict penalty below. *)
+        fetch := !fetch +. decode_step;
+        Exec.step exec d.insn;
+        incr issued;
+        (match d.control with
+        | Fall -> incr pc
+        | Return -> stop := Some (Ok ())
+        | Jump target ->
+          incr branches;
+          (* A taken branch ends the fetch group: the rest of the
+             decode slots this cycle are lost. *)
+          fetch := Float.ceil !fetch;
+          pc := target
+        | Cond (c, target) ->
+          incr branches;
+          if Exec.branch_taken exec c then begin
+            fetch := Float.ceil !fetch;
+            pc := target
+          end
+          else begin
+            (* Backward conditional falling through = loop exit =
+               mispredict on the last iteration. *)
+            if target <= !pc then begin
+              incr mispredicts;
+              fetch := Float.max !fetch (issue +. float_of_int cfg.mispredict_penalty_cycles)
+            end;
+            incr pc
+          end)
+    end
+  done;
+  match !stop with
+  | Some (Error e) -> Error e
+  | Some (Ok ()) | None ->
+    Ok
+      {
+        cycles = Float.max !last_completion !fetch;
+        instructions = !issued;
+        rax = Exec.get exec (Reg.gpr64 Reg.RAX);
+        mem = Memory.counters memory;
+        branches = !branches;
+        mispredicts = !mispredicts;
+        loads = !loads;
+        stores = !stores;
+        fp_ops = !fp_ops;
+        alu_ops = !alu_ops;
+      }
+
+let run_program ?init ?max_instructions cfg memory program =
+  match compile program with
+  | Error e -> Error e
+  | Ok compiled -> run ?init ?max_instructions cfg memory compiled

@@ -1,0 +1,67 @@
+(** The scoreboard core: a width-limited front end, port-constrained
+    issue, RAW/WAW register dependences (no renaming — the reason the
+    paper rotates XMM registers across unroll iterations), a finite
+    instruction window, and data access times from {!Memory}.
+
+    The simulation is cycle-accounting rather than cycle-stepped: each
+    dynamic instruction's issue and completion times are computed from
+    its dependences and resource availability, which is exact for the
+    in-order-issue model and orders of magnitude faster to simulate. *)
+
+type outcome = {
+  cycles : float;  (** Core cycles from first fetch to last completion. *)
+  instructions : int;  (** Dynamic instructions executed (labels excluded). *)
+  rax : int;
+      (** Final value of [%rax] — by the paper's Section 4.4 convention,
+          the number of iterations the kernel executed. *)
+  mem : Memory.counters;
+  branches : int;
+  mispredicts : int;
+  loads : int;  (** Instructions that read memory. *)
+  stores : int;  (** Instructions that wrote memory. *)
+  fp_ops : int;  (** Floating-point uops executed. *)
+  alu_ops : int;  (** Integer/address uops executed. *)
+}
+
+type error =
+  | Unallocated_register of string
+      (** The program still contains a logical register. *)
+  | Unknown_label of string
+  | Alignment_fault of { pc : int; addr : int; required : int }
+      (** An aligned SSE access hit a misaligned address (hardware would
+          deliver #GP). *)
+  | Fuel_exhausted of int
+  | Invalid_instruction of string
+
+val error_to_string : error -> string
+
+type compiled
+(** A program decoded for repeated execution. *)
+
+val compile : Mt_isa.Insn.program -> (compiled, error) result
+(** Resolve labels, validate instructions, and precompute scheduling
+    metadata. *)
+
+val run :
+  ?init:(Mt_isa.Reg.t * int) list ->
+  ?max_instructions:int ->
+  ?trace:(int -> Mt_isa.Insn.t -> issue:float -> completion:float -> unit) ->
+  Config.t ->
+  Memory.t ->
+  compiled ->
+  (outcome, error) result
+(** Execute the program to its [ret] (or to the end of the listing).
+    [init] sets initial register values (trip counts, array base
+    addresses).  The memory pipeline keeps its cache contents across
+    calls — that is how the launcher's warm-up run works — but its
+    in-flight fill state is drained first.  [max_instructions] defaults
+    to 50 million. *)
+
+val run_program :
+  ?init:(Mt_isa.Reg.t * int) list ->
+  ?max_instructions:int ->
+  Config.t ->
+  Memory.t ->
+  Mt_isa.Insn.program ->
+  (outcome, error) result
+(** [compile] + [run] in one step, for tests and one-shot uses. *)

@@ -1,0 +1,43 @@
+type breakdown = {
+  core_dynamic_j : float;
+  memory_dynamic_j : float;
+  static_j : float;
+}
+
+let total b = b.core_dynamic_j +. b.memory_dynamic_j +. b.static_j
+
+let pj = 1e-12
+
+let of_outcome (cfg : Config.t) (o : Core.outcome) =
+  let e = cfg.Config.energy in
+  let core_dynamic_j =
+    pj
+    *. ((float_of_int o.Core.alu_ops *. e.Config.alu_pj)
+       +. (float_of_int o.Core.fp_ops *. e.Config.fp_pj)
+       +. (float_of_int o.Core.loads *. e.Config.load_pj)
+       +. (float_of_int o.Core.stores *. e.Config.store_pj))
+  in
+  let m = o.Core.mem in
+  let memory_dynamic_j =
+    pj
+    *. ((float_of_int m.Memory.l2_hits *. e.Config.l2_fill_pj)
+       +. (float_of_int m.Memory.l3_hits *. e.Config.l3_fill_pj)
+       +. (float_of_int m.Memory.ram_accesses *. e.Config.dram_line_pj))
+  in
+  let seconds = o.Core.cycles /. (cfg.Config.core_ghz *. 1e9) in
+  let static_j = (e.Config.core_static_w +. e.Config.uncore_static_w) *. seconds in
+  { core_dynamic_j; memory_dynamic_j; static_j }
+
+let joules cfg o = total (of_outcome cfg o)
+
+let average_power_w cfg o =
+  let seconds = o.Core.cycles /. (cfg.Config.core_ghz *. 1e9) in
+  if seconds <= 0. then 0. else joules cfg o /. seconds
+
+let energy_per_iteration_nj cfg o =
+  let passes = max 1 o.Core.rax in
+  joules cfg o /. float_of_int passes *. 1e9
+
+let pp fmt b =
+  Format.fprintf fmt "core %.3g J + memory %.3g J + static %.3g J = %.3g J"
+    b.core_dynamic_j b.memory_dynamic_j b.static_j (total b)

@@ -1,0 +1,34 @@
+(** Energy accounting over a simulated run — the paper's second
+    evaluation axis ("MicroCreator creates variations of a described
+    program in order to evaluate variations in performance or power
+    utilization", Section 7).
+
+    The model is event-based: each executed uop and each cache-line
+    movement costs a fixed dynamic energy (from
+    {!Config.energy_params}), and static/leakage power accrues over the
+    run's wall-clock time — which is what makes energy
+    frequency-dependent even when the dynamic work is fixed. *)
+
+(** Where the joules went. *)
+type breakdown = {
+  core_dynamic_j : float;  (** ALU/FP/load/store uop energy. *)
+  memory_dynamic_j : float;  (** L2/L3/DRAM line movements. *)
+  static_j : float;  (** Leakage over the run's duration. *)
+}
+
+val total : breakdown -> float
+
+val of_outcome : Config.t -> Core.outcome -> breakdown
+(** Energy of one simulated kernel run on one core (plus its uncore
+    share). *)
+
+val joules : Config.t -> Core.outcome -> float
+(** [total (of_outcome cfg outcome)]. *)
+
+val average_power_w : Config.t -> Core.outcome -> float
+(** Joules divided by the run's wall-clock seconds. *)
+
+val energy_per_iteration_nj : Config.t -> Core.outcome -> float
+(** Nanojoules per kernel pass (using the [%rax] pass count). *)
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,101 @@
+open Mt_isa
+
+type t = { gpr : int array; mutable flags : int }
+
+let create () = { gpr = Array.make 16 0; flags = 0 }
+
+let reset t =
+  Array.fill t.gpr 0 16 0;
+  t.flags <- 0
+
+let gpr_index = function
+  | Reg.RAX -> 0 | Reg.RCX -> 1 | Reg.RDX -> 2 | Reg.RBX -> 3
+  | Reg.RSP -> 4 | Reg.RBP -> 5 | Reg.RSI -> 6 | Reg.RDI -> 7
+  | Reg.R8 -> 8 | Reg.R9 -> 9 | Reg.R10 -> 10 | Reg.R11 -> 11
+  | Reg.R12 -> 12 | Reg.R13 -> 13 | Reg.R14 -> 14 | Reg.R15 -> 15
+
+let get t = function
+  | Reg.Gpr (n, _) -> t.gpr.(gpr_index n)
+  | Reg.Xmm _ -> 0
+  | Reg.Logical name ->
+    invalid_arg (Printf.sprintf "Exec.get: unallocated logical register %s" name)
+
+let set t r v =
+  match r with
+  | Reg.Gpr (n, _) -> t.gpr.(gpr_index n) <- v
+  | Reg.Xmm _ -> ()
+  | Reg.Logical name ->
+    invalid_arg (Printf.sprintf "Exec.set: unallocated logical register %s" name)
+
+let address_of t (m : Operand.mem) =
+  let base = match m.base with None -> 0 | Some r -> get t r in
+  let index = match m.index with None -> 0 | Some r -> get t r in
+  m.disp + base + (index * m.scale)
+
+let operand_value t = function
+  | Operand.Imm n -> n
+  | Operand.Reg r -> get t r
+  | Operand.Mem _ -> 0 (* loaded data values are not tracked *)
+  | Operand.Label _ -> 0
+
+let set_operand t op v =
+  match op with
+  | Operand.Reg r -> set t r v
+  | Operand.Mem _ | Operand.Imm _ | Operand.Label _ -> ()
+
+let step t (i : Insn.t) =
+  let binop f = function
+    | [ src; dst ] ->
+      let v = f (operand_value t dst) (operand_value t src) in
+      set_operand t dst v;
+      t.flags <- v
+    | _ -> ()
+  in
+  match i.op, i.operands with
+  | Insn.MOV, [ src; dst ] -> set_operand t dst (operand_value t src)
+  | Insn.LEA, [ Operand.Mem m; dst ] -> set_operand t dst (address_of t m)
+  | Insn.ADD, ops -> binop ( + ) ops
+  | Insn.SUB, ops -> binop ( - ) ops
+  | Insn.AND, ops -> binop ( land ) ops
+  | Insn.OR, ops -> binop ( lor ) ops
+  | Insn.XOR, ops -> binop ( lxor ) ops
+  | Insn.IMUL, ops -> binop ( * ) ops
+  | Insn.SHL, ops -> binop (fun d s -> d lsl s) ops
+  | Insn.SHR, ops -> binop (fun d s -> d lsr s) ops
+  | Insn.INC, [ dst ] ->
+    let v = operand_value t dst + 1 in
+    set_operand t dst v;
+    t.flags <- v
+  | Insn.DEC, [ dst ] ->
+    let v = operand_value t dst - 1 in
+    set_operand t dst v;
+    t.flags <- v
+  | Insn.NEG, [ dst ] ->
+    let v = -operand_value t dst in
+    set_operand t dst v;
+    t.flags <- v
+  | Insn.CMP, [ src; dst ] -> t.flags <- operand_value t dst - operand_value t src
+  | Insn.TEST, [ src; dst ] -> t.flags <- operand_value t dst land operand_value t src
+  | ( Insn.MOVSS | Insn.MOVSD | Insn.MOVAPS | Insn.MOVAPD | Insn.MOVUPS
+    | Insn.MOVUPD | Insn.MOVDQA | Insn.MOVDQU | Insn.MOVNTPS | Insn.MOVNTDQ
+    | Insn.PREFETCHT0 | Insn.PREFETCHT1 | Insn.PREFETCHNTA
+    | Insn.PADDD | Insn.PSUBD | Insn.PAND | Insn.POR | Insn.PXOR
+    | Insn.ADDSS | Insn.ADDSD | Insn.ADDPS | Insn.ADDPD
+    | Insn.SUBSS | Insn.SUBSD | Insn.SUBPS | Insn.SUBPD | Insn.MULSS
+    | Insn.MULSD | Insn.MULPS | Insn.MULPD | Insn.DIVSS | Insn.DIVSD
+    | Insn.DIVPS | Insn.DIVPD | Insn.SQRTSS | Insn.SQRTSD ), _ -> ()
+  | (Insn.JMP | Insn.Jcc _ | Insn.NOP | Insn.RET), _ -> ()
+  | (Insn.MOV | Insn.LEA | Insn.INC | Insn.DEC | Insn.NEG | Insn.CMP | Insn.TEST), _ -> ()
+
+(* Signed interpretation throughout; the generated kernels use small
+   counters and addresses, where A/B coincide with G/L. *)
+let branch_taken t (c : Insn.cond) =
+  match c with
+  | Insn.E -> t.flags = 0
+  | Insn.NE -> t.flags <> 0
+  | Insn.G | Insn.A -> t.flags > 0
+  | Insn.GE | Insn.AE | Insn.NS -> t.flags >= 0
+  | Insn.L | Insn.B | Insn.S -> t.flags < 0
+  | Insn.LE | Insn.BE -> t.flags <= 0
+
+let flags_value t = t.flags

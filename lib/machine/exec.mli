@@ -1,0 +1,38 @@
+(** Architectural (value-level) execution of the GPR subset: register
+    values and flags.  The timing model in {!Core} consults this to
+    compute addresses and resolve branches; XMM data values are not
+    tracked (micro-benchmark timing never depends on them).
+
+    Loads into a GPR produce the value 0 — the generated kernels never
+    use loaded integers as addresses, and {!Core.run} rejects programs
+    that would. *)
+
+type t
+
+val create : unit -> t
+
+val gpr_index : Mt_isa.Reg.gpr_name -> int
+(** Stable 0..15 index of a GPR, shared with the core's scoreboard. *)
+
+val get : t -> Mt_isa.Reg.t -> int
+(** Current value of a register.  XMM registers read as 0.
+    @raise Invalid_argument for logical (unallocated) registers. *)
+
+val set : t -> Mt_isa.Reg.t -> int -> unit
+(** Assign a register.  Assignments to XMM registers are ignored. *)
+
+val address_of : t -> Mt_isa.Operand.mem -> int
+(** Effective address [disp + base + index*scale]. *)
+
+val step : t -> Mt_isa.Insn.t -> unit
+(** Apply the architectural effect of one non-control-flow instruction:
+    register updates and flag updates.  Branches are a no-op here (the
+    core handles control flow via {!branch_taken}). *)
+
+val branch_taken : t -> Mt_isa.Insn.cond -> bool
+(** Evaluate a condition against the current flags. *)
+
+val flags_value : t -> int
+(** The signed result the flags encode (for tests). *)
+
+val reset : t -> unit

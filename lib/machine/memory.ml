@@ -1,0 +1,401 @@
+type level = L1 | L2 | L3 | Ram
+
+type counters = {
+  accesses : int;
+  l1_hits : int;
+  l2_hits : int;
+  l3_hits : int;
+  ram_accesses : int;
+  split_accesses : int;
+  alias_stalls : int;
+  prefetched_fills : int;
+  tlb_misses : int;
+  page_walks : int;
+  nt_stores : int;
+}
+
+(* One tracked prefetch stream: the last line it touched and the line
+   stride it has locked onto (0 until two accesses establish one). *)
+type stream = { mutable last_line : int; mutable stride : int; mutable last_addr : int }
+
+type t = {
+  cfg : Config.t;
+  sharers : int;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  dtlb : Cache.t;  (* 64-entry 4-way, 4 KiB pages *)
+  stlb : Cache.t;  (* 512-entry 4-way second-level TLB *)
+  mutable walker_free : float;  (* the single page walker serializes *)
+  ram_share : float;  (* bytes per core cycle *)
+  streams : stream array;
+  mutable next_stream : int;  (* round-robin victim *)
+  fill_buffers : float array;  (* busy-until times *)
+  mutable bandwidth_free : float;  (* fill-path serialization point *)
+  mutable c_accesses : int;
+  mutable c_l1_hits : int;
+  mutable c_l2_hits : int;
+  mutable c_l3_hits : int;
+  mutable c_ram : int;
+  mutable c_splits : int;
+  mutable c_alias : int;
+  mutable c_prefetched : int;
+  mutable c_tlb_misses : int;
+  mutable c_page_walks : int;
+  mutable c_nt_stores : int;
+  mutable last_level : level;
+  mutable last_split : bool;
+}
+
+(* TLB geometry shared by the Nehalem/Sandy Bridge generation the paper
+   measures: 64-entry 4-way first level, 512-entry 4-way second level,
+   7-cycle STLB hit, ~30-cycle page walk through a single walker. *)
+let dtlb_geom = { Config.size_bytes = 64 * 4096; associativity = 4; line_bytes = 4096 }
+
+let stlb_geom = { Config.size_bytes = 512 * 4096; associativity = 4; line_bytes = 4096 }
+
+let stlb_hit_penalty = 7.
+
+let page_walk_cycles = 30.
+
+let stream_table_size = 16
+
+(* The hardware streamer does not prefetch across large strides. *)
+let max_prefetch_stride_lines = 4
+
+let create ?(ram_sharers = 1) (cfg : Config.t) =
+  (* The L3 is shared: when several cores stream at once, each one
+     effectively owns a capacity slice (we model one core per memory
+     pipeline, so the slice approximates the shared-cache pressure of
+     the siblings). *)
+  let l3_slice =
+    let sharers_per_socket =
+      (ram_sharers + cfg.sockets - 1) / cfg.sockets |> max 1
+    in
+    let min_size = cfg.l3.Config.line_bytes * cfg.l3.Config.associativity in
+    { cfg.l3 with Config.size_bytes = max min_size (cfg.l3.Config.size_bytes / sharers_per_socket) }
+  in
+  {
+    cfg;
+    sharers = ram_sharers;
+    l1 = Cache.create cfg.l1;
+    l2 = Cache.create cfg.l2;
+    l3 = Cache.create l3_slice;
+    dtlb = Cache.create dtlb_geom;
+    stlb = Cache.create stlb_geom;
+    walker_free = 0.;
+    ram_share = Config.ram_stream_bytes_per_cycle cfg ~sharers:ram_sharers;
+    streams =
+      Array.init stream_table_size (fun _ ->
+          { last_line = min_int; stride = 0; last_addr = min_int });
+    next_stream = 0;
+    fill_buffers = Array.make cfg.miss_parallelism 0.;
+    bandwidth_free = 0.;
+    c_accesses = 0;
+    c_l1_hits = 0;
+    c_l2_hits = 0;
+    c_l3_hits = 0;
+    c_ram = 0;
+    c_splits = 0;
+    c_alias = 0;
+    c_prefetched = 0;
+    c_tlb_misses = 0;
+    c_page_walks = 0;
+    c_nt_stores = 0;
+    last_level = L1;
+    last_split = false;
+  }
+
+let config t = t.cfg
+
+let ram_share_bytes_per_cycle t = t.ram_share
+
+let counters t =
+  {
+    accesses = t.c_accesses;
+    l1_hits = t.c_l1_hits;
+    l2_hits = t.c_l2_hits;
+    l3_hits = t.c_l3_hits;
+    ram_accesses = t.c_ram;
+    split_accesses = t.c_splits;
+    alias_stalls = t.c_alias;
+    prefetched_fills = t.c_prefetched;
+    tlb_misses = t.c_tlb_misses;
+    page_walks = t.c_page_walks;
+    nt_stores = t.c_nt_stores;
+  }
+
+let reset_counters t =
+  t.c_accesses <- 0;
+  t.c_l1_hits <- 0;
+  t.c_l2_hits <- 0;
+  t.c_l3_hits <- 0;
+  t.c_ram <- 0;
+  t.c_splits <- 0;
+  t.c_alias <- 0;
+  t.c_prefetched <- 0;
+  t.c_tlb_misses <- 0;
+  t.c_page_walks <- 0;
+  t.c_nt_stores <- 0
+
+let reset t =
+  Cache.reset t.l1;
+  Cache.reset t.l2;
+  Cache.reset t.l3;
+  Cache.reset t.dtlb;
+  Cache.reset t.stlb;
+  t.walker_free <- 0.;
+  Array.iter
+    (fun s ->
+      s.last_line <- min_int;
+      s.stride <- 0;
+      s.last_addr <- min_int)
+    t.streams;
+  t.next_stream <- 0;
+  Array.fill t.fill_buffers 0 (Array.length t.fill_buffers) 0.;
+  t.bandwidth_free <- 0.;
+  t.last_level <- L1;
+  reset_counters t
+
+let drain t =
+  Array.fill t.fill_buffers 0 (Array.length t.fill_buffers) 0.;
+  t.bandwidth_free <- 0.;
+  t.walker_free <- 0.
+
+let level_of_last_access t = t.last_level
+
+let last_access_was_split t = t.last_split
+
+(* ------------------------------------------------------------------ *)
+(* Stream prefetch detection                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns [true] when [line] continues an established stream whose
+   stride is small enough for the hardware streamer to follow. *)
+let stream_hit t line =
+  let found = ref false in
+  Array.iter
+    (fun s ->
+      if not !found then begin
+        if s.last_line = line then found := true
+        else begin
+          let delta = line - s.last_line in
+          if delta <> 0 && abs delta <= max_prefetch_stride_lines then begin
+            if s.stride = delta then begin
+              (* Established stream continues. *)
+              s.last_line <- line;
+              found := true
+            end
+            else if s.stride = 0 && s.last_line <> min_int then begin
+              (* Second touch establishes the stride; the streamer
+                 starts covering from the next access on. *)
+              s.stride <- delta;
+              s.last_line <- line
+            end
+          end
+        end
+      end)
+    t.streams;
+  if not !found then begin
+    (* Is some tracker one step behind (training touch)?  Otherwise
+       allocate a fresh tracker on the round-robin victim. *)
+    let trained =
+      Array.exists (fun s -> s.stride <> 0 && s.last_line + s.stride = line) t.streams
+    in
+    if not trained then begin
+      let s = t.streams.(t.next_stream) in
+      s.last_line <- line;
+      s.stride <- 0;
+      s.last_addr <- min_int;
+      t.next_stream <- (t.next_stream + 1) mod stream_table_size
+    end
+  end;
+  !found
+
+(* 4 KiB aliasing: the access collides modulo one page with the most
+   recent address of a *different* stream (a concurrently traversed
+   array at a conflicting alignment).  See DESIGN.md section 5. *)
+let alias_conflict t addr =
+  let page_off = addr land 4095 in
+  let page = addr lsr 12 in
+  let conflict = ref false in
+  Array.iter
+    (fun s ->
+      if s.last_addr <> min_int then begin
+        let other_off = s.last_addr land 4095 in
+        let other_page = s.last_addr lsr 12 in
+        if other_page <> page && abs (other_off - page_off) < 64 then conflict := true
+      end)
+    t.streams;
+  !conflict
+
+let record_addr t line addr =
+  Array.iter (fun s -> if s.last_line = line then s.last_addr <- addr) t.streams
+
+(* ------------------------------------------------------------------ *)
+(* Fill pipeline                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let earliest_buffer t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.fill_buffers - 1 do
+    if t.fill_buffers.(i) < t.fill_buffers.(!best) then best := i
+  done;
+  !best
+
+(* Charge one line fill served by [serving] level.  [streamed] fills are
+   covered by the prefetcher: their latency collapses to the serving
+   bandwidth; demand (random) fills pay the level's full latency.
+   Returns the fill completion time. *)
+let line_fill t ~now ~streamed ~write ~serving =
+  let cfg = t.cfg in
+  let line = float_of_int cfg.l1.line_bytes in
+  let bw =
+    match serving with
+    | L1 -> infinity
+    | L2 -> cfg.l2_bandwidth_bytes_per_cycle
+    | L3 ->
+      (* The L3 lives in the uncore clock domain: its bandwidth is
+         fixed in bytes/second, so in core cycles it scales with the
+         core clock (Fig. 13: off-core timings are frequency-
+         independent in TSC cycles). *)
+      cfg.l3_bandwidth_bytes_per_cycle *. cfg.nominal_ghz /. cfg.core_ghz
+    | Ram -> t.ram_share
+  in
+  let transfer = if bw = infinity then 0. else line /. bw in
+  (* Stores write-allocate: the RFO read plus the eventual writeback
+     consume the fill path twice. *)
+  let transfer = if write then 2. *. transfer else transfer in
+  let full_latency =
+    match serving with
+    | L1 -> float_of_int cfg.l1_latency_cycles
+    | L2 -> float_of_int cfg.l2_latency_cycles
+    | L3 -> Config.cycles_of_ns cfg cfg.l3_latency_ns
+    | Ram -> Config.cycles_of_ns cfg cfg.ram_latency_ns
+  in
+  let buf = earliest_buffer t in
+  let start = Float.max now (Float.max t.fill_buffers.(buf) t.bandwidth_free) in
+  t.bandwidth_free <- start +. transfer;
+  let completion =
+    if streamed then start +. Float.max transfer (float_of_int cfg.l1_latency_cycles)
+    else start +. full_latency +. transfer
+  in
+  t.fill_buffers.(buf) <- completion;
+  if streamed then t.c_prefetched <- t.c_prefetched + 1;
+  completion
+
+(* Look the line up in the hierarchy; allocate it at every level it
+   missed in (inclusive caching).  Returns serving level. *)
+let lookup t line =
+  if Cache.access t.l1 line then L1
+  else if Cache.access t.l2 line then L2
+  else if Cache.access t.l3 line then L3
+  else Ram
+
+(* Address translation: DTLB hit is free, an STLB hit costs a fixed
+   re-lookup, a full miss walks the page table through the single
+   hardware walker (walks serialize — the mechanism behind the paper's
+   Figure 3 cliff once the matmul column stride exceeds a page). *)
+let translate t ~now ~addr =
+  if not t.cfg.Config.features.Config.tlb then 0.
+  else begin
+  let page = addr lsr 12 in
+  if Cache.access t.dtlb page then 0.
+  else begin
+    t.c_tlb_misses <- t.c_tlb_misses + 1;
+    if Cache.access t.stlb page then stlb_hit_penalty
+    else begin
+      t.c_page_walks <- t.c_page_walks + 1;
+      let start = Float.max now t.walker_free in
+      let finish = start +. page_walk_cycles in
+      t.walker_free <- finish;
+      finish -. now
+    end
+  end
+  end
+
+let single_access t ~now ~addr ~write =
+  let tlb_penalty = translate t ~now ~addr in
+  let now = now +. tlb_penalty in
+  let line = Cache.line_of_addr t.l1 addr in
+  let streamed = stream_hit t line && t.cfg.Config.features.Config.prefetcher in
+  let serving = lookup t line in
+  t.last_level <- serving;
+  let ready =
+    match serving with
+    | L1 ->
+      t.c_l1_hits <- t.c_l1_hits + 1;
+      now +. float_of_int t.cfg.l1_latency_cycles
+    | L2 | L3 | Ram ->
+      (match serving with
+      | L2 -> t.c_l2_hits <- t.c_l2_hits + 1
+      | L3 -> t.c_l3_hits <- t.c_l3_hits + 1
+      | Ram | L1 -> t.c_ram <- t.c_ram + 1);
+      line_fill t ~now ~streamed ~write ~serving
+  in
+  record_addr t line addr;
+  ready
+
+(* Non-temporal store: write-combining buffers stream the data straight
+   to DRAM — no allocation, no read-for-ownership, single-direction
+   bandwidth.  The data-ready time is just the store-buffer handoff. *)
+let nt_store t ~now ~addr ~bytes =
+  t.c_nt_stores <- t.c_nt_stores + 1;
+  let tlb_penalty = translate t ~now ~addr in
+  let now = now +. tlb_penalty in
+  let bw = t.ram_share in
+  let transfer = float_of_int bytes /. bw in
+  t.bandwidth_free <- Float.max t.bandwidth_free now +. transfer;
+  t.last_level <- Ram;
+  (* Finite write-combining buffers (four lines): once the DRAM backlog
+     exceeds them, the store stalls until it drains — streaming stores
+     end up paying single-direction bandwidth, i.e. half a regular
+     write-allocate store stream. *)
+  let line = float_of_int t.cfg.Config.l1.Config.line_bytes in
+  let wc_allowance = 4. *. line /. bw in
+  Float.max (now +. 1.) (t.bandwidth_free -. wc_allowance)
+
+let access ?(nt = false) t ~now ~addr ~bytes ~write =
+  t.c_accesses <- t.c_accesses + 1;
+  let bytes = max 1 bytes in
+  t.last_split <- false;
+  if nt && write then nt_store t ~now ~addr ~bytes
+  else begin
+  let first_line = Cache.line_of_addr t.l1 addr in
+  let last_line = Cache.line_of_addr t.l1 (addr + bytes - 1) in
+  (* Cross-array page-offset collisions only hurt when the memory
+     system is under multi-core pressure (Section 5.2.2's alignment
+     studies run 8- and 32-core saturated configurations); a lone core
+     absorbs them (Fig. 4's <3% variation at 200x200). *)
+  let alias_scale =
+    if t.cfg.Config.features.Config.alias_interference then
+      float_of_int (t.sharers - 1) /. 4.
+    else 0.
+  in
+  let alias = alias_scale > 0. && alias_conflict t addr in
+  if alias then t.c_alias <- t.c_alias + 1;
+  let alias_pen =
+    if alias then t.cfg.page_4k_alias_penalty_cycles *. alias_scale else 0.
+  in
+  (* A conflicting access replays through the memory pipeline: the
+     penalty is occupancy, not just latency, so saturated streams slow
+     down (the Figures 15/16 alignment bands). *)
+  if alias then
+    t.bandwidth_free <- Float.max t.bandwidth_free now +. alias_pen;
+  if first_line = last_line then single_access t ~now ~addr ~write +. alias_pen
+  else begin
+    (* Line-split access: both halves must arrive, plus a fixed split
+       penalty for the re-issue (the core also books a replay uop). *)
+    t.c_splits <- t.c_splits + 1;
+    if t.cfg.Config.features.Config.split_penalty then t.last_split <- true;
+    let r1 = single_access t ~now ~addr ~write in
+    let second_addr = (first_line + 1) * t.cfg.l1.line_bytes in
+    let r2 = single_access t ~now:r1 ~addr:second_addr ~write in
+    let penalty =
+      if t.cfg.Config.features.Config.split_penalty then
+        float_of_int t.cfg.split_line_penalty_cycles
+      else 0.
+    in
+    Float.max r1 r2 +. penalty +. alias_pen
+  end
+  end

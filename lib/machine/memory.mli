@@ -1,0 +1,67 @@
+(** The per-core memory pipeline: L1/L2/L3 lookup on real addresses, a
+    stride-limited stream prefetcher, a finite set of fill buffers
+    (miss-level parallelism), fill-bandwidth serialization, and the
+    cross-array 4 KiB aliasing penalty.
+
+    Timing contract: {!access} is called with the core-clock time [now]
+    at which the memory uop issues and returns the time at which the
+    data is available.  All times are in core cycles (floats, so
+    bandwidth fractions survive). *)
+
+type t
+
+type level = L1 | L2 | L3 | Ram
+
+type counters = {
+  accesses : int;
+  l1_hits : int;
+  l2_hits : int;
+  l3_hits : int;
+  ram_accesses : int;
+  split_accesses : int;
+  alias_stalls : int;
+  prefetched_fills : int;
+  tlb_misses : int;  (** First-level TLB misses. *)
+  page_walks : int;  (** Full misses that walked the page table. *)
+  nt_stores : int;  (** Non-temporal stores streamed past the caches. *)
+}
+
+val create : ?ram_sharers:int -> Config.t -> t
+(** [create cfg] builds a memory pipeline for one core of [cfg].
+    [ram_sharers] (default 1) is the number of cores concurrently
+    streaming from DRAM; it determines this core's share of controller
+    bandwidth (Fig. 14's contention knee). *)
+
+val access :
+  ?nt:bool -> t -> now:float -> addr:int -> bytes:int -> write:bool -> float
+(** Perform one data access and return the data-ready time.  Stores
+    return the time their line is owned (write-allocate; misses charge
+    double fill bandwidth for the read-for-ownership plus eventual
+    writeback).  With [nt] (non-temporal), a store bypasses the caches
+    through write-combining buffers: no allocation, no RFO, half the
+    DRAM traffic — the [movntps] behaviour. *)
+
+val config : t -> Config.t
+
+val counters : t -> counters
+
+val reset_counters : t -> unit
+
+val reset : t -> unit
+(** Reset caches, prefetcher, buffers and counters (cold machine). *)
+
+val drain : t -> unit
+(** Complete all in-flight fills and rebase the pipeline clock to 0,
+    keeping cache contents.  {!Core.run} calls this at the start of each
+    run so warm caches survive between repetitions while stale busy
+    times do not. *)
+
+val level_of_last_access : t -> level
+(** Which level served the most recent access (for tests). *)
+
+val last_access_was_split : t -> bool
+(** Whether the most recent access straddled a cache line (the core
+    books a replay uop on the port when it did). *)
+
+val ram_share_bytes_per_cycle : t -> float
+(** The DRAM bandwidth share this pipeline was created with. *)

@@ -1,0 +1,36 @@
+(** Deterministic environmental-noise model.
+
+    Real measurements jitter because of timer interrupts, core
+    migrations and frequency transitions.  MicroLauncher's whole point
+    (Section 4.7) is that pinning, interrupt masking, warm-up and
+    repetition suppress this jitter.  We model the environment as a
+    seeded PRNG whose amplitude depends on which stability features are
+    enabled, so that (a) repeated runs with the same seed reproduce
+    exactly, and (b) the launcher's stability claim is a testable
+    property: spread with features on ≪ spread with features off. *)
+
+type env = {
+  pinned : bool;  (** Process pinned to a core (no migration spikes). *)
+  interrupts_masked : bool;  (** Timer-tick perturbation suppressed. *)
+  warmed : bool;  (** Caches warmed before measurement. *)
+}
+
+val stable_env : env
+(** All stability features on — MicroLauncher's default. *)
+
+val hostile_env : env
+(** Nothing controlled — a bare `time ./a.out` style measurement. *)
+
+type t
+
+val create : ?seed:int -> env -> t
+(** A noise source.  The same seed and env produce the same sequence. *)
+
+val relative_amplitude : env -> float
+(** The jitter amplitude implied by an environment (for tests):
+    fraction of measured time, e.g. 0.002 for {!stable_env}. *)
+
+val perturb : t -> float -> float
+(** [perturb t cycles] returns the measured value of a true duration of
+    [cycles]: the true value inflated by a non-negative random stall
+    (noise only ever adds time). *)

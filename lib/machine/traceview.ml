@@ -1,0 +1,50 @@
+type event = { pc : int; text : string; issue : float; completion : float }
+
+type t = { limit : int; mutable rev_events : event list; mutable count : int }
+
+let create ?(limit = 256) () = { limit; rev_events = []; count = 0 }
+
+let hook t pc insn ~issue ~completion =
+  if t.count < t.limit then begin
+    t.rev_events <-
+      { pc; text = Mt_isa.Insn.to_string insn; issue; completion } :: t.rev_events;
+    t.count <- t.count + 1
+  end
+
+let events t = t.count
+
+let reset t =
+  t.rev_events <- [];
+  t.count <- 0
+
+let render ?(width = 64) t =
+  match List.rev t.rev_events with
+  | [] -> "(no trace events collected)\n"
+  | evts ->
+    let t0 = List.fold_left (fun acc e -> Float.min acc e.issue) infinity evts in
+    let t1 = List.fold_left (fun acc e -> Float.max acc e.completion) 0. evts in
+    let span = Float.max 1. (t1 -. t0) in
+    let col time =
+      let c = int_of_float ((time -. t0) /. span *. float_of_int (width - 1)) in
+      max 0 (min (width - 1) c)
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "cycles %.0f..%.0f, one column = %.1f cycles\n" t0 t1
+         (span /. float_of_int width));
+    (* Each instruction's bar runs from its issue to its completion;
+       the bar is all '#' (the scoreboard reports issue time after all
+       waits, so the wait shows as horizontal offset). *)
+    List.iter
+      (fun e ->
+        let line = Bytes.make width ' ' in
+        let a = col e.issue and b = col e.completion in
+        for i = a to b do
+          Bytes.set line i '#'
+        done;
+        Buffer.add_string buf
+          (Printf.sprintf "%4d %-28s |%s|\n" e.pc
+             (if String.length e.text > 28 then String.sub e.text 0 28 else e.text)
+             (Bytes.to_string line)))
+      evts;
+    Buffer.contents buf

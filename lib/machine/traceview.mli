@@ -1,0 +1,25 @@
+(** ASCII pipeline-timeline rendering over {!Core.run}'s trace hook:
+    one row per dynamic instruction, a bar from issue to completion.
+    The visual counterpart of the scoreboard model — long bars are
+    memory stalls, stacked short bars are port pressure, diagonal
+    staircases are dependency chains. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** A collector keeping at most [limit] events (default 256; later
+    events are dropped). *)
+
+val hook : t -> int -> Mt_isa.Insn.t -> issue:float -> completion:float -> unit
+(** Pass [Traceview.hook t] as {!Core.run}'s [?trace] argument. *)
+
+val events : t -> int
+(** Events collected so far. *)
+
+val render : ?width:int -> t -> string
+(** Render the timeline, [width] columns wide (default 64).  Each row:
+    {v   12 mulsd (%rdx), %xmm0      |      ====####          | v}
+    where [=] spans dispatch-to-issue wait and [#] issue-to-completion
+    execution.  Returns a note when nothing was collected. *)
+
+val reset : t -> unit

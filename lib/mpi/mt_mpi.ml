@@ -1,0 +1,85 @@
+open Mt_machine
+
+type comm = {
+  ranks : int;
+  cfg : Config.t;
+  alpha_ns : float;
+  beta_ns_per_byte : float;
+}
+
+let create ?(alpha_ns = 600.) ?(beta_ns_per_byte = 0.25) cfg ~ranks =
+  if ranks < 1 then invalid_arg "Mt_mpi.create: ranks < 1";
+  if ranks > Config.core_count cfg then
+    invalid_arg
+      (Printf.sprintf "Mt_mpi.create: %d ranks on a %d-core machine" ranks
+         (Config.core_count cfg));
+  { ranks; cfg; alpha_ns; beta_ns_per_byte }
+
+let message_cycles c ~bytes =
+  Config.cycles_of_ns c.cfg (c.alpha_ns +. (float_of_int bytes *. c.beta_ns_per_byte))
+
+let send_cost c ~bytes = message_cycles c ~bytes
+
+let log2_ceil n =
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let barrier_cost c =
+  if c.ranks <= 1 then 0.
+  else float_of_int (log2_ceil c.ranks) *. message_cycles c ~bytes:0
+
+let bcast_cost c ~bytes =
+  if c.ranks <= 1 then 0.
+  else float_of_int (log2_ceil c.ranks) *. message_cycles c ~bytes
+
+let reduce_cost c ~bytes = bcast_cost c ~bytes
+
+let allreduce_cost c ~bytes = reduce_cost c ~bytes +. bcast_cost c ~bytes
+
+let alltoall_cost c ~bytes =
+  if c.ranks <= 1 then 0.
+  else float_of_int (c.ranks - 1) *. message_cycles c ~bytes
+
+type communication =
+  | No_comm
+  | Halo_exchange of int
+  | Allreduce of int
+  | Barrier
+
+let phase_comm_cost c = function
+  | No_comm -> 0.
+  | Halo_exchange bytes ->
+    (* Exchange with both neighbours; sends overlap, receives serialize
+       with the matching sends: two message times. *)
+    2. *. message_cycles c ~bytes
+  | Allreduce bytes -> allreduce_cost c ~bytes
+  | Barrier -> barrier_cost c
+
+let run_spmd c ~phases ~compute ~communication =
+  let total = ref 0. in
+  for phase = 0 to phases - 1 do
+    let slowest = ref 0. in
+    for rank = 0 to c.ranks - 1 do
+      let t = compute ~rank ~phase ~sharers:c.ranks in
+      if t > !slowest then slowest := t
+    done;
+    total := !total +. !slowest +. phase_comm_cost c (communication ~phase)
+  done;
+  !total
+
+let efficiency c ~phases ~compute ~communication =
+  let actual = run_spmd c ~phases ~compute ~communication in
+  if actual <= 0. then 0.
+  else begin
+    (* Ideal: the same per-rank compute without contention, no
+       communication, perfectly balanced. *)
+    let ideal = ref 0. in
+    for phase = 0 to phases - 1 do
+      let sum = ref 0. in
+      for rank = 0 to c.ranks - 1 do
+        sum := !sum +. compute ~rank ~phase ~sharers:1
+      done;
+      ideal := !ideal +. (!sum /. float_of_int c.ranks)
+    done;
+    !ideal /. actual
+  end

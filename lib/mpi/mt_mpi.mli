@@ -1,0 +1,75 @@
+(** An MPI runtime model — the paper's Section 7 future work ("fully
+    supporting every OpenMP/MPI constructs") on top of the fork-mode
+    execution model of Section 5.2.1 ("a typical HPC profile: one
+    process on each core, each performing the same type of workload").
+
+    Ranks are processes pinned one per core.  Communication uses the
+    classic alpha-beta cost model: a message of [b] bytes between two
+    ranks costs [alpha + b * beta]; collectives compose it along the
+    usual logarithmic algorithms.  Intra-node defaults model
+    shared-memory MPI transports of the paper's era. *)
+
+type comm = {
+  ranks : int;
+  cfg : Mt_machine.Config.t;
+  alpha_ns : float;  (** Per-message latency. *)
+  beta_ns_per_byte : float;  (** Per-byte cost (inverse bandwidth). *)
+}
+
+val create : ?alpha_ns:float -> ?beta_ns_per_byte:float -> Mt_machine.Config.t -> ranks:int -> comm
+(** Build a communicator of [ranks] processes on the machine.
+    Defaults: 600 ns latency, 0.25 ns/byte (~4 GB/s shared-memory
+    transport).
+    @raise Invalid_argument if [ranks < 1] or exceeds the core count. *)
+
+(** {1 Primitive costs, in core cycles} *)
+
+val send_cost : comm -> bytes:int -> float
+(** Point-to-point message. *)
+
+val barrier_cost : comm -> float
+(** Dissemination barrier: [ceil(log2 ranks)] message rounds. *)
+
+val bcast_cost : comm -> bytes:int -> float
+(** Binomial-tree broadcast. *)
+
+val reduce_cost : comm -> bytes:int -> float
+(** Binomial-tree reduction (same shape as broadcast). *)
+
+val allreduce_cost : comm -> bytes:int -> float
+(** Reduce + broadcast. *)
+
+val alltoall_cost : comm -> bytes:int -> float
+(** Pairwise exchange: [ranks - 1] rounds of [bytes] each. *)
+
+(** {1 SPMD execution} *)
+
+(** What a rank does in one phase, after its compute. *)
+type communication =
+  | No_comm
+  | Halo_exchange of int  (** Send/receive [bytes] with both neighbours. *)
+  | Allreduce of int
+  | Barrier
+
+val phase_comm_cost : comm -> communication -> float
+
+val run_spmd :
+  comm ->
+  phases:int ->
+  compute:(rank:int -> phase:int -> sharers:int -> float) ->
+  communication:(phase:int -> communication) ->
+  float
+(** Model an SPMD job: in each phase every rank computes
+    ([compute ~rank ~phase ~sharers] returns its core cycles, with
+    [sharers = ranks] contending for DRAM) and then communicates; a
+    phase ends when the slowest rank plus its communication completes
+    (bulk-synchronous semantics).  Returns total core cycles. *)
+
+val efficiency :
+  comm ->
+  phases:int ->
+  compute:(rank:int -> phase:int -> sharers:int -> float) ->
+  communication:(phase:int -> communication) ->
+  float
+(** Parallel efficiency: ideal time (total single-rank compute divided
+    by ranks, undisturbed) over the modelled SPMD time. *)

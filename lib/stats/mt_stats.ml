@@ -1,0 +1,127 @@
+type summary = {
+  count : int;
+  minimum : float;
+  maximum : float;
+  mean : float;
+  median : float;
+  stddev : float;
+}
+
+let check_non_empty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let min_of xs =
+  check_non_empty "Mt_stats.min_of" xs;
+  Array.fold_left min xs.(0) xs
+
+let max_of xs =
+  check_non_empty "Mt_stats.max_of" xs;
+  Array.fold_left max xs.(0) xs
+
+let mean xs =
+  check_non_empty "Mt_stats.mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let sorted xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let median xs =
+  check_non_empty "Mt_stats.median" xs;
+  let ys = sorted xs in
+  let n = Array.length ys in
+  if n mod 2 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (sq /. float_of_int (n - 1))
+  end
+
+let coefficient_of_variation xs =
+  let m = mean xs in
+  if m = 0. then 0. else stddev xs /. m
+
+let relative_spread xs =
+  let lo = min_of xs and hi = max_of xs in
+  if lo = 0. then 0. else (hi -. lo) /. lo
+
+let percentile xs p =
+  check_non_empty "Mt_stats.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Mt_stats.percentile: p out of [0,100]";
+  let ys = sorted xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+  end
+
+let summarize xs =
+  check_non_empty "Mt_stats.summarize" xs;
+  {
+    count = Array.length xs;
+    minimum = min_of xs;
+    maximum = max_of xs;
+    mean = mean xs;
+    median = median xs;
+    stddev = stddev xs;
+  }
+
+module Csv = struct
+  type t = { header : string list; mutable rows : string list list }
+
+  let create ~header = { header; rows = [] }
+
+  let add_row t row =
+    if List.length row <> List.length t.header then
+      invalid_arg
+        (Printf.sprintf "Mt_stats.Csv.add_row: row width %d, header width %d"
+           (List.length row) (List.length t.header));
+    t.rows <- row :: t.rows
+
+  let add_floats t row = add_row t (List.map (Printf.sprintf "%.6g") row)
+
+  let needs_quoting s =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+  let quote_cell s =
+    if needs_quoting s then begin
+      let b = Buffer.create (String.length s + 2) in
+      Buffer.add_char b '"';
+      String.iter
+        (fun c ->
+          if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+        s;
+      Buffer.add_char b '"';
+      Buffer.contents b
+    end
+    else s
+
+  let render_row row = String.concat "," (List.map quote_cell row)
+
+  let to_string t =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (render_row t.header);
+    Buffer.add_char b '\n';
+    List.iter
+      (fun row ->
+        Buffer.add_string b (render_row row);
+        Buffer.add_char b '\n')
+      (List.rev t.rows);
+    Buffer.contents b
+
+  let save t path =
+    let oc = open_out path in
+    output_string oc (to_string t);
+    close_out oc
+
+  let row_count t = List.length t.rows
+end

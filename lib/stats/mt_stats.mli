@@ -1,0 +1,68 @@
+(** Descriptive statistics, stability metrics and CSV rendering for
+    MicroLauncher measurement series. *)
+
+(** Summary of a measurement series. *)
+type summary = {
+  count : int;
+  minimum : float;
+  maximum : float;
+  mean : float;
+  median : float;
+  stddev : float;  (** Sample standard deviation (n-1 denominator). *)
+}
+
+val summarize : float array -> summary
+(** [summarize xs] computes a {!summary} of [xs].
+    @raise Invalid_argument if [xs] is empty. *)
+
+val min_of : float array -> float
+(** Minimum of a non-empty array. *)
+
+val max_of : float array -> float
+(** Maximum of a non-empty array. *)
+
+val mean : float array -> float
+(** Arithmetic mean of a non-empty array. *)
+
+val median : float array -> float
+(** Median (average of middle pair for even lengths). *)
+
+val stddev : float array -> float
+(** Sample standard deviation; 0 for arrays of length < 2. *)
+
+val coefficient_of_variation : float array -> float
+(** [stddev / mean]; the launcher's stability metric.  0 when the mean
+    is 0. *)
+
+val relative_spread : float array -> float
+(** [(max - min) / min]; the paper's "variation is less than 3%" style
+    metric.  0 when the minimum is 0. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], linear interpolation. *)
+
+(** {1 CSV} *)
+
+module Csv : sig
+  type t
+  (** A CSV document under construction. *)
+
+  val create : header:string list -> t
+  (** Create a document with the given column names. *)
+
+  val add_row : t -> string list -> unit
+  (** Append a row.  Cells are quoted as needed.
+      @raise Invalid_argument if the row width differs from the header. *)
+
+  val add_floats : t -> float list -> unit
+  (** Append a row of numeric cells rendered with [%.6g]. *)
+
+  val to_string : t -> string
+  (** Render the document, RFC-4180-style quoting. *)
+
+  val save : t -> string -> unit
+  (** [save t path] writes the document to [path]. *)
+
+  val row_count : t -> int
+  (** Number of data rows added so far. *)
+end

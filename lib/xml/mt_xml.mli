@@ -1,0 +1,83 @@
+(** Minimal XML subset parser used for MicroCreator kernel descriptions.
+
+    Supports elements, attributes, text nodes, comments, CDATA, numeric
+    and the five predefined character entities.  Does not support
+    namespaces, DTDs, or processing instructions beyond the [<?xml?>]
+    prolog (which is skipped). *)
+
+(** A parsed XML node. *)
+type node =
+  | Element of element
+  | Text of string  (** Raw character data, entities already decoded. *)
+
+and element = {
+  tag : string;
+  attributes : (string * string) list;
+  children : node list;
+}
+
+(** Raised by parsing functions with a human-readable message that
+    includes the 1-based line and column of the offending input. *)
+exception Parse_error of string
+
+(** {1 Parsing} *)
+
+val parse_string : string -> element
+(** [parse_string s] parses [s] and returns the root element.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> element
+(** [parse_file path] reads and parses the file at [path].
+    @raise Parse_error on malformed input.
+    @raise Sys_error if the file cannot be read. *)
+
+(** {1 Printing} *)
+
+val to_string : ?indent:int -> element -> string
+(** [to_string e] renders [e] as XML text.  [indent] is the number of
+    spaces per nesting level (default 2). *)
+
+val escape : string -> string
+(** Escape the five XML special characters for inclusion in XML text. *)
+
+(** {1 Accessors}
+
+    These are the navigation helpers MicroCreator's description reader
+    is built on. *)
+
+val children_elements : element -> element list
+(** Child nodes that are elements, in document order. *)
+
+val find_child : element -> string -> element option
+(** [find_child e tag] is the first child element of [e] named [tag]. *)
+
+val find_children : element -> string -> element list
+(** All child elements of [e] named [tag], in document order. *)
+
+val text_content : element -> string
+(** Concatenation of all text nodes directly under [e], trimmed. *)
+
+val attribute : element -> string -> string option
+(** [attribute e name] is the value of attribute [name] on [e]. *)
+
+val child_text : element -> string -> string option
+(** [child_text e tag] is [text_content] of the first child named [tag]. *)
+
+val child_int : element -> string -> int option
+(** Like {!child_text} but parsed as an integer.
+    @raise Parse_error if the child exists but is not an integer. *)
+
+val has_child : element -> string -> bool
+(** [has_child e tag] is [true] iff [e] has a child element named [tag].
+    Used for flag-style nodes such as [<swap_after_unroll/>]. *)
+
+(** {1 Construction} *)
+
+val elem : ?attrs:(string * string) list -> string -> node list -> element
+(** [elem tag children] builds an element. *)
+
+val text : string -> node
+(** [text s] builds a text node. *)
+
+val elem_text : string -> string -> element
+(** [elem_text tag s] is an element containing a single text node. *)

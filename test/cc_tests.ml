@@ -1,0 +1,392 @@
+(* Tests for the C kernel subset compiler (Section 4.1: MicroLauncher
+   "compiles the kernel code"). *)
+
+open Mt_isa
+open Mt_machine
+open Mt_cc
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let x5650 = Config.nehalem_x5650_2s
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_expr s =
+  match Parse.expr_of_string s with
+  | Ok e -> e
+  | Error msg -> Alcotest.fail msg
+
+let test_expr_precedence () =
+  check_bool "a + b * c" true
+    (parse_expr "a + b * c"
+    = Ast.Bin (Ast.Add, Ast.Var "a", Ast.Bin (Ast.Mul, Ast.Var "b", Ast.Var "c")));
+  check_bool "(a + b) * c" true
+    (parse_expr "(a + b) * c"
+    = Ast.Bin (Ast.Mul, Ast.Bin (Ast.Add, Ast.Var "a", Ast.Var "b"), Ast.Var "c"))
+
+let test_expr_left_associative () =
+  check_bool "a - b - c" true
+    (parse_expr "a - b - c"
+    = Ast.Bin (Ast.Sub, Ast.Bin (Ast.Sub, Ast.Var "a", Ast.Var "b"), Ast.Var "c"))
+
+let test_expr_subscripts () =
+  check_bool "a[i + 1]" true
+    (parse_expr "a[i + 1]" = Ast.Index ("a", Ast.Bin (Ast.Add, Ast.Var "i", Ast.Int_lit 1)));
+  check_bool "negative literal" true (parse_expr "-3" = Ast.Int_lit (-3));
+  check_bool "float literal" true (parse_expr "0.0" = Ast.Float_lit 0.)
+
+let test_parse_function_shape () =
+  let src =
+    {|int f(int n, double *a) {
+        int i;
+        for (i = 0; i < n; i++) { a[i] = 0.0; }
+        return n;
+      }|}
+  in
+  match Parse.func_of_string src with
+  | Error msg -> Alcotest.fail msg
+  | Ok f ->
+    Alcotest.(check string) "name" "f" f.Ast.fname;
+    check_int "two params" 2 (List.length f.Ast.params);
+    check_bool "pointer param" true (List.nth f.Ast.params 1 = (Ast.Tptr Ast.Tdouble, "a"));
+    check_int "three statements" 3 (List.length f.Ast.body)
+
+let test_parse_comments_and_step () =
+  let src =
+    {|/* block
+        comment */
+      int f(int n, float *a) {
+        int i; // line comment
+        for (i = 0; i <= n; i += 4) { a[i] = 0.0; }
+        return n;
+      }|}
+  in
+  match Parse.func_of_string src with
+  | Error msg -> Alcotest.fail msg
+  | Ok f -> (
+    match f.Ast.body with
+    | [ _; Ast.For { cond = Ast.Le _; step = 4; _ }; Ast.Return _ ] -> ()
+    | _ -> Alcotest.fail "unexpected body shape")
+
+let test_parse_errors () =
+  let bad src =
+    match Parse.func_of_string src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("expected a syntax error: " ^ src)
+  in
+  bad "int f(int n) { return n; ";
+  bad "int f(int n) { for (i = 0; j < n; i++) {} return n; }";
+  bad "int f(int n) { for (i = 0; i > n; i++) {} return n; }";
+  bad "int f(int n) { n ** 2; }";
+  bad "double f(int n) { return n; }"
+
+(* ------------------------------------------------------------------ *)
+(* Codegen                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_ok src =
+  match Codegen.compile src with
+  | Ok (program, abi) -> (program, abi)
+  | Error msg -> Alcotest.fail msg
+
+let copy_src =
+  {|int copy(int n, double *a, double *b) {
+      int i;
+      for (i = 0; i < n; i++) {
+        b[i] = a[i];
+      }
+      return n;
+    }|}
+
+let test_codegen_copy_shape () =
+  let program, abi = compile_ok copy_src in
+  let insns = Insn.insns program in
+  check_bool "has a movsd load" true
+    (List.exists (fun i -> i.Insn.op = Insn.MOVSD && Mt_isa.Semantics.is_load i) insns);
+  check_bool "has a movsd store" true
+    (List.exists (fun i -> i.Insn.op = Insn.MOVSD && Mt_isa.Semantics.is_store i) insns);
+  check_bool "counter is rdi" true (Reg.equal abi.Mt_creator.Abi.counter (Reg.gpr64 Reg.RDI));
+  check_int "two arrays" 2 (List.length abi.Mt_creator.Abi.pointers);
+  check_bool "arrays advance 8 bytes/pass" true
+    (List.for_all (fun (_, s) -> s = 8) abi.Mt_creator.Abi.pointers);
+  check_bool "pass counter" true (abi.Mt_creator.Abi.pass_counter <> None)
+
+let run_compiled ?(n = 100) src =
+  let program, _ = compile_ok src in
+  let memory = Memory.create x5650 in
+  let init =
+    [
+      (Reg.gpr64 Reg.RDI, n);
+      (Reg.gpr64 Reg.RSI, 1 lsl 24);
+      (Reg.gpr64 Reg.RDX, 1 lsl 25);
+      (Reg.gpr64 Reg.RCX, 1 lsl 26);
+    ]
+  in
+  match Core.run_program ~init x5650 memory program with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+
+let test_codegen_copy_runs () =
+  let r = run_compiled ~n:64 copy_src in
+  check_int "rax = n" 64 r.Core.rax;
+  check_int "64 loads" 64 r.Core.loads;
+  check_int "64 stores" 64 r.Core.stores
+
+let test_codegen_dot_product () =
+  let src =
+    {|int dot(int n, double *a, double *b) {
+        int i;
+        double acc = 0.0;
+        for (i = 0; i < n; i++) {
+          acc += a[i] * b[i];
+        }
+        return n;
+      }|}
+  in
+  let r = run_compiled ~n:50 src in
+  check_int "rax" 50 r.Core.rax;
+  (* One pure load plus one folded load per iteration. *)
+  check_int "loads" 100 r.Core.loads;
+  check_bool "fp work happened" true (r.Core.fp_ops >= 100)
+
+let test_codegen_float_kernel () =
+  let src =
+    {|int scalef(int n, float *a, float *b) {
+        int i;
+        for (i = 0; i < n; i++) {
+          b[i] = a[i];
+        }
+        return n;
+      }|}
+  in
+  let program, _ = compile_ok src in
+  let insns = Insn.insns program in
+  check_bool "uses movss" true (List.exists (fun i -> i.Insn.op = Insn.MOVSS) insns);
+  check_bool "no movsd" true (List.for_all (fun i -> i.Insn.op <> Insn.MOVSD) insns)
+
+let test_codegen_le_loop () =
+  let src =
+    {|int f(int n, double *a) {
+        int i;
+        for (i = 0; i <= n; i++) { a[i] = 0.0; }
+        return n;
+      }|}
+  in
+  let r = run_compiled ~n:10 src in
+  (* i = 0..10 inclusive: 11 stores. *)
+  check_int "inclusive bound" 11 r.Core.stores
+
+let test_codegen_step_loop () =
+  let src =
+    {|int f(int n, double *a) {
+        int i;
+        for (i = 0; i < n; i += 4) { a[i] = 0.0; }
+        return n;
+      }|}
+  in
+  let r = run_compiled ~n:16 src in
+  check_int "stepped stores" 4 r.Core.stores
+
+let test_codegen_matmul_figure1 () =
+  let src =
+    {|int matmul(int n, double *A, double *B, double *C) {
+        int i;
+        int j;
+        int k;
+        for (i = 0; i < n; i++) {
+          for (j = 0; j < n; j++) {
+            double acc = 0.0;
+            for (k = 0; k < n; k++) {
+              acc += B[i * n + k] * C[k * n + j];
+            }
+            A[i * n + j] = acc;
+          }
+        }
+        return n;
+      }|}
+  in
+  let n = 12 in
+  let r = run_compiled ~n src in
+  check_int "rax = n" n r.Core.rax;
+  (* n^3 iterations, 2 loads each (one folded), plus n^2 stores. *)
+  check_int "loads" (2 * n * n * n) r.Core.loads;
+  check_int "stores" (n * n) r.Core.stores
+
+let test_codegen_store_op () =
+  let src =
+    {|int acc(int n, double *a, double *b) {
+        int i;
+        for (i = 0; i < n; i++) {
+          a[i] += b[i];
+        }
+        return n;
+      }|}
+  in
+  let r = run_compiled ~n:20 src in
+  (* Per pass: load a[i], folded load b[i], store a[i]. *)
+  check_int "loads" 40 r.Core.loads;
+  check_int "stores" 20 r.Core.stores
+
+let test_codegen_errors () =
+  let bad src =
+    match Codegen.compile src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("expected a codegen error: " ^ src)
+  in
+  (* Non-zero fp literal. *)
+  bad "int f(int n, double *a) { int i; for (i = 0; i < n; i++) { a[i] = 1.5; } return n; }";
+  (* float/double mixing. *)
+  bad
+    "int f(int n, double *a, float *b) { int i; for (i = 0; i < n; i++) { a[i] = b[i]; } return n; }";
+  (* Returning a double. *)
+  bad "int f(int n, double *a) { double x = 0.0; return x; }";
+  (* Undeclared identifier. *)
+  bad "int f(int n, double *a) { a[z] = 0.0; return n; }";
+  (* First parameter must be the trip count. *)
+  bad "int f(double *a) { return a; }";
+  (* Integer division. *)
+  bad "int f(int n) { int x = n / 2; return n; }"
+
+let test_compiled_c_through_launcher () =
+  (* Full path: .c file on disk -> Source.From_file -> measurement. *)
+  let path = Filename.temp_file "mtcc" ".c" in
+  let oc = open_out path in
+  output_string oc
+    {|int stream(int n, double *a) {
+        int i;
+        double acc = 0.0;
+        for (i = 0; i < n; i++) {
+          acc += a[i];
+        }
+        return n;
+      }|};
+  close_out oc;
+  let opts =
+    {
+      (Mt_launcher.Options.default x5650) with
+      Mt_launcher.Options.array_bytes = 32 * 1024;
+      repetitions = 1;
+      experiments = 3;
+    }
+  in
+  let result = Mt_launcher.Launcher.launch opts (Mt_launcher.Source.From_file path) in
+  Sys.remove path;
+  match result with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+    check_bool "positive cycles/pass" true (report.Mt_launcher.Report.value > 0.);
+    (* One pass per element: at most a handful of cycles each. *)
+    check_bool "sane magnitude" true (report.Mt_launcher.Report.value < 20.)
+
+let test_compiled_matches_handwritten_shape () =
+  (* The compiled dot-product kernel is load-port bound like its
+     generated equivalent. *)
+  let src =
+    {|int dot(int n, double *a, double *b) {
+        int i;
+        double acc = 0.0;
+        for (i = 0; i < n; i++) {
+          acc += a[i] * b[i];
+        }
+        return n;
+      }|}
+  in
+  let program, abi = compile_ok src in
+  let opts =
+    {
+      (Mt_launcher.Options.default x5650) with
+      Mt_launcher.Options.array_bytes = 16 * 1024;
+      repetitions = 1;
+      experiments = 2;
+    }
+  in
+  match Mt_launcher.Protocol.prepare opts program abi with
+  | Error msg -> Alcotest.fail msg
+  | Ok prepared -> (
+    ignore (Mt_launcher.Protocol.run_once prepared);
+    match Mt_launcher.Protocol.run_once prepared with
+    | Error msg -> Alcotest.fail msg
+    | Ok o ->
+      let cpp = o.Core.cycles /. float_of_int o.Core.rax in
+      (* The naive codegen reuses one temp register, so the pass period
+         is the load-to-multiply chain plus a rename slot: ~5 cycles. *)
+      check_bool "within [2.5, 6] cycles/pass" true (cpp >= 2.5 && cpp <= 6.))
+
+(* Property: the compiler never emits an instruction the machine
+   rejects, across a family of generated kernels. *)
+let prop_compiled_kernels_validate =
+  let gen =
+    QCheck.Gen.(
+      let* arrays = 1 -- 3 in
+      let* step = oneofl [ 1; 2; 4 ] in
+      let* le = bool in
+      let* op = oneofl [ "+"; "-"; "*" ] in
+      return (arrays, step, le, op))
+  in
+  QCheck.Test.make ~count:60 ~name:"cc: generated kernels always compile and run"
+    (QCheck.make gen) (fun (arrays, step, le, op) ->
+      let params =
+        String.concat ""
+          (List.init arrays (fun i -> Printf.sprintf ", double *a%d" i))
+      in
+      let rhs =
+        match arrays with
+        | 1 -> "a0[i]"
+        | 2 -> Printf.sprintf "a0[i] %s a1[i]" op
+        | _ -> Printf.sprintf "a0[i] %s a1[i] %s a2[i + 1]" op op
+      in
+      let src =
+        Printf.sprintf
+          {|int k(int n%s) {
+              int i;
+              double acc = 0.0;
+              for (i = 0; i %s n; i += %d) {
+                acc += %s;
+              }
+              return n;
+            }|}
+          params
+          (if le then "<=" else "<")
+          step rhs
+      in
+      match Codegen.compile src with
+      | Error _ -> false
+      | Ok (program, _) -> (
+        let memory = Memory.create x5650 in
+        let init =
+          [
+            (Reg.gpr64 Reg.RDI, 32);
+            (Reg.gpr64 Reg.RSI, 1 lsl 24);
+            (Reg.gpr64 Reg.RDX, 1 lsl 25);
+            (Reg.gpr64 Reg.RCX, 1 lsl 26);
+          ]
+        in
+        match Core.run_program ~init x5650 memory program with
+        | Ok r -> r.Core.rax = 32
+        | Error _ -> false))
+
+let tests =
+  [
+    Alcotest.test_case "expr precedence" `Quick test_expr_precedence;
+    Alcotest.test_case "expr left associativity" `Quick test_expr_left_associative;
+    Alcotest.test_case "expr subscripts and literals" `Quick test_expr_subscripts;
+    Alcotest.test_case "parse function shape" `Quick test_parse_function_shape;
+    Alcotest.test_case "parse comments and step" `Quick test_parse_comments_and_step;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "codegen copy shape" `Quick test_codegen_copy_shape;
+    Alcotest.test_case "codegen copy runs" `Quick test_codegen_copy_runs;
+    Alcotest.test_case "codegen dot product" `Quick test_codegen_dot_product;
+    Alcotest.test_case "codegen float kernel" `Quick test_codegen_float_kernel;
+    Alcotest.test_case "codegen <= loop" `Quick test_codegen_le_loop;
+    Alcotest.test_case "codegen stepped loop" `Quick test_codegen_step_loop;
+    Alcotest.test_case "codegen Figure-1 matmul" `Quick test_codegen_matmul_figure1;
+    Alcotest.test_case "codegen a[i] += b[i]" `Quick test_codegen_store_op;
+    Alcotest.test_case "codegen errors" `Quick test_codegen_errors;
+    Alcotest.test_case "launcher measures a .c kernel" `Quick test_compiled_c_through_launcher;
+    Alcotest.test_case "compiled kernel matches expectations" `Quick test_compiled_matches_handwritten_shape;
+    QCheck_alcotest.to_alcotest prop_compiled_kernels_validate;
+  ]

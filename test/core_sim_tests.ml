@@ -1,0 +1,278 @@
+(* Tests for the scoreboard core simulator. *)
+
+open Mt_machine
+open Mt_isa
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let cfg = Config.nehalem_x5650_2s
+
+let rsi = Reg.gpr64 Reg.RSI
+
+let rdi = Reg.gpr64 Reg.RDI
+
+let eax = Reg.gpr32 Reg.RAX
+
+let i op ops = Insn.Insn (Insn.make op ops)
+
+(* A counting loop of [body] instructions per pass, the Section 4.4
+   shape: %eax counts passes, %rdi is the trip counter. *)
+let loop ?(step = 1) body =
+  [ Insn.Label "L" ] @ body
+  @ [
+      i Insn.ADD [ Operand.imm 1; Operand.reg eax ];
+      i Insn.SUB [ Operand.imm step; Operand.reg rdi ];
+      i (Insn.Jcc Insn.GE) [ Operand.label "L" ];
+      i Insn.RET [];
+    ]
+
+let run ?(init = []) ?memory ?max_instructions program =
+  let memory = match memory with Some m -> m | None -> Memory.create cfg in
+  Core.run_program ~init ?max_instructions cfg memory program
+
+let run_ok ?init ?memory ?max_instructions program =
+  match run ?init ?memory ?max_instructions program with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+
+let test_empty_program () =
+  let r = run_ok [ i Insn.RET [] ] in
+  check_int "one instruction" 1 r.Core.instructions;
+  check_bool "cheap" true (r.Core.cycles < 5.)
+
+let test_rax_returns_pass_count () =
+  let r = run_ok ~init:[ (rdi, 9) ] (loop []) in
+  (* jge: passes while rdi >= 0 after the decrement: 10 passes. *)
+  check_int "pass count" 10 r.Core.rax
+
+let test_trip_count_scaling () =
+  let r4 = run_ok ~init:[ (rdi, 39) ] (loop ~step:4 []) in
+  check_int "unrolled counting" 10 r4.Core.rax
+
+let test_instructions_counted () =
+  let r = run_ok ~init:[ (rdi, 4) ] (loop []) in
+  (* 5 passes x 3 loop instructions + final ret. *)
+  check_int "instructions" 16 r.Core.instructions
+
+let test_loop_exit_mispredicts_once () =
+  let r = run_ok ~init:[ (rdi, 99) ] (loop []) in
+  check_int "one mispredict" 1 r.Core.mispredicts;
+  check_int "branches" 100 r.Core.branches
+
+let test_jmp_skips () =
+  let program =
+    [
+      i Insn.JMP [ Operand.label "after" ];
+      i Insn.MOV [ Operand.imm 42; Operand.reg rsi ];
+      Insn.Label "after";
+      i Insn.RET [];
+    ]
+  in
+  let r = run_ok program in
+  check_int "skipped the mov" 2 r.Core.instructions
+
+let test_compile_unknown_label () =
+  match Core.compile [ i Insn.JMP [ Operand.label "nowhere" ] ] with
+  | Error (Core.Unknown_label "nowhere") -> ()
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Unknown_label"
+
+let test_compile_logical_register () =
+  match
+    Core.compile
+      [ i Insn.ADD [ Operand.imm 1; Operand.reg (Reg.logical "r1") ] ]
+  with
+  | Error (Core.Unallocated_register "r1") -> ()
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Unallocated_register"
+
+let test_compile_invalid_instruction () =
+  match Core.compile [ i Insn.ADD [ Operand.imm 1 ] ] with
+  | Error (Core.Invalid_instruction _) -> ()
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Invalid_instruction"
+
+let test_fuel_exhaustion () =
+  let forever = [ Insn.Label "L"; i Insn.JMP [ Operand.label "L" ] ] in
+  match run ~max_instructions:1000 forever with
+  | Error (Core.Fuel_exhausted 1000) -> ()
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Fuel_exhausted"
+
+let test_alignment_fault () =
+  let program =
+    [ i Insn.MOVAPS [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 0) ]; i Insn.RET [] ]
+  in
+  (match run ~init:[ (rsi, 4096 + 4) ] program with
+  | Error (Core.Alignment_fault { addr; required; _ }) ->
+    check_int "addr" 4100 addr;
+    check_int "required" 16 required
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Alignment_fault");
+  (* The same access via movups is legal. *)
+  let unaligned =
+    [ i Insn.MOVUPS [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 0) ]; i Insn.RET [] ]
+  in
+  ignore (run_ok ~init:[ (rsi, 4096 + 4) ] unaligned)
+
+let cycles_per_pass ?memory ~passes program =
+  let memory = match memory with Some m -> m | None -> Memory.create cfg in
+  (* Warm run then measured run, like the launcher. *)
+  let init = [ (rdi, passes - 1); (rsi, 1 lsl 20) ] in
+  ignore (run_ok ~init ~memory program);
+  let r = run_ok ~init ~memory program in
+  r.Core.cycles /. float_of_int r.Core.rax
+
+let test_load_port_throughput () =
+  (* 8 independent warm loads per pass on a 1-load-port machine: at
+     least 8 cycles per pass. *)
+  let body =
+    List.init 8 (fun k ->
+        i Insn.MOVSS [ Operand.mem ~base:rsi ~disp:(k * 4) (); Operand.reg (Reg.xmm k) ])
+  in
+  let c = cycles_per_pass ~passes:200 (loop body) in
+  check_bool "load port binds (>= 8)" true (c >= 7.9);
+  check_bool "but pipelines (< 11)" true (c < 11.)
+
+let test_dependency_chain_latency () =
+  (* A serial addsd chain runs at its 3-cycle latency per pass. *)
+  let body = [ i Insn.ADDSD [ Operand.reg (Reg.xmm 0); Operand.reg (Reg.xmm 1) ] ] in
+  let c = cycles_per_pass ~passes:300 (loop body) in
+  check_bool "~3 cycles" true (c >= 2.9 && c <= 3.5)
+
+let test_independent_fp_pipelines () =
+  (* Two independent addsd chains still run at 3 cycles per pass (one
+     fp-add port, pipelined). *)
+  let body =
+    [
+      i Insn.ADDSD [ Operand.reg (Reg.xmm 0); Operand.reg (Reg.xmm 1) ];
+      i Insn.ADDSD [ Operand.reg (Reg.xmm 2); Operand.reg (Reg.xmm 3) ];
+    ]
+  in
+  let c = cycles_per_pass ~passes:300 (loop body) in
+  check_bool "pipelined chains" true (c >= 2.9 && c <= 3.6)
+
+let test_divsd_not_pipelined () =
+  (* divsd occupies its port for its full latency: ~22 cycles each. *)
+  let body = [ i Insn.DIVSD [ Operand.reg (Reg.xmm 0); Operand.reg (Reg.xmm 1) ] ] in
+  let c = cycles_per_pass ~passes:100 (loop body) in
+  check_bool "div-bound" true (c >= 20.)
+
+let test_unrolling_amortizes_overhead () =
+  let kernel unroll =
+    let body =
+      List.init unroll (fun k ->
+          i Insn.MOVSS [ Operand.mem ~base:rsi ~disp:(k * 4) (); Operand.reg (Reg.xmm (k mod 8)) ])
+    in
+    loop body
+  in
+  let per_load u =
+    let c = cycles_per_pass ~passes:(512 / u) (kernel u) in
+    c /. float_of_int u
+  in
+  check_bool "unroll 8 beats unroll 1" true (per_load 8 < per_load 1)
+
+let test_issue_width_bound () =
+  (* 12 single-cycle ALU instructions per pass on a 4-wide machine
+     cannot beat 3 cycles per pass. *)
+  let body =
+    List.init 12 (fun k ->
+        let regs = Reg.[ RBX; RCX; RDX; R8 ] in
+        i Insn.ADD [ Operand.imm 1; Operand.reg (Reg.gpr64 (List.nth regs (k mod 4))) ])
+  in
+  let c = cycles_per_pass ~passes:200 (loop body) in
+  check_bool "front-end bound" true (c >= 3.)
+
+let test_taken_branch_ends_fetch_group () =
+  (* A 2-instruction loop still costs >= 1 cycle per pass: one taken
+     branch per cycle at most. *)
+  let c = cycles_per_pass ~passes:400 (loop []) in
+  check_bool "at least one cycle per iteration" true (c >= 1.)
+
+let test_ram_latency_visible () =
+  (* Dependent pointer-stride loads from cold memory feel RAM latency;
+     use a stride too large for the prefetcher. *)
+  let body =
+    [
+      i Insn.MOVSD [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 0) ];
+      i Insn.ADD [ Operand.imm 4096; Operand.reg rsi ];
+    ]
+  in
+  let memory = Memory.create cfg in
+  let r =
+    run_ok ~memory ~init:[ (rdi, 199); (rsi, 1 lsl 24) ] (loop body)
+  in
+  let per_pass = r.Core.cycles /. float_of_int r.Core.rax in
+  check_bool "RAM-latency bound (> 20 cycles/pass)" true (per_pass > 20.)
+
+let test_trace_hook () =
+  let seen = ref 0 in
+  let memory = Memory.create cfg in
+  let compiled =
+    match Core.compile (loop []) with Ok c -> c | Error e -> Alcotest.fail (Core.error_to_string e)
+  in
+  let trace _pc _insn ~issue ~completion =
+    incr seen;
+    check_bool "completion after issue" true (completion >= issue)
+  in
+  (match Core.run ~init:[ (rdi, 9) ] ~trace cfg memory compiled with
+  | Ok r -> check_int "trace saw every instruction" r.Core.instructions !seen
+  | Error e -> Alcotest.fail (Core.error_to_string e))
+
+let test_warm_cache_faster () =
+  (* One fresh line per pass: cold passes pay the DRAM fill rate, warm
+     passes hit the L1 (the 300-line footprint fits). *)
+  let body =
+    [ i Insn.MOVSS [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 0) ];
+      i Insn.ADD [ Operand.imm 64; Operand.reg rsi ] ]
+  in
+  let memory = Memory.create cfg in
+  let init = [ (rdi, 299); (rsi, 1 lsl 22) ] in
+  let cold = run_ok ~memory ~init (loop body) in
+  let warm = run_ok ~memory ~init (loop body) in
+  check_bool "warm run clearly faster" true (warm.Core.cycles *. 2. < cold.Core.cycles)
+
+let prop_cycles_positive_and_monotone_in_trips =
+  QCheck.Test.make ~count:50 ~name:"core: more passes never cost fewer cycles"
+    QCheck.(int_range 1 50)
+    (fun n ->
+      let memory = Memory.create cfg in
+      let r1 = run_ok ~memory ~init:[ (rdi, n - 1) ] (loop []) in
+      let r2 = run_ok ~memory ~init:[ (rdi, (2 * n) - 1) ] (loop []) in
+      r1.Core.cycles > 0. && r2.Core.cycles >= r1.Core.cycles)
+
+let prop_rax_equals_requested_passes =
+  QCheck.Test.make ~count:50 ~name:"core: %eax counts exactly the requested passes"
+    QCheck.(int_range 1 500)
+    (fun n ->
+      let r = run_ok ~init:[ (rdi, n - 1) ] (loop []) in
+      r.Core.rax = n)
+
+let tests =
+  [
+    Alcotest.test_case "empty program" `Quick test_empty_program;
+    Alcotest.test_case "rax returns pass count" `Quick test_rax_returns_pass_count;
+    Alcotest.test_case "trip count scaling" `Quick test_trip_count_scaling;
+    Alcotest.test_case "instructions counted" `Quick test_instructions_counted;
+    Alcotest.test_case "loop exit mispredicts once" `Quick test_loop_exit_mispredicts_once;
+    Alcotest.test_case "jmp skips" `Quick test_jmp_skips;
+    Alcotest.test_case "compile: unknown label" `Quick test_compile_unknown_label;
+    Alcotest.test_case "compile: logical register" `Quick test_compile_logical_register;
+    Alcotest.test_case "compile: invalid instruction" `Quick test_compile_invalid_instruction;
+    Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+    Alcotest.test_case "alignment fault" `Quick test_alignment_fault;
+    Alcotest.test_case "load port throughput" `Quick test_load_port_throughput;
+    Alcotest.test_case "dependency chain latency" `Quick test_dependency_chain_latency;
+    Alcotest.test_case "independent fp chains pipeline" `Quick test_independent_fp_pipelines;
+    Alcotest.test_case "divsd not pipelined" `Quick test_divsd_not_pipelined;
+    Alcotest.test_case "unrolling amortizes overhead" `Quick test_unrolling_amortizes_overhead;
+    Alcotest.test_case "issue width bound" `Quick test_issue_width_bound;
+    Alcotest.test_case "taken branch bounds tiny loops" `Quick test_taken_branch_ends_fetch_group;
+    Alcotest.test_case "RAM latency visible to dependent loads" `Quick test_ram_latency_visible;
+    Alcotest.test_case "trace hook" `Quick test_trace_hook;
+    Alcotest.test_case "warm cache faster" `Quick test_warm_cache_faster;
+    QCheck_alcotest.to_alcotest prop_cycles_positive_and_monotone_in_trips;
+    QCheck_alcotest.to_alcotest prop_rax_equals_requested_passes;
+  ]

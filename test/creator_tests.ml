@@ -1,0 +1,950 @@
+(* Tests for MicroCreator: specs, the XML description language, the
+   19-pass pipeline, plugins, emission and the launcher ABI. *)
+
+open Mt_isa
+open Mt_creator
+
+let check = Alcotest.(check string)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* The paper's Figure 6 kernel (with the Figure 9 pass counter). *)
+let fig6_xml =
+  {|
+<kernel name="loadstore">
+  <instruction>
+    <operation>movaps</operation>
+    <memory>
+      <register><name>r1</name></register>
+      <offset>0</offset>
+    </memory>
+    <register>
+      <phyName>%xmm</phyName>
+      <min>0</min>
+      <max>8</max>
+    </register>
+    <swap_after_unroll/>
+  </instruction>
+  <unrolling><min>1</min><max>8</max></unrolling>
+  <induction>
+    <register><name>r1</name></register>
+    <increment>16</increment>
+    <offset>16</offset>
+  </induction>
+  <induction>
+    <register><name>r0</name></register>
+    <increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/>
+  </induction>
+  <induction>
+    <register><phyName>%eax</phyName></register>
+    <increment>1</increment>
+    <not_affected_unroll/>
+  </induction>
+  <branch_information><label>L6</label><test>jge</test></branch_information>
+</kernel>
+|}
+
+let fig6_spec () =
+  match Description.of_string fig6_xml with
+  | Ok spec -> spec
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Spec validation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let minimal_spec =
+  {
+    Spec.name = "t";
+    instructions =
+      [ Spec.instr (Spec.Fixed Insn.NOP) [] ];
+    unroll_min = 1;
+    unroll_max = 1;
+    inductions = [];
+    branch = None;
+  }
+
+let test_spec_validate_ok () =
+  check_bool "fig6 valid" true (Result.is_ok (Spec.validate (fig6_spec ())));
+  check_bool "minimal valid" true (Result.is_ok (Spec.validate minimal_spec))
+
+let expect_invalid spec =
+  check_bool "invalid" true (Result.is_error (Spec.validate spec))
+
+let test_spec_validate_failures () =
+  expect_invalid { minimal_spec with Spec.instructions = [] };
+  expect_invalid { minimal_spec with Spec.unroll_min = 0 };
+  expect_invalid { minimal_spec with Spec.unroll_max = 0 };
+  expect_invalid
+    { minimal_spec with
+      Spec.instructions = [ Spec.instr ~repeat:(3, 1) (Spec.Fixed Insn.NOP) [] ] };
+  expect_invalid
+    { minimal_spec with
+      Spec.instructions = [ Spec.instr (Spec.Move_bytes 5) [] ] };
+  expect_invalid
+    { minimal_spec with
+      Spec.instructions = [ Spec.instr (Spec.Op_choice []) [] ] };
+  (* A branch without a last induction. *)
+  expect_invalid
+    { minimal_spec with Spec.branch = Some { Spec.label = "L"; test = Insn.Jcc Insn.GE } };
+  (* A branch whose test is not conditional. *)
+  expect_invalid
+    {
+      minimal_spec with
+      Spec.inductions = [ Spec.induction ~last:true (Spec.Named "r0") [ -1 ] ];
+      branch = Some { Spec.label = "L"; test = Insn.JMP };
+    };
+  (* Duplicate induction registers. *)
+  expect_invalid
+    {
+      minimal_spec with
+      Spec.inductions =
+        [ Spec.induction (Spec.Named "r1") [ 1 ]; Spec.induction (Spec.Named "r1") [ 2 ] ];
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Description language                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_description_parses_fig6 () =
+  let spec = fig6_spec () in
+  check "name" "loadstore" spec.Spec.name;
+  check_int "one instruction" 1 (List.length spec.Spec.instructions);
+  check_int "three inductions" 3 (List.length spec.Spec.inductions);
+  check_int "unroll max" 8 spec.Spec.unroll_max;
+  match spec.Spec.instructions with
+  | [ instr ] ->
+    check_bool "swap after" true instr.Spec.swap_after_unroll;
+    check_bool "movaps" true (instr.Spec.op = Spec.Fixed Insn.MOVAPS);
+    (match instr.Spec.operands with
+    | [ Spec.S_mem { base = Spec.Named "r1"; offset = 0 }; Spec.S_reg (Spec.Xmm_rotation { rmin = 0; rmax = 8 }) ] -> ()
+    | _ -> Alcotest.fail "unexpected operand shapes")
+  | _ -> Alcotest.fail "expected one instruction"
+
+let test_description_inductions () =
+  let spec = fig6_spec () in
+  match spec.Spec.inductions with
+  | [ r1; r0; eax ] ->
+    check_bool "r1 increment" true (r1.Spec.increments = [ 16 ]);
+    check_int "r1 offset" 16 r1.Spec.ind_offset;
+    check_bool "r0 linked" true (r0.Spec.linked_to = Some "r1");
+    check_bool "r0 last" true r0.Spec.is_last;
+    check_bool "eax unaffected" true eax.Spec.unaffected_by_unroll;
+    check_bool "eax physical" true (eax.Spec.ind_reg = Spec.Phys (Reg.gpr32 Reg.RAX))
+  | _ -> Alcotest.fail "expected three inductions"
+
+let test_description_roundtrip () =
+  let spec = fig6_spec () in
+  match Description.of_string (Description.to_string spec) with
+  | Error msg -> Alcotest.fail msg
+  | Ok again -> check_bool "round-trip" true (again = spec)
+
+let test_description_choices () =
+  let xml =
+    {|<kernel name="c">
+        <instruction>
+          <operation><choice>movss</choice><choice>movaps</choice></operation>
+          <memory><register><name>p</name></register></memory>
+          <register><phyName>%xmm0</phyName></register>
+          <immediate><choice>1</choice><choice>2</choice></immediate>
+        </instruction>
+      </kernel>|}
+  in
+  match Description.of_string xml with
+  | Error msg -> Alcotest.fail msg
+  | Ok spec -> (
+    match spec.Spec.instructions with
+    | [ i ] ->
+      check_bool "op choice" true (i.Spec.op = Spec.Op_choice [ Insn.MOVSS; Insn.MOVAPS ]);
+      check_bool "imm choice" true
+        (List.exists (fun o -> o = Spec.S_imm_choice [ 1; 2 ]) i.Spec.operands)
+    | _ -> Alcotest.fail "one instruction expected")
+
+let test_description_move_bytes () =
+  let xml =
+    {|<kernel name="m">
+        <instruction>
+          <move_bytes>16</move_bytes>
+          <memory><register><name>p</name></register></memory>
+          <register><phyName>%xmm</phyName><min>0</min><max>4</max></register>
+        </instruction>
+      </kernel>|}
+  in
+  match Description.of_string xml with
+  | Error msg -> Alcotest.fail msg
+  | Ok spec -> (
+    match spec.Spec.instructions with
+    | [ i ] -> check_bool "move bytes" true (i.Spec.op = Spec.Move_bytes 16)
+    | _ -> Alcotest.fail "one instruction expected")
+
+let test_description_errors () =
+  let bad xml =
+    match Description.of_string xml with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("expected rejection: " ^ xml)
+  in
+  bad "<notkernel/>";
+  bad "<kernel><instruction/></kernel>";
+  bad {|<kernel><instruction><operation>frobnicate</operation></instruction></kernel>|};
+  bad {|<kernel><instruction><operation>nop</operation></instruction><unrolling><min>0</min><max>8</max></unrolling></kernel>|};
+  bad {|<kernel><instruction><operation>nop</operation><repeat><min>1</min></repeat></instruction></kernel>|};
+  bad "not xml at all"
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline structure                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_nineteen_passes () =
+  check_int "pass count" 19 (List.length Passes.pass_names);
+  check_bool "order" true
+    (Passes.pass_names
+    = [ "validate-spec"; "canonicalize"; "instruction-repetition";
+        "instruction-selection"; "move-semantics"; "stride-selection";
+        "immediate-selection"; "operand-swap-pre"; "unrolling";
+        "operand-swap-post"; "register-rotation"; "lowering";
+        "induction-insertion"; "branch-generation"; "register-allocation";
+        "finalize-abi"; "peephole"; "alignment-directives"; "deduplicate" ])
+
+let test_pipeline_manipulation () =
+  let pipe = Passes.default_pipeline () in
+  let dummy = Pass.make ~name:"dummy" ~description:"noop" (fun _ v -> [ v ]) in
+  let with_replaced = Pass.replace pipe "peephole" dummy in
+  check_bool "replaced" true (Pass.find with_replaced "peephole" = None);
+  check_bool "dummy present" true (Pass.find with_replaced "dummy" <> None);
+  let removed = Pass.remove pipe "peephole" in
+  check_int "one fewer" 18 (List.length removed);
+  let before = Pass.insert_before pipe "unrolling" dummy in
+  let names = Pass.names before in
+  let rec idx name k = function
+    | [] -> -1
+    | x :: rest -> if x = name then k else idx name (k + 1) rest
+  in
+  check_bool "inserted before unrolling" true
+    (idx "dummy" 0 names = idx "unrolling" 0 names - 1);
+  let after = Pass.insert_after pipe "unrolling" dummy in
+  let names = Pass.names after in
+  check_bool "inserted after unrolling" true
+    (idx "dummy" 0 names = idx "unrolling" 0 names + 1)
+
+let test_pipeline_missing_anchor () =
+  let pipe = Passes.default_pipeline () in
+  let dummy = Pass.make ~name:"d" ~description:"" (fun _ v -> [ v ]) in
+  check_bool "replace raises" true
+    (try ignore (Pass.replace pipe "nope" dummy); false with Not_found -> true);
+  check_bool "insert raises" true
+    (try ignore (Pass.insert_before pipe "nope" dummy); false with Not_found -> true)
+
+let test_gate_disables_pass () =
+  (* Gating off the unrolling pass leaves a single unroll factor. *)
+  let pipe = Pass.set_gate (Passes.default_pipeline ()) "unrolling" (fun _ _ -> false) in
+  let variants = Creator.generate ~pipeline:pipe (fig6_spec ()) in
+  check_bool "all unroll 1" true
+    (List.for_all (fun v -> v.Variant.unroll = 1) variants);
+  (* 2^1 swap choices only. *)
+  check_int "two variants" 2 (List.length variants)
+
+(* ------------------------------------------------------------------ *)
+(* Generation counts (the paper's claims)                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_510_variants () =
+  let variants = Creator.generate (fig6_spec ()) in
+  (* Sum over u of 2^u for u in 1..8 = 510. *)
+  check_int "510 variants" 510 (List.length variants)
+
+let test_unroll_population () =
+  let variants = Creator.generate (fig6_spec ()) in
+  List.iter
+    (fun u ->
+      let n = List.length (List.filter (fun v -> v.Variant.unroll = u) variants) in
+      check_int (Printf.sprintf "2^%d variants at unroll %d" u u) (1 lsl u) n)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_max_variants_cap () =
+  let ctx = { Pass.default_context with Pass.max_variants = 100 } in
+  let variants = Creator.generate ~ctx (fig6_spec ()) in
+  check_bool "capped" true (List.length variants <= 100)
+
+let test_ids_unique () =
+  let variants = Creator.generate (fig6_spec ()) in
+  let ids = List.map Variant.id variants in
+  check_int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+(* ------------------------------------------------------------------ *)
+(* Individual passes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let generate_with spec = Creator.generate spec
+
+let test_repetition_pass () =
+  let spec =
+    {
+      minimal_spec with
+      Spec.instructions = [ Spec.instr ~repeat:(1, 3) (Spec.Fixed Insn.NOP) [] ];
+    }
+  in
+  let variants = generate_with spec in
+  check_int "three repeat choices" 3 (List.length variants);
+  let sizes =
+    List.sort compare
+      (List.map
+         (fun v ->
+           List.length
+             (List.filter (fun i -> i.Insn.op = Insn.NOP) (Insn.insns (Variant.concrete_body v))))
+         variants)
+  in
+  check_bool "1,2,3 copies" true (sizes = [ 1; 2; 3 ])
+
+let test_instruction_selection_pass () =
+  let spec =
+    {
+      minimal_spec with
+      Spec.instructions =
+        [
+          Spec.instr
+            (Spec.Op_choice [ Insn.MOVSS; Insn.MOVSD; Insn.MOVAPS; Insn.MOVAPD ])
+            [
+              Spec.S_mem { base = Spec.Named "p"; offset = 0 };
+              Spec.S_reg (Spec.Phys (Reg.xmm 0));
+            ];
+        ];
+    }
+  in
+  let variants = generate_with spec in
+  check_int "four opcode choices" 4 (List.length variants)
+
+let test_random_selection_mode () =
+  let spec =
+    {
+      minimal_spec with
+      Spec.instructions =
+        [
+          Spec.instr
+            (Spec.Op_choice [ Insn.MOVSS; Insn.MOVSD; Insn.MOVAPS; Insn.MOVAPD ])
+            [
+              Spec.S_mem { base = Spec.Named "p"; offset = 0 };
+              Spec.S_reg (Spec.Phys (Reg.xmm 0));
+            ];
+        ];
+    }
+  in
+  let ctx = { Pass.default_context with Pass.random_selection = Some 2 } in
+  let variants = Creator.generate ~ctx spec in
+  check_int "sampled to 2" 2 (List.length variants);
+  (* Deterministic for a fixed seed. *)
+  let again = Creator.generate ~ctx spec in
+  check_bool "same sample" true
+    (List.map Variant.id variants = List.map Variant.id again)
+
+let test_move_semantics_pass () =
+  let spec pattern =
+    {
+      minimal_spec with
+      Spec.instructions =
+        [
+          Spec.instr (Spec.Move_bytes pattern)
+            [
+              Spec.S_mem { base = Spec.Named "p"; offset = 0 };
+              Spec.S_reg (Spec.Phys (Reg.xmm 0));
+            ];
+        ];
+    }
+  in
+  check_int "16 bytes: 4 encodings" 4 (List.length (generate_with (spec 16)));
+  check_int "8 bytes: 2 encodings" 2 (List.length (generate_with (spec 8)));
+  check_int "4 bytes: 1 encoding" 1 (List.length (generate_with (spec 4)))
+
+let test_move_semantics_scalar_split_offsets () =
+  let spec =
+    {
+      minimal_spec with
+      Spec.instructions =
+        [
+          Spec.instr (Spec.Move_bytes 16)
+            [
+              Spec.S_mem { base = Spec.Named "p"; offset = 0 };
+              Spec.S_reg (Spec.Phys (Reg.xmm 0));
+            ];
+        ];
+    }
+  in
+  let variants = generate_with spec in
+  let scalar =
+    List.find
+      (fun v -> List.mem_assoc "mv0" v.Variant.decisions
+                && List.assoc "mv0" v.Variant.decisions = "4movss")
+      variants
+  in
+  let movss_disps =
+    List.filter_map
+      (fun i ->
+        if i.Insn.op = Insn.MOVSS then
+          List.find_map
+            (function Operand.Mem m -> Some m.Operand.disp | _ -> None)
+            i.Insn.operands
+        else None)
+      (Insn.insns (Variant.concrete_body scalar))
+  in
+  check_bool "4 pieces at 0,4,8,12" true (movss_disps = [ 0; 4; 8; 12 ])
+
+let test_stride_selection_pass () =
+  let spec =
+    {
+      minimal_spec with
+      Spec.instructions =
+        [
+          Spec.instr (Spec.Fixed Insn.MOVSS)
+            [
+              Spec.S_mem { base = Spec.Named "p"; offset = 0 };
+              Spec.S_reg (Spec.Phys (Reg.xmm 0));
+            ];
+        ];
+      Spec.inductions = [ Spec.induction ~offset:4 (Spec.Named "p") [ 4; 8; 64 ] ];
+    }
+  in
+  let variants = generate_with spec in
+  check_int "three strides" 3 (List.length variants)
+
+let test_immediate_selection_pass () =
+  let spec =
+    {
+      minimal_spec with
+      Spec.instructions =
+        [
+          Spec.instr (Spec.Fixed Insn.ADD)
+            [ Spec.S_imm_choice [ 1; 2; 4 ]; Spec.S_reg (Spec.Named "t") ];
+        ];
+    }
+  in
+  let variants = generate_with spec in
+  check_int "three immediates" 3 (List.length variants)
+
+let test_swap_pre_pass () =
+  let spec =
+    {
+      minimal_spec with
+      Spec.instructions =
+        [
+          Spec.instr ~swap_before:true (Spec.Fixed Insn.MOVAPS)
+            [
+              Spec.S_mem { base = Spec.Named "p"; offset = 0 };
+              Spec.S_reg (Spec.Phys (Reg.xmm 0));
+            ];
+        ];
+      Spec.unroll_min = 2;
+      unroll_max = 2;
+    }
+  in
+  let variants = generate_with spec in
+  (* Pre-unroll swap: both copies load, or both copies store. *)
+  check_int "two whole-kernel variants" 2 (List.length variants);
+  List.iter
+    (fun v ->
+      let insns = Insn.insns (Variant.concrete_body v) in
+      let loads = List.filter Mt_isa.Semantics.is_load insns in
+      let stores = List.filter Mt_isa.Semantics.is_store insns in
+      check_bool "uniform" true (List.length loads = 0 || List.length stores = 0))
+    variants
+
+let test_register_rotation () =
+  let variants = Creator.generate (fig6_spec ()) in
+  let v =
+    List.find
+      (fun v ->
+        v.Variant.unroll = 3 && List.assoc "swB" v.Variant.decisions = "LLL")
+      variants
+  in
+  let xmms =
+    List.filter_map
+      (fun i ->
+        List.find_map
+          (function Operand.Reg (Reg.Xmm n) -> Some n | _ -> None)
+          i.Insn.operands)
+      (Insn.insns (Variant.concrete_body v))
+  in
+  check_bool "rotates xmm0,1,2" true (xmms = [ 0; 1; 2 ])
+
+let test_unroll_offsets () =
+  let variants = Creator.generate (fig6_spec ()) in
+  let v =
+    List.find
+      (fun v ->
+        v.Variant.unroll = 3 && List.assoc "swB" v.Variant.decisions = "LLL")
+      variants
+  in
+  let disps =
+    List.filter_map
+      (fun i ->
+        if i.Insn.op = Insn.MOVAPS then
+          List.find_map
+            (function Operand.Mem m -> Some m.Operand.disp | _ -> None)
+            i.Insn.operands
+        else None)
+      (Insn.insns (Variant.concrete_body v))
+  in
+  check_bool "displacements 0,16,32" true (disps = [ 0; 16; 32 ])
+
+let test_induction_scaling () =
+  let variants = Creator.generate (fig6_spec ()) in
+  let v =
+    List.find
+      (fun v ->
+        v.Variant.unroll = 3 && List.assoc "swB" v.Variant.decisions = "LLL")
+      variants
+  in
+  let insns = Insn.insns (Variant.concrete_body v) in
+  (* Pointer induction: add $48 (16 x 3); counter: sub $3 (1 x 3);
+     pass counter: add $1 (not affected by unroll). *)
+  check_bool "add 48" true
+    (List.exists (fun i -> i.Insn.op = Insn.ADD && List.mem (Operand.Imm 48) i.Insn.operands) insns);
+  check_bool "sub 3" true
+    (List.exists (fun i -> i.Insn.op = Insn.SUB && List.mem (Operand.Imm 3) i.Insn.operands) insns);
+  check_bool "add 1 to eax" true
+    (List.exists
+       (fun i ->
+         i.Insn.op = Insn.ADD
+         && List.mem (Operand.Imm 1) i.Insn.operands
+         && List.exists
+              (function Operand.Reg r -> Reg.equal r (Reg.gpr32 Reg.RAX) | _ -> false)
+              i.Insn.operands)
+       insns)
+
+let test_branch_structure () =
+  let variants = Creator.generate (fig6_spec ()) in
+  let v = List.hd variants in
+  let body = Variant.concrete_body v in
+  check_bool "has loop label" true
+    (List.exists (function Insn.Label "L6" -> true | _ -> false) body);
+  let insns = Insn.insns body in
+  check_bool "ends with jge then ret" true
+    (match List.rev insns with
+    | { Insn.op = Insn.RET; _ } :: { Insn.op = Insn.Jcc Insn.GE; _ } :: _ -> true
+    | _ -> false)
+
+let test_register_allocation_convention () =
+  let map = Passes.allocation_map (fig6_spec ()) in
+  check_bool "counter r0 -> rdi" true
+    (List.assoc "r0" map = Reg.gpr64 Reg.RDI);
+  check_bool "pointer r1 -> rsi" true
+    (List.assoc "r1" map = Reg.gpr64 Reg.RSI)
+
+let test_no_logical_registers_left () =
+  let variants = Creator.generate (fig6_spec ()) in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun i ->
+          List.iter
+            (fun operand ->
+              List.iter
+                (fun r ->
+                  check_bool "physical" true (Reg.is_physical r))
+                (Operand.registers_read operand))
+            i.Insn.operands)
+        (Insn.insns (Variant.concrete_body v)))
+    variants
+
+let test_abi_metadata () =
+  let variants = Creator.generate (fig6_spec ()) in
+  let v =
+    List.find
+      (fun v -> v.Variant.unroll = 3 && List.assoc "swB" v.Variant.decisions = "LLS")
+      variants
+  in
+  match v.Variant.abi with
+  | None -> Alcotest.fail "no abi"
+  | Some abi ->
+    check_bool "counter" true (Reg.equal abi.Abi.counter (Reg.gpr64 Reg.RDI));
+    check_int "step" (-3) abi.Abi.counter_step;
+    check_int "unroll" 3 abi.Abi.unroll;
+    check_int "loads (LLS)" 2 abi.Abi.loads_per_pass;
+    check_int "stores (LLS)" 1 abi.Abi.stores_per_pass;
+    check_int "bytes per pass" 48 abi.Abi.bytes_per_pass;
+    check_bool "pass counter is rax" true
+      (match abi.Abi.pass_counter with
+      | Some r -> Reg.equal r (Reg.gpr64 Reg.RAX)
+      | None -> false);
+    (match abi.Abi.pointers with
+    | [ (r, step) ] ->
+      check_bool "pointer rsi" true (Reg.equal r (Reg.gpr64 Reg.RSI));
+      check_int "pointer step" 48 step
+    | _ -> Alcotest.fail "expected one pointer")
+
+let test_abi_helpers () =
+  let variants = Creator.generate (fig6_spec ()) in
+  let v = List.find (fun v -> v.Variant.unroll = 4) variants in
+  let abi = Option.get v.Variant.abi in
+  check_int "passes for 64 KiB" 1024 (Abi.passes_for_bytes abi (64 * 1024));
+  check_int "trip for 10 passes" 36 (Abi.trip_count_for_passes abi 10);
+  check_int "payload" 4 (Abi.payload_per_pass abi)
+
+let test_prologue_zeroes_pass_counter () =
+  let variants = Creator.generate (fig6_spec ()) in
+  let v = List.hd variants in
+  let insns = Insn.insns (Variant.concrete_body v) in
+  match List.find_opt (fun i -> i.Insn.op = Insn.XOR) insns with
+  | Some i ->
+    check_bool "xor eax, eax" true
+      (List.for_all
+         (function Operand.Reg r -> Reg.equal r (Reg.gpr32 Reg.RAX) | _ -> false)
+         i.Insn.operands)
+  | None -> Alcotest.fail "no zeroing prologue"
+
+let test_deduplicate () =
+  (* Two identical opcode choices produce one surviving variant. *)
+  let spec =
+    {
+      minimal_spec with
+      Spec.instructions =
+        [
+          Spec.instr
+            (Spec.Op_choice [ Insn.MOVSS; Insn.MOVSS ])
+            [
+              Spec.S_mem { base = Spec.Named "p"; offset = 0 };
+              Spec.S_reg (Spec.Phys (Reg.xmm 0));
+            ];
+        ];
+    }
+  in
+  check_int "deduped" 1 (List.length (generate_with spec))
+
+let run_single_pass pass variant =
+  match pass.Pass.transform Pass.default_context variant with
+  | [ v ] -> v
+  | vs -> Alcotest.fail (Printf.sprintf "expected 1 variant, got %d" (List.length vs))
+
+let test_peephole_direct () =
+  let body =
+    [
+      Insn.Insn (Insn.make Insn.ADD [ Operand.imm 0; Operand.reg (Reg.gpr64 Reg.RSI) ]);
+      Insn.Insn (Insn.make Insn.ADD [ Operand.imm 4; Operand.reg (Reg.gpr64 Reg.RSI) ]);
+      Insn.Insn (Insn.make Insn.SUB [ Operand.imm 0; Operand.reg (Reg.gpr64 Reg.RDI) ]);
+      Insn.Insn (Insn.make (Insn.Jcc Insn.GE) [ Operand.label "L" ]);
+    ]
+  in
+  let v = { (Variant.of_spec minimal_spec) with Variant.body = Variant.Concrete body } in
+  let v' = run_single_pass (Passes.find_pass "peephole") v in
+  let ops = List.map (fun i -> Insn.to_string i) (Insn.insns (Variant.concrete_body v')) in
+  (* The dead add $0 goes; the flag-feeding sub $0 before the jcc stays. *)
+  check_bool "dead zero add removed" true (not (List.mem "add $0, %rsi" ops));
+  check_bool "flag-feeding zero sub kept" true (List.mem "sub $0, %rdi" ops);
+  check_int "three instructions left" 3 (List.length ops)
+
+let test_canonicalize_direct () =
+  let spec =
+    { minimal_spec with
+      Spec.instructions =
+        [ Spec.instr (Spec.Op_choice [ Insn.NOP ]) [];
+          Spec.instr (Spec.Fixed Insn.ADD)
+            [ Spec.S_imm_choice [ 7 ]; Spec.S_reg (Spec.Named "t") ] ] }
+  in
+  let v = Variant.of_spec spec in
+  let v' = run_single_pass (Passes.find_pass "canonicalize") v in
+  match Variant.abstract_body v' with
+  | [ a; b ] ->
+    check_bool "singleton opcode collapsed" true (a.Spec.op = Spec.Fixed Insn.NOP);
+    check_bool "singleton immediate collapsed" true
+      (List.mem (Spec.S_imm 7) b.Spec.operands)
+  | _ -> Alcotest.fail "two instructions expected"
+
+let test_alignment_directives_direct () =
+  let v =
+    { (Variant.of_spec minimal_spec) with
+      Variant.body = Variant.Concrete [ Insn.Insn (Insn.make Insn.RET []) ] }
+  in
+  let v' = run_single_pass (Passes.find_pass "alignment-directives") v in
+  match Variant.concrete_body v' with
+  | Insn.Directive ".text" :: Insn.Directive _ :: Insn.Directive ".align 16" :: Insn.Label _ :: _ -> ()
+  | _ -> Alcotest.fail "expected .text/.globl/.align/label header"
+
+(* ------------------------------------------------------------------ *)
+(* Plugins                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_plugin_rewrites_pipeline () =
+  Plugin.clear ();
+  let module Cap_unroll = struct
+    let name = "cap-unroll"
+
+    (* Gate off the post-unroll swap: one variant per unroll factor. *)
+    let plugin_init pipeline =
+      Pass.set_gate pipeline "operand-swap-post" (fun _ _ -> false)
+  end in
+  Plugin.register (module Cap_unroll);
+  let variants = Creator.generate (fig6_spec ()) in
+  check_int "8 variants with plugin" 8 (List.length variants);
+  Plugin.clear ();
+  let variants = Creator.generate (fig6_spec ()) in
+  check_int "510 again after clear" 510 (List.length variants)
+
+let test_plugin_registry () =
+  Plugin.clear ();
+  let make_plugin name =
+    (module struct
+      let name = name
+
+      let plugin_init p = p
+    end : Plugin.PLUGIN)
+  in
+  Plugin.register (make_plugin "a");
+  Plugin.register (make_plugin "b");
+  check_bool "order" true (Plugin.registered () = [ "a"; "b" ]);
+  Plugin.register (make_plugin "a");
+  check_bool "replace keeps position" true (Plugin.registered () = [ "a"; "b" ]);
+  Plugin.unregister "a";
+  check_bool "removed" true (Plugin.registered () = [ "b" ]);
+  Plugin.clear ();
+  check_bool "cleared" true (Plugin.registered () = [])
+
+let test_plugin_can_add_pass () =
+  Plugin.clear ();
+  let module Nop_injector = struct
+    let name = "nop-injector"
+
+    let inject =
+      Pass.make ~name:"inject-nop" ~description:"prepend a nop to every kernel"
+        (fun _ v ->
+          match v.Variant.body with
+          | Variant.Concrete body ->
+            [ { v with Variant.body = Variant.Concrete (Insn.Insn (Insn.make Insn.NOP []) :: body) } ]
+          | Variant.Abstract _ -> [ v ])
+
+    let plugin_init pipeline = Pass.insert_after pipeline "finalize-abi" inject
+  end in
+  Plugin.register (module Nop_injector);
+  let variants = Creator.generate (fig6_spec ()) in
+  Plugin.clear ();
+  let v = List.hd variants in
+  check_bool "nop injected" true
+    (List.exists (fun i -> i.Insn.op = Insn.NOP) (Insn.insns (Variant.concrete_body v)))
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_assembly_output_shape () =
+  let variants = Creator.generate (fig6_spec ()) in
+  let v =
+    List.find
+      (fun v -> v.Variant.unroll = 3 && List.assoc "swB" v.Variant.decisions = "LLL")
+      variants
+  in
+  let asm = Emit.assembly v in
+  check_bool "header" true (String.length asm > 0 && String.sub asm 0 1 = "#");
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length asm
+      && (String.sub asm i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "has .globl" true (contains ".globl");
+  check_bool "has abi header" true (contains "# abi:");
+  check_bool "has movaps 32" true (contains "movaps 32(%rsi)");
+  check_bool "has add 48" true (contains "add $48, %rsi");
+  check_bool "has jge" true (contains "jge L6")
+
+let test_figure8_regression () =
+  (* The paper's Figure 8: unroll 3 with a store,load,store
+     interleaving — "a kernel three times unrolled, consisting in two
+     stores and one load". *)
+  let variants = Creator.generate (fig6_spec ()) in
+  let v =
+    List.find
+      (fun v -> v.Variant.unroll = 3 && List.assoc "swB" v.Variant.decisions = "SLS")
+      variants
+  in
+  let body =
+    List.map Insn.to_string (Insn.insns (Variant.concrete_body v))
+  in
+  check_bool "store to 0" true (List.mem "movaps %xmm0, (%rsi)" body);
+  check_bool "load from 16" true (List.mem "movaps 16(%rsi), %xmm1" body);
+  check_bool "store to 32" true (List.mem "movaps %xmm2, 32(%rsi)" body);
+  check_bool "add $48" true (List.mem "add $48, %rsi" body);
+  let abi = Option.get v.Variant.abi in
+  check_int "two stores" 2 abi.Abi.stores_per_pass;
+  check_int "one load" 1 abi.Abi.loads_per_pass
+
+let test_assembly_reparses () =
+  let variants = Creator.generate (fig6_spec ()) in
+  List.iteri
+    (fun idx v ->
+      if idx mod 37 = 0 then begin
+        let asm = Emit.assembly v in
+        match Att.parse_program asm with
+        | exception Att.Syntax_error msg -> Alcotest.fail msg
+        | program ->
+          check_bool "same instruction count" true
+            (List.length (Insn.insns program)
+            = List.length (Insn.insns (Variant.concrete_body v)))
+      end)
+    variants
+
+let test_c_output_shape () =
+  let variants = Creator.generate (fig6_spec ()) in
+  let v = List.hd variants in
+  let c = Emit.c_source v in
+  let contains needle s =
+    let rec go i =
+      i + String.length needle <= String.length s
+      && (String.sub s i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "function signature" true (contains "int n, void *a0" c);
+  check_bool "asm block" true (contains "__asm__ volatile" c);
+  check_bool "escaped registers" true (contains "%%rsi" c);
+  check_bool "returns iterations" true (contains "return iterations;" c)
+
+let test_write_all () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "mt_emit_test" in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let spec = { (fig6_spec ()) with Spec.unroll_max = 2 } in
+  let variants = Creator.generate spec in
+  let paths = Emit.write_all ~dir variants in
+  check_int "6 files" 6 (List.length paths);
+  List.iter (fun p -> check_bool p true (Sys.file_exists p)) paths;
+  List.iter Sys.remove paths
+
+(* Property: random well-formed descriptions flow through the whole
+   pipeline: XML round-trip, generation, unique ids, ABI consistency,
+   machine-level compilation, and execution of a sample variant. *)
+let arbitrary_spec_gen =
+  let open QCheck.Gen in
+  let* opcode = oneofl Insn.[ MOVSS; MOVSD; MOVAPS; MOVUPS; MOVAPD ] in
+  let stride = Mt_isa.Semantics.data_bytes (Insn.make opcode []) in
+  (* Alignment-safe stride: the operand width itself. *)
+  let* umax = 1 -- 4 in
+  let* swap_after = bool in
+  let* repeat_hi = 1 -- 2 in
+  let* rot = 2 -- 8 in
+  let instr =
+    Spec.instr ~swap_after
+      ~repeat:(1, repeat_hi)
+      (Spec.Fixed opcode)
+      [
+        Spec.S_mem { base = Spec.Named "r1"; offset = 0 };
+        Spec.S_reg (Spec.Xmm_rotation { rmin = 0; rmax = rot });
+      ]
+  in
+  return
+    {
+      Spec.name = "fuzz";
+      instructions = [ instr ];
+      unroll_min = 1;
+      unroll_max = umax;
+      inductions =
+        [
+          Spec.induction ~offset:stride (Spec.Named "r1") [ stride ];
+          Spec.induction ~linked_to:"r1" ~last:true (Spec.Named "r0") [ -1 ];
+          Spec.induction ~unaffected:true (Spec.Phys (Reg.gpr32 Reg.RAX)) [ 1 ];
+        ];
+      branch = Some { Spec.label = "L6"; test = Insn.Jcc Insn.GE };
+    }
+
+let prop_pipeline_fuzz =
+  QCheck.Test.make ~count:40 ~name:"creator: random descriptions survive the whole pipeline"
+    (QCheck.make arbitrary_spec_gen) (fun spec ->
+      (* 1. The description language round-trips. *)
+      (match Description.of_string (Description.to_string spec) with
+      | Ok again when again = spec -> ()
+      | _ -> QCheck.Test.fail_report "description round-trip");
+      let variants = Creator.generate spec in
+      if variants = [] then QCheck.Test.fail_report "no variants";
+      (* 2. Unique ids. *)
+      let ids = List.map Variant.id variants in
+      if List.length (List.sort_uniq compare ids) <> List.length ids then
+        QCheck.Test.fail_report "duplicate ids";
+      (* 3. Every variant compiles and carries a consistent ABI. *)
+      List.iter
+        (fun v ->
+          let abi = match v.Variant.abi with Some a -> a | None -> QCheck.Test.fail_report "no abi" in
+          (match Mt_machine.Core.compile (Variant.concrete_body v) with
+          | Ok _ -> ()
+          | Error e -> QCheck.Test.fail_report (Mt_machine.Core.error_to_string e));
+          let payload = abi.Abi.loads_per_pass + abi.Abi.stores_per_pass in
+          if payload <= 0 || payload mod v.Variant.unroll <> 0 then
+            QCheck.Test.fail_report "payload not a multiple of the unroll factor")
+        variants;
+      (* 4. One variant actually runs and counts passes. *)
+      let v = List.hd variants in
+      let abi = Option.get v.Variant.abi in
+      let cfg = Mt_machine.Config.nehalem_x5650_2s in
+      let memory = Mt_machine.Memory.create cfg in
+      let init =
+        (abi.Abi.counter, Abi.trip_count_for_passes abi 16)
+        :: List.map (fun (r, _) -> (r, 1 lsl 24)) abi.Abi.pointers
+      in
+      match Mt_machine.Core.run_program ~init cfg memory (Variant.concrete_body v) with
+      | Ok r -> r.Mt_machine.Core.rax = 16
+      | Error e -> QCheck.Test.fail_report (Mt_machine.Core.error_to_string e))
+
+(* Property: every generated variant compiles on the machine model. *)
+let prop_variants_compile =
+  QCheck.Test.make ~count:20 ~name:"creator: every variant compiles for the core"
+    QCheck.(int_range 1 8)
+    (fun umax ->
+      let spec = { (fig6_spec ()) with Spec.unroll_max = umax } in
+      let variants = Creator.generate spec in
+      List.for_all
+        (fun v ->
+          match Mt_machine.Core.compile (Variant.concrete_body v) with
+          | Ok _ -> true
+          | Error _ -> false)
+        variants)
+
+let tests =
+  [
+    Alcotest.test_case "spec validate ok" `Quick test_spec_validate_ok;
+    Alcotest.test_case "spec validate failures" `Quick test_spec_validate_failures;
+    Alcotest.test_case "description parses fig6" `Quick test_description_parses_fig6;
+    Alcotest.test_case "description inductions" `Quick test_description_inductions;
+    Alcotest.test_case "description round-trip" `Quick test_description_roundtrip;
+    Alcotest.test_case "description choices" `Quick test_description_choices;
+    Alcotest.test_case "description move_bytes" `Quick test_description_move_bytes;
+    Alcotest.test_case "description errors" `Quick test_description_errors;
+    Alcotest.test_case "nineteen passes" `Quick test_nineteen_passes;
+    Alcotest.test_case "pipeline manipulation" `Quick test_pipeline_manipulation;
+    Alcotest.test_case "pipeline missing anchor" `Quick test_pipeline_missing_anchor;
+    Alcotest.test_case "gate disables pass" `Quick test_gate_disables_pass;
+    Alcotest.test_case "510 variants (paper claim)" `Quick test_510_variants;
+    Alcotest.test_case "2^u variants per unroll group" `Quick test_unroll_population;
+    Alcotest.test_case "max-variants cap" `Quick test_max_variants_cap;
+    Alcotest.test_case "variant ids unique" `Quick test_ids_unique;
+    Alcotest.test_case "repetition pass" `Quick test_repetition_pass;
+    Alcotest.test_case "instruction selection" `Quick test_instruction_selection_pass;
+    Alcotest.test_case "random selection mode" `Quick test_random_selection_mode;
+    Alcotest.test_case "move semantics encodings" `Quick test_move_semantics_pass;
+    Alcotest.test_case "move semantics scalar split" `Quick test_move_semantics_scalar_split_offsets;
+    Alcotest.test_case "stride selection" `Quick test_stride_selection_pass;
+    Alcotest.test_case "immediate selection" `Quick test_immediate_selection_pass;
+    Alcotest.test_case "operand swap before unroll" `Quick test_swap_pre_pass;
+    Alcotest.test_case "register rotation" `Quick test_register_rotation;
+    Alcotest.test_case "unroll displacements" `Quick test_unroll_offsets;
+    Alcotest.test_case "induction scaling" `Quick test_induction_scaling;
+    Alcotest.test_case "branch structure" `Quick test_branch_structure;
+    Alcotest.test_case "register allocation convention" `Quick test_register_allocation_convention;
+    Alcotest.test_case "no logical registers remain" `Quick test_no_logical_registers_left;
+    Alcotest.test_case "abi metadata" `Quick test_abi_metadata;
+    Alcotest.test_case "abi helpers" `Quick test_abi_helpers;
+    Alcotest.test_case "prologue zeroes pass counter" `Quick test_prologue_zeroes_pass_counter;
+    Alcotest.test_case "deduplicate" `Quick test_deduplicate;
+    Alcotest.test_case "peephole (direct)" `Quick test_peephole_direct;
+    Alcotest.test_case "canonicalize (direct)" `Quick test_canonicalize_direct;
+    Alcotest.test_case "alignment directives (direct)" `Quick test_alignment_directives_direct;
+    Alcotest.test_case "plugin rewrites pipeline" `Quick test_plugin_rewrites_pipeline;
+    Alcotest.test_case "plugin registry" `Quick test_plugin_registry;
+    Alcotest.test_case "plugin can add a pass" `Quick test_plugin_can_add_pass;
+    Alcotest.test_case "assembly output shape" `Quick test_assembly_output_shape;
+    Alcotest.test_case "Figure 8 regression" `Quick test_figure8_regression;
+    Alcotest.test_case "assembly reparses" `Quick test_assembly_reparses;
+    Alcotest.test_case "c output shape" `Quick test_c_output_shape;
+    Alcotest.test_case "write_all" `Quick test_write_all;
+    QCheck_alcotest.to_alcotest prop_variants_compile;
+    QCheck_alcotest.to_alcotest prop_pipeline_fuzz;
+  ]

@@ -1,0 +1,426 @@
+(* Tests for the ISA layer: registers, operands, instructions, static
+   semantics and the AT&T reader. *)
+
+open Mt_isa
+
+let check = Alcotest.(check string)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Registers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_reg_names () =
+  check "rax" "%rax" (Reg.name (Reg.gpr64 Reg.RAX));
+  check "eax" "%eax" (Reg.name (Reg.gpr32 Reg.RAX));
+  check "r10" "%r10" (Reg.name (Reg.gpr64 Reg.R10));
+  check "r10d" "%r10d" (Reg.name (Reg.gpr32 Reg.R10));
+  check "xmm7" "%xmm7" (Reg.name (Reg.xmm 7));
+  check "logical" "r1" (Reg.name (Reg.logical "r1"))
+
+let test_reg_of_name () =
+  check_bool "rsi" true (Reg.of_name "%rsi" = Some (Reg.gpr64 Reg.RSI));
+  check_bool "no sigil" true (Reg.of_name "rsi" = Some (Reg.gpr64 Reg.RSI));
+  check_bool "edi" true (Reg.of_name "%edi" = Some (Reg.gpr32 Reg.RDI));
+  check_bool "xmm15" true (Reg.of_name "%xmm15" = Some (Reg.xmm 15));
+  check_bool "xmm16 invalid" true (Reg.of_name "%xmm16" = None);
+  check_bool "garbage" true (Reg.of_name "%zzz" = None)
+
+let test_reg_roundtrip_all () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun w ->
+          let r = Reg.Gpr (g, w) in
+          match Reg.of_name (Reg.name r) with
+          | Some r' -> check_bool (Reg.name r) true (r = r')
+          | None -> Alcotest.fail ("no round-trip for " ^ Reg.name r))
+        [ Reg.W8; Reg.W16; Reg.W32; Reg.W64 ])
+    Reg.all_gpr_names
+
+let test_reg_widths () =
+  check_int "w64" 8 (Reg.width_bytes (Reg.gpr64 Reg.RBX));
+  check_int "w32" 4 (Reg.width_bytes (Reg.gpr32 Reg.RBX));
+  check_int "xmm" 16 (Reg.width_bytes (Reg.xmm 0))
+
+let test_reg_canonical_equal () =
+  check_bool "eax = rax" true (Reg.equal (Reg.gpr32 Reg.RAX) (Reg.gpr64 Reg.RAX));
+  check_bool "rax <> rbx" false (Reg.equal (Reg.gpr64 Reg.RAX) (Reg.gpr64 Reg.RBX));
+  check_bool "xmm0 <> xmm1" false (Reg.equal (Reg.xmm 0) (Reg.xmm 1))
+
+let test_xmm_range () =
+  Alcotest.check_raises "xmm 16" (Invalid_argument "Reg.xmm: 16 out of 0..15")
+    (fun () -> ignore (Reg.xmm 16))
+
+let test_allocatable_excludes_special () =
+  check_bool "no rsp" true (not (List.mem Reg.RSP Reg.allocatable_gprs));
+  check_bool "no rbp" true (not (List.mem Reg.RBP Reg.allocatable_gprs));
+  check_bool "no rax (return convention)" true
+    (not (List.mem Reg.RAX Reg.allocatable_gprs))
+
+(* ------------------------------------------------------------------ *)
+(* Operands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rsi = Reg.gpr64 Reg.RSI
+
+let rax = Reg.gpr64 Reg.RAX
+
+let test_operand_strings () =
+  check "imm" "$42" (Operand.to_string (Operand.imm 42));
+  check "neg imm" "$-3" (Operand.to_string (Operand.imm (-3)));
+  check "reg" "%rsi" (Operand.to_string (Operand.reg rsi));
+  check "mem base" "(%rsi)" (Operand.to_string (Operand.mem ~base:rsi ()));
+  check "mem disp" "16(%rsi)" (Operand.to_string (Operand.mem ~base:rsi ~disp:16 ()));
+  check "mem full" "-8(%rsi,%rax,8)"
+    (Operand.to_string (Operand.mem ~base:rsi ~index:rax ~scale:8 ~disp:(-8) ()));
+  check "label" ".L6" (Operand.to_string (Operand.label ".L6"))
+
+let test_operand_bad_scale () =
+  Alcotest.check_raises "scale 3" (Invalid_argument "Operand.mem: invalid scale 3")
+    (fun () -> ignore (Operand.mem ~base:rsi ~scale:3 ()))
+
+let test_registers_read () =
+  check_int "imm reads none" 0 (List.length (Operand.registers_read (Operand.imm 1)));
+  check_int "mem reads base+index" 2
+    (List.length (Operand.registers_read (Operand.mem ~base:rsi ~index:rax ())))
+
+let test_shift_disp () =
+  let m = Operand.mem ~base:rsi ~disp:16 () in
+  check "shifted" "48(%rsi)" (Operand.to_string (Operand.shift_disp 32 m));
+  check "reg unchanged" "%rsi" (Operand.to_string (Operand.shift_disp 32 (Operand.reg rsi)))
+
+let test_map_registers () =
+  let m = Operand.mem ~base:(Reg.logical "r1") ~disp:8 () in
+  let mapped =
+    Operand.map_registers
+      (function Reg.Logical "r1" -> rsi | r -> r)
+      m
+  in
+  check "substituted" "8(%rsi)" (Operand.to_string mapped)
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let load = Insn.make Insn.MOVAPS [ Operand.mem ~base:rsi ~disp:16 (); Operand.reg (Reg.xmm 1) ]
+
+let store = Insn.make Insn.MOVAPS [ Operand.reg (Reg.xmm 1); Operand.mem ~base:rsi () ]
+
+let test_insn_to_string () =
+  check "load" "movaps 16(%rsi), %xmm1" (Insn.to_string load);
+  check "nop" "nop" (Insn.to_string (Insn.make Insn.NOP []))
+
+let test_mnemonics_roundtrip () =
+  List.iter
+    (fun op ->
+      match Insn.opcode_of_mnemonic (Insn.mnemonic op) with
+      | Some op' -> check_bool (Insn.mnemonic op) true (op = op')
+      | None -> Alcotest.fail ("no mnemonic round-trip for " ^ Insn.mnemonic op))
+    Insn.all_opcodes
+
+let test_suffixed_mnemonics () =
+  check_bool "addq" true (Insn.opcode_of_mnemonic "addq" = Some Insn.ADD);
+  check_bool "cmpl" true (Insn.opcode_of_mnemonic "cmpl" = Some Insn.CMP);
+  check_bool "jnz" true (Insn.opcode_of_mnemonic "jnz" = Some (Insn.Jcc Insn.NE));
+  check_bool "unknown" true (Insn.opcode_of_mnemonic "frobnicate" = None)
+
+let test_program_rendering () =
+  let program =
+    [ Insn.Label "L6"; Insn.Insn load; Insn.Comment "note"; Insn.Directive ".align 16" ]
+  in
+  check "program" "L6:\n\tmovaps 16(%rsi), %xmm1\n\t# note\n\t.align 16\n"
+    (Insn.program_to_string program)
+
+let test_insns_filter () =
+  let program = [ Insn.Label "a"; Insn.Insn load; Insn.Comment "c"; Insn.Insn store ] in
+  check_int "two instructions" 2 (List.length (Insn.insns program))
+
+(* ------------------------------------------------------------------ *)
+(* Semantics                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_load_store_classification () =
+  check_bool "load is load" true (Semantics.is_load load);
+  check_bool "load not store" false (Semantics.is_store load);
+  check_bool "store is store" true (Semantics.is_store store);
+  check_bool "store not load" false (Semantics.is_load store)
+
+let test_rmw_classification () =
+  let rmw = Insn.make Insn.ADD [ Operand.imm 1; Operand.mem ~base:rsi () ] in
+  check_bool "rmw loads" true (Semantics.is_load rmw);
+  check_bool "rmw stores" true (Semantics.is_store rmw)
+
+let test_cmp_mem_is_pure_load () =
+  let c = Insn.make Insn.CMP [ Operand.imm 0; Operand.mem ~base:rsi () ] in
+  check_bool "cmp mem loads" true (Semantics.is_load c);
+  check_bool "cmp mem does not store" false (Semantics.is_store c)
+
+let test_data_bytes () =
+  check_int "movaps" 16 (Semantics.data_bytes load);
+  check_int "movss" 4
+    (Semantics.data_bytes
+       (Insn.make Insn.MOVSS [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 0) ]));
+  check_int "movsd" 8
+    (Semantics.data_bytes
+       (Insn.make Insn.MOVSD [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 0) ]));
+  check_int "mov gpr32" 4
+    (Semantics.data_bytes
+       (Insn.make Insn.MOV [ Operand.mem ~base:rsi (); Operand.reg (Reg.gpr32 Reg.RAX) ]));
+  check_int "lea moves nothing" 0
+    (Semantics.data_bytes
+       (Insn.make Insn.LEA [ Operand.mem ~base:rsi (); Operand.reg rax ]))
+
+let test_alignment_requirements () =
+  check_int "movaps requires 16" 16 (Semantics.required_alignment load);
+  check_int "movups requires 1" 1
+    (Semantics.required_alignment
+       (Insn.make Insn.MOVUPS [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 0) ]));
+  check_int "movss requires 1" 1
+    (Semantics.required_alignment
+       (Insn.make Insn.MOVSS [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 0) ]));
+  check_int "movaps reg-reg requires nothing" 1
+    (Semantics.required_alignment
+       (Insn.make Insn.MOVAPS [ Operand.reg (Reg.xmm 0); Operand.reg (Reg.xmm 1) ]))
+
+let test_ports () =
+  check_bool "pure load -> load port" true (Semantics.ports load = [ Semantics.Load ]);
+  check_bool "store -> store port" true (Semantics.ports store = [ Semantics.Store ]);
+  let mul_load = Insn.make Insn.MULSD [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 0) ] in
+  check_bool "load-op -> load + fp_mul" true
+    (Semantics.ports mul_load = [ Semantics.Load; Semantics.Fp_mul ]);
+  let jmp = Insn.make Insn.JMP [ Operand.label "L" ] in
+  check_bool "branch port" true (Semantics.ports jmp = [ Semantics.Branch_port ])
+
+let test_destination_and_sources () =
+  check_bool "load dest xmm1" true
+    (Semantics.destination load = Some (Reg.xmm 1));
+  check_bool "store has no reg dest" true (Semantics.destination store = None);
+  let add = Insn.make Insn.ADD [ Operand.imm 4; Operand.reg rsi ] in
+  check_bool "add dest" true (Semantics.destination add = Some rsi);
+  check_bool "add reads dest (rmw)" true
+    (List.exists (Reg.equal rsi) (Semantics.sources add));
+  check_bool "store reads data + address" true
+    (List.exists (Reg.equal (Reg.xmm 1)) (Semantics.sources store)
+    && List.exists (Reg.equal rsi) (Semantics.sources store))
+
+let test_flags () =
+  let sub = Insn.make Insn.SUB [ Operand.imm 1; Operand.reg rsi ] in
+  check_bool "sub sets flags" true (Semantics.sets_flags sub);
+  check_bool "mov does not set flags" false (Semantics.sets_flags load);
+  check_bool "jcc reads flags" true
+    (Semantics.reads_flags (Insn.make (Insn.Jcc Insn.GE) [ Operand.label "L" ]));
+  check_bool "jmp does not read flags" false
+    (Semantics.reads_flags (Insn.make Insn.JMP [ Operand.label "L" ]))
+
+let expect_invalid i =
+  match Semantics.validate i with
+  | Ok () -> Alcotest.fail ("expected invalid: " ^ Insn.to_string i)
+  | Error _ -> ()
+
+let test_validation_rejects () =
+  expect_invalid (Insn.make Insn.MOV [ Operand.mem ~base:rsi (); Operand.mem ~base:rax () ]);
+  expect_invalid (Insn.make Insn.MOVAPS [ Operand.reg rsi; Operand.reg (Reg.xmm 0) ]);
+  expect_invalid (Insn.make Insn.ADDSD [ Operand.reg (Reg.xmm 0); Operand.mem ~base:rsi () ]);
+  expect_invalid (Insn.make Insn.JMP [ Operand.reg rsi ]);
+  expect_invalid (Insn.make Insn.ADD [ Operand.imm 1 ]);
+  expect_invalid (Insn.make Insn.NOP [ Operand.imm 1 ])
+
+let test_validation_accepts () =
+  let ok i =
+    match Semantics.validate i with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m
+  in
+  ok load;
+  ok store;
+  ok (Insn.make Insn.ADD [ Operand.imm 48; Operand.reg rsi ]);
+  ok (Insn.make Insn.LEA [ Operand.mem ~base:rsi ~disp:8 (); Operand.reg rax ]);
+  ok (Insn.make Insn.ADDSD [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 1) ]);
+  ok (Insn.make (Insn.Jcc Insn.GE) [ Operand.label "L6" ]);
+  ok (Insn.make Insn.RET []);
+  (* Logical registers are fine pre-allocation. *)
+  ok (Insn.make Insn.MOVAPS
+        [ Operand.mem ~base:(Reg.logical "r1") (); Operand.reg (Reg.logical "x") ])
+
+(* ------------------------------------------------------------------ *)
+(* AT&T reader                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_att_operands () =
+  check_bool "imm" true (Att.parse_operand "$48" = Operand.imm 48);
+  check_bool "reg" true (Att.parse_operand "%rsi" = Operand.reg rsi);
+  check_bool "mem" true
+    (Operand.equal (Att.parse_operand "16(%rsi)") (Operand.mem ~base:rsi ~disp:16 ()));
+  check_bool "mem indexed" true
+    (Operand.equal
+       (Att.parse_operand "-8(%rsi,%rax,4)")
+       (Operand.mem ~base:rsi ~index:rax ~scale:4 ~disp:(-8) ()));
+  check_bool "index only" true
+    (Operand.equal (Att.parse_operand "(,%rax,8)") (Operand.mem ~index:rax ~scale:8 ()))
+
+let test_att_lines () =
+  check_bool "blank" true (Att.parse_line "   " = None);
+  check_bool "label" true (Att.parse_line "L6:" = Some (Insn.Label "L6"));
+  check_bool "directive" true (Att.parse_line ".align 16" = Some (Insn.Directive ".align 16"));
+  check_bool "comment" true (Att.parse_line "# hello" = Some (Insn.Comment "hello"));
+  match Att.parse_line "movaps 16(%rsi), %xmm1  # trailing" with
+  | Some (Insn.Insn i) -> check_bool "insn" true (Insn.equal i load)
+  | _ -> Alcotest.fail "expected instruction"
+
+let test_att_program_roundtrip () =
+  let text =
+    "\t.text\nL6:\n\tmovaps 16(%rsi), %xmm1\n\tadd $48, %rsi\n\tsub $12, %rdi\n\tjge L6\n\tret\n"
+  in
+  let program = Att.parse_program text in
+  check_int "item count" 7 (List.length program);
+  (* Re-render and re-parse: same instructions. *)
+  let again = Att.parse_program (Insn.program_to_string program) in
+  check_bool "round-trip" true
+    (List.equal Insn.equal (Insn.insns program) (Insn.insns again))
+
+let test_att_errors () =
+  let bad s =
+    match Att.parse_program s with
+    | exception Att.Syntax_error _ -> ()
+    | _ -> Alcotest.fail ("expected syntax error for " ^ s)
+  in
+  bad "frobnicate %rax";
+  bad "movaps 16(%zzz), %xmm0";
+  bad "movaps $1, $2";
+  bad "add $oops, %rsi"
+
+(* ------------------------------------------------------------------ *)
+(* Encoded lengths                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_encode_known_lengths () =
+  let len s =
+    match Att.parse_line s with
+    | Some (Insn.Insn i) -> Encode.length i
+    | _ -> Alcotest.fail ("parse: " ^ s)
+  in
+  (* Checked against GNU as encodings. *)
+  check_int "movaps (%rsi), %xmm0" 3 (len "movaps (%rsi), %xmm0");
+  check_int "movaps 16(%rsi), %xmm1" 4 (len "movaps 16(%rsi), %xmm1");
+  check_int "movss (%rsi), %xmm0" 4 (len "movss (%rsi), %xmm0");
+  check_int "add $48, %rsi" 4 (len "add $48, %rsi");
+  check_int "add $1, %eax" 3 (len "add $1, %eax");
+  check_int "add $1000, %rsi" 7 (len "add $1000, %rsi");
+  check_int "jge" 2 (len "jge L6");
+  check_int "ret" 1 (len "ret");
+  check_int "mov %rdi, %rax" 3 (len "mov %rdi, %rax");
+  check_int "movsd (%rdx,%rax,8), %xmm0" 5 (len "movsd (%rdx,%rax,8), %xmm0")
+
+let test_encode_rex_for_extended_registers () =
+  let len s =
+    match Att.parse_line s with
+    | Some (Insn.Insn i) -> Encode.length i
+    | _ -> Alcotest.fail ("parse: " ^ s)
+  in
+  check_bool "r10 needs a REX over eax" true
+    (len "add $1, %r10" > len "add $1, %eax")
+
+let test_loop_body_bytes () =
+  let program =
+    Att.parse_program
+      "\tnop\nL6:\n\tmovaps (%rsi), %xmm0\n\tadd $16, %rsi\n\tsub $1, %rdi\n\tjge L6\n\tret\n"
+  in
+  (* 3 + 4 + 4 + 2 = 13 bytes inside the loop; the nop and ret are
+     outside. *)
+  check_int "loop body" 13 (Encode.loop_body_bytes program);
+  check_bool "fits" true (Encode.fits_loop_buffer program);
+  check_bool "tiny buffer" false (Encode.fits_loop_buffer ~buffer_bytes:8 program)
+
+let test_program_bytes_additive () =
+  let program =
+    Att.parse_program "\tnop\n\tnop\n\tret\n"
+  in
+  check_int "3 bytes" 3 (Encode.program_bytes program)
+
+(* Property: emitted instructions parse back to themselves. *)
+let arbitrary_insn =
+  let open QCheck.Gen in
+  let reg = oneofl [ rsi; rax; Reg.gpr64 Reg.RDX; Reg.xmm 0; Reg.xmm 5 ] in
+  let gpr = oneofl [ rsi; rax; Reg.gpr64 Reg.RDX ] in
+  let xmm = oneofl [ Reg.xmm 0; Reg.xmm 5; Reg.xmm 15 ] in
+  let mem =
+    map2 (fun base disp -> Operand.mem ~base ~disp ()) gpr (int_range (-64) 256)
+  in
+  ignore reg;
+  oneof
+    [
+      map2 (fun m x -> Insn.make Insn.MOVAPS [ m; Operand.reg x ]) mem xmm;
+      map2 (fun x m -> Insn.make Insn.MOVSS [ Operand.reg x; m ]) xmm mem;
+      map2 (fun n r -> Insn.make Insn.ADD [ Operand.imm n; Operand.reg r ])
+        (int_range 0 1024) gpr;
+      map2 (fun n r -> Insn.make Insn.SUB [ Operand.imm n; Operand.reg r ])
+        (int_range 0 1024) gpr;
+      map2 (fun m x -> Insn.make Insn.MULSD [ m; Operand.reg x ]) mem xmm;
+      return (Insn.make Insn.RET []);
+    ]
+
+let prop_att_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"att parse(print(insn)) = insn"
+    (QCheck.make arbitrary_insn) (fun i ->
+      match Att.parse_line (Insn.to_string i) with
+      | Some (Insn.Insn i') -> Insn.equal i i'
+      | _ -> false)
+
+let prop_encode_lengths_sane =
+  QCheck.Test.make ~count:300 ~name:"encode: 1..15 bytes (the x86 limit)"
+    (QCheck.make arbitrary_insn) (fun i ->
+      let n = Encode.length i in
+      n >= 1 && n <= 15)
+
+let prop_loads_and_stores_disjoint_for_moves =
+  QCheck.Test.make ~count:300 ~name:"a move is never both load and store"
+    (QCheck.make arbitrary_insn) (fun i ->
+      if Semantics.is_memory_move i then
+        not (Semantics.is_load i && Semantics.is_store i)
+      else true)
+
+let tests =
+  [
+    Alcotest.test_case "register names" `Quick test_reg_names;
+    Alcotest.test_case "register of_name" `Quick test_reg_of_name;
+    Alcotest.test_case "register name round-trip (all)" `Quick test_reg_roundtrip_all;
+    Alcotest.test_case "register widths" `Quick test_reg_widths;
+    Alcotest.test_case "canonical equality" `Quick test_reg_canonical_equal;
+    Alcotest.test_case "xmm range checked" `Quick test_xmm_range;
+    Alcotest.test_case "allocatable excludes rsp/rbp/rax" `Quick test_allocatable_excludes_special;
+    Alcotest.test_case "operand rendering" `Quick test_operand_strings;
+    Alcotest.test_case "operand bad scale" `Quick test_operand_bad_scale;
+    Alcotest.test_case "operand registers_read" `Quick test_registers_read;
+    Alcotest.test_case "operand shift_disp" `Quick test_shift_disp;
+    Alcotest.test_case "operand map_registers" `Quick test_map_registers;
+    Alcotest.test_case "instruction rendering" `Quick test_insn_to_string;
+    Alcotest.test_case "mnemonic round-trip (all opcodes)" `Quick test_mnemonics_roundtrip;
+    Alcotest.test_case "suffixed mnemonics" `Quick test_suffixed_mnemonics;
+    Alcotest.test_case "program rendering" `Quick test_program_rendering;
+    Alcotest.test_case "insns filter" `Quick test_insns_filter;
+    Alcotest.test_case "load/store classification" `Quick test_load_store_classification;
+    Alcotest.test_case "rmw classification" `Quick test_rmw_classification;
+    Alcotest.test_case "cmp-with-memory is a pure load" `Quick test_cmp_mem_is_pure_load;
+    Alcotest.test_case "data bytes" `Quick test_data_bytes;
+    Alcotest.test_case "alignment requirements" `Quick test_alignment_requirements;
+    Alcotest.test_case "port demands" `Quick test_ports;
+    Alcotest.test_case "destination and sources" `Quick test_destination_and_sources;
+    Alcotest.test_case "flag behaviour" `Quick test_flags;
+    Alcotest.test_case "validation rejects bad shapes" `Quick test_validation_rejects;
+    Alcotest.test_case "validation accepts good shapes" `Quick test_validation_accepts;
+    Alcotest.test_case "att operand parsing" `Quick test_att_operands;
+    Alcotest.test_case "att line parsing" `Quick test_att_lines;
+    Alcotest.test_case "att program round-trip" `Quick test_att_program_roundtrip;
+    Alcotest.test_case "att errors" `Quick test_att_errors;
+    Alcotest.test_case "encode known lengths" `Quick test_encode_known_lengths;
+    Alcotest.test_case "encode REX" `Quick test_encode_rex_for_extended_registers;
+    Alcotest.test_case "loop body bytes" `Quick test_loop_body_bytes;
+    Alcotest.test_case "program bytes additive" `Quick test_program_bytes_additive;
+    QCheck_alcotest.to_alcotest prop_att_roundtrip;
+    QCheck_alcotest.to_alcotest prop_loads_and_stores_disjoint_for_moves;
+    QCheck_alcotest.to_alcotest prop_encode_lengths_sane;
+  ]

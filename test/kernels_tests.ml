@@ -1,0 +1,221 @@
+(* Tests for the workload builders: stream specs and the matmul
+   motivating example. *)
+
+open Mt_machine
+open Mt_creator
+open Mt_kernels
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let x5650 = Config.nehalem_x5650_2s
+
+(* ------------------------------------------------------------------ *)
+(* Stream specs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_loadstore_spec_valid () =
+  check_bool "valid" true (Result.is_ok (Spec.validate (Streams.loadstore_spec ())))
+
+let test_loadstore_default_counts () =
+  check_int "510 (paper)" 510 (List.length (Creator.generate (Streams.loadstore_spec ())))
+
+let test_move_width_counts () =
+  check_int "2040 (paper)" 2040 (List.length (Creator.generate (Streams.move_width_spec ())))
+
+let test_loadstore_custom () =
+  let spec =
+    Streams.loadstore_spec ~opcode:Mt_isa.Insn.MOVSD ~stride:8 ~unroll:(2, 4)
+      ~swap_after:false ()
+  in
+  let variants = Creator.generate spec in
+  check_int "three unrolls" 3 (List.length variants);
+  List.iter
+    (fun v ->
+      let abi = Option.get v.Variant.abi in
+      check_int "bytes per pass" (8 * abi.Abi.unroll) abi.Abi.bytes_per_pass)
+    variants
+
+let test_multi_array_spec () =
+  let spec = Streams.multi_array_spec ~arrays:4 () in
+  check_bool "valid" true (Result.is_ok (Spec.validate spec));
+  let variants = Creator.generate spec in
+  check_int "one variant" 1 (List.length variants);
+  let abi = Option.get (List.hd variants).Variant.abi in
+  check_int "four pointers" 4 (List.length abi.Abi.pointers);
+  check_int "four loads per pass" 4 abi.Abi.loads_per_pass
+
+let test_multi_array_bad_count () =
+  check_bool "zero arrays rejected" true
+    (try ignore (Streams.multi_array_spec ~arrays:0 ()); false
+     with Invalid_argument _ -> true)
+
+let test_movss_unrolled_spec () =
+  let variants = Creator.generate (Streams.movss_unrolled_spec ~unroll:5 ()) in
+  check_int "one variant" 1 (List.length variants);
+  check_int "fixed unroll" 5 (List.hd variants).Variant.unroll
+
+let test_description_xml_parses_back () =
+  let spec = Streams.loadstore_spec () in
+  match Description.of_string (Streams.description_xml spec) with
+  | Ok again -> check_bool "round-trip" true (again = spec)
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Matmul                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_matmul_original_compiles () =
+  List.iter
+    (fun u ->
+      match Core.compile (Matmul.original_program ~n:100 ~unroll:u) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Core.error_to_string e))
+    [ 1; 2; 4; 8 ]
+
+let test_matmul_micro_matches_structure () =
+  let variants = Creator.generate (Matmul.micro_spec ~n:100 ~unroll:(1, 1)) in
+  check_int "one variant" 1 (List.length variants);
+  let v = List.hd variants in
+  let micro_ops =
+    List.map (fun i -> i.Mt_isa.Insn.op) (Mt_isa.Insn.insns (Variant.concrete_body v))
+  in
+  check_bool "has mulsd and addsd" true
+    (List.mem Mt_isa.Insn.MULSD micro_ops && List.mem Mt_isa.Insn.ADDSD micro_ops);
+  let abi = Option.get v.Variant.abi in
+  check_int "three matrices" 3 (List.length abi.Abi.pointers)
+
+let test_matmul_driver_runs () =
+  let d =
+    match Matmul.make_driver ~machine:x5650 ~n:64 (`Original 1) with
+    | Ok d -> d
+    | Error msg -> Alcotest.fail msg
+  in
+  match Matmul.sample_run ~rows:1 ~cols:4 d with
+  | Ok s ->
+    check_int "iterations" (4 * 64) s.Matmul.iterations;
+    check_bool "cycles positive" true (s.Matmul.cycles_per_iteration > 0.)
+  | Error msg -> Alcotest.fail msg
+
+let test_matmul_micro_driver_agrees_with_original () =
+  let cycles source =
+    let d =
+      match Matmul.make_driver ~machine:x5650 ~n:64 source with
+      | Ok d -> d
+      | Error msg -> Alcotest.fail msg
+    in
+    match Matmul.sample_run ~rows:1 ~cols:8 ~warm_cols:8 d with
+    | Ok s -> s.Matmul.cycles_per_iteration
+    | Error msg -> Alcotest.fail msg
+  in
+  let original = cycles (`Original 2) in
+  let micro =
+    let variants = Creator.generate (Matmul.micro_spec ~n:64 ~unroll:(2, 2)) in
+    cycles (`Micro (List.hd variants))
+  in
+  (* The micro-benchmark predicts the original within a few percent
+     (the Section 2 claim). *)
+  check_bool "within 10%" true (Float.abs (micro -. original) /. original < 0.10)
+
+let test_matmul_hierarchy_cliff () =
+  (* The Fig. 3 cliff: once the column stride exceeds a page (n >= 512),
+     iterations get much slower. *)
+  let cycles n =
+    let d =
+      match Matmul.make_driver ~machine:x5650 ~n (`Original 1) with
+      | Ok d -> d
+      | Error msg -> Alcotest.fail msg
+    in
+    match Matmul.sample_run ~rows:1 ~cols:8 ~warm_cols:8 d with
+    | Ok s -> s.Matmul.cycles_per_iteration
+    | Error msg -> Alcotest.fail msg
+  in
+  check_bool "n=600 much slower than n=200" true (cycles 600 > 1.5 *. cycles 200)
+
+let test_matmul_unroll_improves () =
+  let cycles u =
+    let d =
+      match Matmul.make_driver ~machine:x5650 ~n:128 (`Original u) with
+      | Ok d -> d
+      | Error msg -> Alcotest.fail msg
+    in
+    match Matmul.sample_run ~rows:1 ~cols:8 ~warm_cols:8 d with
+    | Ok s -> s.Matmul.cycles_per_iteration
+    | Error msg -> Alcotest.fail msg
+  in
+  check_bool "unroll 8 beats unroll 1" true (cycles 8 < cycles 1)
+
+let test_matmul_bad_args () =
+  check_bool "n=0 rejected" true
+    (Result.is_error (Matmul.make_driver ~machine:x5650 ~n:0 (`Original 1)));
+  check_bool "unroll=0 rejected" true
+    (try ignore (Matmul.original_program ~n:10 ~unroll:0); false
+     with Invalid_argument _ -> true)
+
+let test_matrix_bytes () = check_int "200x200 doubles" 320000 (Matmul.matrix_bytes ~n:200)
+
+let test_tiled_program_validates () =
+  check_bool "tile must divide n" true
+    (try ignore (Matmul.tiled_program ~n:100 ~tile:33 ~rows:1 ~jj_tiles:1); false
+     with Invalid_argument _ -> true);
+  check_bool "jj_tiles bounded" true
+    (try ignore (Matmul.tiled_program ~n:100 ~tile:50 ~rows:1 ~jj_tiles:3); false
+     with Invalid_argument _ -> true);
+  (* A legal sampled program compiles. *)
+  match Core.compile (Matmul.tiled_program ~n:100 ~tile:50 ~rows:2 ~jj_tiles:1) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+
+let test_tiled_iteration_count () =
+  (* rows x (jj_tiles*tile) x n inner iterations, counted in rax. *)
+  let program = Matmul.tiled_program ~n:64 ~tile:16 ~rows:2 ~jj_tiles:1 in
+  let memory = Memory.create x5650 in
+  let open Mt_isa in
+  let init =
+    [ (Reg.gpr64 Reg.RDI, 64); (Reg.gpr64 Reg.RCX, 1 lsl 24);
+      (Reg.gpr64 Reg.RSI, 1 lsl 25); (Reg.gpr64 Reg.RDX, 1 lsl 26) ]
+  in
+  match Core.run_program ~init x5650 memory program with
+  | Ok r -> check_int "2 * 16 * 64 iterations" (2 * 16 * 64) r.Core.rax
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+
+let test_tiling_removes_cliff () =
+  let naive = Matmul.tiled_cycles ~machine:x5650 ~n:600 ~tile:600 () in
+  let tiled = Matmul.tiled_cycles ~machine:x5650 ~n:600 ~tile:50 () in
+  match naive, tiled with
+  | Ok naive, Ok tiled -> check_bool "2x+ gain past the cliff" true (tiled *. 2. < naive)
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
+let test_tiling_neutral_below_cliff () =
+  let naive = Matmul.tiled_cycles ~machine:x5650 ~n:200 ~tile:200 () in
+  let tiled = Matmul.tiled_cycles ~machine:x5650 ~n:200 ~tile:50 () in
+  match naive, tiled with
+  | Ok naive, Ok tiled ->
+    check_bool "within 15% when everything is cached" true
+      (Float.abs (tiled -. naive) /. naive < 0.15)
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
+let tests =
+  [
+    Alcotest.test_case "loadstore spec valid" `Quick test_loadstore_spec_valid;
+    Alcotest.test_case "loadstore 510 variants" `Quick test_loadstore_default_counts;
+    Alcotest.test_case "move-width 2040 variants" `Quick test_move_width_counts;
+    Alcotest.test_case "loadstore custom" `Quick test_loadstore_custom;
+    Alcotest.test_case "multi-array spec" `Quick test_multi_array_spec;
+    Alcotest.test_case "multi-array bad count" `Quick test_multi_array_bad_count;
+    Alcotest.test_case "movss unrolled spec" `Quick test_movss_unrolled_spec;
+    Alcotest.test_case "description xml parses back" `Quick test_description_xml_parses_back;
+    Alcotest.test_case "matmul original compiles" `Quick test_matmul_original_compiles;
+    Alcotest.test_case "matmul micro structure" `Quick test_matmul_micro_matches_structure;
+    Alcotest.test_case "matmul driver runs" `Quick test_matmul_driver_runs;
+    Alcotest.test_case "matmul micro agrees with original" `Quick test_matmul_micro_driver_agrees_with_original;
+    Alcotest.test_case "matmul hierarchy cliff" `Quick test_matmul_hierarchy_cliff;
+    Alcotest.test_case "matmul unroll improves" `Quick test_matmul_unroll_improves;
+    Alcotest.test_case "matmul bad arguments" `Quick test_matmul_bad_args;
+    Alcotest.test_case "matrix bytes" `Quick test_matrix_bytes;
+    Alcotest.test_case "tiled program validates" `Quick test_tiled_program_validates;
+    Alcotest.test_case "tiled iteration count" `Quick test_tiled_iteration_count;
+    Alcotest.test_case "tiling removes the cliff" `Slow test_tiling_removes_cliff;
+    Alcotest.test_case "tiling neutral below the cliff" `Slow test_tiling_neutral_below_cliff;
+  ]

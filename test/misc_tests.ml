@@ -1,0 +1,138 @@
+(* Cross-cutting behaviours not covered by the per-library suites:
+   protocol corner options, report output shapes, custom pipelines. *)
+
+open Mt_machine
+open Mt_creator
+open Mt_launcher
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let x5650 = Config.nehalem_x5650_2s
+
+let variant =
+  lazy
+    (match
+       Creator.generate (Mt_kernels.Streams.movss_unrolled_spec ~unroll:2 ())
+     with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "variant")
+
+let measure opts =
+  match Launcher.launch opts (Source.From_variant (Lazy.force variant)) with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail msg
+
+let base_opts =
+  {
+    (Options.default x5650) with
+    Options.array_bytes = 16 * 1024;
+    repetitions = 1;
+    experiments = 4;
+  }
+
+let test_drop_first_experiment () =
+  let kept = measure { base_opts with Options.drop_first_experiment = true } in
+  check_int "one experiment dropped" 3 (Array.length kept.Report.experiments)
+
+let test_drop_first_removes_cold_outlier () =
+  (* Without warm-up the first experiment carries the cold misses;
+     dropping it tightens the spread. *)
+  let opts = { base_opts with Options.warmup = false; experiments = 6 } in
+  let noisy = measure opts in
+  let trimmed = measure { opts with Options.drop_first_experiment = true } in
+  check_bool "cold first run dominates the spread" true
+    (Mt_stats.relative_spread trimmed.Report.experiments
+    < Mt_stats.relative_spread noisy.Report.experiments /. 2.)
+
+let test_per_call_unit () =
+  let r = measure { base_opts with Options.per = Options.Per_call } in
+  Alcotest.(check string) "label" "call" r.Report.per_label;
+  (* A whole 16 KiB traversal costs thousands of cycles per call. *)
+  check_bool "magnitude" true (r.Report.value > 1000.)
+
+let test_wallclock_unit () =
+  let tsc = measure base_opts in
+  let ns = measure { base_opts with Options.eval_method = Options.Wallclock_ns } in
+  Alcotest.(check string) "label" "ns" ns.Report.unit_label;
+  (* At nominal clock, 1 tsc-cycle = 1/2.67 ns. *)
+  Alcotest.(check (float 0.01)) "conversion" (tsc.Report.value /. 2.67) ns.Report.value
+
+let test_report_csv_uneven_lengths () =
+  let a =
+    Report.make ~id:"a" ~mode:"seq" ~unit_label:"tsc-cycles" ~per_label:"pass"
+      [| 1.; 2. |]
+  in
+  let b =
+    Report.make ~id:"b" ~mode:"seq" ~unit_label:"tsc-cycles" ~per_label:"pass"
+      [| 3.; 4.; 5. |]
+  in
+  let csv = Report.csv ~full:true [ a; b ] in
+  (* Renders without width errors; 2 data rows. *)
+  check_int "rows" 2 (Mt_stats.Csv.row_count csv);
+  check_bool "renders" true (String.length (Mt_stats.Csv.to_string csv) > 0)
+
+let test_custom_pipeline_in_study () =
+  (* A pipeline with the swap pass gated off: one variant per unroll. *)
+  let pipeline =
+    Pass.set_gate (Passes.default_pipeline ()) "operand-swap-post" (fun _ _ -> false)
+  in
+  let study =
+    Microtools.Study.create ~pipeline
+      (Mt_kernels.Streams.loadstore_spec ~unroll:(1, 4) ())
+      base_opts
+  in
+  check_int "four variants" 4 (List.length (Microtools.Study.variants study))
+
+let test_energy_zero_pass_guard () =
+  let memory = Memory.create x5650 in
+  let program = [ Mt_isa.Insn.Insn (Mt_isa.Insn.make Mt_isa.Insn.RET []) ] in
+  match Core.run_program x5650 memory program with
+  | Ok o ->
+    check_bool "finite energy with rax = 0" true
+      (Float.is_finite (Energy.energy_per_iteration_nj x5650 o))
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+
+let test_find_knee_unsorted_input () =
+  let series = [ (600., 25.); (100., 5.); (500., 5.2); (300., 5.1) ] in
+  match Microtools.Analysis.find_knee series with
+  | Some k -> Alcotest.(check (float 1e-9)) "sorted internally" 500. k.Microtools.Analysis.at
+  | None -> Alcotest.fail "knee expected"
+
+let test_ram_sharers_override () =
+  (* Forcing the DRAM share of a 12-way contended machine slows a cold
+     stream even in sequential mode. *)
+  let opts =
+    {
+      base_opts with
+      Options.array_bytes = 1024 * 1024;
+      warmup = false;
+      experiments = 1;
+    }
+  in
+  let alone = measure opts in
+  let crowded = measure { opts with Options.ram_sharers = Some 12 } in
+  check_bool "override applied" true
+    (crowded.Report.value > alone.Report.value *. 1.3)
+
+let test_subtract_overhead_floor () =
+  (* Overhead subtraction never produces negative values, even for a
+     nearly-empty kernel. *)
+  let opts = { base_opts with Options.trip_passes = Some 1 } in
+  let r = measure opts in
+  check_bool "non-negative" true (r.Report.value >= 0.)
+
+let tests =
+  [
+    Alcotest.test_case "drop first experiment" `Quick test_drop_first_experiment;
+    Alcotest.test_case "drop first removes cold outlier" `Quick test_drop_first_removes_cold_outlier;
+    Alcotest.test_case "per-call unit" `Quick test_per_call_unit;
+    Alcotest.test_case "wall-clock unit conversion" `Quick test_wallclock_unit;
+    Alcotest.test_case "report csv uneven lengths" `Quick test_report_csv_uneven_lengths;
+    Alcotest.test_case "custom pipeline in study" `Quick test_custom_pipeline_in_study;
+    Alcotest.test_case "energy zero-pass guard" `Quick test_energy_zero_pass_guard;
+    Alcotest.test_case "find_knee unsorted input" `Quick test_find_knee_unsorted_input;
+    Alcotest.test_case "ram_sharers override" `Quick test_ram_sharers_override;
+    Alcotest.test_case "overhead subtraction floor" `Quick test_subtract_overhead_floor;
+  ]

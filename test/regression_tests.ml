@@ -1,0 +1,228 @@
+(* Machine-description files, plus calibration regression: golden
+   values pinning the reproduced figures against accidental model
+   drift.  Tolerances are loose enough for harmless refactoring and
+   tight enough to catch a broken mechanism. *)
+
+open Mt_machine
+open Mt_creator
+open Mt_launcher
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let x5650 = Config.nehalem_x5650_2s
+
+let within name expected tolerance actual =
+  if Float.abs (actual -. expected) > tolerance *. expected then
+    Alcotest.failf "%s: expected %.3f +/- %.0f%%, got %.3f" name expected
+      (tolerance *. 100.) actual
+
+(* ------------------------------------------------------------------ *)
+(* Config_io                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_roundtrip_presets () =
+  List.iter
+    (fun (name, cfg) ->
+      match Config_io.of_string (Config_io.to_string cfg) with
+      | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+      | Ok again ->
+        (* Feature flags and energy are not serialized; compare the
+           serialized forms instead. *)
+        Alcotest.(check string) name (Config_io.to_string cfg)
+          (Config_io.to_string again))
+    Config.presets
+
+let test_config_file_overrides_base () =
+  let xml =
+    {|<machine name="fat_l3" base="sandy_bridge_e31240">
+        <cache level="l3" size_kb="20480"/>
+        <dram socket_bandwidth_gbps="25"/>
+      </machine>|}
+  in
+  match Config_io.of_string xml with
+  | Error msg -> Alcotest.fail msg
+  | Ok cfg ->
+    Alcotest.(check string) "name" "fat_l3" cfg.Config.name;
+    check_int "l3 grew" (20480 * 1024) cfg.Config.l3.Config.size_bytes;
+    check_bool "bandwidth grew" true (cfg.Config.socket_bandwidth_gbps = 25.);
+    (* Untouched fields keep the base's values. *)
+    check_int "cores from base" 4 (Config.core_count cfg)
+
+let test_config_file_rejects_bad () =
+  let bad xml =
+    check_bool xml true (Result.is_error (Config_io.of_string xml))
+  in
+  bad "<notmachine/>";
+  bad {|<machine base="nope"/>|};
+  bad {|<machine><clock nominal_ghz="zero"/></machine>|};
+  bad {|<machine><cache size_kb="32"/></machine>|};
+  bad {|<machine><cache level="l9" size_kb="32"/></machine>|};
+  (* Validation catches semantic nonsense. *)
+  bad {|<machine><clock nominal_ghz="0"/></machine>|};
+  bad {|<machine><core load_ports="0"/></machine>|}
+
+let test_custom_machine_changes_measurement () =
+  (* A machine with half the DRAM bandwidth streams proportionally
+     slower. *)
+  let slow_xml =
+    {|<machine name="slow_dram" base="nehalem_x5650_2s">
+        <dram socket_bandwidth_gbps="6" interleaved="false" miss_parallelism="2"/>
+      </machine>|}
+  in
+  let slow =
+    match Config_io.of_string slow_xml with
+    | Ok cfg -> cfg
+    | Error msg -> Alcotest.fail msg
+  in
+  let variant =
+    match
+      Creator.generate
+        (Mt_kernels.Streams.loadstore_spec ~unroll:(8, 8) ~swap_after:false ())
+    with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "variant"
+  in
+  let value cfg =
+    let opts =
+      {
+        (Options.default cfg) with
+        Options.per = Options.Per_instruction;
+        array_bytes = 1024 * 1024;
+        warmup = false;
+        repetitions = 1;
+        experiments = 1;
+      }
+    in
+    match Launcher.launch opts (Source.From_variant variant) with
+    | Ok r -> r.Report.value
+    | Error msg -> Alcotest.fail msg
+  in
+  check_bool "half bandwidth, about double cost" true
+    (value slow > value x5650 *. 1.7)
+
+(* ------------------------------------------------------------------ *)
+(* Calibration goldens (the published shapes)                          *)
+(* ------------------------------------------------------------------ *)
+
+let stream_value ?(machine = x5650) ?(cold = false) ~opcode ~unroll ~bytes () =
+  let variant =
+    match
+      Creator.generate
+        (Mt_kernels.Streams.loadstore_spec ~opcode
+           ~stride:(Mt_isa.Semantics.data_bytes (Mt_isa.Insn.make opcode []))
+           ~unroll:(unroll, unroll) ~swap_after:false ())
+    with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "variant"
+  in
+  let opts =
+    {
+      (Options.default machine) with
+      Options.per = Options.Per_instruction;
+      array_bytes = bytes;
+      warmup = not cold;
+      repetitions = (if cold then 1 else 2);
+      experiments = (if cold then 1 else 2);
+    }
+  in
+  match Launcher.launch opts (Source.From_variant variant) with
+  | Ok r -> r.Report.value
+  | Error msg -> Alcotest.fail msg
+
+let test_golden_movaps_l1 () =
+  within "movaps x8 L1" 1.00
+    0.05
+    (stream_value ~opcode:Mt_isa.Insn.MOVAPS ~unroll:8 ~bytes:(16 * 1024) ())
+
+let test_golden_movaps_l3 () =
+  within "movaps x8 L3 (bandwidth-bound)" 1.60 0.08
+    (stream_value ~opcode:Mt_isa.Insn.MOVAPS ~unroll:8 ~bytes:(512 * 1024) ())
+
+let test_golden_movaps_ram () =
+  within "movaps x8 cold RAM" 5.54 0.08
+    (stream_value ~cold:true ~opcode:Mt_isa.Insn.MOVAPS ~unroll:8
+       ~bytes:(1024 * 1024) ())
+
+let test_golden_movss_ram () =
+  within "movss x8 cold RAM" 1.39 0.08
+    (stream_value ~cold:true ~opcode:Mt_isa.Insn.MOVSS ~unroll:8
+       ~bytes:(1024 * 1024) ())
+
+let test_golden_fork_knee () =
+  (* The Fig. 14 signature: flat through 6 cores, 2x at 12. *)
+  let variant =
+    match
+      Creator.generate
+        (Mt_kernels.Streams.loadstore_spec ~unroll:(8, 8) ~swap_after:false ())
+    with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "variant"
+  in
+  let value cores =
+    let opts =
+      {
+        (Options.default x5650) with
+        Options.array_bytes = 1024 * 1024;
+        warmup = false;
+        repetitions = 1;
+        experiments = 1;
+        cores;
+      }
+    in
+    match Launcher.launch opts (Source.From_variant variant) with
+    | Ok r -> r.Report.value
+    | Error msg -> Alcotest.fail msg
+  in
+  let v1 = value 1 and v6 = value 6 and v12 = value 12 in
+  check_bool "flat to 6" true (v6 < v1 *. 1.05);
+  within "12 cores = 2x the 6-core cost" 2.0 0.10 (v12 /. v6)
+
+let test_golden_matmul_cliff_location () =
+  (* The cliff is between 500 and 600 — the page-stride boundary. *)
+  let cycles n =
+    match
+      Mt_kernels.Matmul.make_driver ~machine:x5650 ~n (`Original 1)
+    with
+    | Error msg -> Alcotest.fail msg
+    | Ok d -> (
+      match Mt_kernels.Matmul.sample_run ~rows:1 ~cols:8 ~warm_cols:8 d with
+      | Ok s -> s.Mt_kernels.Matmul.cycles_per_iteration
+      | Error msg -> Alcotest.fail msg)
+  in
+  let at_500 = cycles 500 and at_600 = cycles 600 in
+  check_bool "500 still fast" true (at_500 < 12.);
+  check_bool "600 over the cliff" true (at_600 > 2. *. at_500)
+
+let test_golden_rdtsc_invariance () =
+  (* Fig. 13: cold RAM per-load in TSC cycles is clock-invariant. *)
+  let value freq =
+    stream_value
+      ~machine:(Config.with_core_ghz x5650 freq)
+      ~cold:true ~opcode:Mt_isa.Insn.MOVAPS ~unroll:8 ~bytes:(1024 * 1024) ()
+  in
+  within "RAM tsc-cycles invariant across clocks" 1.0 0.03
+    (value 1.6 /. value 2.67)
+
+let test_golden_generation_counts () =
+  check_int "510" 510
+    (List.length (Creator.generate (Mt_kernels.Streams.loadstore_spec ())));
+  check_int "2040" 2040
+    (List.length (Creator.generate (Mt_kernels.Streams.move_width_spec ())))
+
+let tests =
+  [
+    Alcotest.test_case "config round-trips presets" `Quick test_config_roundtrip_presets;
+    Alcotest.test_case "config file overrides base" `Quick test_config_file_overrides_base;
+    Alcotest.test_case "config file rejects bad input" `Quick test_config_file_rejects_bad;
+    Alcotest.test_case "custom machine changes measurement" `Quick test_custom_machine_changes_measurement;
+    Alcotest.test_case "golden: movaps L1" `Quick test_golden_movaps_l1;
+    Alcotest.test_case "golden: movaps L3" `Quick test_golden_movaps_l3;
+    Alcotest.test_case "golden: movaps RAM" `Quick test_golden_movaps_ram;
+    Alcotest.test_case "golden: movss RAM" `Quick test_golden_movss_ram;
+    Alcotest.test_case "golden: fork knee" `Quick test_golden_fork_knee;
+    Alcotest.test_case "golden: matmul cliff location" `Slow test_golden_matmul_cliff_location;
+    Alcotest.test_case "golden: rdtsc invariance" `Quick test_golden_rdtsc_invariance;
+    Alcotest.test_case "golden: generation counts" `Quick test_golden_generation_counts;
+  ]

@@ -1,0 +1,239 @@
+(* Tests for the umbrella Study workflow and the experiment tables. *)
+
+open Mt_machine
+open Mt_creator
+open Mt_launcher
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let x5650 = Config.nehalem_x5650_2s
+
+let quick_opts =
+  {
+    (Options.default x5650) with
+    Options.array_bytes = 16 * 1024;
+    repetitions = 1;
+    experiments = 2;
+  }
+
+let small_spec =
+  Mt_kernels.Streams.loadstore_spec ~opcode:Mt_isa.Insn.MOVSS ~stride:4
+    ~unroll:(1, 3) ()
+
+let test_study_generates_once () =
+  let study = Microtools.Study.create small_spec quick_opts in
+  let a = Microtools.Study.variants study in
+  let b = Microtools.Study.variants study in
+  check_bool "cached" true (a == b);
+  (* Sum of 2^u for u in 1..3. *)
+  check_int "variant count" 14 (List.length a)
+
+let test_study_run_all () =
+  let study = Microtools.Study.create small_spec quick_opts in
+  let outcomes = Microtools.Study.run study in
+  check_int "all measured" 14 (List.length outcomes);
+  check_int "all succeeded" 14 (List.length (Microtools.Study.successes outcomes))
+
+let test_study_best_and_groups () =
+  let study =
+    Microtools.Study.create small_spec
+      { quick_opts with Options.per = Options.Per_element }
+  in
+  let outcomes = Microtools.Study.run study in
+  (match Microtools.Study.best outcomes with
+  | None -> Alcotest.fail "no best"
+  | Some (v, r) ->
+    check_bool "best is cheapest" true
+      (List.for_all
+         (fun (_, r') -> r.Report.value <= r'.Report.value)
+         (Microtools.Study.successes outcomes));
+    check_bool "unrolled wins per element" true (v.Variant.unroll > 1));
+  let groups = Microtools.Study.by_unroll outcomes in
+  check_int "three groups" 3 (List.length groups);
+  List.iter
+    (fun (u, members) -> check_int "group size 2^u" (1 lsl u) (List.length members))
+    groups
+
+let test_study_min_per_unroll () =
+  let study = Microtools.Study.create small_spec quick_opts in
+  let outcomes = Microtools.Study.run study in
+  let mins = Microtools.Study.min_per_unroll outcomes in
+  check_int "three entries" 3 (List.length mins);
+  List.iter (fun (_, v) -> check_bool "positive" true (v > 0.)) mins
+
+let test_study_of_description () =
+  let xml = Mt_kernels.Streams.description_xml small_spec in
+  match Microtools.Study.of_description xml quick_opts with
+  | Error msg -> Alcotest.fail msg
+  | Ok study -> check_int "variants" 14 (List.length (Microtools.Study.variants study))
+
+let test_study_csv () =
+  let study = Microtools.Study.create small_spec quick_opts in
+  let outcomes = Microtools.Study.run study in
+  let csv = Microtools.Study.csv outcomes in
+  check_int "one row per variant" 14 (Mt_stats.Csv.row_count csv)
+
+(* ------------------------------------------------------------------ *)
+(* Exp_table                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_exp_table_width_check () =
+  check_bool "mismatched row rejected" true
+    (try
+       ignore
+         (Microtools.Exp_table.make ~id:"x" ~title:"t" ~columns:[ "a"; "b" ]
+            ~expectation:"e" [ [ "only" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_exp_table_print () =
+  let t =
+    Microtools.Exp_table.make ~id:"x" ~title:"t" ~columns:[ "a"; "b" ]
+      ~expectation:"paper says so" ~observations:[ "we measured it" ]
+      [ [ "1"; "2" ] ]
+  in
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Microtools.Exp_table.print fmt t;
+  Format.pp_print_flush fmt ();
+  let text = Buffer.contents buf in
+  check_bool "has title" true (String.length text > 0);
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length text
+      && (String.sub text i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "expectation" true (contains "paper says so");
+  check_bool "observation" true (contains "we measured it")
+
+(* ------------------------------------------------------------------ *)
+(* Experiments (quick mode)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_experiment_registry () =
+  check_int "twenty experiments" 20 (List.length Microtools.Experiments.ids);
+  check_bool "lookup works" true (Microtools.Experiments.by_id "fig11" <> None);
+  check_bool "unknown" true (Microtools.Experiments.by_id "fig99" = None)
+
+let test_gen_counts_experiment () =
+  let t = Microtools.Experiments.gen_counts () in
+  (* The table carries the measured counts; check the 510 row. *)
+  let row =
+    List.find (fun r -> List.hd r = "(Load|Store)+ variants") t.Microtools.Exp_table.rows
+  in
+  Alcotest.(check string) "measured 510" "510" (List.nth row 2)
+
+let test_tab01_static () =
+  let t = Microtools.Experiments.tab01 () in
+  check_int "three machines" 3 (List.length t.Microtools.Exp_table.rows)
+
+let test_fig13_invariance_quick () =
+  let t = Microtools.Experiments.fig13 ~quick:true () in
+  (* RAM column constant across frequencies within 2%. *)
+  let ram_values =
+    List.map
+      (fun row -> float_of_string (List.nth row 4))
+      t.Microtools.Exp_table.rows
+  in
+  match ram_values with
+  | a :: rest ->
+    List.iter
+      (fun b -> check_bool "RAM frequency-invariant" true (Float.abs (b -. a) /. a < 0.02))
+      rest
+  | [] -> Alcotest.fail "no rows"
+
+let test_fig14_knee_quick () =
+  let t = Microtools.Experiments.fig14 ~quick:true () in
+  let value cores =
+    List.find_map
+      (fun row ->
+        if List.hd row = string_of_int cores then Some (float_of_string (List.nth row 1))
+        else None)
+      t.Microtools.Exp_table.rows
+  in
+  match value 1, value 6, value 12 with
+  | Some one, Some six, Some twelve ->
+    check_bool "flat to 6" true (six < one *. 1.1);
+    check_bool "rises past 6" true (twelve > six *. 1.5)
+  | _ -> Alcotest.fail "missing rows"
+
+(* ------------------------------------------------------------------ *)
+(* Ascii_plot                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_plot_empty () =
+  Alcotest.(check string) "note" "(no data to plot)\n" (Microtools.Ascii_plot.render [])
+
+let test_plot_markers_and_labels () =
+  let chart =
+    Microtools.Ascii_plot.render ~width:20 ~height:6 ~x_label:"n" ~y_label:"c"
+      [
+        { Microtools.Ascii_plot.label = "a"; points = [ (1., 1.); (2., 2.) ] };
+        { Microtools.Ascii_plot.label = "b"; points = [ (1., 2.); (2., 1.) ] };
+      ]
+  in
+  check_bool "marker a" true (String.contains chart '*');
+  check_bool "marker b" true (String.contains chart '+');
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length chart
+      && (String.sub chart i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "legend a" true (contains "* a");
+  check_bool "legend b" true (contains "+ b");
+  check_bool "x label" true (contains "(n)")
+
+let test_plot_log_scale () =
+  let chart =
+    Microtools.Ascii_plot.render ~width:20 ~height:6 ~log_y:true
+      [ { Microtools.Ascii_plot.label = "s"; points = [ (1., 1.); (2., 100.) ] } ]
+  in
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length chart
+      && (String.sub chart i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "log annotation" true (contains "log scale");
+  (* The midpoint of a log axis between 1 and 100 is 10. *)
+  check_bool "geometric midpoint labelled" true (contains "10")
+
+let test_plot_of_table () =
+  let t =
+    Microtools.Exp_table.make ~id:"x" ~title:"t" ~columns:[ "n"; "v"; "w" ]
+      ~expectation:"e"
+      [ [ "1"; "2.0"; "oops" ]; [ "2"; "3.0"; "4.0" ] ]
+  in
+  match Microtools.Ascii_plot.of_table ~x_column:0 ~y_columns:[ (1, "v"); (2, "w") ] t with
+  | [ v; w ] ->
+    check_int "v keeps both rows" 2 (List.length v.Microtools.Ascii_plot.points);
+    check_int "w skips the bad cell" 1 (List.length w.Microtools.Ascii_plot.points)
+  | _ -> Alcotest.fail "two series expected"
+
+let tests =
+  [
+    Alcotest.test_case "study generates once" `Quick test_study_generates_once;
+    Alcotest.test_case "study run all" `Quick test_study_run_all;
+    Alcotest.test_case "study best and groups" `Quick test_study_best_and_groups;
+    Alcotest.test_case "study min per unroll" `Quick test_study_min_per_unroll;
+    Alcotest.test_case "study from description" `Quick test_study_of_description;
+    Alcotest.test_case "study csv" `Quick test_study_csv;
+    Alcotest.test_case "exp table width check" `Quick test_exp_table_width_check;
+    Alcotest.test_case "exp table print" `Quick test_exp_table_print;
+    Alcotest.test_case "experiment registry" `Quick test_experiment_registry;
+    Alcotest.test_case "gen_counts experiment" `Quick test_gen_counts_experiment;
+    Alcotest.test_case "tab01 static" `Quick test_tab01_static;
+    Alcotest.test_case "fig13 RAM invariance (quick)" `Slow test_fig13_invariance_quick;
+    Alcotest.test_case "fig14 knee (quick)" `Slow test_fig14_knee_quick;
+    Alcotest.test_case "plot: empty" `Quick test_plot_empty;
+    Alcotest.test_case "plot: markers and labels" `Quick test_plot_markers_and_labels;
+    Alcotest.test_case "plot: log scale" `Quick test_plot_log_scale;
+    Alcotest.test_case "plot: of_table" `Quick test_plot_of_table;
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "microtools"
+    [
+      ("xml", Xml_tests.tests);
+      ("stats", Stats_tests.tests);
+      ("isa", Isa_tests.tests);
+      ("machine", Machine_tests.tests);
+      ("core-sim", Core_sim_tests.tests);
+      ("creator", Creator_tests.tests);
+      ("launcher", Launcher_tests.tests);
+      ("openmp", Openmp_tests.tests);
+      ("kernels", Kernels_tests.tests);
+      ("study", Study_tests.tests);
+      ("extensions", Extensions_tests.tests);
+      ("cc", Cc_tests.tests);
+      ("mpi", Mpi_tests.tests);
+      ("regression", Regression_tests.tests);
+      ("misc", Misc_tests.tests);
+    ]

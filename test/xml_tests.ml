@@ -1,0 +1,199 @@
+(* Tests for the vendored XML subset parser. *)
+
+module X = Mt_xml
+
+let check = Alcotest.(check string)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let parse s = X.parse_string s
+
+let test_simple_element () =
+  let e = parse "<a/>" in
+  check "tag" "a" e.X.tag;
+  check_int "no children" 0 (List.length e.X.children)
+
+let test_text_content () =
+  let e = parse "<a>hello</a>" in
+  check "text" "hello" (X.text_content e)
+
+let test_text_trimmed () =
+  let e = parse "<a>  spaced out  </a>" in
+  check "trimmed" "spaced out" (X.text_content e)
+
+let test_nested () =
+  let e = parse "<a><b><c>deep</c></b></a>" in
+  match X.find_child e "b" with
+  | None -> Alcotest.fail "no <b>"
+  | Some b -> (
+    match X.find_child b "c" with
+    | None -> Alcotest.fail "no <c>"
+    | Some c -> check "deep text" "deep" (X.text_content c))
+
+let test_attributes () =
+  let e = parse {|<kernel name="loadstore" version="2"/>|} in
+  check "name" "loadstore" (Option.get (X.attribute e "name"));
+  check "version" "2" (Option.get (X.attribute e "version"));
+  check_bool "missing" true (X.attribute e "nope" = None)
+
+let test_attribute_single_quotes () =
+  let e = parse "<a k='v'/>" in
+  check "single-quoted" "v" (Option.get (X.attribute e "k"))
+
+let test_entities () =
+  let e = parse "<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>" in
+  check "decoded" {|<x> & "y" 'z'|} (X.text_content e)
+
+let test_numeric_entities () =
+  let e = parse "<a>&#65;&#x42;</a>" in
+  check "numeric" "AB" (X.text_content e)
+
+let test_entity_in_attribute () =
+  let e = parse {|<a k="a&amp;b"/>|} in
+  check "attr entity" "a&b" (Option.get (X.attribute e "k"))
+
+let test_comments_skipped () =
+  let e = parse "<a><!-- ignore me --><b/></a>" in
+  check_int "one child" 1 (List.length (X.children_elements e))
+
+let test_prolog_skipped () =
+  let e = parse "<?xml version=\"1.0\"?>\n<a/>" in
+  check "root after prolog" "a" e.X.tag
+
+let test_doctype_skipped () =
+  let e = parse "<!DOCTYPE kernel>\n<a/>" in
+  check "root after doctype" "a" e.X.tag
+
+let test_cdata () =
+  let e = parse "<a><![CDATA[<raw> & stuff]]></a>" in
+  check "cdata" "<raw> & stuff" (X.text_content e)
+
+let test_find_children_order () =
+  let e = parse "<a><i>1</i><other/><i>2</i><i>3</i></a>" in
+  let texts = List.map X.text_content (X.find_children e "i") in
+  Alcotest.(check (list string)) "document order" [ "1"; "2"; "3" ] texts
+
+let test_child_int () =
+  let e = parse "<a><min>3</min><max>8</max></a>" in
+  check_int "min" 3 (Option.get (X.child_int e "min"));
+  check_int "max" 8 (Option.get (X.child_int e "max"))
+
+let test_child_int_negative () =
+  let e = parse "<a><inc>-16</inc></a>" in
+  check_int "negative" (-16) (Option.get (X.child_int e "inc"))
+
+let test_child_int_bad () =
+  let e = parse "<a><min>three</min></a>" in
+  Alcotest.check_raises "non-integer" (X.Parse_error "element <min> inside <a>: \"three\" is not an integer")
+    (fun () -> ignore (X.child_int e "min"))
+
+let test_has_child_flag () =
+  let e = parse "<i><swap_after_unroll/></i>" in
+  check_bool "flag present" true (X.has_child e "swap_after_unroll");
+  check_bool "flag absent" false (X.has_child e "swap_before_unroll")
+
+let expect_parse_error input =
+  match parse input with
+  | exception X.Parse_error _ -> ()
+  | _ -> Alcotest.fail (Printf.sprintf "expected Parse_error for %S" input)
+
+let test_mismatched_tags () = expect_parse_error "<a><b></a></b>"
+
+let test_unterminated () = expect_parse_error "<a><b>"
+
+let test_empty_document () = expect_parse_error "   "
+
+let test_trailing_garbage () = expect_parse_error "<a/><b/>"
+
+let test_unknown_entity () = expect_parse_error "<a>&nope;</a>"
+
+let test_escape () =
+  check "escape" "&lt;a&gt; &amp; &quot;b&quot;" (X.escape {|<a> & "b"|})
+
+let test_roundtrip () =
+  let doc =
+    X.elem ~attrs:[ ("name", "k<1>") ] "kernel"
+      [
+        X.Element (X.elem_text "operation" "movaps");
+        X.Element
+          (X.elem "memory"
+             [ X.Element (X.elem_text "offset" "0"); X.Element (X.elem "flag" []) ]);
+        X.text "loose & text";
+      ]
+  in
+  let reparsed = parse (X.to_string doc) in
+  check "tag" "kernel" reparsed.X.tag;
+  check "attr survives escaping" "k<1>" (Option.get (X.attribute reparsed "name"));
+  check "op" "movaps" (Option.get (X.child_text reparsed "operation"));
+  check_bool "nested flag" true
+    (X.has_child (Option.get (X.find_child reparsed "memory")) "flag")
+
+let test_parse_file () =
+  let path = Filename.temp_file "mtxml" ".xml" in
+  let oc = open_out path in
+  output_string oc "<kernel><unrolling><min>1</min><max>8</max></unrolling></kernel>";
+  close_out oc;
+  let e = X.parse_file path in
+  Sys.remove path;
+  let u = Option.get (X.find_child e "unrolling") in
+  check_int "max from file" 8 (Option.get (X.child_int u "max"))
+
+(* Property: any tree built from printable text round-trips. *)
+let gen_tree =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "kernel"; "instruction"; "register" ] in
+  let text = oneofl [ "x"; "1 < 2 & 3"; "plain"; "\"quoted\"" ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then map (fun t -> X.elem t []) tag
+      else
+        frequency
+          [
+            (2, map (fun t -> X.elem t []) tag);
+            (2, map2 (fun t s -> X.elem t [ X.text s ]) tag text);
+            ( 1,
+              map3
+                (fun t a b -> X.elem t [ X.Element a; X.Element b ])
+                tag (self (depth - 1)) (self (depth - 1)) );
+          ])
+    3
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"xml print/parse round-trip"
+    (QCheck.make gen_tree) (fun tree ->
+      let printed = X.to_string tree in
+      let reparsed = parse printed in
+      X.to_string reparsed = printed)
+
+let tests =
+  [
+    Alcotest.test_case "simple element" `Quick test_simple_element;
+    Alcotest.test_case "text content" `Quick test_text_content;
+    Alcotest.test_case "text trimmed" `Quick test_text_trimmed;
+    Alcotest.test_case "nested" `Quick test_nested;
+    Alcotest.test_case "attributes" `Quick test_attributes;
+    Alcotest.test_case "single-quote attribute" `Quick test_attribute_single_quotes;
+    Alcotest.test_case "entities" `Quick test_entities;
+    Alcotest.test_case "numeric entities" `Quick test_numeric_entities;
+    Alcotest.test_case "entity in attribute" `Quick test_entity_in_attribute;
+    Alcotest.test_case "comments skipped" `Quick test_comments_skipped;
+    Alcotest.test_case "prolog skipped" `Quick test_prolog_skipped;
+    Alcotest.test_case "doctype skipped" `Quick test_doctype_skipped;
+    Alcotest.test_case "cdata" `Quick test_cdata;
+    Alcotest.test_case "find_children order" `Quick test_find_children_order;
+    Alcotest.test_case "child_int" `Quick test_child_int;
+    Alcotest.test_case "child_int negative" `Quick test_child_int_negative;
+    Alcotest.test_case "child_int non-integer" `Quick test_child_int_bad;
+    Alcotest.test_case "has_child flags" `Quick test_has_child_flag;
+    Alcotest.test_case "mismatched tags rejected" `Quick test_mismatched_tags;
+    Alcotest.test_case "unterminated rejected" `Quick test_unterminated;
+    Alcotest.test_case "empty document rejected" `Quick test_empty_document;
+    Alcotest.test_case "trailing garbage rejected" `Quick test_trailing_garbage;
+    Alcotest.test_case "unknown entity rejected" `Quick test_unknown_entity;
+    Alcotest.test_case "escape" `Quick test_escape;
+    Alcotest.test_case "build/print/parse round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "parse_file" `Quick test_parse_file;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]
