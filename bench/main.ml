@@ -7,7 +7,9 @@
      dune exec bench/main.exe            full reproduction + bechamel
      dune exec bench/main.exe -- --quick reduced sizes (CI smoke)
      dune exec bench/main.exe -- --no-bechamel
-     dune exec bench/main.exe -- fig11 tab02   (subset)               *)
+     dune exec bench/main.exe -- fig11 tab02   (subset)
+     dune exec bench/main.exe -- --jobs 4      (parallel tables)
+     dune exec bench/main.exe -- --cache-dir d --no-cache (result cache) *)
 
 open Mt_machine
 open Mt_creator
@@ -41,16 +43,23 @@ let chart_of (t : Microtools.Exp_table.t) =
   | "tiling" -> plot ~x_label:"tile" ~y_label:"cycles/iter" [ (1, "tiled matmul") ]
   | _ -> None
 
-let run_experiments ~quick ids =
+let run_experiments ~quick ~domains ids =
   let fmt = Format.std_formatter in
   Format.fprintf fmt
     "MicroTools reproduction: paper figures/tables vs the machine model@.@.";
+  (* Compute all tables first — in parallel when --jobs allows — then
+     print in paper order, so the transcript is stable under -j. *)
+  let computed =
+    Mt_parallel.Pool.map_list ~domains
+      (fun id ->
+        (id, Option.map (fun f -> f ?quick:(Some quick) ()) (Microtools.Experiments.by_id id)))
+      ids
+  in
   let tables =
     List.filter_map
-      (fun id ->
-        match Microtools.Experiments.by_id id with
-        | Some f ->
-          let t = f ~quick () in
+      (fun (id, table) ->
+        match table with
+        | Some t ->
           Microtools.Exp_table.print fmt t;
           (match chart_of t with
           | Some chart -> Format.fprintf fmt "%s@." chart
@@ -59,7 +68,7 @@ let run_experiments ~quick ids =
         | None ->
           Format.fprintf fmt "unknown experiment %s@." id;
           None)
-      ids
+      computed
   in
   (* Compact recap: one line per experiment. *)
   Format.fprintf fmt "=== summary (paper expectation vs measured) ===@.";
@@ -242,14 +251,47 @@ let run_bechamel () =
 (* Entry                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Flags taking a value: "--flag v".  Returns (value, remaining args). *)
+let take_value flag args =
+  let rec go acc = function
+    | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  go [] args
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let jobs, args = take_value "--jobs" args in
+  let cache_dir, args = take_value "--cache-dir" args in
   let quick = List.mem "--quick" args in
   let no_bechamel = List.mem "--no-bechamel" args in
+  let no_cache = List.mem "--no-cache" args in
+  let domains =
+    match Option.bind jobs int_of_string_opt with
+    | Some 0 -> Mt_parallel.Pool.available_domains ()
+    | Some n -> max 1 n
+    | None -> 1
+  in
+  let cache =
+    if no_cache then None
+    else
+      Some
+        (Mt_parallel.Cache.create
+           ~dir:(Option.value ~default:(Mt_parallel.Cache.default_dir ()) cache_dir)
+           ())
+  in
+  Microtools.Experiments.set_cache cache;
   let ids =
     match List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args with
     | [] -> Microtools.Experiments.ids
     | ids -> ids
   in
-  run_experiments ~quick ids;
+  run_experiments ~quick ~domains ids;
+  (match cache with
+  | Some c ->
+    Printf.printf "cache: %d hits, %d misses, %.1f%% hit rate\n\n"
+      (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
+      (100. *. Mt_parallel.Cache.hit_rate c)
+  | None -> ());
   if not no_bechamel then run_bechamel ()

@@ -3,16 +3,25 @@
 
 open Cmdliner
 
-let run_ids ids quick csv_dir =
+let run_ids ids quick csv_dir jobs cache =
   let fmt = Format.std_formatter in
+  let domains =
+    if jobs = 0 then Mt_parallel.Pool.available_domains () else max 1 jobs
+  in
+  (* Tables are computed in parallel (each experiment is an independent
+     batch of simulator runs) but printed strictly in request order. *)
+  let tables =
+    Mt_parallel.Pool.map_list ~domains
+      (fun id -> (id, Option.map (fun f -> f ?quick:(Some quick) ()) (Microtools.Experiments.by_id id)))
+      ids
+  in
   List.iter
-    (fun id ->
-      match Microtools.Experiments.by_id id with
+    (fun (id, table) ->
+      match table with
       | None ->
         Format.fprintf fmt "unknown experiment %s (known: %s)@." id
           (String.concat ", " Microtools.Experiments.ids)
-      | Some f ->
-        let table = f ~quick () in
+      | Some table ->
         Microtools.Exp_table.print fmt table;
         (match csv_dir with
         | None -> ()
@@ -21,7 +30,13 @@ let run_ids ids quick csv_dir =
           Mt_stats.Csv.save
             (Microtools.Exp_table.to_csv table)
             (Filename.concat dir (id ^ ".csv"))))
-    ids;
+    tables;
+  (match cache with
+  | Some c ->
+    Format.fprintf fmt "cache: %d hits, %d misses, %.1f%% hit rate@."
+      (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
+      (100. *. Mt_parallel.Cache.hit_rate c)
+  | None -> ());
   0
 
 let ids_arg =
@@ -69,18 +84,45 @@ let list_experiments () =
     Microtools.Experiments.ids;
   0
 
-let main ids all quick csv_dir list =
+let main ids all quick csv_dir list jobs cache_dir no_cache =
   if list then list_experiments ()
   else begin
     let ids =
       if all || ids = [] then Microtools.Experiments.ids else ids
     in
-    run_ids ids quick csv_dir
+    let cache =
+      if no_cache then None
+      else
+        Some
+          (Mt_parallel.Cache.create
+             ~dir:(Option.value ~default:(Mt_parallel.Cache.default_dir ()) cache_dir)
+             ())
+    in
+    Microtools.Experiments.set_cache cache;
+    run_ids ids quick csv_dir jobs cache
   end
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Compute experiments on $(docv) domains (0 = one per available \
+                 core); output stays in request order.")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"On-disk result cache location (default: \\$XDG_CACHE_HOME/microtools \
+                 or ~/.cache/microtools).")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ] ~doc:"Disable the result cache; re-simulate everything.")
 
 let cmd =
   let doc = "reproduce the MicroTools paper's figures and tables" in
   Cmd.v (Cmd.info "mt_experiments" ~doc)
-    Term.(const main $ ids_arg $ all_arg $ quick_arg $ csv_arg $ list_arg)
+    Term.(
+      const main $ ids_arg $ all_arg $ quick_arg $ csv_arg $ list_arg
+      $ jobs_arg $ cache_dir_arg $ no_cache_arg)
 
 let () = exit (Cmd.eval' cmd)

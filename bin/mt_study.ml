@@ -7,7 +7,8 @@
 open Cmdliner
 open Mt_launcher
 
-let run input machine machine_file array_kb per repetitions experiments top csv =
+let run input machine machine_file array_kb per repetitions experiments top csv
+    jobs cache_dir no_cache =
   let resolved =
     match machine_file with
     | Some path -> Mt_machine.Config_io.of_file path
@@ -48,13 +49,30 @@ let run input machine machine_file array_kb per repetitions experiments top csv 
       Printf.eprintf "mt_study: %s: %s\n" input msg;
       1
     | Ok study -> (
+      let domains =
+        if jobs = 0 then Mt_parallel.Pool.available_domains () else max 1 jobs
+      in
+      let cache =
+        if no_cache then None
+        else
+          Some
+            (Mt_parallel.Cache.create
+               ~dir:(Option.value ~default:(Mt_parallel.Cache.default_dir ()) cache_dir)
+               ())
+      in
       let variants = Microtools.Study.variants study in
-      Printf.printf "generated %d variants; measuring on %s...\n\n"
-        (List.length variants) cfg.Mt_machine.Config.name;
-      let outcomes = Microtools.Study.run study in
+      Printf.printf "generated %d variants; measuring on %s (%d domain%s%s)...\n\n"
+        (List.length variants) cfg.Mt_machine.Config.name domains
+        (if domains = 1 then "" else "s")
+        (match cache with
+        | Some c -> ", cache " ^ Option.value ~default:"memory" (Mt_parallel.Cache.dir c)
+        | None -> ", cache off");
+      let outcomes = Microtools.Study.run ~domains ?cache study in
       let ok = Microtools.Study.successes outcomes in
       let ranked =
-        List.sort (fun (_, a) (_, b) -> compare a.Report.value b.Report.value) ok
+        List.sort
+          (fun (_, a) (_, b) -> Float.compare a.Report.value b.Report.value)
+          ok
       in
       let shown = if top > 0 then top else List.length ranked in
       List.iteri
@@ -81,6 +99,12 @@ let run input machine machine_file array_kb per repetitions experiments top csv 
       | Some path ->
         Mt_stats.Csv.save (Microtools.Study.csv outcomes) path;
         Printf.printf "full results written to %s\n" path
+      | None -> ());
+      (match cache with
+      | Some c ->
+        Printf.printf "cache: %d hits, %d misses, %.1f%% hit rate\n"
+          (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
+          (100. *. Mt_parallel.Cache.hit_rate c)
       | None -> ());
       match Microtools.Study.best outcomes with
       | Some (v, r) ->
@@ -115,11 +139,30 @@ let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~doc:"Ranked variants to 
 
 let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write all results as CSV.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Evaluate variants on $(docv) domains (0 = one per available core). \
+                 Results are merged in variant order, so the output is identical \
+                 to a sequential run.")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"On-disk result cache location (default: \\$XDG_CACHE_HOME/microtools \
+                 or ~/.cache/microtools).")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the result cache; re-simulate every variant.")
+
 let cmd =
   let doc = "generate a kernel's variation space and rank every variant" in
   Cmd.v (Cmd.info "mt_study" ~doc)
     Term.(
       const run $ input_arg $ machine_arg $ machine_file_arg $ array_arg
-      $ per_arg $ reps_arg $ exps_arg $ top_arg $ csv_arg)
+      $ per_arg $ reps_arg $ exps_arg $ top_arg $ csv_arg $ jobs_arg
+      $ cache_dir_arg $ no_cache_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -55,7 +55,7 @@ let classify ?(threshold = 0.55) cfg o =
 type knee = { at : float; before : float; after : float; ratio : float }
 
 let find_knee ?(min_ratio = 1.5) series =
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) series in
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) series in
   let rec scan best = function
     | (x1, y1) :: ((_, y2) :: _ as rest) when y1 > 0. ->
       let ratio = y2 /. y1 in
@@ -76,7 +76,7 @@ let recommend_unroll ?(tolerance = 0.02) points =
   | [] -> None
   | points ->
     let best = List.fold_left (fun acc (_, v) -> Float.min acc v) infinity points in
-    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) points in
+    let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) points in
     List.find_map
       (fun (u, v) -> if v <= best *. (1. +. tolerance) then Some u else None)
       sorted

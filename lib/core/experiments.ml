@@ -18,6 +18,22 @@ let ok_or_fail where = function
   | Error msg -> fail "%s: %s" where msg
 
 (* ------------------------------------------------------------------ *)
+(* Result cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One process-wide cache for every variant launch the suite performs,
+   configured once by the binaries (--cache-dir / --no-cache).  A full
+   figure regeneration measures the same (variant, options, machine)
+   triples over and over across figures — and identically across
+   invocations — so replaying stored reports is the paper-scale lever. *)
+let cache : Mt_parallel.Cache.t option ref = ref None
+
+let set_cache c = cache := c
+
+let launch_variant opts variant =
+  Study.cached_launch ?cache:!cache opts variant
+
+(* ------------------------------------------------------------------ *)
 (* Shared measurement helpers                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -43,9 +59,7 @@ let opts_for_level ~quick base (lvl : level_spec) =
   else { base with Options.repetitions = 2; experiments = 3 }
 
 let measure_value opts variant =
-  (Launcher.launch opts (Source.From_variant variant)
-  |> ok_or_fail (Variant.id variant))
-    .Report.value
+  (launch_variant opts variant |> ok_or_fail (Variant.id variant)).Report.value
 
 (* Variants of the (Load|Store)+ description whose after-unroll swap
    pattern is uniform: all loads or all stores. *)
@@ -465,14 +479,9 @@ let seq_vs_openmp ~quick ~elements ~unrolls ~experiments =
         | [ v ] -> v
         | vs -> fail "seq_vs_openmp: %d variants" (List.length vs)
       in
-      let seq =
-        Launcher.launch base (Source.From_variant variant)
-        |> ok_or_fail "sequential"
-      in
+      let seq = launch_variant base variant |> ok_or_fail "sequential" in
       let omp =
-        Launcher.launch
-          { base with Options.openmp_threads = 4 }
-          (Source.From_variant variant)
+        launch_variant { base with Options.openmp_threads = 4 } variant
         |> ok_or_fail "openmp"
       in
       (u, seq, omp))
@@ -575,9 +584,7 @@ let tab02 ?(quick = false) () =
           | vs -> fail "tab02: %d variants" (List.length vs)
         in
         let seconds opts =
-          let r =
-            Launcher.launch opts (Source.From_variant variant) |> ok_or_fail "tab02"
-          in
+          let r = launch_variant opts variant |> ok_or_fail "tab02" in
           r.Report.value *. total_elements /. 1e9
         in
         ( u,
@@ -874,8 +881,7 @@ let parmodes ?(quick = false) () =
     }
   in
   let measure opts =
-    (Launcher.launch opts (Source.From_variant variant) |> ok_or_fail "parmodes")
-      .Report.value
+    (launch_variant opts variant |> ok_or_fail "parmodes").Report.value
   in
   let cached = (if quick then 64 else 128) * 1024 in
   let ram = (if quick then 9 else 12) * 1024 * 1024 in
@@ -930,9 +936,7 @@ let stability ?(quick = false) () =
         warmup;
       }
     in
-    let r =
-      Launcher.launch opts (Source.From_variant variant) |> ok_or_fail "stability"
-    in
+    let r = launch_variant opts variant |> ok_or_fail "stability" in
     Mt_stats.relative_spread r.Report.experiments *. 100.
   in
   let rows =

@@ -11,6 +11,12 @@
     dual-socket X5650 preset, Figures 15–16 on the quad-socket X7550,
     Figures 17–18 and Table 2 on the Sandy Bridge E3-1240. *)
 
+val set_cache : Mt_parallel.Cache.t option -> unit
+(** Install (or clear) the process-wide result cache every experiment's
+    variant launches are routed through — see {!Study.cached_launch}.
+    The binaries set it from [--cache-dir] / [--no-cache]; tests and
+    library users may leave it unset for always-fresh simulation. *)
+
 val fig03 : ?quick:bool -> unit -> Exp_table.t
 (** Matmul cycles/iteration vs matrix size: the memory-hierarchy
     staircase with a cliff around size 500. *)

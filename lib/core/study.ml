@@ -27,9 +27,47 @@ let variants t =
 
 type outcome = { variant : Variant.t; result : (Report.t, string) result }
 
-let run t =
-  List.map
-    (fun variant -> { variant; result = Launcher.launch t.options (Source.From_variant variant) })
+(* ------------------------------------------------------------------ *)
+(* Result caching                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a measurement depends on and nothing it doesn't: the
+   side-effect options (csv_path, verbose) are normalised away so a
+   re-run that only redirects its CSV still hits. *)
+let options_fingerprint (opts : Options.t) =
+  Marshal.to_string { opts with Options.csv_path = None; verbose = false } []
+
+(* The machine config is embedded in Options.t, but frequency overrides
+   are applied late; fingerprint the effective machine explicitly. *)
+let machine_fingerprint opts = Marshal.to_string (Options.effective_machine opts) []
+
+let variant_fingerprint v =
+  let body =
+    match v.Variant.body with
+    | Variant.Concrete program -> Mt_isa.Insn.program_to_string program
+    | Variant.Abstract _ -> "abstract"
+  in
+  Marshal.to_string (Variant.id v, v.Variant.unroll, body, v.Variant.abi) []
+
+let cache_key opts variant =
+  Mt_parallel.Cache.digest_key
+    [
+      variant_fingerprint variant;
+      options_fingerprint opts;
+      machine_fingerprint opts;
+    ]
+
+let cached_launch ?cache opts variant =
+  Mt_parallel.Cache.with_cache cache
+    ~key:(fun () -> cache_key opts variant)
+    (fun () -> Launcher.launch opts (Source.From_variant variant))
+    ~encode:(fun result -> Marshal.to_string result [])
+    ~decode:(fun data : (Report.t, string) result -> Marshal.from_string data 0)
+
+let run ?(domains = 1) ?cache t =
+  let options = t.options in
+  Mt_parallel.Pool.map_list ~domains
+    (fun variant -> { variant; result = cached_launch ?cache options variant })
     (variants t)
 
 let successes outcomes =
@@ -48,7 +86,7 @@ let best outcomes =
 let by_unroll outcomes =
   let ok = successes outcomes in
   let unrolls =
-    List.sort_uniq compare (List.map (fun (v, _) -> v.Variant.unroll) ok)
+    List.sort_uniq Int.compare (List.map (fun (v, _) -> v.Variant.unroll) ok)
   in
   List.map
     (fun u -> (u, List.filter (fun (v, _) -> v.Variant.unroll = u) ok))

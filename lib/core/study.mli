@@ -22,8 +22,31 @@ val variants : t -> Variant.t list
 (** One variant's fate in the study. *)
 type outcome = { variant : Variant.t; result : (Report.t, string) result }
 
-val run : t -> outcome list
-(** Measure every variant under the study's launcher options. *)
+val run : ?domains:int -> ?cache:Mt_parallel.Cache.t -> t -> outcome list
+(** Measure every variant under the study's launcher options.
+
+    [domains] (default 1) spreads the variant list over that many
+    domains via {!Mt_parallel.Pool}; the simulator is pure per variant,
+    and results are merged back in generation order, so a parallel
+    run's outcome list — and therefore its {!csv} — is byte-identical
+    to a sequential run's.
+
+    [cache] short-circuits variants whose (program text, options,
+    machine) triple was measured before: their stored report is
+    replayed without touching the simulator.  A repeated run with the
+    same cache re-simulates nothing. *)
+
+val cache_key : Options.t -> Variant.t -> string
+(** The content address {!run} uses: a digest of the variant's
+    fingerprint (id, unroll, lowered program text, ABI), the launcher
+    options (minus output-routing fields) and the effective machine
+    config. *)
+
+val cached_launch :
+  ?cache:Mt_parallel.Cache.t ->
+  Options.t -> Variant.t -> (Report.t, string) result
+(** One variant through the launcher, routed through the cache —
+    the primitive {!run} and {!Experiments} share. *)
 
 val successes : outcome list -> (Variant.t * Report.t) list
 

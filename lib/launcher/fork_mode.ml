@@ -47,6 +47,8 @@ let run opts program abi =
         ~unit_label:first.Report.unit_label ~per_label:first.Report.per_label
         ~passes_per_call:actual_passes
         ~calls_per_experiment:opts.Options.repetitions
+        ~overhead_exceeded:
+          (List.exists (fun r -> r.Report.overhead_exceeded) per_core)
         ?mem:first.Report.mem mean_per_experiment
     in
     Ok { aggregate; per_core }

@@ -182,6 +182,13 @@ let report_of_totals ?(mode = "seq") ?noise p ~actual_passes totals =
   let reps = opts.Options.repetitions in
   let overhead = if opts.Options.subtract_overhead then overhead_cycles p else 0. in
   let divisor = per_call_divisor p actual_passes *. float_of_int reps in
+  (* When the configured overhead out-weighs a measured total the
+     subtraction clamps to 0 — flag it rather than silently reporting
+     zero cycles (a mis-calibrated call_overhead_cycles would otherwise
+     masquerade as an infinitely fast kernel). *)
+  let overhead_exceeded =
+    List.exists (fun total -> total -. (overhead *. float_of_int reps) < 0.) totals
+  in
   let values =
     List.map
       (fun total ->
@@ -193,7 +200,7 @@ let report_of_totals ?(mode = "seq") ?noise p ~actual_passes totals =
   Report.make
     ~id:p.abi.Abi.function_name ~mode ~unit_label:(unit_label opts)
     ~per_label:(per_label opts) ~passes_per_call:actual_passes
-    ~calls_per_experiment:reps ~mem (Array.of_list values)
+    ~calls_per_experiment:reps ~overhead_exceeded ~mem (Array.of_list values)
 
 let measure ?mode p =
   match measure_totals p with

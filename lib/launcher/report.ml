@@ -9,10 +9,11 @@ type t = {
   passes_per_call : int;
   calls_per_experiment : int;
   mem : Mt_machine.Memory.counters option;
+  overhead_exceeded : bool;
 }
 
 let make ~id ~mode ~unit_label ~per_label ?(passes_per_call = 0)
-    ?(calls_per_experiment = 0) ?mem experiments =
+    ?(calls_per_experiment = 0) ?(overhead_exceeded = false) ?mem experiments =
   if Array.length experiments = 0 then
     invalid_arg "Report.make: no experiment values";
   let summary = Mt_stats.summarize experiments in
@@ -27,7 +28,10 @@ let make ~id ~mode ~unit_label ~per_label ?(passes_per_call = 0)
     passes_per_call;
     calls_per_experiment;
     mem;
+    overhead_exceeded;
   }
+
+let flags_cell r = if r.overhead_exceeded then "overhead-exceeds-measurement" else ""
 
 let csv ?(full = false) reports =
   let max_experiments =
@@ -35,7 +39,7 @@ let csv ?(full = false) reports =
   in
   let header =
     [ "id"; "mode"; "unit"; "per"; "value"; "min"; "median"; "max"; "stddev";
-      "experiments"; "passes_per_call" ]
+      "experiments"; "passes_per_call"; "flags" ]
     @ (if full then List.init max_experiments (fun i -> Printf.sprintf "run%d" i) else [])
   in
   let doc = Mt_stats.Csv.create ~header in
@@ -52,6 +56,7 @@ let csv ?(full = false) reports =
           Printf.sprintf "%.6g" s.Mt_stats.stddev;
           string_of_int s.Mt_stats.count;
           string_of_int r.passes_per_call;
+          flags_cell r;
         ]
         @
         if full then
@@ -68,6 +73,7 @@ let csv ?(full = false) reports =
 let save_csv ?full reports path = Mt_stats.Csv.save (csv ?full reports) path
 
 let pp fmt r =
-  Format.fprintf fmt "%s [%s] %.3f %s/%s (min %.3f, max %.3f, n=%d)" r.id r.mode
+  Format.fprintf fmt "%s [%s] %.3f %s/%s (min %.3f, max %.3f, n=%d)%s" r.id r.mode
     r.value r.unit_label r.per_label r.summary.Mt_stats.minimum
     r.summary.Mt_stats.maximum r.summary.Mt_stats.count
+    (if r.overhead_exceeded then " [overhead exceeds measurement]" else "")

@@ -13,6 +13,12 @@ type t = {
   passes_per_call : int;
   calls_per_experiment : int;
   mem : Mt_machine.Memory.counters option;
+  overhead_exceeded : bool;
+      (** The configured call overhead was larger than at least one
+          measured total, i.e. the subtraction clamped to 0 and the
+          reported cycles are a floor, not a measurement — a
+          mis-calibrated [call_overhead_cycles].  Rendered in the CSV
+          "flags" column. *)
 }
 
 val make :
@@ -22,11 +28,16 @@ val make :
   per_label:string ->
   ?passes_per_call:int ->
   ?calls_per_experiment:int ->
+  ?overhead_exceeded:bool ->
   ?mem:Mt_machine.Memory.counters ->
   float array ->
   t
 (** Build a record from per-experiment values.
     @raise Invalid_argument on an empty array. *)
+
+val flags_cell : t -> string
+(** The CSV "flags" column content: ["overhead-exceeds-measurement"]
+    when {!field-overhead_exceeded} is set, [""] otherwise. *)
 
 val csv : ?full:bool -> t list -> Mt_stats.Csv.t
 (** The launcher's CSV: one row per measurement with id, mode, value,

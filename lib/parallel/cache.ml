@@ -1,0 +1,122 @@
+(* Bumped whenever the serialized value layout changes: the version is
+   folded into every digest, so old on-disk entries simply never hit. *)
+let format_version = "microtools-cache-v1"
+
+type t = {
+  table : (string, string) Hashtbl.t;
+  lock : Mutex.t;
+  dir : string option;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let default_dir () =
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some d when d <> "" -> Filename.concat d "microtools"
+  | _ -> (
+    match Sys.getenv_opt "HOME" with
+    | Some h when h <> "" ->
+      Filename.concat (Filename.concat h ".cache") "microtools"
+    | _ -> Filename.concat (Filename.get_temp_dir_name ()) "microtools-cache")
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let create ?dir () =
+  Option.iter mkdir_p dir;
+  {
+    table = Hashtbl.create 256;
+    lock = Mutex.create ();
+    dir;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let dir t = t.dir
+
+let digest_key parts =
+  (* Length-prefixing makes the concatenation injective: ["ab"; "c"]
+     and ["a"; "bc"] digest differently. *)
+  let b = Buffer.create 256 in
+  Buffer.add_string b format_version;
+  List.iter
+    (fun part ->
+      Buffer.add_string b (string_of_int (String.length part));
+      Buffer.add_char b ':';
+      Buffer.add_string b part)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let entry_path dir key = Filename.concat dir (key ^ ".bin")
+
+let read_entry path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let data =
+      try Some (really_input_string ic (in_channel_length ic))
+      with End_of_file | Sys_error _ -> None
+    in
+    close_in_noerr ic;
+    data
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t key =
+  let in_memory = locked t (fun () -> Hashtbl.find_opt t.table key) in
+  let result =
+    match in_memory, t.dir with
+    | (Some _ as hit), _ -> hit
+    | None, None -> None
+    | None, Some dir -> (
+      match read_entry (entry_path dir key) with
+      | Some data ->
+        locked t (fun () -> Hashtbl.replace t.table key data);
+        Some data
+      | None -> None)
+  in
+  (match result with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  result
+
+let store t key data =
+  locked t (fun () -> Hashtbl.replace t.table key data);
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+    (* Write to a unique temp file in the same directory, then rename:
+       a concurrent reader sees either no entry or a complete one. *)
+    let path = entry_path dir key in
+    let tmp = Printf.sprintf "%s.%d.tmp" path (Domain.self () :> int) in
+    try
+      let oc = open_out_bin tmp in
+      output_string oc data;
+      close_out oc;
+      Sys.rename tmp path
+    with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ()))
+
+let with_cache c ~key compute ~encode ~decode =
+  match c with
+  | None -> compute ()
+  | Some t -> (
+    let k = key () in
+    match find t k with
+    | Some data -> decode data
+    | None ->
+      let v = compute () in
+      store t k (encode v);
+      v)
+
+let hits t = Atomic.get t.hits
+
+let misses t = Atomic.get t.misses
+
+let hit_rate t =
+  let h = hits t and m = misses t in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)

@@ -1,0 +1,35 @@
+let available_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Each worker owns the index stride [d, d + domains, d + 2*domains, ...]
+   — its shard of the queue.  Writing results.(i) from exactly one
+   domain per index keeps the array race-free under the OCaml 5 memory
+   model without any locking. *)
+let map ~domains f items =
+  let n = Array.length items in
+  let domains = max 1 (min domains n) in
+  if domains <= 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make domains None in
+    let worker d () =
+      let i = ref d in
+      (try
+         while !i < n do
+           results.(!i) <- Some (f items.(!i));
+           i := !i + domains
+         done
+       with e -> failures.(d) <- Some e)
+    in
+    let spawned = List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    Array.iter (function Some e -> raise e | None -> ()) failures;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> invalid_arg "Mt_parallel.Pool.map: missing result")
+      results
+  end
+
+let map_list ~domains f items =
+  Array.to_list (map ~domains f (Array.of_list items))

@@ -1,0 +1,36 @@
+(** A Domain-based worker pool for embarrassingly parallel study
+    evaluation.
+
+    The work distribution is a {e sharded queue}: item [i] of the input
+    belongs to shard [i mod domains], and each domain drains exactly its
+    own shard — there is no stealing, no shared cursor and therefore no
+    contention on the hot path.  Because the simulator's cost is roughly
+    uniform across a study's variants, round-robin sharding balances the
+    shards to within one item.
+
+    Results are written into a pre-sized array at the item's original
+    index, so the output order is the input order regardless of how the
+    domains interleave: a parallel run is observably identical to a
+    sequential one (the property {!Study.run} relies on for
+    byte-identical CSVs). *)
+
+val available_domains : unit -> int
+(** The runtime's recommended domain count for this machine (at least
+    1).  Binaries use it for [--jobs 0] ("auto"). *)
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f items] applies [f] to every item, spreading the
+    work over [min domains (Array.length items)] domains (clamped to at
+    least 1), and returns the results in input order.
+
+    With [domains <= 1] no domain is spawned and the items are mapped
+    in place — the degenerate case costs nothing over [Array.map].
+
+    [f] must be safe to run from multiple domains at once (the
+    simulator is: every launch builds its own state).  If any
+    application of [f] raises, the remaining shards still complete and
+    the exception of the lowest-numbered failing shard is re-raised in
+    the caller's domain. *)
+
+val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists, preserving order. *)

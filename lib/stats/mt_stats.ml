@@ -10,13 +10,16 @@ type summary = {
 let check_non_empty name xs =
   if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
 
+(* Float-specialised throughout: [summarize] sits on the hot path of
+   every measurement, and polymorphic compare both costs a C call per
+   element and orders NaN inconsistently with IEEE expectations. *)
 let min_of xs =
   check_non_empty "Mt_stats.min_of" xs;
-  Array.fold_left min xs.(0) xs
+  Array.fold_left Float.min xs.(0) xs
 
 let max_of xs =
   check_non_empty "Mt_stats.max_of" xs;
-  Array.fold_left max xs.(0) xs
+  Array.fold_left Float.max xs.(0) xs
 
 let mean xs =
   check_non_empty "Mt_stats.mean" xs;
@@ -24,7 +27,7 @@ let mean xs =
 
 let sorted xs =
   let ys = Array.copy xs in
-  Array.sort compare ys;
+  Array.sort Float.compare ys;
   ys
 
 let median xs =
@@ -124,4 +127,72 @@ module Csv = struct
     close_out oc
 
   let row_count t = List.length t.rows
+
+  let header t = t.header
+
+  let rows t = List.rev t.rows
+
+  (* RFC-4180 reader matching [to_string]: quoted cells may contain
+     commas, doubled quotes and newlines; CRLF and a missing final
+     newline are tolerated. *)
+  let parse_string s =
+    let n = String.length s in
+    let cell = Buffer.create 16 in
+    let cells = ref [] in
+    let records = ref [] in
+    let finish_cell () =
+      cells := Buffer.contents cell :: !cells;
+      Buffer.clear cell
+    in
+    let finish_record () =
+      finish_cell ();
+      records := List.rev !cells :: !records;
+      cells := []
+    in
+    let rec unquoted i =
+      if i >= n then begin
+        if Buffer.length cell > 0 || !cells <> [] then finish_record ();
+        Ok (List.rev !records)
+      end
+      else
+        match s.[i] with
+        | ',' -> finish_cell (); unquoted (i + 1)
+        | '\n' -> finish_record (); unquoted (i + 1)
+        | '\r' when i + 1 < n && s.[i + 1] = '\n' ->
+          finish_record (); unquoted (i + 2)
+        | '"' when Buffer.length cell = 0 -> quoted (i + 1)
+        | c -> Buffer.add_char cell c; unquoted (i + 1)
+    and quoted i =
+      if i >= n then Error "unterminated quoted cell"
+      else
+        match s.[i] with
+        | '"' when i + 1 < n && s.[i + 1] = '"' ->
+          Buffer.add_char cell '"';
+          quoted (i + 2)
+        | '"' -> unquoted (i + 1)
+        | c -> Buffer.add_char cell c; quoted (i + 1)
+    in
+    unquoted 0
+
+  let of_string s =
+    match parse_string s with
+    | Error _ as e -> e
+    | Ok [] -> Error "empty CSV document"
+    | Ok (header :: data) ->
+      let width = List.length header in
+      let rec check = function
+        | [] -> Ok ()
+        | row :: rest ->
+          if List.length row <> width then
+            Error
+              (Printf.sprintf "row width %d differs from header width %d"
+                 (List.length row) width)
+          else check rest
+      in
+      (match check data with
+      | Error _ as e -> e
+      | Ok () ->
+        let t = create ~header in
+        List.iter (add_row t) data;
+        Ok t)
 end

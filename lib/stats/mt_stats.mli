@@ -65,4 +65,19 @@ module Csv : sig
 
   val row_count : t -> int
   (** Number of data rows added so far. *)
+
+  val header : t -> string list
+
+  val rows : t -> string list list
+  (** Data rows in insertion order (header excluded). *)
+
+  val parse_string : string -> (string list list, string) result
+  (** Parse RFC-4180 text into records (header row included).  Inverse
+      of {!to_string}'s quoting: cells may contain commas, doubled
+      quotes and embedded newlines. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse a document: first record is the header, remaining records
+      must match its width.  [of_string (to_string t)] round-trips
+      header and rows exactly. *)
 end

@@ -79,12 +79,19 @@ let decode_entity st =
   | "apos" -> "'"
   | _ ->
     if String.length name > 1 && name.[0] = '#' then begin
+      (* Malformed references (&#xZZ;, &#-5;, &#x110000;) must surface
+         as positioned parse errors, never as an escaping Failure or
+         Invalid_argument from int_of_string/Char.chr. *)
+      let digits =
+        if name.[1] = 'x' || name.[1] = 'X' then
+          "0x" ^ String.sub name 2 (String.length name - 2)
+        else String.sub name 1 (String.length name - 1)
+      in
       let code =
-        try
-          if name.[1] = 'x' || name.[1] = 'X' then
-            int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
-          else int_of_string (String.sub name 1 (String.length name - 1))
-        with Failure _ -> error st (Printf.sprintf "bad character reference &%s;" name)
+        match int_of_string_opt digits with
+        | Some c when c >= 0 && c <= 0x10FFFF -> c
+        | Some _ | None ->
+          error st (Printf.sprintf "bad character reference &%s;" name)
       in
       if code < 0x80 then String.make 1 (Char.chr code)
       else begin

@@ -473,6 +473,30 @@ let test_report_csv_full () =
   check_bool "per-run columns" true
     (String.split_on_char ',' header_line |> List.exists (fun c -> c = "run0"))
 
+let test_report_overhead_flag () =
+  (* Default reports carry no flag and an empty flags cell... *)
+  let plain = sample_report () in
+  check_bool "default clear" false plain.Report.overhead_exceeded;
+  Alcotest.(check string) "empty cell" "" (Report.flags_cell plain);
+  (* ...while a flagged report surfaces it in the CSV. *)
+  let flagged =
+    Report.make ~id:"k" ~mode:"seq" ~unit_label:"tsc-cycles" ~per_label:"pass"
+      ~overhead_exceeded:true [| 10.; 12.; 11. |]
+  in
+  Alcotest.(check string) "flag cell" "overhead-exceeds-measurement"
+    (Report.flags_cell flagged);
+  let text = Mt_stats.Csv.to_string (Report.csv [ flagged ]) in
+  let header = List.hd (String.split_on_char '\n' text) in
+  check_bool "flags column in header" true
+    (String.split_on_char ',' header |> List.exists (fun c -> c = "flags"));
+  check_bool "flag value in row" true
+    (let needle = "overhead-exceeds-measurement" in
+     let rec go i =
+       i + String.length needle <= String.length text
+       && (String.sub text i (String.length needle) = needle || go (i + 1))
+     in
+     go 0)
+
 let test_csv_written_by_launch () =
   let path = Filename.temp_file "mtlaunch" ".csv" in
   let opts = { quick_opts with Options.csv_path = Some path } in
@@ -526,5 +550,6 @@ let tests =
     Alcotest.test_case "report value is median" `Quick test_report_value_is_median;
     Alcotest.test_case "report csv" `Quick test_report_csv;
     Alcotest.test_case "report csv full" `Quick test_report_csv_full;
+    Alcotest.test_case "report overhead flag" `Quick test_report_overhead_flag;
     Alcotest.test_case "csv written by launch" `Quick test_csv_written_by_launch;
   ]

@@ -1,0 +1,158 @@
+(* Tests for the Domain pool and the result cache: ordering, exception
+   propagation, parallel == sequential determinism, and "a second run
+   re-simulates nothing". *)
+
+open Mt_machine
+open Mt_launcher
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_order () =
+  let items = Array.init 103 (fun i -> i) in
+  let doubled = Mt_parallel.Pool.map ~domains:4 (fun i -> 2 * i) items in
+  Array.iteri (fun i v -> check_int "slot" (2 * i) v) doubled
+
+let test_pool_degenerate () =
+  check_bool "empty input" true
+    (Mt_parallel.Pool.map ~domains:4 (fun i -> i) [||] = [||]);
+  (* More domains than items is clamped, not an error. *)
+  check_bool "one item, many domains" true
+    (Mt_parallel.Pool.map ~domains:16 string_of_int [| 7 |] = [| "7" |]);
+  check_bool "lists too" true
+    (Mt_parallel.Pool.map_list ~domains:3 succ [ 1; 2; 3 ] = [ 2; 3; 4 ])
+
+let test_pool_exception () =
+  match
+    Mt_parallel.Pool.map ~domains:4
+      (fun i -> if i = 5 then failwith "boom" else i)
+      (Array.init 16 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected the worker's exception to re-raise"
+  | exception Failure msg -> check_string "message survives" "boom" msg
+
+(* ------------------------------------------------------------------ *)
+(* Cache primitive                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mt-cache-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o700;
+  d
+
+let test_cache_memory () =
+  let c = Mt_parallel.Cache.create () in
+  let key = Mt_parallel.Cache.digest_key [ "a"; "b" ] in
+  check_bool "miss first" true (Mt_parallel.Cache.find c key = None);
+  Mt_parallel.Cache.store c key "payload";
+  check_bool "hit after store" true
+    (Mt_parallel.Cache.find c key = Some "payload");
+  check_int "hits" 1 (Mt_parallel.Cache.hits c);
+  check_int "misses" 1 (Mt_parallel.Cache.misses c)
+
+let test_cache_key_injective () =
+  (* ["ab"; "c"] and ["a"; "bc"] must not collide: components are
+     length-prefixed before digesting. *)
+  check_bool "length-prefixed" true
+    (Mt_parallel.Cache.digest_key [ "ab"; "c" ]
+    <> Mt_parallel.Cache.digest_key [ "a"; "bc" ])
+
+let test_cache_disk_persistence () =
+  let dir = temp_dir () in
+  let key = Mt_parallel.Cache.digest_key [ "persist" ] in
+  let c1 = Mt_parallel.Cache.create ~dir () in
+  Mt_parallel.Cache.store c1 key "42";
+  (* A brand-new handle over the same directory sees the entry. *)
+  let c2 = Mt_parallel.Cache.create ~dir () in
+  check_bool "disk hit" true (Mt_parallel.Cache.find c2 key = Some "42");
+  check_int "counted as hit" 1 (Mt_parallel.Cache.hits c2)
+
+(* ------------------------------------------------------------------ *)
+(* Study integration: determinism and zero re-simulation               *)
+(* ------------------------------------------------------------------ *)
+
+let x5650 = Config.nehalem_x5650_2s
+
+let quick_opts =
+  {
+    (Options.default x5650) with
+    Options.array_bytes = 16 * 1024;
+    repetitions = 1;
+    experiments = 2;
+  }
+
+(* Sum of 2^u for u in 1..6 = 126 variants: comfortably past the
+   64-variant floor the acceptance criterion asks for. *)
+let big_spec =
+  Mt_kernels.Streams.loadstore_spec ~opcode:Mt_isa.Insn.MOVSS ~stride:4
+    ~unroll:(1, 6) ()
+
+let test_parallel_matches_sequential () =
+  let study = Microtools.Study.create big_spec quick_opts in
+  check_bool "enough variants" true
+    (List.length (Microtools.Study.variants study) >= 64);
+  let seq = Microtools.Study.run ~domains:1 study in
+  let par = Microtools.Study.run ~domains:4 study in
+  check_string "byte-identical CSV"
+    (Mt_stats.Csv.to_string (Microtools.Study.csv seq))
+    (Mt_stats.Csv.to_string (Microtools.Study.csv par))
+
+let test_second_run_fully_cached () =
+  let cache = Mt_parallel.Cache.create () in
+  let study = Microtools.Study.create big_spec quick_opts in
+  let n = List.length (Microtools.Study.variants study) in
+  let first = Microtools.Study.run ~domains:2 ~cache study in
+  check_int "cold run misses everything" n (Mt_parallel.Cache.misses cache);
+  check_int "cold run hits nothing" 0 (Mt_parallel.Cache.hits cache);
+  let second = Microtools.Study.run ~domains:2 ~cache study in
+  (* Zero simulator invocations the second time: every lookup hits and
+     the miss counter does not move. *)
+  check_int "warm run all hits" n (Mt_parallel.Cache.hits cache);
+  check_int "warm run no new misses" n (Mt_parallel.Cache.misses cache);
+  check_string "replayed results identical"
+    (Mt_stats.Csv.to_string (Microtools.Study.csv first))
+    (Mt_stats.Csv.to_string (Microtools.Study.csv second))
+
+let test_cache_key_sensitivity () =
+  let study = Microtools.Study.create big_spec quick_opts in
+  let v = List.hd (Microtools.Study.variants study) in
+  let base = Microtools.Study.cache_key quick_opts v in
+  (* Changing a measurement-relevant option changes the key... *)
+  check_bool "array size matters" true
+    (base
+    <> Microtools.Study.cache_key
+         { quick_opts with Options.array_bytes = 32 * 1024 }
+         v);
+  (* ...but output-only settings (where the CSV goes) do not. *)
+  check_string "csv path is not part of the key" base
+    (Microtools.Study.cache_key
+       { quick_opts with Options.csv_path = Some "/tmp/elsewhere.csv" }
+       v)
+
+let tests =
+  [
+    Alcotest.test_case "pool preserves order" `Quick test_pool_order;
+    Alcotest.test_case "pool degenerate inputs" `Quick test_pool_degenerate;
+    Alcotest.test_case "pool re-raises worker exception" `Quick
+      test_pool_exception;
+    Alcotest.test_case "cache memory round-trip" `Quick test_cache_memory;
+    Alcotest.test_case "cache key injective" `Quick test_cache_key_injective;
+    Alcotest.test_case "cache disk persistence" `Quick
+      test_cache_disk_persistence;
+    Alcotest.test_case "parallel CSV == sequential CSV" `Slow
+      test_parallel_matches_sequential;
+    Alcotest.test_case "second run re-simulates nothing" `Slow
+      test_second_run_fully_cached;
+    Alcotest.test_case "cache key sensitivity" `Quick
+      test_cache_key_sensitivity;
+  ]

@@ -83,6 +83,38 @@ let test_csv_row_count () =
   S.Csv.add_row doc [ "2" ];
   check_int "two" 2 (S.Csv.row_count doc)
 
+let test_csv_roundtrip () =
+  (* Every RFC-4180 special case in one document: commas, quotes,
+     embedded newlines (LF and CRLF), empty cells. *)
+  let header = [ "name"; "note" ] in
+  let rows =
+    [
+      [ "plain"; "ordinary" ];
+      [ "comma,inside"; "a,b,c" ];
+      [ "quote\"inside"; "she said \"hi\"" ];
+      [ "newline\ninside"; "line1\r\nline2" ];
+      [ ""; "" ];
+    ]
+  in
+  let doc = S.Csv.create ~header in
+  List.iter (S.Csv.add_row doc) rows;
+  match S.Csv.of_string (S.Csv.to_string doc) with
+  | Error msg -> Alcotest.fail msg
+  | Ok parsed ->
+    Alcotest.(check (list string)) "header" header (S.Csv.header parsed);
+    Alcotest.(check (list (list string))) "rows" rows (S.Csv.rows parsed);
+    (* And the re-render is byte-identical: quoting is canonical. *)
+    Alcotest.(check string) "re-render" (S.Csv.to_string doc)
+      (S.Csv.to_string parsed)
+
+let test_csv_parse_errors () =
+  (match S.Csv.parse_string "a,\"unterminated\n" with
+  | Ok _ -> Alcotest.fail "unterminated quote accepted"
+  | Error _ -> ());
+  match S.Csv.of_string "a,b\nonly-one\n" with
+  | Ok _ -> Alcotest.fail "ragged row accepted"
+  | Error _ -> ()
+
 let test_csv_save () =
   let doc = S.Csv.create ~header:[ "x" ] in
   S.Csv.add_row doc [ "42" ];
@@ -143,6 +175,8 @@ let tests =
     Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
     Alcotest.test_case "csv width mismatch" `Quick test_csv_width_mismatch;
     Alcotest.test_case "csv row count" `Quick test_csv_row_count;
+    Alcotest.test_case "csv round-trip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv parse errors" `Quick test_csv_parse_errors;
     Alcotest.test_case "csv save" `Quick test_csv_save;
     QCheck_alcotest.to_alcotest prop_min_le_median_le_max;
     QCheck_alcotest.to_alcotest prop_mean_bounded;

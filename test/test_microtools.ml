@@ -11,6 +11,7 @@ let () =
       ("openmp", Openmp_tests.tests);
       ("kernels", Kernels_tests.tests);
       ("study", Study_tests.tests);
+      ("parallel", Parallel_tests.tests);
       ("extensions", Extensions_tests.tests);
       ("cc", Cc_tests.tests);
       ("mpi", Mpi_tests.tests);

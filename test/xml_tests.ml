@@ -109,6 +109,29 @@ let test_trailing_garbage () = expect_parse_error "<a/><b/>"
 
 let test_unknown_entity () = expect_parse_error "<a>&nope;</a>"
 
+(* Malformed numeric character references must surface as Parse_error
+   (with a position), never as an uncaught Invalid_argument/Failure. *)
+let test_bad_charrefs () =
+  expect_parse_error "<a>&#xZZ;</a>";
+  expect_parse_error "<a>&#-5;</a>";
+  expect_parse_error "<a>&#;</a>";
+  (* Beyond the Unicode range. *)
+  expect_parse_error "<a>&#x110000;</a>";
+  expect_parse_error "<a>&#99999999999999999999;</a>"
+
+let test_bad_charref_position () =
+  match parse "<a>&#xZZ;</a>" with
+  | exception X.Parse_error msg ->
+    check_bool "names the reference" true
+      (let needle = "&#xZZ;" in
+       let rec go i =
+         i + String.length needle <= String.length msg
+         && (String.sub msg i (String.length needle) = needle || go (i + 1))
+       in
+       go 0);
+    check_bool "carries a position" true (String.contains msg ':')
+  | _ -> Alcotest.fail "expected Parse_error"
+
 let test_escape () =
   check "escape" "&lt;a&gt; &amp; &quot;b&quot;" (X.escape {|<a> & "b"|})
 
@@ -189,6 +212,9 @@ let tests =
     Alcotest.test_case "has_child flags" `Quick test_has_child_flag;
     Alcotest.test_case "mismatched tags rejected" `Quick test_mismatched_tags;
     Alcotest.test_case "unterminated rejected" `Quick test_unterminated;
+    Alcotest.test_case "bad charrefs rejected" `Quick test_bad_charrefs;
+    Alcotest.test_case "bad charref error position" `Quick
+      test_bad_charref_position;
     Alcotest.test_case "empty document rejected" `Quick test_empty_document;
     Alcotest.test_case "trailing garbage rejected" `Quick test_trailing_garbage;
     Alcotest.test_case "unknown entity rejected" `Quick test_unknown_entity;
