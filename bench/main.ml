@@ -264,6 +264,16 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let jobs, args = take_value "--jobs" args in
   let cache_dir, args = take_value "--cache-dir" args in
+  let trace_out, args = take_value "--trace-out" args in
+  let metrics_out, args = take_value "--metrics-out" args in
+  let tel =
+    if trace_out <> None || metrics_out <> None then begin
+      let t = Mt_telemetry.create () in
+      Mt_telemetry.set_global t;
+      t
+    end
+    else Mt_telemetry.disabled
+  in
   let quick = List.mem "--quick" args in
   let no_bechamel = List.mem "--no-bechamel" args in
   let no_cache = List.mem "--no-cache" args in
@@ -294,4 +304,14 @@ let () =
       (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
       (100. *. Mt_parallel.Cache.hit_rate c)
   | None -> ());
-  if not no_bechamel then run_bechamel ()
+  if not no_bechamel then run_bechamel ();
+  Option.iter
+    (fun path ->
+      Mt_telemetry.write_chrome_trace tel path;
+      Printf.printf "trace written to %s\n" path)
+    trace_out;
+  Option.iter
+    (fun path ->
+      Mt_telemetry.write_metrics_csv tel path;
+      Printf.printf "metrics written to %s\n" path)
+    metrics_out

@@ -22,7 +22,28 @@ let analyze_kernel opts source =
           (Mt_machine.Energy.average_power_w machine outcome)))
 
 let run input function_name machine machine_file freq array_kb alignments repetitions experiments cores
-    openmp schedule chunk mpi halo per csv no_warmup no_pin seed analyze verbose =
+    openmp schedule chunk mpi halo per csv no_warmup no_pin seed analyze verbose
+    trace_out metrics_out =
+  let tel =
+    if trace_out <> None || metrics_out <> None then begin
+      let t = Mt_telemetry.create () in
+      Mt_telemetry.set_global t;
+      t
+    end
+    else Mt_telemetry.disabled
+  in
+  let write_telemetry () =
+    Option.iter
+      (fun path ->
+        Mt_telemetry.write_chrome_trace tel path;
+        Printf.printf "trace written to %s\n" path)
+      trace_out;
+    Option.iter
+      (fun path ->
+        Mt_telemetry.write_metrics_csv tel path;
+        Printf.printf "metrics written to %s\n" path)
+      metrics_out
+  in
   let resolved =
     match machine_file with
     | Some path -> (
@@ -82,14 +103,18 @@ let run input function_name machine machine_file freq array_kb alignments repeti
         Source.From_object (input, function_name)
       else Source.From_file input
     in
-    match Launcher.launch opts source with
-    | Ok report ->
-      Format.printf "%a@." Report.pp report;
-      if analyze then analyze_kernel opts source;
-      0
-    | Error msg ->
-      Printf.eprintf "microlauncher: %s\n" msg;
-      1)
+    let code =
+      match Launcher.launch opts source with
+      | Ok report ->
+        Format.printf "%a@." Report.pp report;
+        if analyze then analyze_kernel opts source;
+        0
+      | Error msg ->
+        Printf.eprintf "microlauncher: %s\n" msg;
+        1
+    in
+    write_telemetry ();
+    code)
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"KERNEL" ~doc:"Kernel file: MicroCreator .s output or a plain C kernel (.c).")
@@ -149,6 +174,18 @@ let analyze_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "verbose" ] ~doc:"Chatty progress.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the measurement (warm-up, \
+                 experiment and reporting spans) to $(docv).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write a key,value metrics CSV (experiment and memory-hierarchy \
+                 counters) to $(docv).")
+
 let cmd =
   let doc = "execute a micro-benchmark program in a stable environment" in
   Cmd.v (Cmd.info "microlauncher" ~doc)
@@ -156,6 +193,6 @@ let cmd =
       const run $ input_arg $ function_arg $ machine_arg $ machine_file_arg $ freq_arg $ array_arg $ align_arg
       $ reps_arg $ exps_arg $ cores_arg $ openmp_arg $ schedule_arg $ chunk_arg
       $ mpi_arg $ halo_arg $ per_arg $ csv_arg $ no_warmup_arg $ no_pin_arg
-      $ seed_arg $ analyze_arg $ verbose_arg)
+      $ seed_arg $ analyze_arg $ verbose_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

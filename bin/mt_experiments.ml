@@ -84,7 +84,7 @@ let list_experiments () =
     Microtools.Experiments.ids;
   0
 
-let main ids all quick csv_dir list jobs cache_dir no_cache =
+let main ids all quick csv_dir list jobs cache_dir no_cache trace_out metrics_out =
   if list then list_experiments ()
   else begin
     let ids =
@@ -99,7 +99,26 @@ let main ids all quick csv_dir list jobs cache_dir no_cache =
              ())
     in
     Microtools.Experiments.set_cache cache;
-    run_ids ids quick csv_dir jobs cache
+    let tel =
+      if trace_out <> None || metrics_out <> None then begin
+        let t = Mt_telemetry.create () in
+        Mt_telemetry.set_global t;
+        t
+      end
+      else Mt_telemetry.disabled
+    in
+    let code = run_ids ids quick csv_dir jobs cache in
+    Option.iter
+      (fun path ->
+        Mt_telemetry.write_chrome_trace tel path;
+        Printf.printf "trace written to %s\n" path)
+      trace_out;
+    Option.iter
+      (fun path ->
+        Mt_telemetry.write_metrics_csv tel path;
+        Printf.printf "metrics written to %s\n" path)
+      metrics_out;
+    code
   end
 
 let jobs_arg =
@@ -118,11 +137,21 @@ let no_cache_arg =
   Arg.(value & flag
        & info [ "no-cache" ] ~doc:"Disable the result cache; re-simulate everything.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the run to $(docv).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write a key,value metrics CSV to $(docv).")
+
 let cmd =
   let doc = "reproduce the MicroTools paper's figures and tables" in
   Cmd.v (Cmd.info "mt_experiments" ~doc)
     Term.(
       const main $ ids_arg $ all_arg $ quick_arg $ csv_arg $ list_arg
-      $ jobs_arg $ cache_dir_arg $ no_cache_arg)
+      $ jobs_arg $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,7 +8,28 @@ open Cmdliner
 open Mt_launcher
 
 let run input machine machine_file array_kb per repetitions experiments top csv
-    jobs cache_dir no_cache =
+    jobs cache_dir no_cache trace_out metrics_out =
+  let tel =
+    if trace_out <> None || metrics_out <> None then begin
+      let t = Mt_telemetry.create () in
+      Mt_telemetry.set_global t;
+      t
+    end
+    else Mt_telemetry.disabled
+  in
+  let write_telemetry () =
+    Option.iter
+      (fun path ->
+        Mt_telemetry.write_chrome_trace tel path;
+        Printf.printf "trace written to %s (open in chrome://tracing or Perfetto)\n"
+          path)
+      trace_out;
+    Option.iter
+      (fun path ->
+        Mt_telemetry.write_metrics_csv tel path;
+        Printf.printf "metrics written to %s\n" path)
+      metrics_out
+  in
   let resolved =
     match machine_file with
     | Some path -> Mt_machine.Config_io.of_file path
@@ -106,15 +127,19 @@ let run input machine machine_file array_kb per repetitions experiments top csv
           (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
           (100. *. Mt_parallel.Cache.hit_rate c)
       | None -> ());
-      match Microtools.Study.best outcomes with
-      | Some (v, r) ->
-        Printf.printf "\nbest variant: %s at %.3f %s/%s\n"
-          (Mt_creator.Variant.id v) r.Report.value r.Report.unit_label
-          r.Report.per_label;
-        0
-      | None ->
-        prerr_endline "mt_study: no variant succeeded";
-        1))
+      let code =
+        match Microtools.Study.best outcomes with
+        | Some (v, r) ->
+          Printf.printf "\nbest variant: %s at %.3f %s/%s\n"
+            (Mt_creator.Variant.id v) r.Report.value r.Report.unit_label
+            r.Report.per_label;
+          0
+        | None ->
+          prerr_endline "mt_study: no variant succeeded";
+          1
+      in
+      write_telemetry ();
+      code))
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"DESCRIPTION" ~doc:"XML kernel description.")
@@ -157,12 +182,25 @@ let no_cache_arg =
        & info [ "no-cache" ]
            ~doc:"Disable the result cache; re-simulate every variant.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the run (per-pass, \
+                 per-variant and per-phase spans) to $(docv); open it in \
+                 chrome://tracing or Perfetto.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write a key,value metrics CSV (pool, cache, simulator and \
+                 memory counters) to $(docv).")
+
 let cmd =
   let doc = "generate a kernel's variation space and rank every variant" in
   Cmd.v (Cmd.info "mt_study" ~doc)
     Term.(
       const run $ input_arg $ machine_arg $ machine_file_arg $ array_arg
       $ per_arg $ reps_arg $ exps_arg $ top_arg $ csv_arg $ jobs_arg
-      $ cache_dir_arg $ no_cache_arg)
+      $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

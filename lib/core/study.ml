@@ -21,7 +21,10 @@ let variants t =
   match t.generated with
   | Some vs -> vs
   | None ->
-    let vs = Creator.generate ~ctx:t.ctx ?pipeline:t.pipeline t.spec in
+    let vs =
+      Mt_telemetry.span (Mt_telemetry.global ()) "study.generate" (fun () ->
+          Creator.generate ~ctx:t.ctx ?pipeline:t.pipeline t.spec)
+    in
     t.generated <- Some vs;
     vs
 
@@ -66,9 +69,17 @@ let cached_launch ?cache opts variant =
 
 let run ?(domains = 1) ?cache t =
   let options = t.options in
-  Mt_parallel.Pool.map_list ~domains
-    (fun variant -> { variant; result = cached_launch ?cache options variant })
-    (variants t)
+  let tel = Mt_telemetry.global () in
+  let vs = variants t in
+  Mt_telemetry.span tel "study.run" (fun () ->
+      Mt_parallel.Pool.map_list ~domains
+        (fun variant ->
+          Mt_telemetry.span tel "study.variant"
+            ~args:[ ("variant", Variant.id variant) ]
+            (fun () ->
+              Mt_telemetry.incr tel "sim.variants";
+              { variant; result = cached_launch ?cache options variant }))
+        vs)
 
 let successes outcomes =
   List.filter_map

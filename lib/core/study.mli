@@ -34,7 +34,11 @@ val run : ?domains:int -> ?cache:Mt_parallel.Cache.t -> t -> outcome list
     [cache] short-circuits variants whose (program text, options,
     machine) triple was measured before: their stored report is
     replayed without touching the simulator.  A repeated run with the
-    same cache re-simulates nothing. *)
+    same cache re-simulates nothing.
+
+    When the global {!Mt_telemetry} handle is enabled, the run is a
+    [study.run] span containing one [study.variant] span per variant
+    (tagged with the variant id) and a [sim.variants] counter. *)
 
 val cache_key : Options.t -> Variant.t -> string
 (** The content address {!run} uses: a digest of the variant's

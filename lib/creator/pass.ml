@@ -25,15 +25,26 @@ let truncate n xs =
   go n xs
 
 let run ?(ctx = default_context) pipeline spec =
+  let tel = Mt_telemetry.global () in
   let step variants pass =
-    let next =
-      List.concat_map
-        (fun v -> if pass.gate ctx v then pass.transform ctx v else [ v ])
-        variants
-    in
-    truncate ctx.max_variants next
+    Mt_telemetry.span tel ("creator.pass." ^ pass.name) (fun () ->
+        let next =
+          List.concat_map
+            (fun v -> if pass.gate ctx v then pass.transform ctx v else [ v ])
+            variants
+        in
+        let next = truncate ctx.max_variants next in
+        if Mt_telemetry.enabled tel then begin
+          Mt_telemetry.incr tel "creator.passes";
+          Mt_telemetry.add tel ("creator.pass." ^ pass.name ^ ".variants")
+            (List.length next)
+        end;
+        next)
   in
-  List.fold_left step [ Variant.of_spec spec ] pipeline
+  let result = List.fold_left step [ Variant.of_spec spec ] pipeline in
+  if Mt_telemetry.enabled tel then
+    Mt_telemetry.add tel "creator.variants" (List.length result);
+  result
 
 let names pipeline = List.map (fun p -> p.name) pipeline
 

@@ -3,20 +3,28 @@ type config = int list
 let configs ~arrays ~candidates ?(limit = 4096) () =
   if arrays <= 0 then invalid_arg "Alignment.configs: arrays <= 0";
   if candidates = [] then invalid_arg "Alignment.configs: no candidates";
-  let rec go n =
-    if n = 0 then [ [] ]
-    else begin
-      let tails = go (n - 1) in
-      List.concat_map (fun c -> List.map (fun tail -> c :: tail) tails) candidates
-    end
+  (* The cross-product has |candidates|^arrays members but only [limit]
+     are wanted: enumerate configuration k as the [arrays]-digit
+     base-|candidates| numeral of k (first array most significant, so
+     the order is lexicographic like the full product's), never
+     materializing the rest.  Work is O(limit * arrays) however large
+     the space. *)
+  let cands = Array.of_list candidates in
+  let base = Array.length cands in
+  let total =
+    (* min limit base^arrays, capping at [limit] each step so the
+       product cannot overflow (8 candidates over 64 arrays is far past
+       max_int). *)
+    let rec go acc i =
+      if i = 0 || acc >= limit then min acc limit else go (min limit (acc * base)) (i - 1)
+    in
+    go 1 arrays
   in
-  let all = go arrays in
-  let rec take k = function
-    | [] -> []
-    | _ when k = 0 -> []
-    | x :: rest -> x :: take (k - 1) rest
-  in
-  take limit all
+  List.init (max 0 total) (fun k ->
+      let rec digits i k acc =
+        if i = 0 then acc else digits (i - 1) (k / base) (cands.(k mod base) :: acc)
+      in
+      digits arrays k [])
 
 let stride_configs ~arrays ~step ~modulus =
   if arrays <= 0 || step <= 0 || modulus <= 0 then

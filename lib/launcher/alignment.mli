@@ -10,7 +10,9 @@ type config = int list
 val configs : arrays:int -> candidates:int list -> ?limit:int -> unit -> config list
 (** The cartesian product of candidate offsets over [arrays] arrays, in
     lexicographic order, truncated to [limit] (default 4096)
-    configurations.  @raise Invalid_argument if [arrays <= 0] or the
+    configurations.  Only the returned prefix is ever materialized, so
+    the cost is [O(limit * arrays)] regardless of how large the full
+    product would be.  @raise Invalid_argument if [arrays <= 0] or the
     candidate list is empty. *)
 
 val stride_configs : arrays:int -> step:int -> modulus:int -> config list

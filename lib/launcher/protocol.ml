@@ -138,10 +138,14 @@ let convert p core_cycles =
 
 let measure_totals p =
   let opts = p.opts in
+  let tel = Mt_telemetry.global () in
   let ( let* ) = Result.bind in
   (* Cache heating (Section 4.5): one un-timed call. *)
   let* first =
-    if opts.Options.warmup then Result.map Option.some (run_once p) else Ok None
+    if opts.Options.warmup then
+      Mt_telemetry.span tel "launcher.warmup" (fun () ->
+          Result.map Option.some (run_once p))
+    else Ok None
   in
   (* Trust the kernel's own iteration count when it provides one (the
      %eax convention of Section 4.4). *)
@@ -152,15 +156,27 @@ let measure_totals p =
   in
   let reps = opts.Options.repetitions in
   let run_experiment () =
-    let rec go r acc =
-      if r = 0 then Ok acc
-      else
-        match run_once p with
-        | Error msg -> Error msg
-        | Ok outcome ->
-          go (r - 1) (acc +. outcome.Core.cycles +. opts.Options.call_overhead_cycles)
-    in
-    go reps 0.
+    (* Each experiment is a span carrying the memory-hierarchy activity
+       it caused: Core.run resets the pipeline counters per call and
+       reports them in the outcome, so summing outcomes is exactly this
+       experiment's delta. *)
+    Mt_telemetry.span tel "launcher.experiment" (fun () ->
+        let rec go r acc =
+          if r = 0 then Ok acc
+          else
+            match run_once p with
+            | Error msg -> Error msg
+            | Ok outcome ->
+              if Mt_telemetry.enabled tel then
+                List.iter
+                  (fun (k, v) -> Mt_telemetry.add tel ("mem." ^ k) v)
+                  (Memory.counters_to_alist outcome.Core.mem);
+              go (r - 1)
+                (acc +. outcome.Core.cycles +. opts.Options.call_overhead_cycles)
+        in
+        let result = go reps 0. in
+        if Result.is_ok result then Mt_telemetry.incr tel "launcher.experiments";
+        result)
   in
   let rec collect e acc =
     if e = 0 then Ok (List.rev acc)
@@ -169,16 +185,31 @@ let measure_totals p =
       | Error msg -> Error msg
       | Ok total -> collect (e - 1) (total :: acc)
   in
-  let* totals = collect opts.Options.experiments [] in
+  let* totals =
+    Mt_telemetry.span tel "launcher.measure" (fun () ->
+        collect opts.Options.experiments [])
+  in
   Ok (totals, actual_passes)
 
 let report_of_totals ?(mode = "seq") ?noise p ~actual_passes totals =
   let opts = p.opts in
   let noise = Option.value ~default:p.noise noise in
   let totals = List.map (Noise.perturb noise) totals in
+  (* Drop the extra-warm first experiment, but only when a later one
+     exists: [Options.validate] rejects drop-first studies with fewer
+     than 2 experiments, and a direct caller handing us a single total
+     keeps it rather than crashing on [List.tl].  The drop happens
+     before the overhead-exceeded flag below is computed, so a clamped
+     warm-up-only experiment cannot flag an otherwise clean run. *)
   let totals =
-    if opts.Options.drop_first_experiment then List.tl totals else totals
+    match totals with
+    | _ :: (_ :: _ as rest) when opts.Options.drop_first_experiment -> rest
+    | totals -> totals
   in
+  if totals = [] then
+    invalid_arg
+      (Printf.sprintf "Protocol.report_of_totals(%s): no experiment totals"
+         p.abi.Abi.function_name);
   let reps = opts.Options.repetitions in
   let overhead = if opts.Options.subtract_overhead then overhead_cycles p else 0. in
   let divisor = per_call_divisor p actual_passes *. float_of_int reps in

@@ -53,7 +53,12 @@ val report_of_totals :
   float list ->
   Report.t
 (** Normalise raw totals into a report (noise, overhead subtraction,
-    unit conversion, per-unit division). *)
+    unit conversion, per-unit division).  With
+    [opts.drop_first_experiment] the first total is discarded {e before}
+    the overhead-exceeded flag is computed — and only when another
+    total follows, so a singleton list is reported as-is instead of
+    crashing.  @raise Invalid_argument on an empty totals list (the
+    message names the kernel). *)
 
 val overhead_cycles : prepared -> float
 (** The per-call overhead the protocol subtracts (function-call cost

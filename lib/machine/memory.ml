@@ -125,6 +125,21 @@ let counters t =
     nt_stores = t.c_nt_stores;
   }
 
+let counters_to_alist c =
+  [
+    ("accesses", c.accesses);
+    ("l1_hits", c.l1_hits);
+    ("l2_hits", c.l2_hits);
+    ("l3_hits", c.l3_hits);
+    ("ram_accesses", c.ram_accesses);
+    ("split_accesses", c.split_accesses);
+    ("alias_stalls", c.alias_stalls);
+    ("prefetched_fills", c.prefetched_fills);
+    ("tlb_misses", c.tlb_misses);
+    ("page_walks", c.page_walks);
+    ("nt_stores", c.nt_stores);
+  ]
+
 let reset_counters t =
   t.c_accesses <- 0;
   t.c_l1_hits <- 0;

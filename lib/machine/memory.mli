@@ -45,6 +45,10 @@ val config : t -> Config.t
 
 val counters : t -> counters
 
+val counters_to_alist : counters -> (string * int) list
+(** Every counter as a [(name, value)] pair, in declaration order —
+    the iteration telemetry and reporting layers use. *)
+
 val reset_counters : t -> unit
 
 val reset : t -> unit

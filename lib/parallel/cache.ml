@@ -81,11 +81,16 @@ let find t key =
       | None -> None)
   in
   (match result with
-  | Some _ -> Atomic.incr t.hits
-  | None -> Atomic.incr t.misses);
+  | Some _ ->
+    Atomic.incr t.hits;
+    Mt_telemetry.incr (Mt_telemetry.global ()) "cache.hits"
+  | None ->
+    Atomic.incr t.misses;
+    Mt_telemetry.incr (Mt_telemetry.global ()) "cache.misses");
   result
 
 let store t key data =
+  Mt_telemetry.incr (Mt_telemetry.global ()) "cache.stores";
   locked t (fun () -> Hashtbl.replace t.table key data);
   match t.dir with
   | None -> ()

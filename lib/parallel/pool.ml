@@ -5,25 +5,51 @@ let available_domains () = max 1 (Domain.recommended_domain_count ())
    domain per index keeps the array race-free under the OCaml 5 memory
    model without any locking. *)
 let map ~domains f items =
+  let tel = Mt_telemetry.global () in
   let n = Array.length items in
   let domains = max 1 (min domains n) in
-  if domains <= 1 then Array.map f items
+  if domains <= 1 then begin
+    if Mt_telemetry.enabled tel then begin
+      Mt_telemetry.add tel "pool.items" n;
+      Mt_telemetry.incr tel "pool.shards"
+    end;
+    Array.map f items
+  end
   else begin
     let results = Array.make n None in
     let failures = Array.make domains None in
     let worker d () =
-      let i = ref d in
-      (try
-         while !i < n do
-           results.(!i) <- Some (f items.(!i));
-           i := !i + domains
-         done
-       with e -> failures.(d) <- Some e)
+      Mt_telemetry.span tel (Printf.sprintf "pool.shard.%d" d) (fun () ->
+          let i = ref d in
+          let processed = ref 0 in
+          (try
+             while !i < n do
+               results.(!i) <- Some (f items.(!i));
+               incr processed;
+               i := !i + domains
+             done
+           with e -> failures.(d) <- Some (e, Printexc.get_raw_backtrace ()));
+          if Mt_telemetry.enabled tel then begin
+            Mt_telemetry.add tel "pool.items" !processed;
+            Mt_telemetry.add tel (Printf.sprintf "pool.shard.%d.items" d) !processed;
+            Mt_telemetry.incr tel "pool.shards"
+          end)
     in
     let spawned = List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
     worker 0 ();
     List.iter Domain.join spawned;
-    Array.iter (function Some e -> raise e | None -> ()) failures;
+    (match List.filter_map Fun.id (Array.to_list failures) with
+    | [] -> ()
+    | [ (e, bt) ] ->
+      (* A single failing shard re-raises its exception as-is, carrying
+         the worker's backtrace to the caller's domain. *)
+      Printexc.raise_with_backtrace e bt
+    | (e, bt) :: _ as failed ->
+      Printexc.raise_with_backtrace
+        (Failure
+           (Printf.sprintf "Mt_parallel.Pool.map: %d of %d shards failed; first: %s"
+              (List.length failed) domains (Printexc.to_string e)))
+        bt);
     Array.map
       (function
         | Some r -> r

@@ -30,7 +30,14 @@ val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
     simulator is: every launch builds its own state).  If any
     application of [f] raises, the remaining shards still complete and
     the exception of the lowest-numbered failing shard is re-raised in
-    the caller's domain. *)
+    the caller's domain with the worker's backtrace preserved
+    ({!Printexc.raise_with_backtrace}).  When several shards fail, a
+    [Failure] naming the failed-shard count (and the first exception)
+    is raised instead, again with the first worker's backtrace.
+
+    When the global {!Mt_telemetry} handle is enabled, each shard is a
+    timed span ([pool.shard.<d>]) and per-shard item counts are
+    recorded ([pool.items], [pool.shard.<d>.items], [pool.shards]). *)
 
 val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists, preserving order. *)

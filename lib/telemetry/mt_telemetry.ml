@@ -1,0 +1,201 @@
+type hist = { count : int; sum : float; minimum : float; maximum : float }
+
+type event = {
+  name : string;
+  args : (string * string) list;
+  tid : int;
+  start_us : float;
+  dur_us : float;
+  depth : int;
+}
+
+type state = {
+  mutable events : event list;  (* newest first *)
+  counters : (string, int) Hashtbl.t;
+  histograms : (string, hist) Hashtbl.t;
+  lock : Mutex.t;
+  epoch : float;
+  depth : int ref Domain.DLS.key;
+}
+
+(* [None] is the disabled handle: every operation dispatches on it with
+   a single match, so instrumented code costs one branch when telemetry
+   is off. *)
+type t = state option
+
+let disabled : t = None
+
+let create () : t =
+  Some
+    {
+      events = [];
+      counters = Hashtbl.create 64;
+      histograms = Hashtbl.create 16;
+      lock = Mutex.create ();
+      epoch = Unix.gettimeofday ();
+      depth = Domain.DLS.new_key (fun () -> ref 0);
+    }
+
+let enabled = Option.is_some
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide handle                                             *)
+(* ------------------------------------------------------------------ *)
+
+let global_handle : t Atomic.t = Atomic.make disabled
+
+let global () = Atomic.get global_handle
+
+let set_global t = Atomic.set global_handle t
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let add t name n =
+  match t with
+  | None -> ()
+  | Some s ->
+    locked s (fun () ->
+        Hashtbl.replace s.counters name
+          (n + Option.value ~default:0 (Hashtbl.find_opt s.counters name)))
+
+let incr t name = add t name 1
+
+let counter t name =
+  match t with
+  | None -> 0
+  | Some s ->
+    locked s (fun () -> Option.value ~default:0 (Hashtbl.find_opt s.counters name))
+
+let sorted_bindings table =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+let counters t =
+  match t with None -> [] | Some s -> locked s (fun () -> sorted_bindings s.counters)
+
+let observe_locked s name v =
+  let h =
+    match Hashtbl.find_opt s.histograms name with
+    | None -> { count = 1; sum = v; minimum = v; maximum = v }
+    | Some h ->
+      {
+        count = h.count + 1;
+        sum = h.sum +. v;
+        minimum = Float.min h.minimum v;
+        maximum = Float.max h.maximum v;
+      }
+  in
+  Hashtbl.replace s.histograms name h
+
+let observe t name v =
+  match t with None -> () | Some s -> locked s (fun () -> observe_locked s name v)
+
+let histograms t =
+  match t with
+  | None -> []
+  | Some s -> locked s (fun () -> sorted_bindings s.histograms)
+
+let now_us s = (Unix.gettimeofday () -. s.epoch) *. 1e6
+
+let span ?(args = []) t name f =
+  match t with
+  | None -> f ()
+  | Some s ->
+    let d = Domain.DLS.get s.depth in
+    let depth = !d in
+    d := depth + 1;
+    let start_us = now_us s in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_us = now_us s -. start_us in
+        d := depth;
+        let e =
+          { name; args; tid = (Domain.self () :> int); start_us; dur_us; depth }
+        in
+        locked s (fun () ->
+            s.events <- e :: s.events;
+            observe_locked s ("span." ^ name ^ ".us") dur_us))
+      f
+
+let events t =
+  match t with None -> [] | Some s -> locked s (fun () -> List.rev s.events)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape str =
+  let b = Buffer.create (String.length str + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    str;
+  Buffer.contents b
+
+let chrome_trace t =
+  let b = Buffer.create 4096 in
+  let pid = Unix.getpid () in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"microtools\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
+           (json_escape e.name) pid e.tid e.start_us e.dur_us);
+      (match e.args with
+      | [] -> ()
+      | args ->
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          args;
+        Buffer.add_char b '}');
+      Buffer.add_char b '}')
+    (events t);
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let metrics_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "key,value\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s,%d\n" k v))
+    (counters t);
+  List.iter
+    (fun (k, h) ->
+      Buffer.add_string b (Printf.sprintf "%s.count,%d\n" k h.count);
+      Buffer.add_string b (Printf.sprintf "%s.sum,%.6g\n" k h.sum);
+      Buffer.add_string b (Printf.sprintf "%s.min,%.6g\n" k h.minimum);
+      Buffer.add_string b (Printf.sprintf "%s.max,%.6g\n" k h.maximum);
+      Buffer.add_string b
+        (Printf.sprintf "%s.mean,%.6g\n" k (h.sum /. float_of_int (max 1 h.count))))
+    (histograms t);
+  Buffer.contents b
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc data)
+
+let write_chrome_trace t path = write_file path (chrome_trace t)
+
+let write_metrics_csv t path = write_file path (metrics_csv t)

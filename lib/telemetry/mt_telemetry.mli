@@ -1,0 +1,97 @@
+(** Low-overhead observability for the MicroTools pipeline: named
+    monotonic counters, value histograms and nestable timed spans,
+    exported as a Chrome [trace_event] JSON (open in [chrome://tracing]
+    or {{:https://ui.perfetto.dev}Perfetto}) and a flat [key,value]
+    metrics CSV.
+
+    A handle is either {!disabled} — every operation is a no-op costing
+    one branch, so instrumented hot paths pay nothing by default — or
+    created with {!create}, in which case all recording is Domain-safe:
+    counters and events may be updated concurrently from every worker of
+    {!Mt_parallel.Pool}.
+
+    The pipeline reads one process-wide handle ({!global}, default
+    {!disabled}); binaries enable it from [--trace-out]/[--metrics-out]
+    via {!set_global}. *)
+
+type t
+(** A telemetry sink (or the disabled no-op). *)
+
+val disabled : t
+(** The no-op handle: records nothing, exports empty documents. *)
+
+val create : unit -> t
+(** A fresh enabled handle with its own clock epoch. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!disabled}.  Instrumentation sites guard
+    non-trivial bookkeeping (e.g. [List.length]) behind this. *)
+
+(** {1 The process-wide handle} *)
+
+val global : unit -> t
+(** The handle the instrumented pipeline records into (one atomic
+    load).  Defaults to {!disabled}. *)
+
+val set_global : t -> unit
+(** Install [t] as the process-wide handle.  Call before spawning
+    worker domains; typically once at binary start-up. *)
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+(** Add 1 to the named monotonic counter (created at 0 on first use). *)
+
+val add : t -> string -> int -> unit
+(** Add [n] to the named counter. *)
+
+val counter : t -> string -> int
+(** Current value ([0] for unknown names and disabled handles). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Histograms} *)
+
+type hist = { count : int; sum : float; minimum : float; maximum : float }
+
+val observe : t -> string -> float -> unit
+(** Record one value into the named histogram. *)
+
+val histograms : t -> (string * hist) list
+(** All histograms, sorted by name.  Every completed span also feeds a
+    ["span.<name>.us"] histogram with its duration. *)
+
+(** {1 Spans} *)
+
+type event = {
+  name : string;
+  args : (string * string) list;
+  tid : int;  (** The recording domain's id. *)
+  start_us : float;  (** Microseconds since the handle's epoch. *)
+  dur_us : float;
+  depth : int;  (** Nesting depth within the recording domain. *)
+}
+
+val span : ?args:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] times [f ()], recording one event on completion
+    (also when [f] raises; the exception is re-raised).  Spans nest:
+    the per-domain depth is recorded with each event, and Chrome's
+    viewer reconstructs the hierarchy from the timestamps. *)
+
+val events : t -> event list
+(** All completed spans, in completion order. *)
+
+(** {1 Export} *)
+
+val chrome_trace : t -> string
+(** The Chrome [trace_event] JSON document (an object with a
+    [traceEvents] array of ["ph":"X"] complete events). *)
+
+val metrics_csv : t -> string
+(** A [key,value] CSV: one row per counter, five rows
+    ([.count]/[.sum]/[.min]/[.max]/[.mean]) per histogram. *)
+
+val write_chrome_trace : t -> string -> unit
+
+val write_metrics_csv : t -> string -> unit

@@ -426,6 +426,32 @@ let test_alignment_configs () =
   let capped = Alignment.configs ~arrays:3 ~candidates:[ 0; 64; 128 ] ~limit:5 () in
   check_int "capped" 5 (List.length capped)
 
+let test_alignment_configs_bounded () =
+  (* 8 candidates over 8 arrays is a 16.7M-configuration space; asking
+     for 4096 must do O(4096) work, not materialize the product. *)
+  let t0 = Unix.gettimeofday () in
+  let cs =
+    Alignment.configs ~arrays:8 ~candidates:[ 0; 8; 16; 24; 32; 40; 48; 56 ]
+      ~limit:4096 ()
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check_int "limit respected" 4096 (List.length cs);
+  check_bool "prompt (O(limit), not O(candidates^arrays))" true (elapsed < 2.);
+  (* lexicographic order, first array most significant *)
+  check_bool "first config" true (List.hd cs = [ 0; 0; 0; 0; 0; 0; 0; 0 ]);
+  check_bool "second bumps the last array" true
+    (List.nth cs 1 = [ 0; 0; 0; 0; 0; 0; 0; 8 ]);
+  (* spaces smaller than the limit still yield the full product *)
+  check_bool "full product, old order" true
+    (Alignment.configs ~arrays:2 ~candidates:[ 0; 64 ] ~limit:100 ()
+    = [ [ 0; 0 ]; [ 0; 64 ]; [ 64; 0 ]; [ 64; 64 ] ]);
+  (* astronomically large spaces (10^64 >> max_int) must not overflow *)
+  check_int "huge space" 10
+    (List.length
+       (Alignment.configs ~arrays:64
+          ~candidates:[ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+          ~limit:10 ()))
+
 let test_alignment_stride_configs () =
   let configs = Alignment.stride_configs ~arrays:3 ~step:1024 ~modulus:4096 in
   check_int "four configs" 4 (List.length configs);
@@ -497,6 +523,36 @@ let test_report_overhead_flag () =
      in
      go 0)
 
+let test_report_drop_first_edge_cases () =
+  let opts =
+    { quick_opts with Options.drop_first_experiment = true; experiments = 2 }
+  in
+  let v = variant_u 1 in
+  match Protocol.prepare opts (Variant.concrete_body v) (Option.get v.Variant.abi) with
+  | Error msg -> Alcotest.fail msg
+  | Ok p ->
+    (* Two totals: the extra-warm first one is dropped, and a clamped
+       first experiment must not set the overhead flag — it is gone
+       before the flag is computed. *)
+    let r = Protocol.report_of_totals p ~actual_passes:4 [ 0.; 1e9 ] in
+    check_int "first dropped" 1 r.Report.summary.Mt_stats.count;
+    check_bool "dropped warm-up does not flag the run" false
+      r.Report.overhead_exceeded;
+    (* A singleton keeps its only total instead of dying on List.tl. *)
+    let r1 = Protocol.report_of_totals p ~actual_passes:4 [ 1e9 ] in
+    check_int "singleton kept" 1 r1.Report.summary.Mt_stats.count;
+    (* Empty input is a positioned error naming the kernel. *)
+    (match Protocol.report_of_totals p ~actual_passes:4 [] with
+    | _ -> Alcotest.fail "expected Invalid_argument on empty totals"
+    | exception Invalid_argument msg ->
+      check_bool "positioned" true
+        (let needle = "report_of_totals" in
+         let rec go i =
+           i + String.length needle <= String.length msg
+           && (String.sub msg i (String.length needle) = needle || go (i + 1))
+         in
+         go 0))
+
 let test_csv_written_by_launch () =
   let path = Filename.temp_file "mtlaunch" ".csv" in
   let opts = { quick_opts with Options.csv_path = Some path } in
@@ -545,11 +601,15 @@ let tests =
     Alcotest.test_case "run_variants batch" `Quick test_run_variants_batch;
     Alcotest.test_case "best_variant" `Quick test_best_variant;
     Alcotest.test_case "alignment configs" `Quick test_alignment_configs;
+    Alcotest.test_case "alignment configs bounded work" `Quick
+      test_alignment_configs_bounded;
     Alcotest.test_case "alignment stride configs" `Quick test_alignment_stride_configs;
     Alcotest.test_case "alignment sweep extremes" `Quick test_alignment_sweep_and_extremes;
     Alcotest.test_case "report value is median" `Quick test_report_value_is_median;
     Alcotest.test_case "report csv" `Quick test_report_csv;
     Alcotest.test_case "report csv full" `Quick test_report_csv_full;
     Alcotest.test_case "report overhead flag" `Quick test_report_overhead_flag;
+    Alcotest.test_case "report drop-first edge cases" `Quick
+      test_report_drop_first_edge_cases;
     Alcotest.test_case "csv written by launch" `Quick test_csv_written_by_launch;
   ]

@@ -38,6 +38,38 @@ let test_pool_exception () =
   | _ -> Alcotest.fail "expected the worker's exception to re-raise"
   | exception Failure msg -> check_string "message survives" "boom" msg
 
+exception Custom of int
+
+let test_pool_single_failure_preserves_exception () =
+  (* A single failing shard re-raises the original exception — type and
+     payload intact, backtrace carried over via raise_with_backtrace. *)
+  Printexc.record_backtrace true;
+  match
+    Mt_parallel.Pool.map ~domains:4
+      (fun i -> if i = 2 then raise (Custom 17) else i)
+      (Array.init 16 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Custom to re-raise"
+  | exception Custom n -> check_int "payload survives" 17 n
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_pool_multi_failure_reports_count () =
+  (* Items 0 and 1 live on shards 0 and 1: two shards fail, and the
+     raised Failure says so instead of silently surfacing only one. *)
+  match
+    Mt_parallel.Pool.map ~domains:4
+      (fun i -> if i < 2 then failwith (Printf.sprintf "boom-%d" i) else i)
+      (Array.init 16 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected a Failure naming the shard count"
+  | exception Failure msg ->
+    check_bool "counts the failed shards" true (contains msg "2 of 4 shards failed");
+    check_bool "carries the first exception" true (contains msg "boom-0")
+
 (* ------------------------------------------------------------------ *)
 (* Cache primitive                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -145,6 +177,10 @@ let tests =
     Alcotest.test_case "pool degenerate inputs" `Quick test_pool_degenerate;
     Alcotest.test_case "pool re-raises worker exception" `Quick
       test_pool_exception;
+    Alcotest.test_case "pool single failure keeps exception type" `Quick
+      test_pool_single_failure_preserves_exception;
+    Alcotest.test_case "pool multi failure reports shard count" `Quick
+      test_pool_multi_failure_reports_count;
     Alcotest.test_case "cache memory round-trip" `Quick test_cache_memory;
     Alcotest.test_case "cache key injective" `Quick test_cache_key_injective;
     Alcotest.test_case "cache disk persistence" `Quick

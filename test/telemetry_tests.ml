@@ -1,0 +1,245 @@
+(* Tests for mt_telemetry: counters, histograms, span nesting, the
+   disabled no-op, counter atomicity under the Domain pool, and
+   well-formed Chrome-trace JSON. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* A tiny JSON syntax checker (the subset Chrome traces use): raises   *)
+(* on the first malformed byte, so a passing run means the whole       *)
+(* document parses.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_json of int
+
+let validate_json s =
+  let n = String.length s in
+  let rec ws i =
+    if i < n && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t' || s.[i] = '\r')
+    then ws (i + 1)
+    else i
+  in
+  let expect c i = if i < n && s.[i] = c then i + 1 else raise (Bad_json i) in
+  let lit word i =
+    let l = String.length word in
+    if i + l <= n && String.sub s i l = word then i + l else raise (Bad_json i)
+  in
+  let number i =
+    let j = ref i in
+    let digit c = c >= '0' && c <= '9' in
+    if !j < n && s.[!j] = '-' then Stdlib.incr j;
+    while
+      !j < n
+      && (digit s.[!j] || s.[!j] = '.' || s.[!j] = 'e' || s.[!j] = 'E'
+         || s.[!j] = '+' || s.[!j] = '-')
+    do
+      Stdlib.incr j
+    done;
+    if !j = i then raise (Bad_json i) else !j
+  in
+  let rec string_lit i =
+    if i >= n then raise (Bad_json i)
+    else
+      match s.[i] with
+      | '"' -> i + 1
+      | '\\' ->
+        if i + 1 >= n then raise (Bad_json i)
+        else (
+          match s.[i + 1] with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> string_lit (i + 2)
+          | 'u' -> if i + 5 < n then string_lit (i + 6) else raise (Bad_json i)
+          | _ -> raise (Bad_json i))
+      | c when Char.code c < 0x20 -> raise (Bad_json i)
+      | _ -> string_lit (i + 1)
+  in
+  let rec value i =
+    let i = ws i in
+    if i >= n then raise (Bad_json i)
+    else
+      match s.[i] with
+      | '{' -> obj (ws (i + 1))
+      | '[' -> arr (ws (i + 1))
+      | '"' -> string_lit (i + 1)
+      | 't' -> lit "true" i
+      | 'f' -> lit "false" i
+      | 'n' -> lit "null" i
+      | '-' | '0' .. '9' -> number i
+      | _ -> raise (Bad_json i)
+  and obj i =
+    if i < n && s.[i] = '}' then i + 1
+    else
+      let rec member i =
+        let i = ws i in
+        let i = expect '"' i in
+        let i = string_lit i in
+        let i = expect ':' (ws i) in
+        let i = ws (value i) in
+        if i < n && s.[i] = ',' then member (i + 1) else expect '}' i
+      in
+      member i
+  and arr i =
+    if i < n && s.[i] = ']' then i + 1
+    else
+      let rec elt i =
+        let i = ws (value i) in
+        if i < n && s.[i] = ',' then elt (i + 1) else expect ']' i
+      in
+      elt i
+  in
+  let i = ws (value 0) in
+  if i <> n then raise (Bad_json i)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Counters and histograms                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  let t = Mt_telemetry.create () in
+  Mt_telemetry.incr t "b.count";
+  Mt_telemetry.add t "a.count" 41;
+  Mt_telemetry.incr t "a.count";
+  check_int "accumulated" 42 (Mt_telemetry.counter t "a.count");
+  check_int "unknown name" 0 (Mt_telemetry.counter t "nope");
+  check_bool "sorted by name" true
+    (Mt_telemetry.counters t = [ ("a.count", 42); ("b.count", 1) ])
+
+let test_histograms () =
+  let t = Mt_telemetry.create () in
+  List.iter (Mt_telemetry.observe t "lat") [ 4.; 1.; 7. ];
+  match Mt_telemetry.histograms t with
+  | [ ("lat", h) ] ->
+    check_int "count" 3 h.Mt_telemetry.count;
+    Alcotest.(check (float 1e-9)) "sum" 12. h.Mt_telemetry.sum;
+    Alcotest.(check (float 1e-9)) "min" 1. h.Mt_telemetry.minimum;
+    Alcotest.(check (float 1e-9)) "max" 7. h.Mt_telemetry.maximum
+  | other -> Alcotest.fail (Printf.sprintf "%d histograms" (List.length other))
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let t = Mt_telemetry.create () in
+  let r =
+    Mt_telemetry.span t "outer" (fun () ->
+        Mt_telemetry.span t "inner" (fun () -> 7))
+  in
+  check_int "span returns the body's value" 7 r;
+  match Mt_telemetry.events t with
+  | [ inner; outer ] ->
+    (* Completion order: the inner span finishes first. *)
+    Alcotest.(check string) "inner name" "inner" inner.Mt_telemetry.name;
+    Alcotest.(check string) "outer name" "outer" outer.Mt_telemetry.name;
+    check_int "outer depth" 0 outer.Mt_telemetry.depth;
+    check_int "inner depth" 1 inner.Mt_telemetry.depth;
+    check_bool "inner starts after outer" true
+      (inner.Mt_telemetry.start_us >= outer.Mt_telemetry.start_us);
+    check_bool "inner ends before outer" true
+      (inner.Mt_telemetry.start_us +. inner.Mt_telemetry.dur_us
+      <= outer.Mt_telemetry.start_us +. outer.Mt_telemetry.dur_us)
+  | other -> Alcotest.fail (Printf.sprintf "%d events" (List.length other))
+
+let test_span_records_on_exception () =
+  let t = Mt_telemetry.create () in
+  (match Mt_telemetry.span t "doomed" (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected the exception to re-raise"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+  check_int "span still recorded" 1 (List.length (Mt_telemetry.events t));
+  (* the nesting depth unwinds even on the exception path *)
+  Mt_telemetry.span t "after" (fun () -> ());
+  match Mt_telemetry.events t with
+  | [ _; after ] -> check_int "depth restored" 0 after.Mt_telemetry.depth
+  | _ -> Alcotest.fail "expected two events"
+
+(* ------------------------------------------------------------------ *)
+(* Disabled handle: strictly a no-op                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_noop () =
+  let t = Mt_telemetry.disabled in
+  check_bool "not enabled" false (Mt_telemetry.enabled t);
+  Mt_telemetry.incr t "x";
+  Mt_telemetry.add t "x" 100;
+  Mt_telemetry.observe t "h" 1.;
+  check_int "counter stays 0" 0 (Mt_telemetry.counter t "x");
+  check_int "span passes the value through" 9
+    (Mt_telemetry.span t "s" (fun () -> 9));
+  check_bool "no counters" true (Mt_telemetry.counters t = []);
+  check_bool "no histograms" true (Mt_telemetry.histograms t = []);
+  check_bool "no events" true (Mt_telemetry.events t = []);
+  validate_json (Mt_telemetry.chrome_trace t);
+  Alcotest.(check string) "empty metrics" "key,value\n" (Mt_telemetry.metrics_csv t)
+
+let test_global_defaults_disabled () =
+  check_bool "global starts disabled" false
+    (Mt_telemetry.enabled (Mt_telemetry.global ()))
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safety: concurrent increments under Pool.map                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_atomicity_under_pool () =
+  let t = Mt_telemetry.create () in
+  Mt_telemetry.set_global t;
+  Fun.protect
+    ~finally:(fun () -> Mt_telemetry.set_global Mt_telemetry.disabled)
+    (fun () ->
+      let items = Array.init 1000 Fun.id in
+      ignore
+        (Mt_parallel.Pool.map ~domains:4
+           (fun _ -> Mt_telemetry.incr (Mt_telemetry.global ()) "test.hits")
+           items);
+      check_int "no lost increments" 1000 (Mt_telemetry.counter t "test.hits");
+      (* the pool's own instrumentation agrees *)
+      check_int "pool.items" 1000 (Mt_telemetry.counter t "pool.items");
+      check_int "pool.shards" 4 (Mt_telemetry.counter t "pool.shards"))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_trace_is_valid_json () =
+  let t = Mt_telemetry.create () in
+  Mt_telemetry.span t "quote\"back\\slash\ttab"
+    ~args:[ ("variant", "load\"store-u_8") ]
+    (fun () -> Mt_telemetry.span t "inner" (fun () -> ()));
+  let json = Mt_telemetry.chrome_trace t in
+  validate_json json;
+  check_bool "has traceEvents" true (contains json "\"traceEvents\"");
+  check_bool "complete events" true (contains json "\"ph\":\"X\"");
+  check_bool "escaped quote" true (contains json "quote\\\"back\\\\slash")
+
+let test_metrics_csv_content () =
+  let t = Mt_telemetry.create () in
+  Mt_telemetry.add t "sim.variants" 510;
+  Mt_telemetry.observe t "gen.us" 2.;
+  Mt_telemetry.observe t "gen.us" 4.;
+  let csv = Mt_telemetry.metrics_csv t in
+  check_bool "header" true (contains csv "key,value\n");
+  check_bool "counter row" true (contains csv "sim.variants,510\n");
+  check_bool "histogram count" true (contains csv "gen.us.count,2\n");
+  check_bool "histogram mean" true (contains csv "gen.us.mean,3\n")
+
+let tests =
+  [
+    Alcotest.test_case "counters accumulate" `Quick test_counters;
+    Alcotest.test_case "histograms summarize" `Quick test_histograms;
+    Alcotest.test_case "spans nest" `Quick test_span_nesting;
+    Alcotest.test_case "span records on exception" `Quick
+      test_span_records_on_exception;
+    Alcotest.test_case "disabled handle is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "global defaults to disabled" `Quick
+      test_global_defaults_disabled;
+    Alcotest.test_case "counter atomicity under Pool.map" `Quick
+      test_counter_atomicity_under_pool;
+    Alcotest.test_case "chrome trace is valid JSON" `Quick
+      test_chrome_trace_is_valid_json;
+    Alcotest.test_case "metrics CSV content" `Quick test_metrics_csv_content;
+  ]

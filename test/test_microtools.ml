@@ -12,6 +12,7 @@ let () =
       ("kernels", Kernels_tests.tests);
       ("study", Study_tests.tests);
       ("parallel", Parallel_tests.tests);
+      ("telemetry", Telemetry_tests.tests);
       ("extensions", Extensions_tests.tests);
       ("cc", Cc_tests.tests);
       ("mpi", Mpi_tests.tests);
