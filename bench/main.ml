@@ -79,7 +79,8 @@ let run_experiments ~quick ~domains ids =
         | o :: _ -> o
         | [] -> "see table above"))
     tables;
-  Format.fprintf fmt "@."
+  Format.fprintf fmt "@.";
+  tables
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel                                                    *)
@@ -266,6 +267,16 @@ let () =
   let cache_dir, args = take_value "--cache-dir" args in
   let trace_out, args = take_value "--trace-out" args in
   let metrics_out, args = take_value "--metrics-out" args in
+  let snapshot_out, args = take_value "--snapshot-out" args in
+  let trace_detail, args = take_value "--trace-detail" args in
+  (match trace_detail with
+  | None -> ()
+  | Some s -> (
+    match Mt_telemetry.detail_of_string s with
+    | Ok d -> Mt_telemetry.set_detail d
+    | Error msg ->
+      prerr_endline ("bench: " ^ msg);
+      exit 2));
   let tel =
     if trace_out <> None || metrics_out <> None then begin
       let t = Mt_telemetry.create () in
@@ -297,7 +308,7 @@ let () =
     | [] -> Microtools.Experiments.ids
     | ids -> ids
   in
-  run_experiments ~quick ~domains ids;
+  let tables = run_experiments ~quick ~domains ids in
   (match cache with
   | Some c ->
     Printf.printf "cache: %d hits, %d misses, %.1f%% hit rate\n\n"
@@ -305,6 +316,31 @@ let () =
       (100. *. Mt_parallel.Cache.hit_rate c)
   | None -> ());
   if not no_bechamel then run_bechamel ();
+  (match snapshot_out with
+  | None -> ()
+  | Some path ->
+    (* The committed BENCH_study.json baseline: one single-observation
+       stat per numeric table cell, diffable against a fresh run with
+       mt_report. *)
+    let variants =
+      List.concat_map
+        (fun t ->
+          List.map
+            (fun (key, v) -> Mt_obsv.Snapshot.point_stat ~key v)
+            (Microtools.Exp_table.stat_entries t))
+        tables
+    in
+    let snap =
+      Mt_obsv.Snapshot.make ~tool:"bench"
+        ~kernel:(String.concat "+" ids, Mt_parallel.Cache.digest_key ids)
+        ~machine:
+          ( "table1-presets",
+            Mt_parallel.Cache.digest_key
+              [ Marshal.to_string Config.presets [] ] )
+        ~counters:(Mt_telemetry.counters tel) variants
+    in
+    Mt_obsv.Snapshot.save snap path;
+    Printf.printf "run snapshot written to %s (compare with mt_report)\n" path);
   Option.iter
     (fun path ->
       Mt_telemetry.write_chrome_trace tel path;

@@ -37,7 +37,28 @@ let run_ids ids quick csv_dir jobs cache =
       (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
       (100. *. Mt_parallel.Cache.hit_rate c)
   | None -> ());
-  0
+  (0, List.filter_map snd tables)
+
+(* One snapshot for the whole batch: every numeric table cell becomes a
+   single-observation variant stat keyed "id/row/column", so two runs of
+   the same experiments diff cell-by-cell in mt_report. *)
+let snapshot_of_tables ids tables =
+  let variants =
+    List.concat_map
+      (fun t ->
+        List.map
+          (fun (key, v) -> Mt_obsv.Snapshot.point_stat ~key v)
+          (Microtools.Exp_table.stat_entries t))
+      tables
+  in
+  Mt_obsv.Snapshot.make ~tool:"mt_experiments"
+    ~kernel:(String.concat "+" ids, Mt_parallel.Cache.digest_key ids)
+    ~machine:
+      ( "table1-presets",
+        Mt_parallel.Cache.digest_key
+          [ Marshal.to_string Mt_machine.Config.presets [] ] )
+    ~counters:(Mt_telemetry.counters (Mt_telemetry.global ()))
+    variants
 
 let ids_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (fig03..fig18, tab01, tab02, gen_counts).")
@@ -84,9 +105,11 @@ let list_experiments () =
     Microtools.Experiments.ids;
   0
 
-let main ids all quick csv_dir list jobs cache_dir no_cache trace_out metrics_out =
+let main ids all quick csv_dir list jobs cache_dir no_cache trace_out metrics_out
+    snapshot_out trace_detail =
   if list then list_experiments ()
   else begin
+    Mt_telemetry.set_detail trace_detail;
     let ids =
       if all || ids = [] then Microtools.Experiments.ids else ids
     in
@@ -107,7 +130,12 @@ let main ids all quick csv_dir list jobs cache_dir no_cache trace_out metrics_ou
       end
       else Mt_telemetry.disabled
     in
-    let code = run_ids ids quick csv_dir jobs cache in
+    let code, tables = run_ids ids quick csv_dir jobs cache in
+    Option.iter
+      (fun path ->
+        Mt_obsv.Snapshot.save (snapshot_of_tables ids tables) path;
+        Printf.printf "run snapshot written to %s (compare with mt_report)\n" path)
+      snapshot_out;
     Option.iter
       (fun path ->
         Mt_telemetry.write_chrome_trace tel path;
@@ -147,11 +175,27 @@ let metrics_arg =
        & info [ "metrics-out" ] ~docv:"FILE"
            ~doc:"Write a key,value metrics CSV to $(docv).")
 
+let snapshot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "snapshot-out" ] ~docv:"FILE"
+           ~doc:"Write a run-provenance snapshot (one entry per numeric table \
+                 cell) as JSON to $(docv); compare runs with mt_report.")
+
+let trace_detail_arg =
+  Arg.(value
+       & opt (enum [ ("off", Mt_telemetry.Off); ("sampled", Mt_telemetry.Sampled); ("full", Mt_telemetry.Full) ])
+           Mt_telemetry.Off
+       & info [ "trace-detail" ]
+           ~doc:"Instruction/cache lane detail in the Chrome trace: off, \
+                 sampled, or full.  Takes effect when $(b,--trace-out) is \
+                 given.")
+
 let cmd =
   let doc = "reproduce the MicroTools paper's figures and tables" in
   Cmd.v (Cmd.info "mt_experiments" ~doc)
     Term.(
       const main $ ids_arg $ all_arg $ quick_arg $ csv_arg $ list_arg
-      $ jobs_arg $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg)
+      $ jobs_arg $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg
+      $ snapshot_arg $ trace_detail_arg)
 
 let () = exit (Cmd.eval' cmd)

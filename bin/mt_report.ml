@@ -1,0 +1,84 @@
+(* Compare two run snapshots with a CoV noise gate — the CI regression
+   check:
+
+     mt_report baseline.json current.json
+     mt_report --threshold 4 --json report.json old.json new.json
+
+   Exit 0 when every matched variant's median delta sits inside the
+   pooled noise band, 1 when at least one regression escapes it. *)
+
+open Cmdliner
+
+let run baseline current threshold min_band json_out quiet =
+  match Mt_obsv.Snapshot.load baseline, Mt_obsv.Snapshot.load current with
+  | Error msg, _ | _, Error msg ->
+    Printf.eprintf "mt_report: %s\n" msg;
+    2
+  | Ok base, Ok cur ->
+    let diff = Mt_obsv.Diff.compare ~threshold ~min_band ~baseline:base cur in
+    if not quiet then print_string (Mt_obsv.Diff.render diff);
+    Option.iter
+      (fun path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc
+              (Mt_obsv.Json.to_string ~indent:true (Mt_obsv.Diff.to_json diff))))
+      json_out;
+    if Mt_obsv.Diff.has_regressions diff then 1 else 0
+
+(* Plain strings, not Arg.file: a missing file must be our documented
+   exit 2, not cmdliner's usage error. *)
+let baseline_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"BASELINE" ~doc:"Baseline snapshot (JSON).")
+
+let current_arg =
+  Arg.(required & pos 1 (some string) None
+       & info [] ~docv:"CURRENT" ~doc:"Current snapshot (JSON).")
+
+let threshold_arg =
+  Arg.(value & opt float Mt_obsv.Diff.default_threshold
+       & info [ "threshold" ] ~docv:"K"
+           ~doc:"Noise-gate multiplier: a median delta must exceed $(docv) \
+                 times the pooled coefficient of variation of the two runs \
+                 to be flagged.")
+
+let min_band_arg =
+  Arg.(value & opt float Mt_obsv.Diff.default_min_band
+       & info [ "min-band" ] ~docv:"FRAC"
+           ~doc:"Floor under the noise band as a fraction of the baseline \
+                 median (the simulator can measure with zero variance).")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the full comparison as machine-readable JSON.")
+
+let quiet_arg =
+  Arg.(value & flag
+       & info [ "quiet"; "q" ] ~doc:"Suppress the table; exit code only.")
+
+let cmd =
+  let doc = "compare two run snapshots and flag perf regressions" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads two snapshots written by mt_study/mt_experiments/bench \
+         $(b,--snapshot-out), matches variants by key, and judges each \
+         median delta against a noise band pooled from both runs' own \
+         variance.  Deltas inside the band are reported as unchanged, so a \
+         CI gate built on the exit code does not flap on measurement noise.";
+      `S Manpage.s_exit_status;
+      `P "0 on no regressions, 1 when a regression escapes the noise band, \
+          2 on unreadable snapshots.";
+    ]
+  in
+  Cmd.v (Cmd.info "mt_report" ~doc ~man)
+    Term.(
+      const run $ baseline_arg $ current_arg $ threshold_arg $ min_band_arg
+      $ json_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -8,7 +8,8 @@ open Cmdliner
 open Mt_launcher
 
 let run input machine machine_file array_kb per repetitions experiments top csv
-    jobs cache_dir no_cache trace_out metrics_out =
+    jobs cache_dir no_cache trace_out metrics_out snapshot_out trace_detail =
+  Mt_telemetry.set_detail trace_detail;
   let tel =
     if trace_out <> None || metrics_out <> None then begin
       let t = Mt_telemetry.create () in
@@ -127,6 +128,11 @@ let run input machine machine_file array_kb per repetitions experiments top csv
           (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
           (100. *. Mt_parallel.Cache.hit_rate c)
       | None -> ());
+      (match snapshot_out with
+      | Some path ->
+        Mt_obsv.Snapshot.save (Microtools.Study.snapshot study outcomes) path;
+        Printf.printf "run snapshot written to %s (compare with mt_report)\n" path
+      | None -> ());
       let code =
         match Microtools.Study.best outcomes with
         | Some (v, r) ->
@@ -195,12 +201,30 @@ let metrics_arg =
            ~doc:"Write a key,value metrics CSV (pool, cache, simulator and \
                  memory counters) to $(docv).")
 
+let snapshot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "snapshot-out" ] ~docv:"FILE"
+           ~doc:"Write a run-provenance snapshot (kernel/machine hashes, \
+                 options, per-variant statistics) as JSON to $(docv); two \
+                 snapshots are compared with mt_report.")
+
+let trace_detail_arg =
+  Arg.(value
+       & opt (enum [ ("off", Mt_telemetry.Off); ("sampled", Mt_telemetry.Sampled); ("full", Mt_telemetry.Full) ])
+           Mt_telemetry.Off
+       & info [ "trace-detail" ]
+           ~doc:"Instruction/cache lane detail in the Chrome trace: off (no \
+                 lane bookkeeping on the simulate path), sampled (every 64th \
+                 dynamic instruction), or full.  Takes effect when \
+                 $(b,--trace-out) is given.")
+
 let cmd =
   let doc = "generate a kernel's variation space and rank every variant" in
   Cmd.v (Cmd.info "mt_study" ~doc)
     Term.(
       const run $ input_arg $ machine_arg $ machine_file_arg $ array_arg
       $ per_arg $ reps_arg $ exps_arg $ top_arg $ csv_arg $ jobs_arg
-      $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg)
+      $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg $ snapshot_arg
+      $ trace_detail_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -47,6 +47,37 @@ let print fmt t =
   List.iter (fun o -> Format.fprintf fmt "  measured: %s@." (normalize o)) t.observations;
   Format.fprintf fmt "@."
 
+let stat_entries t =
+  match t.columns with
+  | [] | [ _ ] -> []
+  | _label_col :: value_cols ->
+    (* Row labels can repeat (e.g. one row per clock setting with the
+       same frequency label); suffix repeats so keys stay unique —
+       mt_report matches snapshot variants by key. *)
+    let seen = Hashtbl.create 16 in
+    List.concat_map
+      (fun row ->
+        match row with
+        | [] -> []
+        | label :: cells ->
+          let occurrence =
+            let k = try Hashtbl.find seen label with Not_found -> 0 in
+            Hashtbl.replace seen label (k + 1);
+            k
+          in
+          let label =
+            if occurrence = 0 then label
+            else Printf.sprintf "%s#%d" label (occurrence + 1)
+          in
+          List.concat
+            (List.map2
+               (fun col cell ->
+                 match float_of_string_opt cell with
+                 | Some v -> [ (Printf.sprintf "%s/%s/%s" t.id label col, v) ]
+                 | None -> [])
+               value_cols cells))
+      t.rows
+
 let to_csv t =
   let doc = Mt_stats.Csv.create ~header:t.columns in
   List.iter (Mt_stats.Csv.add_row doc) t.rows;

@@ -28,4 +28,9 @@ val print : Format.formatter -> t -> unit
 (** Render as an aligned text table with the expectation and
     observations underneath. *)
 
+val stat_entries : t -> (string * float) list
+(** Every numeric cell as [("id/rowlabel/column", value)] — stable keys
+    for snapshotting experiment tables (the first column is the row
+    label; non-numeric cells are skipped). *)
+
 val to_csv : t -> Mt_stats.Csv.t

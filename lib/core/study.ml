@@ -116,6 +116,43 @@ let min_per_unroll outcomes =
               infinity group ))
     (by_unroll outcomes)
 
+(* ------------------------------------------------------------------ *)
+(* Run provenance                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let spec_fingerprint spec = Marshal.to_string spec []
+
+let kernel_hash t = Mt_parallel.Cache.digest_key [ spec_fingerprint t.spec ]
+
+let machine_hash t =
+  Mt_parallel.Cache.digest_key [ machine_fingerprint t.options ]
+
+let snapshot ?(tool = "mt_study") t outcomes =
+  let opts = t.options in
+  let variants =
+    List.filter_map
+      (fun o ->
+        match o.result with
+        | Error _ -> None
+        | Ok r ->
+          Some
+            (Mt_obsv.Snapshot.of_values
+               ~key:(Variant.id o.variant)
+               ~unroll:o.variant.Variant.unroll
+               ~unit_label:r.Report.unit_label ~per_label:r.Report.per_label
+               r.Report.experiments))
+      outcomes
+  in
+  Mt_obsv.Snapshot.make ~tool
+    ~kernel:(t.spec.Spec.name, kernel_hash t)
+    ~machine:
+      ( (Options.effective_machine opts).Mt_machine.Config.name,
+        machine_hash t )
+    ~options:(Options.summary opts) ~seed:opts.Options.noise_seed
+    ~variant_count:(List.length outcomes)
+    ~counters:(Mt_telemetry.counters (Mt_telemetry.global ()))
+    variants
+
 let csv outcomes =
   let doc =
     Mt_stats.Csv.create ~header:[ "variant"; "unroll"; "status"; "value"; "min"; "max" ]

@@ -67,3 +67,14 @@ val min_per_unroll : outcome list -> (int * float) list
 
 val csv : outcome list -> Mt_stats.Csv.t
 (** Variant id, unroll, decisions, measured value (or error). *)
+
+val kernel_hash : t -> string
+(** Content digest of the kernel description — two studies with the
+    same spec hash alike regardless of options. *)
+
+val snapshot : ?tool:string -> t -> outcome list -> Mt_obsv.Snapshot.t
+(** A run manifest for these outcomes: kernel/machine content hashes,
+    the full option summary, the noise seed, a per-variant statistical
+    summary (keyed by variant id, for {!Mt_obsv.Diff} matching; failed
+    variants are counted in [variant_count] but carry no stats), and
+    the current global telemetry counters. *)

@@ -98,6 +98,56 @@ let alignment_for t i =
   | [] -> 0
   | alignments -> List.nth alignments (i mod List.length alignments)
 
+let summary t =
+  let b = Printf.sprintf in
+  let opt f = function None -> "default" | Some v -> f v in
+  let per = function
+    | Per_pass -> "pass"
+    | Per_instruction -> "instruction"
+    | Per_element -> "element"
+    | Per_call -> "call"
+  in
+  let eval = function Rdtsc -> "rdtsc" | Wallclock_ns -> "wallclock-ns" in
+  let sched = function
+    | Omp_static -> "static"
+    | Omp_dynamic -> "dynamic"
+    | Omp_guided -> "guided"
+  in
+  [
+    ("machine", t.machine.Mt_machine.Config.name);
+    ("frequency_ghz", opt (b "%g") t.frequency_ghz);
+    ("pin_core", opt string_of_int t.pin_core);
+    ("pinned", string_of_bool t.pinned);
+    ("interrupts_masked", string_of_bool t.interrupts_masked);
+    ("noise_seed", string_of_int t.noise_seed);
+    ("function_name", opt Fun.id t.function_name);
+    ("nbvectors", opt string_of_int t.nbvectors);
+    ("array_bytes", string_of_int t.array_bytes);
+    ("element_bytes", string_of_int t.element_bytes);
+    ("alignments", String.concat "," (List.map string_of_int t.alignments));
+    ("alignment_modulus", string_of_int t.alignment_modulus);
+    ("trip_passes", opt string_of_int t.trip_passes);
+    ("repetitions", string_of_int t.repetitions);
+    ("experiments", string_of_int t.experiments);
+    ("warmup", string_of_bool t.warmup);
+    ("subtract_overhead", string_of_bool t.subtract_overhead);
+    ("call_overhead_cycles", b "%g" t.call_overhead_cycles);
+    ("max_instructions", string_of_int t.max_instructions);
+    ("cores", string_of_int t.cores);
+    ("openmp_threads", string_of_int t.openmp_threads);
+    ("openmp_chunk", opt string_of_int t.openmp_chunk);
+    ("openmp_schedule", sched t.openmp_schedule);
+    ("local_alloc", string_of_bool t.local_alloc);
+    ("ram_sharers", opt string_of_int t.ram_sharers);
+    ("mpi_ranks", string_of_int t.mpi_ranks);
+    ("mpi_halo_bytes", opt string_of_int t.mpi_halo_bytes);
+    ("eval_method", eval t.eval_method);
+    ("per", per t.per);
+    ("emit_full_times", string_of_bool t.emit_full_times);
+    ("keep_failures", string_of_bool t.keep_failures);
+    ("drop_first_experiment", string_of_bool t.drop_first_experiment);
+  ]
+
 let err fmt = Printf.ksprintf (fun s -> Error s) fmt
 
 let validate t =

@@ -78,3 +78,9 @@ val alignment_for : t -> int -> int
     through [alignments]; 0 when the list is empty). *)
 
 val validate : t -> (unit, string) result
+
+val summary : t -> (string * string) list
+(** Every measurement-shaping field rendered as a [(name, value)] pair,
+    for run-provenance snapshots.  Output-routing fields ([csv_path],
+    [verbose]) are omitted — two runs differing only there measured the
+    same thing. *)

@@ -100,10 +100,61 @@ let passes_per_call p = p.passes
 
 let array_bases p = p.bases
 
+(* ------------------------------------------------------------------ *)
+(* Deep trace lanes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Simulated-time lanes live on tids far above any real domain id, so
+   Perfetto draws them as separate tracks from the wall-clock spans.
+   Their "ts" axis is core cycles, not microseconds — within a lane the
+   scale is self-consistent, which is all a timeline needs. *)
+let trace_lane_tid = 1_000_000
+
+let run_traced p tel stride =
+  let tid = trace_lane_tid + (Domain.self () :> int) in
+  let l1h = ref 0 and l1m = ref 0 in
+  let l2h = ref 0 and l2m = ref 0 in
+  let l3h = ref 0 and l3m = ref 0 in
+  Memory.set_access_hook p.memory
+    (Some
+       (fun level ~hit ->
+         match level with
+         | Memory.L1 -> if hit then incr l1h else incr l1m
+         | Memory.L2 -> if hit then incr l2h else incr l2m
+         | Memory.L3 -> if hit then incr l3h else incr l3m
+         | Memory.Ram -> ()));
+  let seen = ref 0 in
+  let trace pc insn ~issue ~completion =
+    let n = !seen in
+    seen := n + 1;
+    if n mod stride = 0 then begin
+      Mt_telemetry.emit tel
+        (Mt_isa.Insn.to_string insn)
+        ~args:[ ("pc", string_of_int pc) ]
+        ~tid ~start_us:issue ~dur_us:(completion -. issue);
+      let point hits misses = [ ("hit", float_of_int !hits); ("miss", float_of_int !misses) ] in
+      Mt_telemetry.series ~ts_us:completion ~tid tel "cache.L1" (point l1h l1m);
+      Mt_telemetry.series ~ts_us:completion ~tid tel "cache.L2" (point l2h l2m);
+      Mt_telemetry.series ~ts_us:completion ~tid tel "cache.L3" (point l3h l3m)
+    end
+  in
+  Fun.protect
+    ~finally:(fun () -> Memory.set_access_hook p.memory None)
+    (fun () ->
+      Core.run ~init:p.init ~max_instructions:p.opts.Options.max_instructions
+        ~trace p.cfg p.memory p.compiled)
+
 let run_once p =
+  (* The detail gate is two atomic loads and a branch; when Off the
+     simulate path below is exactly the pre-lane call — no closure, no
+     hook, no allocation. *)
+  let tel = Mt_telemetry.global () in
+  let stride = Mt_telemetry.sample_stride (Mt_telemetry.detail ()) in
   match
-    Core.run ~init:p.init ~max_instructions:p.opts.Options.max_instructions p.cfg
-      p.memory p.compiled
+    if stride > 0 && Mt_telemetry.enabled tel then run_traced p tel stride
+    else
+      Core.run ~init:p.init ~max_instructions:p.opts.Options.max_instructions
+        p.cfg p.memory p.compiled
   with
   | Ok outcome -> Ok outcome
   | Error e -> err "%s: %s" p.abi.Abi.function_name (Core.error_to_string e)

@@ -32,7 +32,17 @@ val array_bases : prepared -> int list
 (** Allocated base addresses (alignment tests inspect these). *)
 
 val run_once : prepared -> (Mt_machine.Core.outcome, string) result
-(** A single kernel call against the current cache state. *)
+(** A single kernel call against the current cache state.
+
+    When the global telemetry handle is enabled and
+    {!Mt_telemetry.detail} is not [Off], the call also records deep
+    trace lanes: one complete event per sampled dynamic instruction
+    (name = disassembly, ["pc"] argument, ts = issue cycle, duration =
+    issue-to-completion cycles) and three ["cache.L1"/"cache.L2"/
+    "cache.L3"] counter series carrying cumulative hit/miss counts, all
+    on a simulated-time track ([tid] = 1,000,000 + domain id).  With
+    detail [Off] the simulate path is byte-for-byte the plain
+    {!Mt_machine.Core.run} call — no hook, no allocation. *)
 
 val measure : ?mode:string -> prepared -> (Report.t, string) result
 (** The full protocol.  The reported value and per-experiment series

@@ -10,6 +10,9 @@ type t = {
   tags : int array;
   mutable hit_count : int;
   mutable miss_count : int;
+  (* Per-access observer for deep trace lanes; [None] (the default)
+     costs one branch per access. *)
+  mutable on_access : (hit:bool -> unit) option;
 }
 
 let log2_exact n =
@@ -28,7 +31,10 @@ let create (geom : Config.cache_geom) =
     tags = Array.make (sets * geom.associativity) (-1);
     hit_count = 0;
     miss_count = 0;
+    on_access = None;
   }
+
+let set_on_access t hook = t.on_access <- hook
 
 let geometry t = t.geom
 
@@ -57,16 +63,20 @@ let promote t base way line =
 let access t line =
   let base = set_of_line t line * t.ways in
   let way = find_way t base line in
-  if way >= 0 then begin
-    t.hit_count <- t.hit_count + 1;
-    if way > 0 then promote t base way line;
-    true
-  end
-  else begin
-    t.miss_count <- t.miss_count + 1;
-    promote t base (t.ways - 1) line;
-    false
-  end
+  let hit =
+    if way >= 0 then begin
+      t.hit_count <- t.hit_count + 1;
+      if way > 0 then promote t base way line;
+      true
+    end
+    else begin
+      t.miss_count <- t.miss_count + 1;
+      promote t base (t.ways - 1) line;
+      false
+    end
+  in
+  (match t.on_access with None -> () | Some f -> f ~hit);
+  hit
 
 let probe t line =
   let base = set_of_line t line * t.ways in

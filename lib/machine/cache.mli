@@ -17,6 +17,13 @@ val access : t -> int -> bool
 val probe : t -> int -> bool
 (** Like {!access} but without updating any state. *)
 
+val set_on_access : t -> (hit:bool -> unit) option -> unit
+(** Install (or clear, with [None]) a per-access observer: called by
+    every {!access} with the hit/miss outcome, after counters update.
+    [probe] never fires it.  The default is [None], which costs one
+    branch per access — the deep trace lanes install hooks only while a
+    traced measurement is running. *)
+
 val line_of_addr : t -> int -> int
 (** Byte address to line number. *)
 

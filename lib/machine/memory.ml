@@ -181,6 +181,20 @@ let level_of_last_access t = t.last_level
 
 let last_access_was_split t = t.last_split
 
+(* Deep trace lanes: one observer over the three data-cache levels
+   (the TLBs stay unobserved — their activity is already summarized by
+   the tlb_misses/page_walks counters). *)
+let set_access_hook t hook =
+  match hook with
+  | None ->
+    Cache.set_on_access t.l1 None;
+    Cache.set_on_access t.l2 None;
+    Cache.set_on_access t.l3 None
+  | Some f ->
+    Cache.set_on_access t.l1 (Some (fun ~hit -> f L1 ~hit));
+    Cache.set_on_access t.l2 (Some (fun ~hit -> f L2 ~hit));
+    Cache.set_on_access t.l3 (Some (fun ~hit -> f L3 ~hit))
+
 (* ------------------------------------------------------------------ *)
 (* Stream prefetch detection                                           *)
 (* ------------------------------------------------------------------ *)

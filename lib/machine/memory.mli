@@ -67,5 +67,14 @@ val last_access_was_split : t -> bool
 (** Whether the most recent access straddled a cache line (the core
     books a replay uop on the port when it did). *)
 
+val set_access_hook : t -> (level -> hit:bool -> unit) option -> unit
+(** Install (or clear) a per-lookup observer over the L1/L2/L3 data
+    caches: fired once per level a lookup reaches, with that level's
+    hit/miss outcome (so an L2 hit fires [L1 ~hit:false] then
+    [L2 ~hit:true]; [Ram] is never passed — a RAM access is the
+    [L3 ~hit:false] event).  The launcher's [--trace-detail] lanes use
+    this; when no hook is installed each access costs one extra branch
+    per level. *)
+
 val ram_share_bytes_per_cycle : t -> float
 (** The DRAM bandwidth share this pipeline was created with. *)

@@ -1,8 +1,13 @@
 type event = { pc : int; text : string; issue : float; completion : float }
 
-type t = { limit : int; mutable rev_events : event list; mutable count : int }
+type t = {
+  limit : int;
+  mutable rev_events : event list;
+  mutable count : int;
+  mutable dropped : int;
+}
 
-let create ?(limit = 256) () = { limit; rev_events = []; count = 0 }
+let create ?(limit = 256) () = { limit; rev_events = []; count = 0; dropped = 0 }
 
 let hook t pc insn ~issue ~completion =
   if t.count < t.limit then begin
@@ -10,12 +15,16 @@ let hook t pc insn ~issue ~completion =
       { pc; text = Mt_isa.Insn.to_string insn; issue; completion } :: t.rev_events;
     t.count <- t.count + 1
   end
+  else t.dropped <- t.dropped + 1
 
 let events t = t.count
 
+let dropped t = t.dropped
+
 let reset t =
   t.rev_events <- [];
-  t.count <- 0
+  t.count <- 0;
+  t.dropped <- 0
 
 let render ?(width = 64) t =
   match List.rev t.rev_events with
@@ -47,4 +56,9 @@ let render ?(width = 64) t =
              (if String.length e.text > 28 then String.sub e.text 0 28 else e.text)
              (Bytes.to_string line)))
       evts;
+    if t.dropped > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "(%d later event%s dropped at limit %d)\n" t.dropped
+           (if t.dropped = 1 then "" else "s")
+           t.limit);
     Buffer.contents buf

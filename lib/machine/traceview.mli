@@ -16,6 +16,11 @@ val hook : t -> int -> Mt_isa.Insn.t -> issue:float -> completion:float -> unit
 val events : t -> int
 (** Events collected so far. *)
 
+val dropped : t -> int
+(** Events the hook discarded after the limit filled.  {!render}
+    reports this in a footer line, so a truncated timeline is never
+    mistaken for the whole run. *)
+
 val render : ?width:int -> t -> string
 (** Render the timeline, [width] columns wide (default 64).  Each row:
     {v   12 mulsd (%rdx), %xmm0      |      ====####          | v}

@@ -1,0 +1,184 @@
+type verdict = Regression | Improvement | Unchanged | Added | Removed
+
+let verdict_to_string = function
+  | Regression -> "regression"
+  | Improvement -> "improvement"
+  | Unchanged -> "unchanged"
+  | Added -> "added"
+  | Removed -> "removed"
+
+type entry = {
+  key : string;
+  verdict : verdict;
+  baseline : Snapshot.variant_stat option;
+  current : Snapshot.variant_stat option;
+  delta : float;
+  band : float;
+}
+
+type t = {
+  threshold : float;
+  min_band : float;
+  entries : entry list;
+  provenance_notes : string list;
+}
+
+let default_threshold = 3.0
+
+let default_min_band = 0.001
+
+(* The noise gate: a delta is only believed when it escapes the band
+   spanned by both runs' own run-to-run variation (pooled CoV scaled by
+   [threshold]).  The deterministic simulator often measures with
+   stddev 0, so [min_band] keeps a floor under the gate — a 0.01 %
+   wobble from a changed iteration count is not a regression. *)
+let noise_band ~threshold ~min_band (a : Snapshot.variant_stat)
+    (b : Snapshot.variant_stat) =
+  let pooled =
+    Mt_stats.pooled_cov
+      [ (a.count, a.median, a.stddev); (b.count, b.median, b.stddev) ]
+  in
+  Float.max min_band (threshold *. pooled)
+
+let compare ?(threshold = default_threshold) ?(min_band = default_min_band)
+    ~baseline current =
+  let open Snapshot in
+  let notes = ref [] in
+  let note field a b =
+    if a <> b && a <> "" && b <> "" then
+      notes :=
+        Printf.sprintf "%s changed between runs: %s -> %s" field a b :: !notes
+  in
+  note "kernel hash" baseline.kernel_hash current.kernel_hash;
+  note "machine hash" baseline.machine_hash current.machine_hash;
+  note "kernel" baseline.kernel_name current.kernel_name;
+  note "machine" baseline.machine_name current.machine_name;
+  let matched =
+    List.map
+      (fun (b : variant_stat) ->
+        match
+          List.find_opt (fun (c : variant_stat) -> c.key = b.key)
+            current.variants
+        with
+        | None ->
+          {
+            key = b.key;
+            verdict = Removed;
+            baseline = Some b;
+            current = None;
+            delta = 0.;
+            band = 0.;
+          }
+        | Some c ->
+          let denom = if b.median = 0. then 1. else Float.abs b.median in
+          let delta = (c.median -. b.median) /. denom in
+          let band = noise_band ~threshold ~min_band b c in
+          let verdict =
+            if Float.abs delta <= band then Unchanged
+            else if delta > 0. then Regression
+            else Improvement
+          in
+          { key = b.key; verdict; baseline = Some b; current = Some c; delta; band })
+      baseline.variants
+  in
+  let added =
+    List.filter_map
+      (fun (c : variant_stat) ->
+        if List.exists (fun (b : variant_stat) -> b.key = c.key) baseline.variants
+        then None
+        else
+          Some
+            {
+              key = c.key;
+              verdict = Added;
+              baseline = None;
+              current = Some c;
+              delta = 0.;
+              band = 0.;
+            })
+      current.variants
+  in
+  {
+    threshold;
+    min_band;
+    entries = matched @ added;
+    provenance_notes = List.rev !notes;
+  }
+
+let has_regressions t = List.exists (fun e -> e.verdict = Regression) t.entries
+
+let count v t = List.length (List.filter (fun e -> e.verdict = v) t.entries)
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let key_w =
+    List.fold_left (fun acc e -> max acc (String.length e.key)) 7 t.entries
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %12s %12s %9s %8s  %s\n" key_w "variant" "baseline"
+       "current" "delta" "band" "verdict");
+  let med = function
+    | Some (s : Snapshot.variant_stat) -> Printf.sprintf "%.4f" s.median
+    | None -> "-"
+  in
+  List.iter
+    (fun e ->
+      let delta, band =
+        match e.verdict with
+        | Added | Removed -> ("-", "-")
+        | _ ->
+          ( Printf.sprintf "%+.2f%%" (100. *. e.delta),
+            Printf.sprintf "%.2f%%" (100. *. e.band) )
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %12s %12s %9s %8s  %s\n" key_w e.key
+           (med e.baseline) (med e.current) delta band
+           (verdict_to_string e.verdict)))
+    t.entries;
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n))
+    t.provenance_notes;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d variant%s: %d regression%s, %d improvement%s, %d unchanged, %d \
+        added, %d removed (threshold %g, min band %g)\n"
+       (List.length t.entries)
+       (if List.length t.entries = 1 then "" else "s")
+       (count Regression t)
+       (if count Regression t = 1 then "" else "s")
+       (count Improvement t)
+       (if count Improvement t = 1 then "" else "s")
+       (count Unchanged t) (count Added t) (count Removed t) t.threshold
+       t.min_band);
+  Buffer.contents buf
+
+let entry_to_json e =
+  let stat = function
+    | None -> Json.Null
+    | Some (s : Snapshot.variant_stat) ->
+      Json.Obj
+        [
+          ("median", Json.Num s.median);
+          ("stddev", Json.Num s.stddev);
+          ("count", Json.Num (float_of_int s.count));
+        ]
+  in
+  Json.Obj
+    [
+      ("key", Json.Str e.key);
+      ("verdict", Json.Str (verdict_to_string e.verdict));
+      ("baseline", stat e.baseline);
+      ("current", stat e.current);
+      ("delta", Json.Num e.delta);
+      ("band", Json.Num e.band);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("threshold", Json.Num t.threshold);
+      ("min_band", Json.Num t.min_band);
+      ("regressions", Json.Bool (has_regressions t));
+      ("entries", Json.List (List.map entry_to_json t.entries));
+      ("notes", Json.List (List.map (fun n -> Json.Str n) t.provenance_notes));
+    ]

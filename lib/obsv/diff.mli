@@ -1,0 +1,48 @@
+(** Compare two {!Snapshot}s with a CoV-based noise gate.
+
+    A variant's median delta only counts as a regression or improvement
+    when it escapes the noise band pooled from both runs' own
+    coefficient of variation — a small delta inside the band is
+    "unchanged", so CI gates do not flap on measurement noise. *)
+
+type verdict = Regression | Improvement | Unchanged | Added | Removed
+
+val verdict_to_string : verdict -> string
+
+type entry = {
+  key : string;
+  verdict : verdict;
+  baseline : Snapshot.variant_stat option;  (** [None] when [Added] *)
+  current : Snapshot.variant_stat option;  (** [None] when [Removed] *)
+  delta : float;  (** relative median delta vs. baseline; larger = slower *)
+  band : float;  (** the noise band the delta was judged against *)
+}
+
+type t = {
+  threshold : float;
+  min_band : float;
+  entries : entry list;
+  provenance_notes : string list;
+      (** kernel/machine hash mismatches — the runs may not be comparable *)
+}
+
+val default_threshold : float
+(** 3.0 — a delta must exceed 3x the pooled CoV to be believed. *)
+
+val default_min_band : float
+(** 0.001 — floor under the band, since the deterministic simulator can
+    measure with stddev 0. *)
+
+val compare :
+  ?threshold:float -> ?min_band:float -> baseline:Snapshot.t -> Snapshot.t -> t
+(** Match variants by [key]; variants only in the current snapshot are
+    [Added], only in the baseline [Removed] (neither affects the exit
+    verdict). *)
+
+val has_regressions : t -> bool
+
+val render : t -> string
+(** Terminal table: one row per variant plus a summary line and any
+    provenance notes. *)
+
+val to_json : t -> Json.t

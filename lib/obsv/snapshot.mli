@@ -1,0 +1,79 @@
+(** A run manifest: everything needed to compare two study runs —
+    content hashes identifying what was measured (kernel description,
+    machine configuration), the launcher options and seed that shaped
+    the run, and a per-variant statistical summary of the primary
+    metric.  Serialised as stable, pretty-printed JSON so snapshots can
+    be committed as CI baselines and diffed by {!Diff}. *)
+
+val schema_version : int
+(** Current on-disk schema.  {!of_json} refuses documents written by a
+    newer schema; older documents load with defaults for new fields. *)
+
+type variant_stat = {
+  key : string;  (** stable identity for cross-run matching *)
+  unroll : int;
+  median : float;
+  mean : float;
+  stddev : float;
+  cov : float;  (** coefficient of variation of the samples *)
+  count : int;
+  minimum : float;
+  maximum : float;
+  unit_label : string;
+  per_label : string;
+}
+
+type t = {
+  schema : int;
+  tool : string;
+  created_at : float;  (** wall-clock seconds since the epoch *)
+  kernel_name : string;
+  kernel_hash : string;
+  machine_name : string;
+  machine_hash : string;
+  options : (string * string) list;
+  seed : int;
+  variant_count : int;
+  variants : variant_stat list;
+  counters : (string * int) list;  (** telemetry counters at save time *)
+}
+
+val of_values :
+  key:string ->
+  ?unroll:int ->
+  ?unit_label:string ->
+  ?per_label:string ->
+  float array ->
+  variant_stat
+(** Summarise raw per-experiment samples into a [variant_stat]. *)
+
+val point_stat : key:string -> float -> variant_stat
+(** A single-observation stat (stddev and cov are 0) — used for
+    experiment-table cells, which report one value per cell. *)
+
+val make :
+  ?tool:string ->
+  ?created_at:float ->
+  kernel:string * string ->
+  machine:string * string ->
+  ?options:(string * string) list ->
+  ?seed:int ->
+  ?variant_count:int ->
+  ?counters:(string * int) list ->
+  variant_stat list ->
+  t
+(** [make ~kernel:(name, hash) ~machine:(name, hash) variants] stamps
+    [created_at] with the current wall clock unless given. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+
+val to_string : t -> string
+(** Pretty-printed JSON document (ends in a newline). *)
+
+val of_string : string -> (t, string) result
+
+val save : t -> string -> unit
+
+val load : string -> (t, string) result

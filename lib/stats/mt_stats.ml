@@ -67,6 +67,32 @@ let percentile xs p =
     ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
   end
 
+(* Pooled variability across measurement groups (μOpTime-style): the
+   noise band two benchmark results must clear before their medians are
+   considered different.  Groups with fewer than 2 samples contribute no
+   degrees of freedom (their stddev is 0 by convention anyway). *)
+let pooled_stddev groups =
+  let dof = List.fold_left (fun acc (n, _) -> acc + max 0 (n - 1)) 0 groups in
+  if dof = 0 then 0.
+  else
+    sqrt
+      (List.fold_left
+         (fun acc (n, s) -> acc +. (float_of_int (max 0 (n - 1)) *. s *. s))
+         0. groups
+      /. float_of_int dof)
+
+let pooled_cov groups =
+  let total = List.fold_left (fun acc (n, _, _) -> acc + max 0 n) 0 groups in
+  if total = 0 then 0.
+  else begin
+    let grand_mean =
+      List.fold_left (fun acc (n, m, _) -> acc +. (float_of_int (max 0 n) *. m)) 0. groups
+      /. float_of_int total
+    in
+    if grand_mean = 0. then 0.
+    else pooled_stddev (List.map (fun (n, _, s) -> (n, s)) groups) /. grand_mean
+  end
+
 let summarize xs =
   check_non_empty "Mt_stats.summarize" xs;
   {

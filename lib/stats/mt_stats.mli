@@ -41,6 +41,18 @@ val relative_spread : float array -> float
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0, 100], linear interpolation. *)
 
+val pooled_stddev : (int * float) list -> float
+(** [pooled_stddev [(n1, s1); (n2, s2); ...]] combines per-group sample
+    standard deviations into one, weighting each group by its degrees of
+    freedom [(n-1)].  0 when no group has 2 or more samples. *)
+
+val pooled_cov : (int * float * float) list -> float
+(** [pooled_cov [(n1, m1, s1); ...]] over [(count, mean, stddev)]
+    groups: {!pooled_stddev} divided by the count-weighted grand mean —
+    the μOpTime-style noise band used by regression gating (a median
+    delta inside a multiple of this band is indistinguishable from
+    run-to-run noise).  0 when the grand mean is 0 or no samples. *)
+
 (** {1 CSV} *)
 
 module Csv : sig

@@ -9,8 +9,16 @@ type event = {
   depth : int;
 }
 
+type sample = {
+  series_name : string;
+  sample_tid : int;
+  ts_us : float;
+  values : (string * float) list;
+}
+
 type state = {
   mutable events : event list;  (* newest first *)
+  mutable samples : sample list;  (* newest first *)
   counters : (string, int) Hashtbl.t;
   histograms : (string, hist) Hashtbl.t;
   lock : Mutex.t;
@@ -25,14 +33,20 @@ type t = state option
 
 let disabled : t = None
 
+(* Span durations come from the monotonic clock (an NTP step or manual
+   clock change mid-run must not skew them); [Unix.gettimeofday] is only
+   used for wall-clock provenance stamps elsewhere. *)
+let mono_us () = Int64.to_float (Monotonic_clock.now ()) /. 1e3
+
 let create () : t =
   Some
     {
       events = [];
+      samples = [];
       counters = Hashtbl.create 64;
       histograms = Hashtbl.create 16;
       lock = Mutex.create ();
-      epoch = Unix.gettimeofday ();
+      epoch = mono_us ();
       depth = Domain.DLS.new_key (fun () -> ref 0);
     }
 
@@ -47,6 +61,28 @@ let global_handle : t Atomic.t = Atomic.make disabled
 let global () = Atomic.get global_handle
 
 let set_global t = Atomic.set global_handle t
+
+(* ------------------------------------------------------------------ *)
+(* Trace detail                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type detail = Off | Sampled | Full
+
+let detail_level : detail Atomic.t = Atomic.make Off
+
+let detail () = Atomic.get detail_level
+
+let set_detail d = Atomic.set detail_level d
+
+let detail_to_string = function Off -> "off" | Sampled -> "sampled" | Full -> "full"
+
+let detail_of_string = function
+  | "off" -> Ok Off
+  | "sampled" -> Ok Sampled
+  | "full" -> Ok Full
+  | s -> Error (Printf.sprintf "unknown trace detail %S (off, sampled, full)" s)
+
+let sample_stride = function Off -> 0 | Sampled -> 64 | Full -> 1
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
@@ -102,7 +138,7 @@ let histograms t =
   | None -> []
   | Some s -> locked s (fun () -> sorted_bindings s.histograms)
 
-let now_us s = (Unix.gettimeofday () -. s.epoch) *. 1e6
+let now_us s = mono_us () -. s.epoch
 
 let span ?(args = []) t name f =
   match t with
@@ -124,8 +160,28 @@ let span ?(args = []) t name f =
             observe_locked s ("span." ^ name ^ ".us") dur_us))
       f
 
+let emit ?(args = []) ?tid t name ~start_us ~dur_us =
+  match t with
+  | None -> ()
+  | Some s ->
+    let tid = match tid with Some tid -> tid | None -> (Domain.self () :> int) in
+    let e = { name; args; tid; start_us; dur_us; depth = 0 } in
+    locked s (fun () -> s.events <- e :: s.events)
+
+let series ?ts_us ?tid t name values =
+  match t with
+  | None -> ()
+  | Some s ->
+    let ts_us = match ts_us with Some ts -> ts | None -> now_us s in
+    let tid = match tid with Some tid -> tid | None -> (Domain.self () :> int) in
+    let p = { series_name = name; sample_tid = tid; ts_us; values } in
+    locked s (fun () -> s.samples <- p :: s.samples)
+
 let events t =
   match t with None -> [] | Some s -> locked s (fun () -> List.rev s.events)
+
+let samples t =
+  match t with None -> [] | Some s -> locked s (fun () -> List.rev s.samples)
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)
@@ -150,10 +206,12 @@ let json_escape str =
 let chrome_trace t =
   let b = Buffer.create 4096 in
   let pid = Unix.getpid () in
+  let sep = ref false in
+  let next () = if !sep then Buffer.add_char b ',' else sep := true in
   Buffer.add_string b "{\"traceEvents\":[";
-  List.iteri
-    (fun i e ->
-      if i > 0 then Buffer.add_char b ',';
+  List.iter
+    (fun e ->
+      next ();
       Buffer.add_string b
         (Printf.sprintf
            "{\"name\":\"%s\",\"cat\":\"microtools\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
@@ -171,25 +229,41 @@ let chrome_trace t =
         Buffer.add_char b '}');
       Buffer.add_char b '}')
     (events t);
+  (* Counter samples become Chrome "C" events: one track per series
+     name, one stacked sub-series per value key. *)
+  List.iter
+    (fun p ->
+      next ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"microtools\",\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"args\":{"
+           (json_escape p.series_name) pid p.sample_tid p.ts_us);
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":%.6g" (json_escape k) v))
+        p.values;
+      Buffer.add_string b "}}")
+    (samples t);
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents b
 
 let metrics_csv t =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "key,value\n";
+  let doc = Mt_stats.Csv.create ~header:[ "key"; "value" ] in
   List.iter
-    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s,%d\n" k v))
+    (fun (k, v) -> Mt_stats.Csv.add_row doc [ k; string_of_int v ])
     (counters t);
   List.iter
     (fun (k, h) ->
-      Buffer.add_string b (Printf.sprintf "%s.count,%d\n" k h.count);
-      Buffer.add_string b (Printf.sprintf "%s.sum,%.6g\n" k h.sum);
-      Buffer.add_string b (Printf.sprintf "%s.min,%.6g\n" k h.minimum);
-      Buffer.add_string b (Printf.sprintf "%s.max,%.6g\n" k h.maximum);
-      Buffer.add_string b
-        (Printf.sprintf "%s.mean,%.6g\n" k (h.sum /. float_of_int (max 1 h.count))))
+      let row suffix v = Mt_stats.Csv.add_row doc [ k ^ suffix; v ] in
+      row ".count" (string_of_int h.count);
+      row ".sum" (Printf.sprintf "%.6g" h.sum);
+      row ".min" (Printf.sprintf "%.6g" h.minimum);
+      row ".max" (Printf.sprintf "%.6g" h.maximum);
+      row ".mean" (Printf.sprintf "%.6g" (h.sum /. float_of_int (max 1 h.count))))
     (histograms t);
-  Buffer.contents b
+  Mt_stats.Csv.to_string doc
 
 let write_file path data =
   let oc = open_out_bin path in

@@ -1,14 +1,17 @@
 (** Low-overhead observability for the MicroTools pipeline: named
-    monotonic counters, value histograms and nestable timed spans,
-    exported as a Chrome [trace_event] JSON (open in [chrome://tracing]
-    or {{:https://ui.perfetto.dev}Perfetto}) and a flat [key,value]
-    metrics CSV.
+    monotonic counters, value histograms, nestable timed spans and
+    counter-series samples, exported as a Chrome [trace_event] JSON
+    (open in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto})
+    and a flat [key,value] metrics CSV.
 
     A handle is either {!disabled} — every operation is a no-op costing
     one branch, so instrumented hot paths pay nothing by default — or
     created with {!create}, in which case all recording is Domain-safe:
     counters and events may be updated concurrently from every worker of
     {!Mt_parallel.Pool}.
+
+    Span timestamps come from the process monotonic clock, so an NTP
+    step during a run cannot skew durations.
 
     The pipeline reads one process-wide handle ({!global}, default
     {!disabled}); binaries enable it from [--trace-out]/[--metrics-out]
@@ -36,6 +39,31 @@ val global : unit -> t
 val set_global : t -> unit
 (** Install [t] as the process-wide handle.  Call before spawning
     worker domains; typically once at binary start-up. *)
+
+(** {1 Trace detail}
+
+    How much instruction/cache-level detail the simulator's deep trace
+    lanes record.  [Off] (the default) keeps the simulate path
+    completely free of lane bookkeeping; [Sampled] records every
+    {!sample_stride}-th dynamic instruction plus the cache counter
+    series at those points; [Full] records every instruction (intended
+    for small kernels — event volume grows with the dynamic instruction
+    count).  Binaries set this from [--trace-detail]. *)
+
+type detail = Off | Sampled | Full
+
+val detail : unit -> detail
+(** The process-wide detail level (one atomic load, default [Off]). *)
+
+val set_detail : detail -> unit
+
+val detail_to_string : detail -> string
+
+val detail_of_string : string -> (detail, string) result
+
+val sample_stride : detail -> int
+(** Dynamic instructions per recorded lane event: [Off] → 0 (record
+    nothing), [Sampled] → 64, [Full] → 1. *)
 
 (** {1 Counters} *)
 
@@ -67,7 +95,7 @@ val histograms : t -> (string * hist) list
 type event = {
   name : string;
   args : (string * string) list;
-  tid : int;  (** The recording domain's id. *)
+  tid : int;  (** The recording domain's id (or an explicit lane). *)
   start_us : float;  (** Microseconds since the handle's epoch. *)
   dur_us : float;
   depth : int;  (** Nesting depth within the recording domain. *)
@@ -79,17 +107,47 @@ val span : ?args:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
     the per-domain depth is recorded with each event, and Chrome's
     viewer reconstructs the hierarchy from the timestamps. *)
 
+val emit :
+  ?args:(string * string) list -> ?tid:int -> t -> string ->
+  start_us:float -> dur_us:float -> unit
+(** Record one complete event with explicit timestamps, without timing
+    anything.  This is how simulated-time lanes are built: the
+    launcher's deep trace emits per-instruction spans whose "ts" axis
+    is core cycles rather than wall-clock microseconds, on a [tid] far
+    away from the wall-clock domain tracks. *)
+
 val events : t -> event list
 (** All completed spans, in completion order. *)
+
+(** {1 Counter series} *)
+
+type sample = {
+  series_name : string;
+  sample_tid : int;
+  ts_us : float;
+  values : (string * float) list;
+}
+
+val series :
+  ?ts_us:float -> ?tid:int -> t -> string -> (string * float) list -> unit
+(** [series t name values] records one point of a named counter series
+    (exported as a Chrome ["ph":"C"] counter event; each key of
+    [values] becomes a stacked sub-series).  [ts_us] defaults to the
+    handle's monotonic now; simulated-time lanes pass the core-cycle
+    timestamp explicitly. *)
+
+val samples : t -> sample list
+(** All recorded series points, in recording order. *)
 
 (** {1 Export} *)
 
 val chrome_trace : t -> string
-(** The Chrome [trace_event] JSON document (an object with a
-    [traceEvents] array of ["ph":"X"] complete events). *)
+(** The Chrome [trace_event] JSON document: an object with a
+    [traceEvents] array of ["ph":"X"] complete events (spans) followed
+    by ["ph":"C"] counter events (series samples). *)
 
 val metrics_csv : t -> string
-(** A [key,value] CSV: one row per counter, five rows
+(** A [key,value] CSV (RFC-4180-quoted): one row per counter, five rows
     ([.count]/[.sum]/[.min]/[.max]/[.mean]) per histogram. *)
 
 val write_chrome_trace : t -> string -> unit

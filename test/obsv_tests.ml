@@ -1,0 +1,393 @@
+(* Tests for mt_obsv: the JSON codec, snapshot round-trips, the
+   CoV-gated diff, and the deep trace lanes the launcher records at
+   --trace-detail sampled/full. *)
+
+open Mt_machine
+open Mt_launcher
+open Mt_obsv
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_round_trip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "quote\" back\\slash\nnewline");
+        ("n", Json.Num 0.503);
+        ("i", Json.Num 510.);
+        ("neg", Json.Num (-1.5e-9));
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Num 1.; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string doc) with
+  | Ok parsed -> check_bool "compact round-trips" true (parsed = doc)
+  | Error msg -> Alcotest.fail msg);
+  match Json.of_string (Json.to_string ~indent:true doc) with
+  | Ok parsed -> check_bool "indented round-trips" true (parsed = doc)
+  | Error msg -> Alcotest.fail msg
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+    | Error _ -> ()
+  in
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1,}";
+  bad "{\"a\" 1}";
+  bad "\"unterminated";
+  bad "1 2";
+  bad "nul"
+
+let test_json_unicode_escape () =
+  match Json.of_string "\"caf\\u00e9 \\u2192\"" with
+  | Ok (Json.Str s) -> check_str "utf8 decoded" "caf\xc3\xa9 \xe2\x86\x92" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample_snapshot () =
+  Snapshot.make ~tool:"test" ~created_at:123.5
+    ~kernel:("loadstore", "kh") ~machine:("x5650", "mh")
+    ~options:[ ("experiments", "5"); ("per", "element") ]
+    ~seed:42
+    ~counters:[ ("sim.variants", 14) ]
+    [
+      Snapshot.of_values ~key:"v1" ~unroll:1 ~unit_label:"tsc-cycles"
+        ~per_label:"element"
+        [| 2.0; 2.1; 1.9; 2.0 |];
+      Snapshot.point_stat ~key:"v2" 0.503;
+    ]
+
+let test_snapshot_round_trip () =
+  let snap = sample_snapshot () in
+  let path = Filename.temp_file "mt_obsv" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Snapshot.save snap path;
+      match Snapshot.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok loaded ->
+        check_bool "identical after save/load" true (loaded = snap))
+
+let test_snapshot_rejects_newer_schema () =
+  let text =
+    Printf.sprintf "{\"schema\": %d, \"variants\": []}"
+      (Snapshot.schema_version + 1)
+  in
+  match Snapshot.of_string text with
+  | Ok _ -> Alcotest.fail "accepted a newer schema"
+  | Error msg -> check_bool "names schema" true (String.length msg > 0)
+
+let test_identical_snapshots_diff_empty () =
+  let snap = sample_snapshot () in
+  let diff = Diff.compare ~baseline:snap snap in
+  check_bool "no regressions" false (Diff.has_regressions diff);
+  check_int "all matched" 2 (List.length diff.Diff.entries);
+  List.iter
+    (fun e -> check_bool e.Diff.key true (e.Diff.verdict = Diff.Unchanged))
+    diff.Diff.entries;
+  check_bool "no provenance notes" true (diff.Diff.provenance_notes = [])
+
+(* ------------------------------------------------------------------ *)
+(* The noise gate                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Two runs of the same noisy measurement: median 100 with stddev 5
+   over 10 experiments pools to a ~5% CoV, so the 3x gate spans ~15%. *)
+let noisy key median =
+  {
+    Snapshot.key;
+    unroll = 1;
+    median;
+    mean = median;
+    stddev = 5.;
+    cov = 5. /. median;
+    count = 10;
+    minimum = median -. 8.;
+    maximum = median +. 8.;
+    unit_label = "tsc-cycles";
+    per_label = "pass";
+  }
+
+let snap_of variants =
+  Snapshot.make ~tool:"test" ~created_at:0. ~kernel:("k", "kh")
+    ~machine:("m", "mh") variants
+
+let verdict_of diff key =
+  match List.find_opt (fun e -> e.Diff.key = key) diff.Diff.entries with
+  | Some e -> e.Diff.verdict
+  | None -> Alcotest.fail (key ^ " not in diff")
+
+let test_delta_inside_band_is_unchanged () =
+  let base = snap_of [ noisy "v" 100. ] in
+  let cur = snap_of [ noisy "v" 102. ] in
+  let diff = Diff.compare ~baseline:base cur in
+  check_bool "2% inside a 15% band" true (verdict_of diff "v" = Diff.Unchanged);
+  check_bool "exit would be 0" false (Diff.has_regressions diff)
+
+let test_delta_outside_band_is_flagged () =
+  let base = snap_of [ noisy "v" 100. ] in
+  let slower = Diff.compare ~baseline:base (snap_of [ noisy "v" 140. ]) in
+  check_bool "+40% escapes the band" true
+    (verdict_of slower "v" = Diff.Regression);
+  check_bool "exit would be 1" true (Diff.has_regressions slower);
+  let faster = Diff.compare ~baseline:base (snap_of [ noisy "v" 60. ]) in
+  check_bool "-40% is an improvement" true
+    (verdict_of faster "v" = Diff.Improvement);
+  check_bool "improvements do not gate" false (Diff.has_regressions faster)
+
+let test_threshold_scales_the_band () =
+  let base = snap_of [ noisy "v" 100. ] in
+  let cur = snap_of [ noisy "v" 120. ] in
+  let tight = Diff.compare ~threshold:1.0 ~baseline:base cur in
+  check_bool "20% escapes a 1x (~5%) band" true
+    (verdict_of tight "v" = Diff.Regression);
+  let loose = Diff.compare ~threshold:10.0 ~baseline:base cur in
+  check_bool "20% hides in a 10x (~50%) band" true
+    (verdict_of loose "v" = Diff.Unchanged)
+
+let test_min_band_floors_zero_variance () =
+  (* The deterministic simulator: stddev 0 on both sides would make the
+     pooled band 0 and every last-digit wobble a regression. *)
+  let base = snap_of [ Snapshot.point_stat ~key:"v" 100. ] in
+  let wobble = Diff.compare ~baseline:base (snap_of [ Snapshot.point_stat ~key:"v" 100.05 ]) in
+  check_bool "0.05% sits under the 0.1% floor" true
+    (verdict_of wobble "v" = Diff.Unchanged);
+  let real = Diff.compare ~baseline:base (snap_of [ Snapshot.point_stat ~key:"v" 101. ]) in
+  check_bool "1% escapes the floor" true (verdict_of real "v" = Diff.Regression)
+
+let test_added_and_removed () =
+  let base = snap_of [ noisy "old" 100.; noisy "both" 100. ] in
+  let cur = snap_of [ noisy "both" 100.; noisy "new" 100. ] in
+  let diff = Diff.compare ~baseline:base cur in
+  check_bool "removed" true (verdict_of diff "old" = Diff.Removed);
+  check_bool "added" true (verdict_of diff "new" = Diff.Added);
+  check_bool "matched" true (verdict_of diff "both" = Diff.Unchanged);
+  check_bool "membership changes do not gate" false (Diff.has_regressions diff)
+
+let test_hash_mismatch_noted () =
+  let base = snap_of [ noisy "v" 100. ] in
+  let cur =
+    Snapshot.make ~tool:"test" ~created_at:0. ~kernel:("k", "other-hash")
+      ~machine:("m", "mh") [ noisy "v" 100. ]
+  in
+  let diff = Diff.compare ~baseline:base cur in
+  check_int "one note" 1 (List.length diff.Diff.provenance_notes)
+
+let test_diff_render_and_json () =
+  let base = snap_of [ noisy "v" 100. ] in
+  let diff = Diff.compare ~baseline:base (snap_of [ noisy "v" 140. ]) in
+  let table = Diff.render diff in
+  check_bool "verdict in table" true
+    (Telemetry_tests.contains table "regression");
+  check_bool "summary line" true (Telemetry_tests.contains table "1 regression");
+  let json = Json.to_string (Diff.to_json diff) in
+  Telemetry_tests.validate_json json;
+  check_bool "regressions flag" true
+    (Telemetry_tests.contains json "\"regressions\":true")
+
+(* ------------------------------------------------------------------ *)
+(* Study.snapshot end-to-end                                           *)
+(* ------------------------------------------------------------------ *)
+
+let x5650 = Config.nehalem_x5650_2s
+
+let quick_opts =
+  {
+    (Options.default x5650) with
+    Options.array_bytes = 16 * 1024;
+    repetitions = 1;
+    experiments = 2;
+  }
+
+let small_spec =
+  Mt_kernels.Streams.loadstore_spec ~opcode:Mt_isa.Insn.MOVSS ~stride:4
+    ~unroll:(1, 2) ()
+
+let test_study_snapshot_round_trip () =
+  let study = Microtools.Study.create small_spec quick_opts in
+  let outcomes = Microtools.Study.run study in
+  let snap = Microtools.Study.snapshot study outcomes in
+  check_int "one stat per variant" 6 (List.length snap.Snapshot.variants);
+  check_int "variant_count counts outcomes" 6 snap.Snapshot.variant_count;
+  check_str "kernel name from spec" "loadstore" snap.Snapshot.kernel_name;
+  check_bool "options recorded" true
+    (List.assoc_opt "experiments" snap.Snapshot.options = Some "2");
+  (* A second identical run diffs empty — the simulator is deterministic
+     and the manifest captures everything the measurement depends on. *)
+  let snap' = Microtools.Study.snapshot study (Microtools.Study.run study) in
+  let diff = Diff.compare ~baseline:snap snap' in
+  check_bool "identical re-run has no regressions" false
+    (Diff.has_regressions diff);
+  List.iter
+    (fun e -> check_bool e.Diff.key true (e.Diff.verdict = Diff.Unchanged))
+    diff.Diff.entries;
+  (* And the file round-trip preserves it bit-for-bit. *)
+  let path = Filename.temp_file "mt_study" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Snapshot.save snap path;
+      match Snapshot.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok loaded -> check_bool "file round-trip" true (loaded = snap))
+
+let test_exp_table_stat_entries () =
+  let table =
+    Microtools.Exp_table.make ~id:"figXX" ~title:"t"
+      ~columns:[ "size"; "cycles"; "note" ]
+      ~expectation:"e"
+      [ [ "100"; "2.5"; "fast" ]; [ "200"; "7.25"; "slow" ] ]
+  in
+  let entries = Microtools.Exp_table.stat_entries table in
+  (* The label column itself and non-numeric cells are skipped. *)
+  check_bool "numeric cells only" true
+    (entries
+    = [ ("figXX/100/cycles", 2.5); ("figXX/200/cycles", 7.25) ])
+
+(* ------------------------------------------------------------------ *)
+(* Deep trace lanes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_lanes detail f =
+  let tel = Mt_telemetry.create () in
+  Mt_telemetry.set_global tel;
+  Mt_telemetry.set_detail detail;
+  Fun.protect
+    ~finally:(fun () ->
+      Mt_telemetry.set_detail Mt_telemetry.Off;
+      Mt_telemetry.set_global Mt_telemetry.disabled)
+    (fun () -> f tel)
+
+let launch_small () =
+  let variant =
+    List.hd
+      (Mt_creator.Creator.generate
+         (Mt_kernels.Streams.loadstore_spec ~opcode:Mt_isa.Insn.MOVSS ~stride:4
+            ~unroll:(2, 2) ~swap_after:false ()))
+  in
+  match Launcher.launch quick_opts (Source.From_variant variant) with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail msg
+
+let test_sampled_lanes_emit_chrome_trace () =
+  with_lanes Mt_telemetry.Sampled (fun tel ->
+      ignore (launch_small ());
+      let insn_spans =
+        List.filter
+          (fun e -> List.mem_assoc "pc" e.Mt_telemetry.args)
+          (Mt_telemetry.events tel)
+      in
+      check_bool "instruction spans recorded" true (insn_spans <> []);
+      check_bool "on the simulated-time lane" true
+        (List.for_all (fun e -> e.Mt_telemetry.tid >= 1_000_000) insn_spans);
+      let samples = Mt_telemetry.samples tel in
+      check_bool "cache.L1 series" true
+        (List.exists (fun s -> s.Mt_telemetry.series_name = "cache.L1") samples);
+      check_bool "cache.L3 series" true
+        (List.exists (fun s -> s.Mt_telemetry.series_name = "cache.L3") samples);
+      check_bool "hit/miss values" true
+        (List.for_all
+           (fun s ->
+             List.mem_assoc "hit" s.Mt_telemetry.values
+             && List.mem_assoc "miss" s.Mt_telemetry.values)
+           samples);
+      let json = Mt_telemetry.chrome_trace tel in
+      Telemetry_tests.validate_json json;
+      check_bool "counter events in the trace" true
+        (Telemetry_tests.contains json "\"ph\":\"C\"");
+      check_bool "named cache lane" true
+        (Telemetry_tests.contains json "\"cache.L1\""))
+
+let test_full_detail_records_every_instruction () =
+  let sampled =
+    with_lanes Mt_telemetry.Sampled (fun tel ->
+        ignore (launch_small ());
+        List.length
+          (List.filter
+             (fun e -> List.mem_assoc "pc" e.Mt_telemetry.args)
+             (Mt_telemetry.events tel)))
+  in
+  let full =
+    with_lanes Mt_telemetry.Full (fun tel ->
+        ignore (launch_small ());
+        List.length
+          (List.filter
+             (fun e -> List.mem_assoc "pc" e.Mt_telemetry.args)
+             (Mt_telemetry.events tel)))
+  in
+  check_bool "full records more than sampled" true (full > sampled);
+  check_bool "stride is 64" true (full >= 32 * sampled)
+
+let test_off_detail_records_no_lanes () =
+  with_lanes Mt_telemetry.Off (fun tel ->
+      ignore (launch_small ());
+      check_bool "no samples" true (Mt_telemetry.samples tel = []);
+      check_bool "no pc-tagged events" true
+        (List.for_all
+           (fun e -> not (List.mem_assoc "pc" e.Mt_telemetry.args))
+           (Mt_telemetry.events tel)))
+
+let test_lanes_do_not_change_measurement () =
+  let plain = launch_small () in
+  let traced =
+    with_lanes Mt_telemetry.Full (fun _ -> launch_small ())
+  in
+  Alcotest.(check (float 1e-9))
+    "same median with and without lanes" plain.Report.value traced.Report.value
+
+let tests =
+  [
+    Alcotest.test_case "json round-trips" `Quick test_json_round_trip;
+    Alcotest.test_case "json rejects malformed input" `Quick
+      test_json_parse_errors;
+    Alcotest.test_case "json decodes unicode escapes" `Quick
+      test_json_unicode_escape;
+    Alcotest.test_case "snapshot save/load round-trips" `Quick
+      test_snapshot_round_trip;
+    Alcotest.test_case "snapshot rejects newer schema" `Quick
+      test_snapshot_rejects_newer_schema;
+    Alcotest.test_case "identical snapshots diff empty" `Quick
+      test_identical_snapshots_diff_empty;
+    Alcotest.test_case "delta inside noise band is unchanged" `Quick
+      test_delta_inside_band_is_unchanged;
+    Alcotest.test_case "delta outside noise band is flagged" `Quick
+      test_delta_outside_band_is_flagged;
+    Alcotest.test_case "threshold scales the band" `Quick
+      test_threshold_scales_the_band;
+    Alcotest.test_case "min band floors zero variance" `Quick
+      test_min_band_floors_zero_variance;
+    Alcotest.test_case "added and removed variants" `Quick
+      test_added_and_removed;
+    Alcotest.test_case "hash mismatch is noted" `Quick test_hash_mismatch_noted;
+    Alcotest.test_case "diff renders table and JSON" `Quick
+      test_diff_render_and_json;
+    Alcotest.test_case "study snapshot round-trips and diffs empty" `Quick
+      test_study_snapshot_round_trip;
+    Alcotest.test_case "exp_table stat entries" `Quick
+      test_exp_table_stat_entries;
+    Alcotest.test_case "sampled lanes emit a valid chrome trace" `Quick
+      test_sampled_lanes_emit_chrome_trace;
+    Alcotest.test_case "full detail records every instruction" `Quick
+      test_full_detail_records_every_instruction;
+    Alcotest.test_case "off detail records no lanes" `Quick
+      test_off_detail_records_no_lanes;
+    Alcotest.test_case "lanes do not change the measurement" `Quick
+      test_lanes_do_not_change_measurement;
+  ]

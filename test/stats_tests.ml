@@ -32,6 +32,24 @@ let test_cv () =
 let test_cv_zero_mean () =
   checkf "cv zero mean" 0. (S.coefficient_of_variation [| 1.; -1. |])
 
+let test_pooled_stddev () =
+  (* Equal groups with equal spread pool to that spread. *)
+  checkf "equal groups" 5. (S.pooled_stddev [ (10, 5.); (10, 5.) ]);
+  (* Weighted by degrees of freedom: sqrt((9*4^2 + 1*8^2)/10). *)
+  checkf "dof weighting"
+    (sqrt ((9. *. 16.) +. 64.) /. sqrt 10.)
+    (S.pooled_stddev [ (10, 4.); (2, 8.) ]);
+  checkf "no degrees of freedom" 0. (S.pooled_stddev [ (1, 3.); (1, 9.) ]);
+  checkf "empty" 0. (S.pooled_stddev [])
+
+let test_pooled_cov () =
+  (* Two runs of the same noisy measurement: pooled spread over the
+     grand mean. *)
+  checkf "two runs" (5. /. 101.) (S.pooled_cov [ (10, 100., 5.); (10, 102., 5.) ]);
+  checkf "zero variance" 0. (S.pooled_cov [ (10, 100., 0.); (10, 100., 0.) ]);
+  checkf "zero grand mean" 0. (S.pooled_cov [ (4, 1., 1.); (4, -1., 1.) ]);
+  checkf "empty" 0. (S.pooled_cov [])
+
 let test_relative_spread () =
   checkf "spread" 3. (S.relative_spread xs);
   checkf "spread flat" 0. (S.relative_spread [| 2.; 2. |])
@@ -166,6 +184,8 @@ let tests =
     Alcotest.test_case "stddev short" `Quick test_stddev_short;
     Alcotest.test_case "coefficient of variation" `Quick test_cv;
     Alcotest.test_case "cv zero mean" `Quick test_cv_zero_mean;
+    Alcotest.test_case "pooled stddev" `Quick test_pooled_stddev;
+    Alcotest.test_case "pooled cov" `Quick test_pooled_cov;
     Alcotest.test_case "relative spread" `Quick test_relative_spread;
     Alcotest.test_case "percentile" `Quick test_percentile;
     Alcotest.test_case "percentile bounds" `Quick test_percentile_out_of_range;

@@ -227,6 +227,83 @@ let test_metrics_csv_content () =
   check_bool "histogram count" true (contains csv "gen.us.count,2\n");
   check_bool "histogram mean" true (contains csv "gen.us.mean,3\n")
 
+let test_metrics_csv_quotes_fields () =
+  let t = Mt_telemetry.create () in
+  Mt_telemetry.incr t "weird,name";
+  Mt_telemetry.incr t "has\"quote";
+  let csv = Mt_telemetry.metrics_csv t in
+  (* RFC 4180: fields containing separators or quotes are quoted, with
+     embedded quotes doubled — and the document parses back. *)
+  check_bool "comma field quoted" true (contains csv "\"weird,name\",1\n");
+  check_bool "quote field escaped" true (contains csv "\"has\"\"quote\",1\n");
+  match Mt_stats.Csv.parse_string csv with
+  | Ok rows ->
+    check_bool "round-trips through the CSV parser" true
+      (List.mem [ "weird,name"; "1" ] rows && List.mem [ "has\"quote"; "1" ] rows)
+  | Error msg -> Alcotest.fail msg
+
+let test_emit_and_series () =
+  let t = Mt_telemetry.create () in
+  Mt_telemetry.emit t "movss (%rsi), %xmm0"
+    ~args:[ ("pc", "3") ]
+    ~tid:1_000_000 ~start_us:10. ~dur_us:4.;
+  Mt_telemetry.series ~ts_us:14. ~tid:1_000_000 t "cache.L1"
+    [ ("hit", 5.); ("miss", 2.) ];
+  (match Mt_telemetry.events t with
+  | [ e ] ->
+    Alcotest.(check string) "explicit name" "movss (%rsi), %xmm0" e.Mt_telemetry.name;
+    check_int "explicit tid" 1_000_000 e.Mt_telemetry.tid;
+    Alcotest.(check (float 1e-9)) "explicit start" 10. e.Mt_telemetry.start_us;
+    Alcotest.(check (float 1e-9)) "explicit duration" 4. e.Mt_telemetry.dur_us
+  | other -> Alcotest.fail (Printf.sprintf "%d events" (List.length other)));
+  (match Mt_telemetry.samples t with
+  | [ s ] ->
+    Alcotest.(check string) "series name" "cache.L1" s.Mt_telemetry.series_name;
+    Alcotest.(check (float 1e-9)) "series ts" 14. s.Mt_telemetry.ts_us;
+    check_bool "values kept" true (s.Mt_telemetry.values = [ ("hit", 5.); ("miss", 2.) ])
+  | other -> Alcotest.fail (Printf.sprintf "%d samples" (List.length other)));
+  let json = Mt_telemetry.chrome_trace t in
+  validate_json json;
+  check_bool "counter event" true (contains json "\"ph\":\"C\"");
+  check_bool "counter args numeric" true (contains json "\"hit\":5");
+  (* disabled handle drops both *)
+  Mt_telemetry.emit Mt_telemetry.disabled "x" ~start_us:0. ~dur_us:1.;
+  Mt_telemetry.series Mt_telemetry.disabled "s" [ ("v", 1.) ];
+  check_bool "disabled records nothing" true
+    (Mt_telemetry.samples Mt_telemetry.disabled = [])
+
+let test_detail_levels () =
+  check_int "off stride" 0 (Mt_telemetry.sample_stride Mt_telemetry.Off);
+  check_int "sampled stride" 64 (Mt_telemetry.sample_stride Mt_telemetry.Sampled);
+  check_int "full stride" 1 (Mt_telemetry.sample_stride Mt_telemetry.Full);
+  check_bool "default is off" true (Mt_telemetry.detail () = Mt_telemetry.Off);
+  List.iter
+    (fun d ->
+      match Mt_telemetry.detail_of_string (Mt_telemetry.detail_to_string d) with
+      | Ok d' -> check_bool "name round-trips" true (d = d')
+      | Error msg -> Alcotest.fail msg)
+    [ Mt_telemetry.Off; Mt_telemetry.Sampled; Mt_telemetry.Full ];
+  (match Mt_telemetry.detail_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "accepted bogus detail"
+  | Error _ -> ());
+  Mt_telemetry.set_detail Mt_telemetry.Sampled;
+  Fun.protect
+    ~finally:(fun () -> Mt_telemetry.set_detail Mt_telemetry.Off)
+    (fun () ->
+      check_bool "set_detail sticks" true
+        (Mt_telemetry.detail () = Mt_telemetry.Sampled))
+
+let test_timestamps_are_monotonic () =
+  let t = Mt_telemetry.create () in
+  Mt_telemetry.span t "a" (fun () -> ());
+  Mt_telemetry.span t "b" (fun () -> ());
+  match Mt_telemetry.events t with
+  | [ a; b ] ->
+    check_bool "non-negative since epoch" true (a.Mt_telemetry.start_us >= 0.);
+    check_bool "second span not earlier" true
+      (b.Mt_telemetry.start_us >= a.Mt_telemetry.start_us)
+  | other -> Alcotest.fail (Printf.sprintf "%d events" (List.length other))
+
 let tests =
   [
     Alcotest.test_case "counters accumulate" `Quick test_counters;
@@ -242,4 +319,11 @@ let tests =
     Alcotest.test_case "chrome trace is valid JSON" `Quick
       test_chrome_trace_is_valid_json;
     Alcotest.test_case "metrics CSV content" `Quick test_metrics_csv_content;
+    Alcotest.test_case "metrics CSV quotes fields" `Quick
+      test_metrics_csv_quotes_fields;
+    Alcotest.test_case "emit and series record lanes" `Quick
+      test_emit_and_series;
+    Alcotest.test_case "detail levels" `Quick test_detail_levels;
+    Alcotest.test_case "timestamps are monotonic" `Quick
+      test_timestamps_are_monotonic;
   ]

@@ -13,6 +13,7 @@ let () =
       ("study", Study_tests.tests);
       ("parallel", Parallel_tests.tests);
       ("telemetry", Telemetry_tests.tests);
+      ("obsv", Obsv_tests.tests);
       ("extensions", Extensions_tests.tests);
       ("cc", Cc_tests.tests);
       ("mpi", Mpi_tests.tests);
