@@ -9,7 +9,9 @@
      dune exec bench/main.exe -- --no-bechamel
      dune exec bench/main.exe -- fig11 tab02   (subset)
      dune exec bench/main.exe -- --jobs 4      (parallel tables)
-     dune exec bench/main.exe -- --cache-dir d --no-cache (result cache) *)
+     dune exec bench/main.exe -- --cache-dir d --no-cache (result cache)
+     dune exec bench/main.exe -- --adaptive-experiments --rciw-target 0.02 \
+       --max-experiments 64   (quality-driven experiment counts) *)
 
 open Mt_machine
 open Mt_creator
@@ -285,9 +287,12 @@ let () =
     end
     else Mt_telemetry.disabled
   in
+  let rciw_target, args = take_value "--rciw-target" args in
+  let max_experiments, args = take_value "--max-experiments" args in
   let quick = List.mem "--quick" args in
   let no_bechamel = List.mem "--no-bechamel" args in
   let no_cache = List.mem "--no-cache" args in
+  let adaptive = List.mem "--adaptive-experiments" args in
   let domains =
     match Option.bind jobs int_of_string_opt with
     | Some 0 -> Mt_parallel.Pool.available_domains ()
@@ -303,6 +308,12 @@ let () =
            ())
   in
   Microtools.Experiments.set_cache cache;
+  if adaptive then
+    Microtools.Experiments.set_adaptive
+      (Some
+         ( Option.value ~default:0.02 (Option.bind rciw_target float_of_string_opt),
+           Option.value ~default:64 (Option.bind max_experiments int_of_string_opt)
+         ));
   let ids =
     match List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args with
     | [] -> Microtools.Experiments.ids

@@ -21,7 +21,8 @@ let analyze_kernel opts source =
           (Mt_machine.Energy.energy_per_iteration_nj machine outcome)
           (Mt_machine.Energy.average_power_w machine outcome)))
 
-let run input function_name machine machine_file freq array_kb alignments repetitions experiments cores
+let run input function_name machine machine_file freq array_kb alignments repetitions experiments
+    adaptive rciw_target max_experiments cores
     openmp schedule chunk mpi halo per csv no_warmup no_pin seed analyze verbose
     trace_out metrics_out =
   let tel =
@@ -84,6 +85,9 @@ let run input function_name machine machine_file freq array_kb alignments repeti
         alignments;
         repetitions;
         experiments;
+        adaptive_experiments = adaptive;
+        rciw_target;
+        max_experiments = max max_experiments experiments;
         cores;
         openmp_threads = openmp;
         openmp_schedule;
@@ -141,6 +145,24 @@ let reps_arg = Arg.(value & opt int 4 & info [ "repetitions" ] ~doc:"Kernel call
 
 let exps_arg = Arg.(value & opt int 10 & info [ "experiments" ] ~doc:"Measured experiments.")
 
+let adaptive_arg =
+  Arg.(value & flag
+       & info [ "adaptive-experiments" ]
+           ~doc:"Treat $(b,--experiments) as a minimum and keep measuring \
+                 until the median's bootstrap confidence interval reaches \
+                 $(b,--rciw-target) or $(b,--max-experiments) is spent.")
+
+let rciw_target_arg =
+  Arg.(value & opt float 0.02
+       & info [ "rciw-target" ] ~docv:"FRAC"
+           ~doc:"Adaptive stop rule: relative confidence-interval width of \
+                 the median to reach before stopping early.")
+
+let max_exps_arg =
+  Arg.(value & opt int 64
+       & info [ "max-experiments" ] ~docv:"N"
+           ~doc:"Adaptive budget ceiling.")
+
 let cores_arg = Arg.(value & opt int 1 & info [ "cores" ] ~doc:"Fork-mode process count.")
 
 let openmp_arg = Arg.(value & opt int 0 & info [ "openmp" ] ~docv:"THREADS" ~doc:"OpenMP thread count (0 = off).")
@@ -191,7 +213,8 @@ let cmd =
   Cmd.v (Cmd.info "microlauncher" ~doc)
     Term.(
       const run $ input_arg $ function_arg $ machine_arg $ machine_file_arg $ freq_arg $ array_arg $ align_arg
-      $ reps_arg $ exps_arg $ cores_arg $ openmp_arg $ schedule_arg $ chunk_arg
+      $ reps_arg $ exps_arg $ adaptive_arg $ rciw_target_arg $ max_exps_arg
+      $ cores_arg $ openmp_arg $ schedule_arg $ chunk_arg
       $ mpi_arg $ halo_arg $ per_arg $ csv_arg $ no_warmup_arg $ no_pin_arg
       $ seed_arg $ analyze_arg $ verbose_arg $ trace_arg $ metrics_arg)
 

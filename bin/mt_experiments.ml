@@ -105,8 +105,9 @@ let list_experiments () =
     Microtools.Experiments.ids;
   0
 
-let main ids all quick csv_dir list jobs cache_dir no_cache trace_out metrics_out
-    snapshot_out trace_detail =
+let main ids all quick csv_dir list jobs cache_dir no_cache adaptive
+    rciw_target max_experiments trace_out metrics_out snapshot_out
+    trace_detail =
   if list then list_experiments ()
   else begin
     Mt_telemetry.set_detail trace_detail;
@@ -122,6 +123,8 @@ let main ids all quick csv_dir list jobs cache_dir no_cache trace_out metrics_ou
              ())
     in
     Microtools.Experiments.set_cache cache;
+    Microtools.Experiments.set_adaptive
+      (if adaptive then Some (rciw_target, max_experiments) else None);
     let tel =
       if trace_out <> None || metrics_out <> None then begin
         let t = Mt_telemetry.create () in
@@ -165,6 +168,25 @@ let no_cache_arg =
   Arg.(value & flag
        & info [ "no-cache" ] ~doc:"Disable the result cache; re-simulate everything.")
 
+let adaptive_arg =
+  Arg.(value & flag
+       & info [ "adaptive-experiments" ]
+           ~doc:"Let the quality controller extend each measurement past its \
+                 configured experiment count until the bootstrap confidence \
+                 interval reaches $(b,--rciw-target) or $(b,--max-experiments) \
+                 is spent.")
+
+let rciw_target_arg =
+  Arg.(value & opt float 0.02
+       & info [ "rciw-target" ] ~docv:"FRAC"
+           ~doc:"Adaptive stop rule: relative confidence-interval width of \
+                 the median to reach before stopping early.")
+
+let max_exps_arg =
+  Arg.(value & opt int 64
+       & info [ "max-experiments" ] ~docv:"N"
+           ~doc:"Adaptive budget ceiling per measurement.")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace-out" ] ~docv:"FILE"
@@ -195,7 +217,8 @@ let cmd =
   Cmd.v (Cmd.info "mt_experiments" ~doc)
     Term.(
       const main $ ids_arg $ all_arg $ quick_arg $ csv_arg $ list_arg
-      $ jobs_arg $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg
+      $ jobs_arg $ cache_dir_arg $ no_cache_arg $ adaptive_arg
+      $ rciw_target_arg $ max_exps_arg $ trace_arg $ metrics_arg
       $ snapshot_arg $ trace_detail_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,7 +5,9 @@
      mt_report --threshold 4 --json report.json old.json new.json
 
    Exit 0 when every matched variant's median delta sits inside the
-   pooled noise band, 1 when at least one regression escapes it. *)
+   pooled noise band, 1 when at least one regression escapes it, 3 when
+   the medians held but a variant's measurement-quality verdict
+   regressed (e.g. stable -> unstable). *)
 
 open Cmdliner
 
@@ -26,7 +28,12 @@ let run baseline current threshold min_band json_out quiet =
             output_string oc
               (Mt_obsv.Json.to_string ~indent:true (Mt_obsv.Diff.to_json diff))))
       json_out;
-    if Mt_obsv.Diff.has_regressions diff then 1 else 0
+    (* Perf regressions dominate the exit code; a quality-only failure
+       gets its own value so CI can distinguish "the code got slower"
+       from "the measurement got untrustworthy". *)
+    if Mt_obsv.Diff.has_regressions diff then 1
+    else if Mt_obsv.Diff.has_quality_regressions diff then 3
+    else 0
 
 (* Plain strings, not Arg.file: a missing file must be our documented
    exit 2, not cmdliner's usage error. *)
@@ -61,7 +68,7 @@ let quiet_arg =
        & info [ "quiet"; "q" ] ~doc:"Suppress the table; exit code only.")
 
 let cmd =
-  let doc = "compare two run snapshots and flag perf regressions" in
+  let doc = "compare two run snapshots and flag perf and quality regressions" in
   let man =
     [
       `S Manpage.s_description;
@@ -70,10 +77,15 @@ let cmd =
          $(b,--snapshot-out), matches variants by key, and judges each \
          median delta against a noise band pooled from both runs' own \
          variance.  Deltas inside the band are reported as unchanged, so a \
-         CI gate built on the exit code does not flap on measurement noise.";
+         CI gate built on the exit code does not flap on measurement noise. \
+         Each variant's measurement-quality verdict (stable/noisy/unstable, \
+         snapshot schema 2) is compared independently: a verdict that \
+         worsened is a quality regression with its own note and exit code, \
+         even when the median held.";
       `S Manpage.s_exit_status;
-      `P "0 on no regressions, 1 when a regression escapes the noise band, \
-          2 on unreadable snapshots.";
+      `P "0 on no regressions, 1 when a median regression escapes the noise \
+          band, 2 on unreadable snapshots, 3 when only measurement quality \
+          regressed (verdict worsened, medians inside the band).";
     ]
   in
   Cmd.v (Cmd.info "mt_report" ~doc ~man)

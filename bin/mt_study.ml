@@ -7,8 +7,9 @@
 open Cmdliner
 open Mt_launcher
 
-let run input machine machine_file array_kb per repetitions experiments top csv
-    jobs cache_dir no_cache trace_out metrics_out snapshot_out trace_detail =
+let run input machine machine_file array_kb per repetitions experiments
+    adaptive rciw_target max_experiments top csv jobs cache_dir no_cache
+    trace_out metrics_out snapshot_out trace_detail =
   Mt_telemetry.set_detail trace_detail;
   let tel =
     if trace_out <> None || metrics_out <> None then begin
@@ -61,6 +62,9 @@ let run input machine machine_file array_kb per repetitions experiments top csv
         per;
         repetitions;
         experiments;
+        adaptive_experiments = adaptive;
+        rciw_target;
+        max_experiments = max max_experiments experiments;
       }
     in
     let ic = open_in_bin input in
@@ -111,6 +115,9 @@ let run input machine machine_file array_kb per repetitions experiments top csv
       List.iter
         (fun (u, v) -> Printf.printf "  unroll %d: %.3f\n" u v)
         (Microtools.Study.min_per_unroll outcomes);
+      let stable, noisy, unstable = Microtools.Study.quality_summary outcomes in
+      Printf.printf "measurement quality: %d stable, %d noisy, %d unstable\n"
+        stable noisy unstable;
       (match
          Microtools.Analysis.recommend_unroll
            (Microtools.Study.min_per_unroll outcomes)
@@ -165,6 +172,24 @@ let per_arg =
 let reps_arg = Arg.(value & opt int 2 & info [ "repetitions" ] ~doc:"Calls per experiment.")
 
 let exps_arg = Arg.(value & opt int 5 & info [ "experiments" ] ~doc:"Experiments per variant.")
+
+let adaptive_arg =
+  Arg.(value & flag
+       & info [ "adaptive-experiments" ]
+           ~doc:"Keep measuring past $(b,--experiments) until each variant's \
+                 bootstrap confidence interval is tight enough \
+                 ($(b,--rciw-target)) or $(b,--max-experiments) is spent.")
+
+let rciw_target_arg =
+  Arg.(value & opt float 0.02
+       & info [ "rciw-target" ] ~docv:"FRAC"
+           ~doc:"Adaptive stop rule: relative confidence-interval width of \
+                 the median to reach before stopping early.")
+
+let max_exps_arg =
+  Arg.(value & opt int 64
+       & info [ "max-experiments" ] ~docv:"N"
+           ~doc:"Adaptive budget ceiling per variant.")
 
 let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~doc:"Ranked variants to print (0 = all).")
 
@@ -223,8 +248,9 @@ let cmd =
   Cmd.v (Cmd.info "mt_study" ~doc)
     Term.(
       const run $ input_arg $ machine_arg $ machine_file_arg $ array_arg
-      $ per_arg $ reps_arg $ exps_arg $ top_arg $ csv_arg $ jobs_arg
-      $ cache_dir_arg $ no_cache_arg $ trace_arg $ metrics_arg $ snapshot_arg
+      $ per_arg $ reps_arg $ exps_arg $ adaptive_arg $ rciw_target_arg
+      $ max_exps_arg $ top_arg $ csv_arg $ jobs_arg $ cache_dir_arg
+      $ no_cache_arg $ trace_arg $ metrics_arg $ snapshot_arg
       $ trace_detail_arg)
 
 let () = exit (Cmd.eval' cmd)

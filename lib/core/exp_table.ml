@@ -7,7 +7,20 @@ type t = {
   observations : string list;
 }
 
-let make ~id ~title ~columns ~expectation ?(observations = []) rows =
+let make ~id ~title ~columns ~expectation ?(observations = []) ?verdicts rows =
+  (* A verdicts list rides along as a trailing "quality" column: the
+     cells are non-numeric, so [stat_entries] skips them and snapshot
+     keys are untouched. *)
+  let columns, rows =
+    match verdicts with
+    | None -> (columns, rows)
+    | Some vs ->
+      if List.length vs <> List.length rows then
+        invalid_arg
+          (Printf.sprintf "Exp_table.make %s: %d verdicts vs %d rows" id
+             (List.length vs) (List.length rows));
+      (columns @ [ "quality" ], List.map2 (fun row v -> row @ [ v ]) rows vs)
+  in
   List.iter
     (fun row ->
       if List.length row <> List.length columns then

@@ -18,8 +18,15 @@ val make :
   columns:string list ->
   expectation:string ->
   ?observations:string list ->
+  ?verdicts:string list ->
   string list list ->
   t
+(** [verdicts] (one per row, e.g. {!Mt_quality.verdict_to_string})
+    appends a "quality" column so tables show each row's measurement
+    verdict; its cells are non-numeric and therefore invisible to
+    {!stat_entries}.
+    @raise Invalid_argument on a row/column or verdict/row width
+    mismatch. *)
 
 val cell_f : float -> string
 (** Numeric cell with 3 significant decimals. *)

@@ -30,7 +30,28 @@ let cache : Mt_parallel.Cache.t option ref = ref None
 
 let set_cache c = cache := c
 
+(* Process-wide adaptive-measurement override, configured like the
+   cache (--adaptive-experiments / --rciw-target / --max-experiments):
+   every figure's hand-tuned experiment count becomes the minimum and
+   the quality controller decides the rest.  The ceiling is clamped up
+   to each launch's own experiment count so [Options.validate] never
+   rejects a figure that asks for more than the global budget. *)
+let adaptive : (float * int) option ref = ref None
+
+let set_adaptive a = adaptive := a
+
 let launch_variant opts variant =
+  let opts =
+    match !adaptive with
+    | None -> opts
+    | Some (rciw_target, max_experiments) ->
+      {
+        opts with
+        Options.adaptive_experiments = true;
+        rciw_target;
+        max_experiments = max max_experiments opts.Options.experiments;
+      }
+  in
   Study.cached_launch ?cache:!cache opts variant
 
 (* ------------------------------------------------------------------ *)
@@ -937,9 +958,10 @@ let stability ?(quick = false) () =
       }
     in
     let r = launch_variant opts variant |> ok_or_fail "stability" in
-    Mt_stats.relative_spread r.Report.experiments *. 100.
+    ( Mt_stats.relative_spread r.Report.experiments *. 100.,
+      Mt_quality.verdict_to_string r.Report.quality.Mt_quality.verdict )
   in
-  let rows =
+  let measured =
     [
       ("all stability features (default)", true, true, true);
       ("no core pinning", false, true, true);
@@ -948,8 +970,11 @@ let stability ?(quick = false) () =
       ("nothing controlled", false, false, false);
     ]
     |> List.map (fun (label, pinned, interrupts_masked, warmup) ->
-           [ label; Printf.sprintf "%.2f%%" (spread ~pinned ~interrupts_masked ~warmup) ])
+           let pct, verdict = spread ~pinned ~interrupts_masked ~warmup in
+           ([ label; Printf.sprintf "%.2f%%" pct ], verdict))
   in
+  let rows = List.map fst measured in
+  let verdicts = List.map snd measured in
   let pct row = float_of_string (String.sub (List.nth row 1) 0 (String.length (List.nth row 1) - 1)) in
   let stable = pct (List.nth rows 0) and hostile = pct (List.nth rows 4) in
   Exp_table.make ~id:"stability"
@@ -962,7 +987,7 @@ let stability ?(quick = false) () =
         Printf.sprintf "uncontrolled runs spread %.0fx wider than the default protocol"
           (hostile /. Float.max 0.001 stable);
       ]
-    rows
+    ~verdicts rows
 
 (* Section 5's portability claim: "The MicroTools were deployed on
    each architecture without any additional work required ... the tools

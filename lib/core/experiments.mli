@@ -17,6 +17,15 @@ val set_cache : Mt_parallel.Cache.t option -> unit
     The binaries set it from [--cache-dir] / [--no-cache]; tests and
     library users may leave it unset for always-fresh simulation. *)
 
+val set_adaptive : (float * int) option -> unit
+(** [set_adaptive (Some (rciw_target, max_experiments))] turns on the
+    adaptive experiment controller for every subsequent launch: each
+    figure's configured experiment count becomes the minimum, and the
+    launcher keeps measuring until the series' bootstrap RCIW reaches
+    [rciw_target] or [max_experiments] is exhausted (clamped up to the
+    figure's own count when that is larger).  [None] (the default)
+    restores fixed-count measurement. *)
+
 val fig03 : ?quick:bool -> unit -> Exp_table.t
 (** Matmul cycles/iteration vs matrix size: the memory-hierarchy
     staircase with a cliff around size 500. *)

@@ -67,8 +67,12 @@ let cached_launch ?cache opts variant =
     ~encode:(fun result -> Marshal.to_string result [])
     ~decode:(fun data : (Report.t, string) result -> Marshal.from_string data 0)
 
-let run ?(domains = 1) ?cache t =
-  let options = t.options in
+let run ?(domains = 1) ?cache ?seed t =
+  let options =
+    match seed with
+    | None -> t.options
+    | Some s -> { t.options with Options.quality_seed = s }
+  in
   let tel = Mt_telemetry.global () in
   let vs = variants t in
   Mt_telemetry.span tel "study.run" (fun () ->
@@ -140,6 +144,7 @@ let snapshot ?(tool = "mt_study") t outcomes =
                ~key:(Variant.id o.variant)
                ~unroll:o.variant.Variant.unroll
                ~unit_label:r.Report.unit_label ~per_label:r.Report.per_label
+               ~thresholds:opts.Options.quality ~seed:opts.Options.quality_seed
                r.Report.experiments))
       outcomes
   in
@@ -153,9 +158,22 @@ let snapshot ?(tool = "mt_study") t outcomes =
     ~counters:(Mt_telemetry.counters (Mt_telemetry.global ()))
     variants
 
+let quality_summary outcomes =
+  List.fold_left
+    (fun (stable, noisy, unstable) o ->
+      match o.result with
+      | Error _ -> (stable, noisy, unstable)
+      | Ok r -> (
+        match r.Report.quality.Mt_quality.verdict with
+        | Mt_quality.Stable -> (stable + 1, noisy, unstable)
+        | Mt_quality.Noisy _ -> (stable, noisy + 1, unstable)
+        | Mt_quality.Unstable _ -> (stable, noisy, unstable + 1)))
+    (0, 0, 0) outcomes
+
 let csv outcomes =
   let doc =
-    Mt_stats.Csv.create ~header:[ "variant"; "unroll"; "status"; "value"; "min"; "max" ]
+    Mt_stats.Csv.create
+      ~header:[ "variant"; "unroll"; "status"; "value"; "min"; "max"; "verdict" ]
   in
   List.iter
     (fun o ->
@@ -169,7 +187,9 @@ let csv outcomes =
             Printf.sprintf "%.6g" r.Report.value;
             Printf.sprintf "%.6g" r.Report.summary.Mt_stats.minimum;
             Printf.sprintf "%.6g" r.Report.summary.Mt_stats.maximum;
+            Mt_quality.verdict_to_string r.Report.quality.Mt_quality.verdict;
           ]
-      | Error msg -> Mt_stats.Csv.add_row doc [ id; unroll; "error: " ^ msg; ""; ""; "" ])
+      | Error msg ->
+        Mt_stats.Csv.add_row doc [ id; unroll; "error: " ^ msg; ""; ""; ""; "" ])
     outcomes;
   doc

@@ -22,8 +22,13 @@ val variants : t -> Variant.t list
 (** One variant's fate in the study. *)
 type outcome = { variant : Variant.t; result : (Report.t, string) result }
 
-val run : ?domains:int -> ?cache:Mt_parallel.Cache.t -> t -> outcome list
+val run :
+  ?domains:int -> ?cache:Mt_parallel.Cache.t -> ?seed:int -> t -> outcome list
 (** Measure every variant under the study's launcher options.
+
+    [seed] overrides [options.quality_seed] for this run — the explicit
+    seed behind every quality bootstrap (never the global [Random]
+    state), so verdicts reproduce bit-for-bit.
 
     [domains] (default 1) spreads the variant list over that many
     domains via {!Mt_parallel.Pool}; the simulator is pure per variant,
@@ -66,7 +71,12 @@ val min_per_unroll : outcome list -> (int * float) list
     minimum value was taken"). *)
 
 val csv : outcome list -> Mt_stats.Csv.t
-(** Variant id, unroll, decisions, measured value (or error). *)
+(** Variant id, unroll, decisions, measured value (or error), and the
+    series' quality verdict. *)
+
+val quality_summary : outcome list -> int * int * int
+(** [(stable, noisy, unstable)] verdict counts over the successful
+    outcomes — the one-line quality digest the CLIs print. *)
 
 val kernel_hash : t -> string
 (** Content digest of the kernel description — two studies with the

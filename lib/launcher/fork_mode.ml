@@ -49,6 +49,7 @@ let run opts program abi =
         ~calls_per_experiment:opts.Options.repetitions
         ~overhead_exceeded:
           (List.exists (fun r -> r.Report.overhead_exceeded) per_core)
-        ?mem:first.Report.mem mean_per_experiment
+        ?mem:first.Report.mem ~thresholds:opts.Options.quality
+        ~quality_seed:opts.Options.quality_seed mean_per_experiment
     in
     Ok { aggregate; per_core }

@@ -39,9 +39,14 @@ type t = {
   verbose : bool;
   keep_failures : bool;
   drop_first_experiment : bool;
+  adaptive_experiments : bool;
+  rciw_target : float;
+  max_experiments : int;
+  quality_seed : int;
+  quality : Mt_quality.thresholds;
 }
 
-let count = 34
+let count = 39
 
 let default machine =
   {
@@ -79,6 +84,11 @@ let default machine =
     verbose = false;
     keep_failures = false;
     drop_first_experiment = false;
+    adaptive_experiments = false;
+    rciw_target = 0.02;
+    max_experiments = 64;
+    quality_seed = 42;
+    quality = Mt_quality.default_thresholds;
   }
 
 let effective_machine t =
@@ -146,6 +156,11 @@ let summary t =
     ("emit_full_times", string_of_bool t.emit_full_times);
     ("keep_failures", string_of_bool t.keep_failures);
     ("drop_first_experiment", string_of_bool t.drop_first_experiment);
+    ("adaptive_experiments", string_of_bool t.adaptive_experiments);
+    ("rciw_target", b "%g" t.rciw_target);
+    ("max_experiments", string_of_int t.max_experiments);
+    ("quality_seed", string_of_int t.quality_seed);
+    ("quality_thresholds", Mt_quality.thresholds_summary t.quality);
   ]
 
 let err fmt = Printf.ksprintf (fun s -> Error s) fmt
@@ -158,6 +173,17 @@ let validate t =
   let* () =
     if t.drop_first_experiment && t.experiments < 2 then
       err "drop_first_experiment requires at least 2 experiments"
+    else Ok ()
+  in
+  let* () =
+    if t.adaptive_experiments && t.max_experiments < t.experiments then
+      err "max_experiments (%d) must be >= experiments (%d) in adaptive mode"
+        t.max_experiments t.experiments
+    else Ok ()
+  in
+  let* () =
+    if t.adaptive_experiments && t.rciw_target <= 0. then
+      err "rciw_target must be positive in adaptive mode"
     else Ok ()
   in
   let* () = if t.cores < 1 then err "cores must be >= 1" else Ok () in

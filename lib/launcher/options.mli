@@ -57,6 +57,17 @@ type t = {
   verbose : bool;  (* 29. chatty progress on stderr *)
   keep_failures : bool;  (* 30. report failed variants instead of raising *)
   drop_first_experiment : bool;  (* 31. discard experiment 0 (extra warm) *)
+  (* Measurement quality. *)
+  adaptive_experiments : bool;
+      (* 32. stop running experiments once the series is stable enough
+         (RCIW under [rciw_target]) instead of always running
+         [experiments]; [experiments] becomes the minimum *)
+  rciw_target : float;  (* 32b. adaptive stop target (relative CI width) *)
+  max_experiments : int;  (* 32c. adaptive budget ceiling *)
+  quality_seed : int;
+      (* 33. seed for the quality bootstrap RNG — explicit so snapshots
+         and mt_report diffs reproduce bit-for-bit *)
+  quality : Mt_quality.thresholds;  (* 34. verdict classification bands *)
 }
 
 val default : Mt_machine.Config.t -> t

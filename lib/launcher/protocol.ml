@@ -12,6 +12,7 @@ type prepared = {
   passes : int;
   memory : Memory.t;
   noise : Noise.t;
+  noise_seed : int;  (* effective seed behind [noise], for previews *)
   empty_cycles : float;
 }
 
@@ -76,11 +77,8 @@ let prepare ?sharers ?passes ?(start_pass = 0) ?(noise_salt = 0) opts program ab
         let init =
           (abi.Abi.counter, Abi.trip_count_for_passes abi passes) :: pointer_inits
         in
-        let noise =
-          Noise.create
-            ~seed:(opts.Options.noise_seed + (noise_salt * 7919))
-            (Options.noise_env opts)
-        in
+        let noise_seed = opts.Options.noise_seed + (noise_salt * 7919) in
+        let noise = Noise.create ~seed:noise_seed (Options.noise_env opts) in
         Ok
           {
             opts;
@@ -92,6 +90,7 @@ let prepare ?sharers ?passes ?(start_pass = 0) ?(noise_salt = 0) opts program ab
             passes;
             memory;
             noise;
+            noise_seed;
             empty_cycles = empty_kernel_cycles cfg;
           }
       end)
@@ -236,9 +235,64 @@ let measure_totals p =
       | Error msg -> Error msg
       | Ok total -> collect (e - 1) (total :: acc)
   in
+  (* Adaptive stop rule.  [measure_totals] returns raw simulator totals;
+     environment noise is only injected later, in [report_of_totals], by
+     perturbing the totals in list order.  So the stop rule scores a
+     preview of the series the report will actually contain: re-create
+     the noise stream from the same seed (identical sequence), apply the
+     same drop-first and overhead subtraction, and bootstrap that.
+     Judging raw totals instead would see a deterministic simulator and
+     always stop at the minimum. *)
+  let preview_rciw totals =
+    let noise = Noise.create ~seed:p.noise_seed (Options.noise_env opts) in
+    let xs = List.map (Noise.perturb noise) totals in
+    let xs =
+      match xs with
+      | _ :: (_ :: _ as rest) when opts.Options.drop_first_experiment -> rest
+      | xs -> xs
+    in
+    let overhead =
+      if opts.Options.subtract_overhead then overhead_cycles p else 0.
+    in
+    let xs =
+      List.map
+        (fun total -> Float.max 0. (total -. (overhead *. float_of_int reps)))
+        xs
+    in
+    let q = opts.Options.quality in
+    Mt_quality.rciw ~resamples:q.Mt_quality.resamples
+      ~confidence:q.Mt_quality.confidence ~seed:opts.Options.quality_seed
+      (Array.of_list xs)
+  in
+  let adaptive totals =
+    Mt_telemetry.span tel "quality.adaptive" (fun () ->
+        let target = opts.Options.rciw_target in
+        let budget = opts.Options.max_experiments in
+        let rec extend totals n =
+          if preview_rciw totals <= target then begin
+            Mt_telemetry.incr tel "quality.adaptive.early_stops";
+            Mt_telemetry.add tel "quality.adaptive.experiments_saved"
+              (budget - n);
+            Ok totals
+          end
+          else if n >= budget then begin
+            Mt_telemetry.incr tel "quality.adaptive.budget_exhausted";
+            Ok totals
+          end
+          else begin
+            Mt_telemetry.incr tel "quality.adaptive.extensions";
+            match run_experiment () with
+            | Error msg -> Error msg
+            | Ok total -> extend (totals @ [ total ]) (n + 1)
+          end
+        in
+        extend totals (List.length totals))
+  in
   let* totals =
     Mt_telemetry.span tel "launcher.measure" (fun () ->
-        collect opts.Options.experiments [])
+        let ( let* ) = Result.bind in
+        let* base = collect opts.Options.experiments [] in
+        if opts.Options.adaptive_experiments then adaptive base else Ok base)
   in
   Ok (totals, actual_passes)
 
@@ -279,10 +333,20 @@ let report_of_totals ?(mode = "seq") ?noise p ~actual_passes totals =
       totals
   in
   let mem = Memory.counters p.memory in
-  Report.make
-    ~id:p.abi.Abi.function_name ~mode ~unit_label:(unit_label opts)
-    ~per_label:(per_label opts) ~passes_per_call:actual_passes
-    ~calls_per_experiment:reps ~overhead_exceeded ~mem (Array.of_list values)
+  let report =
+    Report.make
+      ~id:p.abi.Abi.function_name ~mode ~unit_label:(unit_label opts)
+      ~per_label:(per_label opts) ~passes_per_call:actual_passes
+      ~calls_per_experiment:reps ~overhead_exceeded ~mem
+      ~thresholds:opts.Options.quality ~quality_seed:opts.Options.quality_seed
+      (Array.of_list values)
+  in
+  let tel = Mt_telemetry.global () in
+  if Mt_telemetry.enabled tel then
+    Mt_telemetry.incr tel
+      ("quality.verdict."
+      ^ Mt_quality.verdict_kind report.Report.quality.Mt_quality.verdict);
+  report
 
 let measure ?mode p =
   match measure_totals p with

@@ -19,6 +19,10 @@ type t = {
           reported cycles are a floor, not a measurement — a
           mis-calibrated [call_overhead_cycles].  Rendered in the CSV
           "flags" column. *)
+  quality : Mt_quality.assessment;
+      (** Stability verdict and metrics over {!field-experiments},
+          computed at construction so every consumer (CSV, snapshots,
+          diffs) reads the same classification. *)
 }
 
 val make :
@@ -30,21 +34,28 @@ val make :
   ?calls_per_experiment:int ->
   ?overhead_exceeded:bool ->
   ?mem:Mt_machine.Memory.counters ->
+  ?thresholds:Mt_quality.thresholds ->
+  ?quality_seed:int ->
   float array ->
   t
-(** Build a record from per-experiment values.
+(** Build a record from per-experiment values.  [thresholds] and
+    [quality_seed] feed the {!Mt_quality.assess} call (defaults:
+    {!Mt_quality.default_thresholds} and its documented seed).
     @raise Invalid_argument on an empty array. *)
 
 val flags_cell : t -> string
-(** The CSV "flags" column content: ["overhead-exceeds-measurement"]
-    when {!field-overhead_exceeded} is set, [""] otherwise. *)
+(** The CSV "flags" column: semicolon-joined actionable signals —
+    ["overhead-exceeds-measurement"], ["unstable"], ["outliers=N"] —
+    or [""] when there is nothing to act on.  A merely noisy verdict is
+    not a flag; it lives in the "verdict" column. *)
 
 val csv : ?full:bool -> t list -> Mt_stats.Csv.t
 (** The launcher's CSV: one row per measurement with id, mode, value,
-    min/median/max/stddev.  With [full], one extra column per
-    experiment. *)
+    min/median/max/stddev plus quality columns (cov, rciw, verdict).
+    With [full], one extra column per experiment. *)
 
 val save_csv : ?full:bool -> t list -> string -> unit
 
 val pp : Format.formatter -> t -> unit
-(** One-line human-readable summary. *)
+(** One-line human-readable summary; appends the verdict when it is not
+    [Stable]. *)

@@ -7,9 +7,20 @@ let verdict_to_string = function
   | Added -> "added"
   | Removed -> "removed"
 
+type quality_change =
+  | Quality_unchanged
+  | Quality_regression
+  | Quality_improvement
+
+let quality_change_to_string = function
+  | Quality_unchanged -> "unchanged"
+  | Quality_regression -> "regression"
+  | Quality_improvement -> "improvement"
+
 type entry = {
   key : string;
   verdict : verdict;
+  quality : quality_change;
   baseline : Snapshot.variant_stat option;
   current : Snapshot.variant_stat option;
   delta : float;
@@ -40,6 +51,17 @@ let noise_band ~threshold ~min_band (a : Snapshot.variant_stat)
   in
   Float.max min_band (threshold *. pooled)
 
+(* Orthogonal to the median gate: did the measurement itself get less
+   trustworthy?  Judged on verdict rank, so Stable -> Noisy and
+   Noisy -> Unstable both count — a faster median measured by an
+   unstable series is not an improvement to trust. *)
+let quality_change_of (b : Snapshot.variant_stat) (c : Snapshot.variant_stat) =
+  let rb = Mt_quality.verdict_rank b.Snapshot.verdict in
+  let rc = Mt_quality.verdict_rank c.Snapshot.verdict in
+  if rc > rb then Quality_regression
+  else if rc < rb then Quality_improvement
+  else Quality_unchanged
+
 let compare ?(threshold = default_threshold) ?(min_band = default_min_band)
     ~baseline current =
   let open Snapshot in
@@ -64,6 +86,7 @@ let compare ?(threshold = default_threshold) ?(min_band = default_min_band)
           {
             key = b.key;
             verdict = Removed;
+            quality = Quality_unchanged;
             baseline = Some b;
             current = None;
             delta = 0.;
@@ -78,7 +101,15 @@ let compare ?(threshold = default_threshold) ?(min_band = default_min_band)
             else if delta > 0. then Regression
             else Improvement
           in
-          { key = b.key; verdict; baseline = Some b; current = Some c; delta; band })
+          {
+            key = b.key;
+            verdict;
+            quality = quality_change_of b c;
+            baseline = Some b;
+            current = Some c;
+            delta;
+            band;
+          })
       baseline.variants
   in
   let added =
@@ -91,6 +122,7 @@ let compare ?(threshold = default_threshold) ?(min_band = default_min_band)
             {
               key = c.key;
               verdict = Added;
+              quality = Quality_unchanged;
               baseline = None;
               current = Some c;
               delta = 0.;
@@ -107,7 +139,13 @@ let compare ?(threshold = default_threshold) ?(min_band = default_min_band)
 
 let has_regressions t = List.exists (fun e -> e.verdict = Regression) t.entries
 
+let has_quality_regressions t =
+  List.exists (fun e -> e.quality = Quality_regression) t.entries
+
 let count v t = List.length (List.filter (fun e -> e.verdict = v) t.entries)
+
+let count_quality v t =
+  List.length (List.filter (fun e -> e.quality = v) t.entries)
 
 let render t =
   let buf = Buffer.create 1024 in
@@ -121,6 +159,11 @@ let render t =
     | Some (s : Snapshot.variant_stat) -> Printf.sprintf "%.4f" s.median
     | None -> "-"
   in
+  let vkind = function
+    | Some (s : Snapshot.variant_stat) ->
+      Mt_quality.verdict_kind s.Snapshot.verdict
+    | None -> "?"
+  in
   List.iter
     (fun e ->
       let delta, band =
@@ -130,26 +173,55 @@ let render t =
           ( Printf.sprintf "%+.2f%%" (100. *. e.delta),
             Printf.sprintf "%.2f%%" (100. *. e.band) )
       in
+      let quality =
+        match e.quality with
+        | Quality_unchanged -> ""
+        | Quality_regression ->
+          Printf.sprintf "; quality %s->%s" (vkind e.baseline) (vkind e.current)
+        | Quality_improvement ->
+          Printf.sprintf "; quality %s->%s" (vkind e.baseline) (vkind e.current)
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%-*s %12s %12s %9s %8s  %s\n" key_w e.key
+        (Printf.sprintf "%-*s %12s %12s %9s %8s  %s%s\n" key_w e.key
            (med e.baseline) (med e.current) delta band
-           (verdict_to_string e.verdict)))
+           (verdict_to_string e.verdict) quality))
     t.entries;
   List.iter
     (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n))
     t.provenance_notes;
+  (* Quality regressions get their own note line, distinct from the
+     perf summary: a series that went unstable needs a different fix
+     (environment, warm-up, budget) than a slower median. *)
+  List.iter
+    (fun e ->
+      match e.quality with
+      | Quality_regression ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "note: measurement quality regressed for %s: %s -> %s\n" e.key
+             (match e.baseline with
+             | Some b -> Mt_quality.verdict_to_string b.Snapshot.verdict
+             | None -> "?")
+             (match e.current with
+             | Some c -> Mt_quality.verdict_to_string c.Snapshot.verdict
+             | None -> "?"))
+      | Quality_unchanged | Quality_improvement -> ())
+    t.entries;
   Buffer.add_string buf
     (Printf.sprintf
        "%d variant%s: %d regression%s, %d improvement%s, %d unchanged, %d \
-        added, %d removed (threshold %g, min band %g)\n"
+        added, %d removed, %d quality regression%s (threshold %g, min band \
+        %g)\n"
        (List.length t.entries)
        (if List.length t.entries = 1 then "" else "s")
        (count Regression t)
        (if count Regression t = 1 then "" else "s")
        (count Improvement t)
        (if count Improvement t = 1 then "" else "s")
-       (count Unchanged t) (count Added t) (count Removed t) t.threshold
-       t.min_band);
+       (count Unchanged t) (count Added t) (count Removed t)
+       (count_quality Quality_regression t)
+       (if count_quality Quality_regression t = 1 then "" else "s")
+       t.threshold t.min_band);
   Buffer.contents buf
 
 let entry_to_json e =
@@ -161,12 +233,15 @@ let entry_to_json e =
           ("median", Json.Num s.median);
           ("stddev", Json.Num s.stddev);
           ("count", Json.Num (float_of_int s.count));
+          ("rciw", Json.Num s.rciw);
+          ("verdict", Json.Str (Mt_quality.verdict_to_string s.Snapshot.verdict));
         ]
   in
   Json.Obj
     [
       ("key", Json.Str e.key);
       ("verdict", Json.Str (verdict_to_string e.verdict));
+      ("quality", Json.Str (quality_change_to_string e.quality));
       ("baseline", stat e.baseline);
       ("current", stat e.current);
       ("delta", Json.Num e.delta);
@@ -179,6 +254,7 @@ let to_json t =
       ("threshold", Json.Num t.threshold);
       ("min_band", Json.Num t.min_band);
       ("regressions", Json.Bool (has_regressions t));
+      ("quality_regressions", Json.Bool (has_quality_regressions t));
       ("entries", Json.List (List.map entry_to_json t.entries));
       ("notes", Json.List (List.map (fun n -> Json.Str n) t.provenance_notes));
     ]

@@ -9,9 +9,25 @@ type verdict = Regression | Improvement | Unchanged | Added | Removed
 
 val verdict_to_string : verdict -> string
 
+(** Whether the {e measurement quality} moved between the runs —
+    orthogonal to the median verdict.  Judged on
+    {!Mt_quality.verdict_rank}, so both Stable→Noisy and Noisy→Unstable
+    are regressions: a faster median measured by a shakier series is
+    not a win to trust. *)
+type quality_change =
+  | Quality_unchanged
+  | Quality_regression
+  | Quality_improvement
+
+val quality_change_to_string : quality_change -> string
+(** ["unchanged"] / ["regression"] / ["improvement"]. *)
+
 type entry = {
   key : string;
   verdict : verdict;
+  quality : quality_change;
+      (** [Quality_unchanged] for [Added]/[Removed] entries (nothing to
+          compare). *)
   baseline : Snapshot.variant_stat option;  (** [None] when [Added] *)
   current : Snapshot.variant_stat option;  (** [None] when [Removed] *)
   delta : float;  (** relative median delta vs. baseline; larger = slower *)
@@ -41,8 +57,13 @@ val compare :
 
 val has_regressions : t -> bool
 
+val has_quality_regressions : t -> bool
+(** Any matched variant whose verdict rank worsened. *)
+
 val render : t -> string
 (** Terminal table: one row per variant plus a summary line and any
-    provenance notes. *)
+    provenance notes.  Quality regressions add a per-variant
+    "measurement quality regressed" note line, distinct from the perf
+    summary. *)
 
 val to_json : t -> Json.t

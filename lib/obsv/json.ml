@@ -236,6 +236,8 @@ let to_int = function
 
 let to_str = function Str v -> Some v | _ -> None
 
+let to_bool = function Bool v -> Some v | _ -> None
+
 let to_list = function List v -> Some v | _ -> None
 
 let to_obj = function Obj v -> Some v | _ -> None

@@ -1,4 +1,7 @@
-let schema_version = 1
+(* 2: per-variant measurement-quality block (rciw, outliers,
+   warmup_trend, verdict).  Schema-1 documents load with quality
+   defaults (no signal: Stable, all metrics 0). *)
+let schema_version = 2
 
 type variant_stat = {
   key : string;
@@ -12,6 +15,10 @@ type variant_stat = {
   maximum : float;
   unit_label : string;
   per_label : string;
+  rciw : float;
+  outliers : int;
+  warmup_trend : bool;
+  verdict : Mt_quality.verdict;
 }
 
 type t = {
@@ -30,20 +37,25 @@ type t = {
 }
 
 let of_values ~key ?(unroll = 0) ?(unit_label = "value") ?(per_label = "point")
-    values =
+    ?thresholds ?seed values =
   let s = Mt_stats.summarize values in
+  let q = Mt_quality.assess ?thresholds ?seed values in
   {
     key;
     unroll;
     median = s.Mt_stats.median;
     mean = s.Mt_stats.mean;
     stddev = s.Mt_stats.stddev;
-    cov = Mt_stats.coefficient_of_variation values;
+    cov = q.Mt_quality.cov;
     count = s.Mt_stats.count;
     minimum = s.Mt_stats.minimum;
     maximum = s.Mt_stats.maximum;
     unit_label;
     per_label;
+    rciw = q.Mt_quality.rciw;
+    outliers = q.Mt_quality.outliers;
+    warmup_trend = q.Mt_quality.warmup_trend;
+    verdict = q.Mt_quality.verdict;
   }
 
 let point_stat ~key value = of_values ~key [| value |]
@@ -86,6 +98,10 @@ let variant_to_json v =
       ("max", Json.Num v.maximum);
       ("unit", Json.Str v.unit_label);
       ("per", Json.Str v.per_label);
+      ("rciw", Json.Num v.rciw);
+      ("outliers", Json.Num (float_of_int v.outliers));
+      ("warmup_trend", Json.Bool v.warmup_trend);
+      ("verdict", Json.Str (Mt_quality.verdict_to_string v.verdict));
     ]
 
 let to_json t =
@@ -137,6 +153,22 @@ let variant_of_json json =
   let* maximum = opt_field "max" Json.to_float ~default:median json in
   let* unit_label = opt_field "unit" Json.to_str ~default:"value" json in
   let* per_label = opt_field "per" Json.to_str ~default:"point" json in
+  (* Quality block: absent in schema-1 documents, which predate the
+     verdicts — load them as "no signal", not "bad signal". *)
+  let* rciw = opt_field "rciw" Json.to_float ~default:0. json in
+  let* outliers = opt_field "outliers" Json.to_int ~default:0 json in
+  let* warmup_trend = opt_field "warmup_trend" Json.to_bool ~default:false json in
+  let* verdict =
+    match Json.member "verdict" json with
+    | None -> Ok Mt_quality.Stable
+    | Some v -> (
+      match Json.to_str v with
+      | None -> err "snapshot: malformed field %S" "verdict"
+      | Some s -> (
+        match Mt_quality.verdict_of_string s with
+        | Ok v -> Ok v
+        | Error msg -> err "snapshot: %s" msg))
+  in
   Ok
     {
       key;
@@ -150,6 +182,10 @@ let variant_of_json json =
       maximum;
       unit_label;
       per_label;
+      rciw;
+      outliers;
+      warmup_trend;
+      verdict;
     }
 
 let str_alist name json =

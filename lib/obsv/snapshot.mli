@@ -6,8 +6,11 @@
     be committed as CI baselines and diffed by {!Diff}. *)
 
 val schema_version : int
-(** Current on-disk schema.  {!of_json} refuses documents written by a
-    newer schema; older documents load with defaults for new fields. *)
+(** Current on-disk schema (2: adds the per-variant quality block).
+    {!of_json} refuses documents written by a newer schema; older
+    documents load with defaults for new fields — in particular a
+    schema-1 snapshot loads with a [Stable] verdict and zeroed quality
+    metrics. *)
 
 type variant_stat = {
   key : string;  (** stable identity for cross-run matching *)
@@ -21,6 +24,10 @@ type variant_stat = {
   maximum : float;
   unit_label : string;
   per_label : string;
+  rciw : float;  (** bootstrap RCIW of the median ({!Mt_quality.rciw}) *)
+  outliers : int;  (** samples beyond the MAD fence *)
+  warmup_trend : bool;  (** head of the series exceeded the warm-up band *)
+  verdict : Mt_quality.verdict;
 }
 
 type t = {
@@ -43,9 +50,13 @@ val of_values :
   ?unroll:int ->
   ?unit_label:string ->
   ?per_label:string ->
+  ?thresholds:Mt_quality.thresholds ->
+  ?seed:int ->
   float array ->
   variant_stat
-(** Summarise raw per-experiment samples into a [variant_stat]. *)
+(** Summarise raw per-experiment samples into a [variant_stat],
+    including its {!Mt_quality.assess} quality block ([thresholds] and
+    [seed] feed the assessment; defaults as documented there). *)
 
 val point_stat : key:string -> float -> variant_stat
 (** A single-observation stat (stddev and cov are 0) — used for

@@ -1,6 +1,7 @@
 (* Bumped whenever the serialized value layout changes: the version is
    folded into every digest, so old on-disk entries simply never hit. *)
-let format_version = "microtools-cache-v1"
+(* v2: Report.t and Options.t grew measurement-quality fields. *)
+let format_version = "microtools-cache-v2"
 
 type t = {
   table : (string, string) Hashtbl.t;

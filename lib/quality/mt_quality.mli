@@ -1,0 +1,124 @@
+(** Measurement-quality scoring for MicroLauncher series.
+
+    The launcher's whole protocol — warm-up, repetition, overhead
+    subtraction — exists to produce {e stable} cycles-per-iteration
+    numbers, yet a median alone never says whether the series behind it
+    was trustworthy.  This module scores a per-experiment series the
+    way μOpTime scores benchmark configurations: dispersion metrics
+    (CoV, relative spread), robust outlier detection (scaled MAD), a
+    deterministic seeded-bootstrap relative confidence-interval width
+    (RCIW) around the median, and a warm-up-convergence check on the
+    head of the series.  The result is a {!verdict} that flows through
+    reports, snapshots and the regression gate, and drives the adaptive
+    experiment controller (stop measuring once the RCIW target is met).
+
+    Everything here is deterministic: the bootstrap runs on an explicit
+    SplitMix64 seed, never the global [Random] state, so two runs with
+    the same seed produce bit-identical assessments — snapshots and
+    [mt_report] diffs are reproducible. *)
+
+(** How trustworthy a measurement series is.  Ordered: [Stable] beats
+    [Noisy] beats [Unstable]; the regression gate treats any rank
+    increase between runs as a quality regression. *)
+type verdict =
+  | Stable  (** Every metric inside its stable band. *)
+  | Noisy of string
+      (** Usable but wide: a metric crossed its noisy threshold, an
+          outlier burst was detected, or the head of the series trends
+          downward (insufficient cache heating).  The payload names the
+          offending signal. *)
+  | Unstable of string
+      (** Dispersion so large the median is not trustworthy. *)
+
+val verdict_rank : verdict -> int
+(** [Stable] → 0, [Noisy _] → 1, [Unstable _] → 2. *)
+
+val verdict_to_string : verdict -> string
+(** ["stable"], ["noisy: <reason>"], ["unstable: <reason>"]. *)
+
+val verdict_of_string : string -> (verdict, string) result
+(** Inverse of {!verdict_to_string} (reasons round-trip verbatim). *)
+
+val verdict_kind : verdict -> string
+(** Just the constructor: ["stable"] / ["noisy"] / ["unstable"]. *)
+
+(** Classification thresholds.  All relative metrics are fractions
+    (0.02 = 2%). *)
+type thresholds = {
+  cov_noisy : float;  (** CoV at or above this → at least [Noisy]. *)
+  cov_unstable : float;  (** CoV at or above this → [Unstable]. *)
+  rciw_noisy : float;  (** RCIW at or above this → at least [Noisy]. *)
+  rciw_unstable : float;  (** RCIW at or above this → [Unstable]. *)
+  outlier_mads : float;
+      (** A sample is an outlier when it sits more than this many
+          scaled MADs from the median. *)
+  outlier_fraction : float;
+      (** Outlier share of the series above which it is [Noisy]. *)
+  warmup_band : float;
+      (** The first experiment must not exceed the median of the rest
+          by more than this relative excess, else the series shows
+          warm-up drift (insufficient cache heating). *)
+  resamples : int;  (** Bootstrap resamples for the RCIW. *)
+  confidence : float;  (** Bootstrap confidence level, e.g. 0.95. *)
+}
+
+val default_thresholds : thresholds
+(** cov 2%/10%, rciw 8%/25%, 5 scaled MADs with a 20% outlier budget,
+    10% warm-up band, 200 resamples at 95% confidence. *)
+
+val thresholds_summary : thresholds -> string
+(** One-line rendering for option provenance (snapshots). *)
+
+(** {1 Metrics} *)
+
+val mad : float array -> float
+(** Median absolute deviation from the median (unscaled).
+    @raise Invalid_argument on an empty array. *)
+
+val outlier_count : ?mads:float -> float array -> int
+(** Samples further than [mads] (default 5) scaled MADs
+    (MAD × 1.4826, the normal-consistency constant) from the median.
+    0 when the MAD itself is 0 — a majority-constant series has no
+    robust yardstick to call anything an outlier with. *)
+
+val rciw :
+  ?resamples:int -> ?confidence:float -> seed:int -> float array -> float
+(** Relative confidence-interval width of the median: bootstrap the
+    series [resamples] times (default 200) with a SplitMix64 generator
+    seeded by [seed], take the central [confidence] (default 0.95)
+    interval of the resampled medians, and divide its width by the
+    series median.  0 for series shorter than 2 or a zero median.
+    Deterministic: same seed, same series → same value. *)
+
+val warmup_excess : float array -> float
+(** How far the first experiment sits above the median of the rest,
+    relative: [(head − tail_median) / tail_median].  Negative or zero
+    when the head is not slower; 0 for series shorter than 3 (too short
+    to call a trend) or a zero tail median.  A positive value beyond
+    the configured band means the caches were still heating when
+    measurement began — the series median is biased upward. *)
+
+(** {1 Assessment} *)
+
+type assessment = {
+  verdict : verdict;
+  cov : float;  (** Coefficient of variation of the series. *)
+  spread : float;  (** Relative spread (max − min) / min. *)
+  rciw : float;  (** Bootstrap RCIW of the median. *)
+  outliers : int;  (** Samples beyond the MAD fence. *)
+  warmup_trend : bool;
+      (** The head of the series exceeded the warm-up band. *)
+}
+
+val assess :
+  ?thresholds:thresholds -> ?seed:int -> float array -> assessment
+(** Score a series.  [seed] (default 42) drives the bootstrap only.
+    Verdict logic, worst signal wins: [Unstable] when CoV or RCIW
+    crosses its unstable limit; otherwise [Noisy] when CoV, RCIW, the
+    outlier fraction or warm-up drift crosses its noisy limit;
+    otherwise [Stable].  A singleton series is [Stable] by definition
+    (no dispersion to judge).
+    @raise Invalid_argument on an empty array. *)
+
+val stable : assessment -> bool
+(** [verdict = Stable]. *)

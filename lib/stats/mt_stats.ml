@@ -30,11 +30,18 @@ let sorted xs =
   Array.sort Float.compare ys;
   ys
 
-let median xs =
-  check_non_empty "Mt_stats.median" xs;
-  let ys = sorted xs in
+let sorted_copy = sorted
+
+(* Median of an already-sorted array: the primitive the quality hot
+   path calls repeatedly (one sort, many order statistics). *)
+let median_sorted ys =
+  check_non_empty "Mt_stats.median_sorted" ys;
   let n = Array.length ys in
   if n mod 2 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.
+
+let median xs =
+  check_non_empty "Mt_stats.median" xs;
+  median_sorted (sorted xs)
 
 let stddev xs =
   let n = Array.length xs in
@@ -53,10 +60,10 @@ let relative_spread xs =
   let lo = min_of xs and hi = max_of xs in
   if lo = 0. then 0. else (hi -. lo) /. lo
 
-let percentile xs p =
-  check_non_empty "Mt_stats.percentile" xs;
-  if p < 0. || p > 100. then invalid_arg "Mt_stats.percentile: p out of [0,100]";
-  let ys = sorted xs in
+let percentile_sorted ys p =
+  check_non_empty "Mt_stats.percentile_sorted" ys;
+  if p < 0. || p > 100. then
+    invalid_arg "Mt_stats.percentile: p out of [0,100]";
   let n = Array.length ys in
   if n = 1 then ys.(0)
   else begin
@@ -66,6 +73,8 @@ let percentile xs p =
     let frac = rank -. float_of_int lo in
     ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
   end
+
+let percentile xs p = percentile_sorted (sorted xs) p
 
 (* Pooled variability across measurement groups (μOpTime-style): the
    noise band two benchmark results must clear before their medians are
@@ -93,14 +102,19 @@ let pooled_cov groups =
     else pooled_stddev (List.map (fun (n, _, s) -> (n, s)) groups) /. grand_mean
   end
 
+(* One sort serves minimum, maximum and median; callers needing more
+   order statistics take [sorted_copy] once and use the [_sorted]
+   variants rather than re-sorting per percentile. *)
 let summarize xs =
   check_non_empty "Mt_stats.summarize" xs;
+  let ys = sorted xs in
+  let n = Array.length ys in
   {
-    count = Array.length xs;
-    minimum = min_of xs;
-    maximum = max_of xs;
+    count = n;
+    minimum = ys.(0);
+    maximum = ys.(n - 1);
     mean = mean xs;
-    median = median xs;
+    median = median_sorted ys;
     stddev = stddev xs;
   }
 

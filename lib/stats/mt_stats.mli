@@ -41,6 +41,21 @@ val relative_spread : float array -> float
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0, 100], linear interpolation. *)
 
+(** {1 Sorted-array variants}
+
+    {!summarize} sorts exactly once; callers on the quality hot path
+    that need several order statistics from one series sort once with
+    {!sorted_copy} and use these instead of re-sorting per call. *)
+
+val sorted_copy : float array -> float array
+(** A sorted copy ({!Float.compare} order); the input is untouched. *)
+
+val median_sorted : float array -> float
+(** {!median} of an array the caller has already sorted. *)
+
+val percentile_sorted : float array -> float -> float
+(** {!percentile} of an array the caller has already sorted. *)
+
 val pooled_stddev : (int * float) list -> float
 (** [pooled_stddev [(n1, s1); (n2, s2); ...]] combines per-group sample
     standard deviations into one, weighting each group by its degrees of

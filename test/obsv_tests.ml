@@ -110,7 +110,7 @@ let test_identical_snapshots_diff_empty () =
 
 (* Two runs of the same noisy measurement: median 100 with stddev 5
    over 10 experiments pools to a ~5% CoV, so the 3x gate spans ~15%. *)
-let noisy key median =
+let noisy ?(verdict = Mt_quality.Stable) key median =
   {
     Snapshot.key;
     unroll = 1;
@@ -123,6 +123,10 @@ let noisy key median =
     maximum = median +. 8.;
     unit_label = "tsc-cycles";
     per_label = "pass";
+    rciw = 0.;
+    outliers = 0;
+    warmup_trend = false;
+    verdict;
   }
 
 let snap_of variants =
@@ -201,6 +205,82 @@ let test_diff_render_and_json () =
   Telemetry_tests.validate_json json;
   check_bool "regressions flag" true
     (Telemetry_tests.contains json "\"regressions\":true")
+
+(* ------------------------------------------------------------------ *)
+(* The quality gate                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_quality_regression_gates_independently () =
+  (* Same medians — the perf gate stays quiet — but the current run's
+     series went unstable: the quality gate must fire on its own, with
+     its own note. *)
+  let base = snap_of [ noisy "v" 100. ] in
+  let cur =
+    snap_of [ noisy ~verdict:(Mt_quality.Unstable "cov 30% >= 10%") "v" 100. ]
+  in
+  let diff = Diff.compare ~baseline:base cur in
+  check_bool "medians held" false (Diff.has_regressions diff);
+  check_bool "quality regressed" true (Diff.has_quality_regressions diff);
+  let table = Diff.render diff in
+  check_bool "distinct note" true
+    (Telemetry_tests.contains table "measurement quality regressed for v");
+  check_bool "summary counts it" true
+    (Telemetry_tests.contains table "1 quality regression");
+  let json = Json.to_string (Diff.to_json diff) in
+  Telemetry_tests.validate_json json;
+  check_bool "json quality flag" true
+    (Telemetry_tests.contains json "\"quality_regressions\":true");
+  (* The reverse direction is an improvement, not a regression. *)
+  let healed = Diff.compare ~baseline:cur base in
+  check_bool "recovery does not gate" false (Diff.has_quality_regressions healed)
+
+let test_quality_noisy_step_is_a_regression () =
+  (* Stable -> Noisy is already a rank increase: the gate is on verdict
+     rank, not just the unstable extreme. *)
+  let base = snap_of [ noisy "v" 100. ] in
+  let cur = snap_of [ noisy ~verdict:(Mt_quality.Noisy "rciw") "v" 100. ] in
+  check_bool "stable->noisy gates" true
+    (Diff.has_quality_regressions (Diff.compare ~baseline:base cur));
+  let worse =
+    snap_of [ noisy ~verdict:(Mt_quality.Unstable "cov") "v" 100. ]
+  in
+  check_bool "noisy->unstable gates" true
+    (Diff.has_quality_regressions (Diff.compare ~baseline:cur worse));
+  check_bool "same rank does not gate" false
+    (Diff.has_quality_regressions (Diff.compare ~baseline:cur cur))
+
+let test_schema1_snapshot_loads_with_quality_defaults () =
+  (* A pre-quality (schema 1) snapshot has no verdict fields: it must
+     load as Stable/zeroed, so old baselines never read as regressed. *)
+  let text =
+    "{\"schema\": 1, \"variants\": [{\"key\": \"v\", \"median\": 2.5}]}"
+  in
+  match Snapshot.of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok snap -> (
+    match snap.Snapshot.variants with
+    | [ v ] ->
+      check_bool "stable by default" true (v.Snapshot.verdict = Mt_quality.Stable);
+      check_bool "zeroed quality metrics" true
+        (v.Snapshot.rciw = 0. && v.Snapshot.outliers = 0
+        && not v.Snapshot.warmup_trend)
+    | _ -> Alcotest.fail "expected one variant")
+
+let test_snapshot_verdict_round_trips () =
+  let stats =
+    [
+      noisy "s" 100.;
+      noisy ~verdict:(Mt_quality.Noisy "outliers 3/10 > 20%") "n" 100.;
+      noisy ~verdict:(Mt_quality.Unstable "rciw 40.0% >= 25.0%") "u" 100.;
+    ]
+  in
+  let snap = snap_of stats in
+  match Snapshot.of_string (Snapshot.to_string snap) with
+  | Error msg -> Alcotest.fail msg
+  | Ok loaded ->
+    check_bool "verdicts (and reasons) survive the codec" true
+      (List.map (fun v -> v.Snapshot.verdict) loaded.Snapshot.variants
+      = List.map (fun v -> v.Snapshot.verdict) stats)
 
 (* ------------------------------------------------------------------ *)
 (* Study.snapshot end-to-end                                           *)
@@ -378,6 +458,14 @@ let tests =
     Alcotest.test_case "hash mismatch is noted" `Quick test_hash_mismatch_noted;
     Alcotest.test_case "diff renders table and JSON" `Quick
       test_diff_render_and_json;
+    Alcotest.test_case "quality regression gates independently" `Quick
+      test_quality_regression_gates_independently;
+    Alcotest.test_case "any verdict-rank increase is a quality regression"
+      `Quick test_quality_noisy_step_is_a_regression;
+    Alcotest.test_case "schema-1 snapshots load with quality defaults" `Quick
+      test_schema1_snapshot_loads_with_quality_defaults;
+    Alcotest.test_case "snapshot verdicts round-trip" `Quick
+      test_snapshot_verdict_round_trips;
     Alcotest.test_case "study snapshot round-trips and diffs empty" `Quick
       test_study_snapshot_round_trip;
     Alcotest.test_case "exp_table stat entries" `Quick

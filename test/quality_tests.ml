@@ -1,0 +1,287 @@
+(* Tests for Mt_quality: stability metrics, verdict classification, the
+   noise-monotonicity property and the adaptive experiment controller. *)
+
+open Mt_machine
+open Mt_creator
+open Mt_launcher
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let x5650 = Config.nehalem_x5650_2s
+
+let defaults = Options.default x5650
+
+let kernel_variants =
+  Creator.generate
+    (Mt_kernels.Streams.loadstore_spec ~opcode:Mt_isa.Insn.MOVSS ~stride:4
+       ~unroll:(1, 2) ~swap_after:false ())
+
+let variant_u u = List.find (fun v -> v.Variant.unroll = u) kernel_variants
+
+let quick_opts =
+  {
+    defaults with
+    Options.array_bytes = 16 * 1024;
+    repetitions = 2;
+    experiments = 3;
+  }
+
+let launch opts =
+  match Launcher.launch opts (Source.From_variant (variant_u 1)) with
+  | Ok report -> report
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_verdict_string_round_trip () =
+  let round v =
+    match Mt_quality.verdict_of_string (Mt_quality.verdict_to_string v) with
+    | Ok v' -> check_bool (Mt_quality.verdict_to_string v) true (v = v')
+    | Error msg -> Alcotest.fail msg
+  in
+  round Mt_quality.Stable;
+  round (Mt_quality.Noisy "cov 3.4% >= 2.0%");
+  round (Mt_quality.Unstable "rciw 31.0% >= 25.0%");
+  (match Mt_quality.verdict_of_string "noisy" with
+  | Ok (Mt_quality.Noisy "") -> ()
+  | _ -> Alcotest.fail "bare \"noisy\" should parse with an empty reason");
+  check_bool "garbage rejected" true
+    (Result.is_error (Mt_quality.verdict_of_string "fine, honestly"))
+
+let test_verdict_rank_ordering () =
+  check_int "stable" 0 (Mt_quality.verdict_rank Mt_quality.Stable);
+  check_int "noisy" 1 (Mt_quality.verdict_rank (Mt_quality.Noisy "r"));
+  check_int "unstable" 2 (Mt_quality.verdict_rank (Mt_quality.Unstable "r"))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_rciw_deterministic_and_bounded () =
+  let xs = [| 10.; 10.4; 9.8; 10.1; 10.2; 9.9; 10.3; 10. |] in
+  let a = Mt_quality.rciw ~seed:7 xs in
+  check_float "same seed, same value" a (Mt_quality.rciw ~seed:7 xs);
+  check_bool "positive on a dispersed series" true (a > 0.);
+  (* The same shape scaled 50x wider around the same centre must yield
+     a wider relative interval. *)
+  let widen k = Array.map (fun x -> 10. +. (k *. (x -. 10.))) xs in
+  check_bool "wider series, wider interval" true
+    (Mt_quality.rciw ~seed:7 (widen 50.) > Mt_quality.rciw ~seed:7 (widen 1.));
+  check_float "singleton" 0. (Mt_quality.rciw ~seed:7 [| 5. |]);
+  check_float "zero median" 0. (Mt_quality.rciw ~seed:7 [| -1.; 0.; 1. |])
+
+let test_outlier_detection () =
+  let xs = [| 10.; 10.1; 9.9; 10.05; 9.95; 10.; 10.02; 50. |] in
+  check_int "spike flagged" 1 (Mt_quality.outlier_count xs);
+  check_int "tight series clean" 0
+    (Mt_quality.outlier_count [| 10.; 10.1; 9.9; 10.05; 9.95 |]);
+  (* A majority-constant series has MAD 0: no robust yardstick, no
+     outliers by definition. *)
+  check_int "degenerate mad" 0 (Mt_quality.outlier_count [| 3.; 3.; 3.; 9. |])
+
+let test_warmup_excess () =
+  check_float "cold head" 1.0 (Mt_quality.warmup_excess [| 2.; 1.; 1.; 1. |]);
+  check_bool "warm head is not a trend" true
+    (Mt_quality.warmup_excess [| 1.; 1.; 1.; 2. |] <= 0.);
+  check_float "too short to call" 0. (Mt_quality.warmup_excess [| 2.; 1. |])
+
+let test_assess_verdicts () =
+  let tight = Mt_quality.assess [| 100.; 100.2; 99.9; 100.1; 100. |] in
+  check_bool "tight series stable" true (Mt_quality.stable tight);
+  (match (Mt_quality.assess [| 100.; 200.; 50.; 300.; 10. |]).Mt_quality.verdict with
+  | Mt_quality.Unstable _ -> ()
+  | v ->
+    Alcotest.failf "wild series should be unstable, got %s"
+      (Mt_quality.verdict_to_string v));
+  check_bool "singleton stable by definition" true
+    (Mt_quality.stable (Mt_quality.assess [| 42. |]))
+
+let test_assess_flags_warmup_drift () =
+  (* A 12% head over a flat tail: CoV stays under 2%, MAD is 0 (no
+     outlier call), but the warm-up band (10%) is crossed. *)
+  let series = Array.make 40 1.0 in
+  series.(0) <- 1.12;
+  let a = Mt_quality.assess series in
+  check_bool "trend detected" true a.Mt_quality.warmup_trend;
+  match a.Mt_quality.verdict with
+  | Mt_quality.Noisy _ -> ()
+  | v ->
+    Alcotest.failf "warm-up drift should demote to noisy, got %s"
+      (Mt_quality.verdict_to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Noise monotonicity                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The four machine environments ordered by noise amplitude.  With one
+   seed the underlying SplitMix64 stall stream is identical across
+   environments — only the amplitude scales — so the measured CoV is
+   strictly increasing along this list. *)
+let envs_ordered =
+  [
+    Noise.stable_env;
+    { Noise.pinned = true; interrupts_masked = false; warmed = true };
+    { Noise.pinned = false; interrupts_masked = true; warmed = true };
+    Noise.hostile_env;
+  ]
+
+let perturbed_series ~seed env =
+  let noise = Noise.create ~seed env in
+  Array.init 24 (fun _ -> Noise.perturb noise 1000.)
+
+(* Thresholds that put the CoV signal alone in charge, tuned so the
+   quiet and hostile environments land in different bands (measured CoV
+   is roughly amplitude x 0.3). *)
+let cov_only =
+  {
+    Mt_quality.default_thresholds with
+    Mt_quality.cov_noisy = 0.004;
+    cov_unstable = 0.02;
+    rciw_noisy = 10.;
+    rciw_unstable = 20.;
+    outlier_fraction = 2.;
+    warmup_band = 10.;
+  }
+
+let env_rank ~seed env =
+  Mt_quality.verdict_rank
+    (Mt_quality.assess ~thresholds:cov_only ~seed:1 (perturbed_series ~seed env))
+      .Mt_quality.verdict
+
+let test_noise_envs_span_ranks () =
+  (* The property below must not pass vacuously: the quiet environment
+     really is stable and the hostile one really degrades. *)
+  check_int "stable env" 0 (env_rank ~seed:42 Noise.stable_env);
+  check_bool "hostile env degrades" true
+    (env_rank ~seed:42 Noise.hostile_env > 0)
+
+let prop_verdicts_degrade_with_noise =
+  QCheck.Test.make ~count:100
+    ~name:"quality: verdict rank never improves as noise amplitude grows"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let amplitudes = List.map Noise.relative_amplitude envs_ordered in
+      let ranks = List.map (env_rank ~seed) envs_ordered in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+        | _ -> true
+      in
+      non_decreasing amplitudes && non_decreasing ranks)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive experiment controller                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_adaptive_stops_before_budget () =
+  let opts =
+    {
+      quick_opts with
+      Options.adaptive_experiments = true;
+      experiments = 3;
+      max_experiments = 32;
+      rciw_target = 0.05;
+    }
+  in
+  let r = launch opts in
+  let n = Array.length r.Report.experiments in
+  check_bool "stable series stops well before the ceiling" true (n < 32);
+  check_int "but never below the configured minimum" 3 n
+
+let test_adaptive_exhausts_budget_on_impossible_target () =
+  let opts =
+    {
+      quick_opts with
+      Options.adaptive_experiments = true;
+      experiments = 3;
+      max_experiments = 8;
+      rciw_target = 1e-9;
+      pinned = false (* noisy environment: the interval never collapses *);
+    }
+  in
+  let r = launch opts in
+  check_int "ran to the ceiling" 8 (Array.length r.Report.experiments)
+
+let test_adaptive_records_telemetry () =
+  let tel = Mt_telemetry.create () in
+  Mt_telemetry.set_global tel;
+  Fun.protect
+    ~finally:(fun () -> Mt_telemetry.set_global Mt_telemetry.disabled)
+    (fun () ->
+      ignore
+        (launch
+           {
+             quick_opts with
+             Options.adaptive_experiments = true;
+             max_experiments = 32;
+             rciw_target = 0.05;
+           });
+      let counters = Mt_telemetry.counters tel in
+      check_bool "early stop counted" true
+        (List.mem_assoc "quality.adaptive.early_stops" counters);
+      check_bool "verdict counted" true
+        (List.exists
+           (fun (k, _) ->
+             String.length k > 16 && String.sub k 0 16 = "quality.verdict.")
+           counters))
+
+(* ------------------------------------------------------------------ *)
+(* Warm-up detector x drop_first_experiment                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_drop_first_clears_warmup_trend () =
+  (* A pure-load kernel at one repetition per experiment: skipping the
+     heating call leaves the cold misses entirely in experiment 1. *)
+  let cold_variant =
+    match Creator.generate (Mt_kernels.Streams.movss_unrolled_spec ~unroll:2 ()) with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "expected a single movss variant"
+  in
+  let launch opts =
+    match Launcher.launch opts (Source.From_variant cold_variant) with
+    | Ok report -> report
+    | Error msg -> Alcotest.fail msg
+  in
+  let cold =
+    { quick_opts with Options.warmup = false; repetitions = 1; experiments = 6 }
+  in
+  let r = launch cold in
+  check_bool "cold start leaves a warm-up trend" true
+    r.Report.quality.Mt_quality.warmup_trend;
+  let r' = launch { cold with Options.drop_first_experiment = true } in
+  check_bool "dropping the first experiment clears it" false
+    r'.Report.quality.Mt_quality.warmup_trend;
+  check_bool "and never worsens the verdict" true
+    (Mt_quality.verdict_rank r'.Report.quality.Mt_quality.verdict
+    <= Mt_quality.verdict_rank r.Report.quality.Mt_quality.verdict)
+
+let tests =
+  [
+    Alcotest.test_case "verdict strings round-trip" `Quick
+      test_verdict_string_round_trip;
+    Alcotest.test_case "verdict rank ordering" `Quick test_verdict_rank_ordering;
+    Alcotest.test_case "rciw is deterministic and scales with spread" `Quick
+      test_rciw_deterministic_and_bounded;
+    Alcotest.test_case "outlier detection" `Quick test_outlier_detection;
+    Alcotest.test_case "warm-up excess" `Quick test_warmup_excess;
+    Alcotest.test_case "assess classifies tight, wild and singleton series"
+      `Quick test_assess_verdicts;
+    Alcotest.test_case "assess flags warm-up drift" `Quick
+      test_assess_flags_warmup_drift;
+    Alcotest.test_case "noise environments span verdict ranks" `Quick
+      test_noise_envs_span_ranks;
+    QCheck_alcotest.to_alcotest prop_verdicts_degrade_with_noise;
+    Alcotest.test_case "adaptive controller stops early on a stable series"
+      `Quick test_adaptive_stops_before_budget;
+    Alcotest.test_case "adaptive controller respects the budget ceiling" `Quick
+      test_adaptive_exhausts_budget_on_impossible_target;
+    Alcotest.test_case "adaptive decisions land in telemetry" `Quick
+      test_adaptive_records_telemetry;
+    Alcotest.test_case "drop_first_experiment clears the warm-up trend" `Quick
+      test_drop_first_clears_warmup_trend;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("parallel", Parallel_tests.tests);
       ("telemetry", Telemetry_tests.tests);
       ("obsv", Obsv_tests.tests);
+      ("quality", Quality_tests.tests);
       ("extensions", Extensions_tests.tests);
       ("cc", Cc_tests.tests);
       ("mpi", Mpi_tests.tests);
