@@ -11,7 +11,11 @@
      dune exec bench/main.exe -- --jobs 4      (parallel tables)
      dune exec bench/main.exe -- --cache-dir d --no-cache (result cache)
      dune exec bench/main.exe -- --adaptive-experiments --rciw-target 0.02 \
-       --max-experiments 64   (quality-driven experiment counts) *)
+       --max-experiments 64   (quality-driven experiment counts)
+
+   All run-shaping flags (--jobs, caching, adaptive measurement, the
+   resilience policy, --inject-fault, --trace-out, ...) are the shared
+   Mt_cli set. *)
 
 open Mt_machine
 open Mt_creator
@@ -45,29 +49,30 @@ let chart_of (t : Microtools.Exp_table.t) =
   | "tiling" -> plot ~x_label:"tile" ~y_label:"cycles/iter" [ (1, "tiled matmul") ]
   | _ -> None
 
-let run_experiments ~quick ~domains ids =
+let run_experiments ~quick ~config ids =
   let fmt = Format.std_formatter in
   Format.fprintf fmt
     "MicroTools reproduction: paper figures/tables vs the machine model@.@.";
   (* Compute all tables first — in parallel when --jobs allows — then
-     print in paper order, so the transcript is stable under -j. *)
-  let computed =
-    Mt_parallel.Pool.map_list ~domains
-      (fun id ->
-        (id, Option.map (fun f -> f ?quick:(Some quick) ()) (Microtools.Experiments.by_id id)))
-      ids
-  in
+     print in paper order, so the transcript is stable under -j.  Each
+     experiment runs supervised: a crashing figure becomes a quarantine
+     note instead of aborting the whole reproduction. *)
+  let computed = Microtools.Experiments.run_tables ~quick ~config ids in
   let tables =
     List.filter_map
-      (fun (id, table) ->
-        match table with
-        | Some t ->
+      (fun (id, outcome) ->
+        match outcome with
+        | Microtools.Experiments.Table t ->
           Microtools.Exp_table.print fmt t;
           (match chart_of t with
           | Some chart -> Format.fprintf fmt "%s@." chart
           | None -> ());
           Some t
-        | None ->
+        | Microtools.Experiments.Quarantined q ->
+          Format.fprintf fmt "experiment %s: %s@." id
+            (Mt_resilience.Supervisor.quarantine_to_string q);
+          None
+        | Microtools.Experiments.Unknown ->
           Format.fprintf fmt "unknown experiment %s@." id;
           None)
       computed
@@ -254,80 +259,15 @@ let run_bechamel () =
 (* Entry                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Flags taking a value: "--flag v".  Returns (value, remaining args). *)
-let take_value flag args =
-  let rec go acc = function
-    | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
-    | a :: rest -> go (a :: acc) rest
-    | [] -> (None, List.rev acc)
-  in
-  go [] args
-
-let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let jobs, args = take_value "--jobs" args in
-  let cache_dir, args = take_value "--cache-dir" args in
-  let trace_out, args = take_value "--trace-out" args in
-  let metrics_out, args = take_value "--metrics-out" args in
-  let snapshot_out, args = take_value "--snapshot-out" args in
-  let trace_detail, args = take_value "--trace-detail" args in
-  (match trace_detail with
-  | None -> ()
-  | Some s -> (
-    match Mt_telemetry.detail_of_string s with
-    | Ok d -> Mt_telemetry.set_detail d
-    | Error msg ->
-      prerr_endline ("bench: " ^ msg);
-      exit 2));
-  let tel =
-    if trace_out <> None || metrics_out <> None then begin
-      let t = Mt_telemetry.create () in
-      Mt_telemetry.set_global t;
-      t
-    end
-    else Mt_telemetry.disabled
-  in
-  let rciw_target, args = take_value "--rciw-target" args in
-  let max_experiments, args = take_value "--max-experiments" args in
-  let quick = List.mem "--quick" args in
-  let no_bechamel = List.mem "--no-bechamel" args in
-  let no_cache = List.mem "--no-cache" args in
-  let adaptive = List.mem "--adaptive-experiments" args in
-  let domains =
-    match Option.bind jobs int_of_string_opt with
-    | Some 0 -> Mt_parallel.Pool.available_domains ()
-    | Some n -> max 1 n
-    | None -> 1
-  in
-  let cache =
-    if no_cache then None
-    else
-      Some
-        (Mt_parallel.Cache.create
-           ~dir:(Option.value ~default:(Mt_parallel.Cache.default_dir ()) cache_dir)
-           ())
-  in
-  Microtools.Experiments.set_cache cache;
-  if adaptive then
-    Microtools.Experiments.set_adaptive
-      (Some
-         ( Option.value ~default:0.02 (Option.bind rciw_target float_of_string_opt),
-           Option.value ~default:64 (Option.bind max_experiments int_of_string_opt)
-         ));
-  let ids =
-    match List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args with
-    | [] -> Microtools.Experiments.ids
-    | ids -> ids
-  in
-  let tables = run_experiments ~quick ~domains ids in
-  (match cache with
-  | Some c ->
-    Printf.printf "cache: %d hits, %d misses, %.1f%% hit rate\n\n"
-      (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
-      (100. *. Mt_parallel.Cache.hit_rate c)
-  | None -> ());
+let main quick no_bechamel ids (config : Mt_cli.t) =
+  let tel = Mt_cli.setup config in
+  Microtools.Experiments.set_run_config config;
+  let ids = match ids with [] -> Microtools.Experiments.ids | ids -> ids in
+  let tables = run_experiments ~quick ~config ids in
+  Mt_cli.print_cache_stats config;
+  print_newline ();
   if not no_bechamel then run_bechamel ();
-  (match snapshot_out with
+  (match config.Microtools.Study.Run_config.snapshot_out with
   | None -> ()
   | Some path ->
     (* The committed BENCH_study.json baseline: one single-observation
@@ -352,13 +292,27 @@ let () =
     in
     Mt_obsv.Snapshot.save snap path;
     Printf.printf "run snapshot written to %s (compare with mt_report)\n" path);
-  Option.iter
-    (fun path ->
-      Mt_telemetry.write_chrome_trace tel path;
-      Printf.printf "trace written to %s\n" path)
-    trace_out;
-  Option.iter
-    (fun path ->
-      Mt_telemetry.write_metrics_csv tel path;
-      Printf.printf "metrics written to %s\n" path)
-    metrics_out
+  Mt_cli.finish tel config;
+  0
+
+let () =
+  let open Cmdliner in
+  let quick_arg =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Shrink sizes and sweeps for a fast smoke run.")
+  in
+  let no_bechamel_arg =
+    Arg.(value & flag
+         & info [ "no-bechamel" ] ~doc:"Skip the Bechamel primitive timings.")
+  in
+  let ids_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"EXPERIMENT"
+             ~doc:"Experiment ids to reproduce (default: all, in paper order).")
+  in
+  let doc = "reproduce the paper's evaluation and time its primitives" in
+  let cmd =
+    Cmd.v (Cmd.info "bench" ~doc)
+      Term.(const main $ quick_arg $ no_bechamel_arg $ ids_arg $ Mt_cli.term)
+  in
+  exit (Cmd.eval' cmd)

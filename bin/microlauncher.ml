@@ -1,5 +1,13 @@
 (* MicroLauncher command line: run one benchmark kernel (a MicroCreator
-   .s file, or a plain C kernel) in the stable measurement environment. *)
+   .s file, or a plain C kernel) in the stable measurement environment.
+
+   Run-shaping flags (--cache-dir, --retries, --timeout, --inject-fault,
+   --trace-out, ...) are the shared Mt_cli set; the single launch runs
+   under the same supervisor as a study variant, so a crashing or hung
+   kernel is retried and finally reported as quarantined instead of
+   taking the process down with a backtrace.  --journal/--resume,
+   --jobs and the result cache have nothing to checkpoint, parallelise
+   or memoise over a single ad-hoc launch and are accepted but inert. *)
 
 open Cmdliner
 open Mt_launcher
@@ -22,29 +30,9 @@ let analyze_kernel opts source =
           (Mt_machine.Energy.average_power_w machine outcome)))
 
 let run input function_name machine machine_file freq array_kb alignments repetitions experiments
-    adaptive rciw_target max_experiments cores
-    openmp schedule chunk mpi halo per csv no_warmup no_pin seed analyze verbose
-    trace_out metrics_out =
-  let tel =
-    if trace_out <> None || metrics_out <> None then begin
-      let t = Mt_telemetry.create () in
-      Mt_telemetry.set_global t;
-      t
-    end
-    else Mt_telemetry.disabled
-  in
-  let write_telemetry () =
-    Option.iter
-      (fun path ->
-        Mt_telemetry.write_chrome_trace tel path;
-        Printf.printf "trace written to %s\n" path)
-      trace_out;
-    Option.iter
-      (fun path ->
-        Mt_telemetry.write_metrics_csv tel path;
-        Printf.printf "metrics written to %s\n" path)
-      metrics_out
-  in
+    cores openmp schedule chunk mpi halo per csv no_warmup no_pin seed
+    analyze verbose config =
+  let tel = Mt_cli.setup config in
   let resolved =
     match machine_file with
     | Some path -> (
@@ -85,9 +73,6 @@ let run input function_name machine machine_file freq array_kb alignments repeti
         alignments;
         repetitions;
         experiments;
-        adaptive_experiments = adaptive;
-        rciw_target;
-        max_experiments = max max_experiments experiments;
         cores;
         openmp_threads = openmp;
         openmp_schedule;
@@ -102,22 +87,36 @@ let run input function_name machine machine_file freq array_kb alignments repeti
         verbose;
       }
     in
+    let opts = Microtools.Study.Run_config.apply_options config opts in
     let source =
       if Filename.check_suffix input ".mto" || function_name <> None then
         Source.From_object (input, function_name)
       else Source.From_file input
     in
+    let fault =
+      match Mt_resilience.Fault.find config.Microtools.Study.Run_config.faults ~index:0 with
+      | Some { Mt_resilience.Fault.kind = Corrupt_cache_entry; _ } -> None
+      | f -> f
+    in
     let code =
-      match Launcher.launch opts source with
-      | Ok report ->
+      match
+        Mt_resilience.Supervisor.supervise ?fault
+          ~policy:config.Microtools.Study.Run_config.policy ~key:input
+          (fun () -> Launcher.launch opts source)
+      with
+      | Mt_resilience.Supervisor.Quarantined q ->
+        Printf.eprintf "microlauncher: %s\n"
+          (Mt_resilience.Supervisor.quarantine_to_string q);
+        1
+      | Mt_resilience.Supervisor.Done (Error msg, _) ->
+        Printf.eprintf "microlauncher: %s\n" msg;
+        1
+      | Mt_resilience.Supervisor.Done (Ok report, _) ->
         Format.printf "%a@." Report.pp report;
         if analyze then analyze_kernel opts source;
         0
-      | Error msg ->
-        Printf.eprintf "microlauncher: %s\n" msg;
-        1
     in
-    write_telemetry ();
+    Mt_cli.finish tel config;
     code)
 
 let input_arg =
@@ -144,24 +143,6 @@ let align_arg =
 let reps_arg = Arg.(value & opt int 4 & info [ "repetitions" ] ~doc:"Kernel calls per experiment.")
 
 let exps_arg = Arg.(value & opt int 10 & info [ "experiments" ] ~doc:"Measured experiments.")
-
-let adaptive_arg =
-  Arg.(value & flag
-       & info [ "adaptive-experiments" ]
-           ~doc:"Treat $(b,--experiments) as a minimum and keep measuring \
-                 until the median's bootstrap confidence interval reaches \
-                 $(b,--rciw-target) or $(b,--max-experiments) is spent.")
-
-let rciw_target_arg =
-  Arg.(value & opt float 0.02
-       & info [ "rciw-target" ] ~docv:"FRAC"
-           ~doc:"Adaptive stop rule: relative confidence-interval width of \
-                 the median to reach before stopping early.")
-
-let max_exps_arg =
-  Arg.(value & opt int 64
-       & info [ "max-experiments" ] ~docv:"N"
-           ~doc:"Adaptive budget ceiling.")
 
 let cores_arg = Arg.(value & opt int 1 & info [ "cores" ] ~doc:"Fork-mode process count.")
 
@@ -196,26 +177,13 @@ let analyze_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "verbose" ] ~doc:"Chatty progress.")
 
-let trace_arg =
-  Arg.(value & opt (some string) None
-       & info [ "trace-out" ] ~docv:"FILE"
-           ~doc:"Write a Chrome trace_event JSON of the measurement (warm-up, \
-                 experiment and reporting spans) to $(docv).")
-
-let metrics_arg =
-  Arg.(value & opt (some string) None
-       & info [ "metrics-out" ] ~docv:"FILE"
-           ~doc:"Write a key,value metrics CSV (experiment and memory-hierarchy \
-                 counters) to $(docv).")
-
 let cmd =
   let doc = "execute a micro-benchmark program in a stable environment" in
   Cmd.v (Cmd.info "microlauncher" ~doc)
     Term.(
       const run $ input_arg $ function_arg $ machine_arg $ machine_file_arg $ freq_arg $ array_arg $ align_arg
-      $ reps_arg $ exps_arg $ adaptive_arg $ rciw_target_arg $ max_exps_arg
-      $ cores_arg $ openmp_arg $ schedule_arg $ chunk_arg
+      $ reps_arg $ exps_arg $ cores_arg $ openmp_arg $ schedule_arg $ chunk_arg
       $ mpi_arg $ halo_arg $ per_arg $ csv_arg $ no_warmup_arg $ no_pin_arg
-      $ seed_arg $ analyze_arg $ verbose_arg $ trace_arg $ metrics_arg)
+      $ seed_arg $ analyze_arg $ verbose_arg $ Mt_cli.term)
 
 let () = exit (Cmd.eval' cmd)

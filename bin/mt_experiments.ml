@@ -1,27 +1,32 @@
 (* Reproduce the paper's figures and tables on the machine model:
-   `mt_experiments fig11`, `mt_experiments --all`, etc. *)
+   `mt_experiments fig11`, `mt_experiments --all`, etc.
+
+   Run-shaping flags (--jobs, --cache-dir, --retries, --inject-fault,
+   --trace-out, ...) are the shared Mt_cli set.  Exit 4 = partial
+   success: some experiments completed, some were quarantined. *)
 
 open Cmdliner
 
-let run_ids ids quick csv_dir jobs cache =
+let run_ids ids quick csv_dir config =
   let fmt = Format.std_formatter in
-  let domains =
-    if jobs = 0 then Mt_parallel.Pool.available_domains () else max 1 jobs
-  in
   (* Tables are computed in parallel (each experiment is an independent
-     batch of simulator runs) but printed strictly in request order. *)
-  let tables =
-    Mt_parallel.Pool.map_list ~domains
-      (fun id -> (id, Option.map (fun f -> f ?quick:(Some quick) ()) (Microtools.Experiments.by_id id)))
-      ids
-  in
+     batch of simulator runs) but printed strictly in request order.
+     A crashing figure degrades to a quarantine note, not an abort. *)
+  let outcomes = Microtools.Experiments.run_tables ~quick ~config ids in
+  let tables = ref [] in
+  let quarantined = ref 0 in
   List.iter
-    (fun (id, table) ->
-      match table with
-      | None ->
+    (fun (id, outcome) ->
+      match outcome with
+      | Microtools.Experiments.Unknown ->
         Format.fprintf fmt "unknown experiment %s (known: %s)@." id
           (String.concat ", " Microtools.Experiments.ids)
-      | Some table ->
+      | Microtools.Experiments.Quarantined q ->
+        incr quarantined;
+        Format.fprintf fmt "experiment %s: %s@." id
+          (Mt_resilience.Supervisor.quarantine_to_string q)
+      | Microtools.Experiments.Table table ->
+        tables := table :: !tables;
         Microtools.Exp_table.print fmt table;
         (match csv_dir with
         | None -> ()
@@ -30,14 +35,12 @@ let run_ids ids quick csv_dir jobs cache =
           Mt_stats.Csv.save
             (Microtools.Exp_table.to_csv table)
             (Filename.concat dir (id ^ ".csv"))))
-    tables;
-  (match cache with
-  | Some c ->
-    Format.fprintf fmt "cache: %d hits, %d misses, %.1f%% hit rate@."
-      (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
-      (100. *. Mt_parallel.Cache.hit_rate c)
-  | None -> ());
-  (0, List.filter_map snd tables)
+    outcomes;
+  Mt_cli.print_cache_stats config;
+  let code =
+    if !quarantined = 0 then 0 else if !tables = [] then 1 else 4
+  in
+  (code, List.rev !tables)
 
 (* One snapshot for the whole batch: every numeric table cell becomes a
    single-observation variant stat keyed "id/row/column", so two runs of
@@ -105,120 +108,27 @@ let list_experiments () =
     Microtools.Experiments.ids;
   0
 
-let main ids all quick csv_dir list jobs cache_dir no_cache adaptive
-    rciw_target max_experiments trace_out metrics_out snapshot_out
-    trace_detail =
+let main ids all quick csv_dir list config =
   if list then list_experiments ()
   else begin
-    Mt_telemetry.set_detail trace_detail;
-    let ids =
-      if all || ids = [] then Microtools.Experiments.ids else ids
-    in
-    let cache =
-      if no_cache then None
-      else
-        Some
-          (Mt_parallel.Cache.create
-             ~dir:(Option.value ~default:(Mt_parallel.Cache.default_dir ()) cache_dir)
-             ())
-    in
-    Microtools.Experiments.set_cache cache;
-    Microtools.Experiments.set_adaptive
-      (if adaptive then Some (rciw_target, max_experiments) else None);
-    let tel =
-      if trace_out <> None || metrics_out <> None then begin
-        let t = Mt_telemetry.create () in
-        Mt_telemetry.set_global t;
-        t
-      end
-      else Mt_telemetry.disabled
-    in
-    let code, tables = run_ids ids quick csv_dir jobs cache in
+    let tel = Mt_cli.setup config in
+    let ids = if all || ids = [] then Microtools.Experiments.ids else ids in
+    Microtools.Experiments.set_run_config config;
+    let code, tables = run_ids ids quick csv_dir config in
     Option.iter
       (fun path ->
         Mt_obsv.Snapshot.save (snapshot_of_tables ids tables) path;
         Printf.printf "run snapshot written to %s (compare with mt_report)\n" path)
-      snapshot_out;
-    Option.iter
-      (fun path ->
-        Mt_telemetry.write_chrome_trace tel path;
-        Printf.printf "trace written to %s\n" path)
-      trace_out;
-    Option.iter
-      (fun path ->
-        Mt_telemetry.write_metrics_csv tel path;
-        Printf.printf "metrics written to %s\n" path)
-      metrics_out;
+      config.Microtools.Study.Run_config.snapshot_out;
+    Mt_cli.finish tel config;
     code
   end
 
-let jobs_arg =
-  Arg.(value & opt int 1
-       & info [ "jobs"; "j" ] ~docv:"N"
-           ~doc:"Compute experiments on $(docv) domains (0 = one per available \
-                 core); output stays in request order.")
-
-let cache_dir_arg =
-  Arg.(value & opt (some string) None
-       & info [ "cache-dir" ] ~docv:"DIR"
-           ~doc:"On-disk result cache location (default: \\$XDG_CACHE_HOME/microtools \
-                 or ~/.cache/microtools).")
-
-let no_cache_arg =
-  Arg.(value & flag
-       & info [ "no-cache" ] ~doc:"Disable the result cache; re-simulate everything.")
-
-let adaptive_arg =
-  Arg.(value & flag
-       & info [ "adaptive-experiments" ]
-           ~doc:"Let the quality controller extend each measurement past its \
-                 configured experiment count until the bootstrap confidence \
-                 interval reaches $(b,--rciw-target) or $(b,--max-experiments) \
-                 is spent.")
-
-let rciw_target_arg =
-  Arg.(value & opt float 0.02
-       & info [ "rciw-target" ] ~docv:"FRAC"
-           ~doc:"Adaptive stop rule: relative confidence-interval width of \
-                 the median to reach before stopping early.")
-
-let max_exps_arg =
-  Arg.(value & opt int 64
-       & info [ "max-experiments" ] ~docv:"N"
-           ~doc:"Adaptive budget ceiling per measurement.")
-
-let trace_arg =
-  Arg.(value & opt (some string) None
-       & info [ "trace-out" ] ~docv:"FILE"
-           ~doc:"Write a Chrome trace_event JSON of the run to $(docv).")
-
-let metrics_arg =
-  Arg.(value & opt (some string) None
-       & info [ "metrics-out" ] ~docv:"FILE"
-           ~doc:"Write a key,value metrics CSV to $(docv).")
-
-let snapshot_arg =
-  Arg.(value & opt (some string) None
-       & info [ "snapshot-out" ] ~docv:"FILE"
-           ~doc:"Write a run-provenance snapshot (one entry per numeric table \
-                 cell) as JSON to $(docv); compare runs with mt_report.")
-
-let trace_detail_arg =
-  Arg.(value
-       & opt (enum [ ("off", Mt_telemetry.Off); ("sampled", Mt_telemetry.Sampled); ("full", Mt_telemetry.Full) ])
-           Mt_telemetry.Off
-       & info [ "trace-detail" ]
-           ~doc:"Instruction/cache lane detail in the Chrome trace: off, \
-                 sampled, or full.  Takes effect when $(b,--trace-out) is \
-                 given.")
-
 let cmd =
   let doc = "reproduce the MicroTools paper's figures and tables" in
-  Cmd.v (Cmd.info "mt_experiments" ~doc)
+  Cmd.v (Cmd.info "mt_experiments" ~doc ~exits:(Cmd.Exit.info 4 ~doc:"partial success: some experiments were quarantined." :: Cmd.Exit.defaults))
     Term.(
       const main $ ids_arg $ all_arg $ quick_arg $ csv_arg $ list_arg
-      $ jobs_arg $ cache_dir_arg $ no_cache_arg $ adaptive_arg
-      $ rciw_target_arg $ max_exps_arg $ trace_arg $ metrics_arg
-      $ snapshot_arg $ trace_detail_arg)
+      $ Mt_cli.term)
 
 let () = exit (Cmd.eval' cmd)

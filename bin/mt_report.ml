@@ -79,9 +79,11 @@ let cmd =
          variance.  Deltas inside the band are reported as unchanged, so a \
          CI gate built on the exit code does not flap on measurement noise. \
          Each variant's measurement-quality verdict (stable/noisy/unstable, \
-         snapshot schema 2) is compared independently: a verdict that \
+         snapshot schema 2+) is compared independently: a verdict that \
          worsened is a quality regression with its own note and exit code, \
-         even when the median held.";
+         even when the median held.  Variants quarantined by the resilience \
+         supervisor (schema 3) are called out in the notes so their missing \
+         stats are not mistaken for deleted variants.";
       `S Manpage.s_exit_status;
       `P "0 on no regressions, 1 when a median regression escapes the noise \
           band, 2 on unreadable snapshots, 3 when only measurement quality \

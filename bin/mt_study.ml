@@ -2,36 +2,20 @@
    loop): an XML kernel description in, every generated variant
    measured, the ranking and the winner out.
 
-     mt_study descriptions/loadstore.xml --array-kb 32 --per element *)
+     mt_study descriptions/loadstore.xml --array-kb 32 --per element
+
+   Run-shaping flags (--jobs, --cache-dir, --retries, --inject-fault,
+   --journal/--resume, --trace-out, ...) are the shared Mt_cli set.
+
+   Exit codes: 0 success, 1 nothing succeeded, 2 bad machine, 4 partial
+   success (some variants succeeded, some were quarantined). *)
 
 open Cmdliner
 open Mt_launcher
 
-let run input machine machine_file array_kb per repetitions experiments
-    adaptive rciw_target max_experiments top csv jobs cache_dir no_cache
-    trace_out metrics_out snapshot_out trace_detail =
-  Mt_telemetry.set_detail trace_detail;
-  let tel =
-    if trace_out <> None || metrics_out <> None then begin
-      let t = Mt_telemetry.create () in
-      Mt_telemetry.set_global t;
-      t
-    end
-    else Mt_telemetry.disabled
-  in
-  let write_telemetry () =
-    Option.iter
-      (fun path ->
-        Mt_telemetry.write_chrome_trace tel path;
-        Printf.printf "trace written to %s (open in chrome://tracing or Perfetto)\n"
-          path)
-      trace_out;
-    Option.iter
-      (fun path ->
-        Mt_telemetry.write_metrics_csv tel path;
-        Printf.printf "metrics written to %s\n" path)
-      metrics_out
-  in
+let run input machine machine_file array_kb per repetitions experiments top
+    csv config =
+  let tel = Mt_cli.setup config in
   let resolved =
     match machine_file with
     | Some path -> Mt_machine.Config_io.of_file path
@@ -62,9 +46,6 @@ let run input machine machine_file array_kb per repetitions experiments
         per;
         repetitions;
         experiments;
-        adaptive_experiments = adaptive;
-        rciw_target;
-        max_experiments = max max_experiments experiments;
       }
     in
     let ic = open_in_bin input in
@@ -75,84 +56,84 @@ let run input machine machine_file array_kb per repetitions experiments
       Printf.eprintf "mt_study: %s: %s\n" input msg;
       1
     | Ok study -> (
-      let domains =
-        if jobs = 0 then Mt_parallel.Pool.available_domains () else max 1 jobs
-      in
-      let cache =
-        if no_cache then None
-        else
-          Some
-            (Mt_parallel.Cache.create
-               ~dir:(Option.value ~default:(Mt_parallel.Cache.default_dir ()) cache_dir)
-               ())
-      in
       let variants = Microtools.Study.variants study in
-      Printf.printf "generated %d variants; measuring on %s (%d domain%s%s)...\n\n"
-        (List.length variants) cfg.Mt_machine.Config.name domains
-        (if domains = 1 then "" else "s")
-        (match cache with
-        | Some c -> ", cache " ^ Option.value ~default:"memory" (Mt_parallel.Cache.dir c)
-        | None -> ", cache off");
-      let outcomes = Microtools.Study.run ~domains ?cache study in
-      let ok = Microtools.Study.successes outcomes in
-      let ranked =
-        List.sort
-          (fun (_, a) (_, b) -> Float.compare a.Report.value b.Report.value)
-          ok
-      in
-      let shown = if top > 0 then top else List.length ranked in
-      List.iteri
-        (fun i (v, r) ->
-          if i < shown then
-            Printf.printf "%3d. %-44s %10.3f %s/%s\n" (i + 1)
+      Printf.printf "generated %d variants; measuring on %s (%s)...\n\n"
+        (List.length variants) cfg.Mt_machine.Config.name
+        (Mt_cli.run_summary config);
+      match Microtools.Study.run ~config study with
+      | exception Failure msg ->
+        Printf.eprintf "mt_study: %s\n" msg;
+        1
+      | outcomes ->
+        let ok = Microtools.Study.successes outcomes in
+        let ranked =
+          List.sort
+            (fun (_, a) (_, b) -> Float.compare a.Report.value b.Report.value)
+            ok
+        in
+        let shown = if top > 0 then top else List.length ranked in
+        List.iteri
+          (fun i (v, r) ->
+            if i < shown then
+              Printf.printf "%3d. %-44s %10.3f %s/%s\n" (i + 1)
+                (Mt_creator.Variant.id v) r.Report.value r.Report.unit_label
+                r.Report.per_label)
+          ranked;
+        if List.length ranked > shown then
+          Printf.printf "     ... and %d more (use --top 0 for all)\n"
+            (List.length ranked - shown);
+        Printf.printf "\nper-unroll minima:\n";
+        List.iter
+          (fun (u, v) -> Printf.printf "  unroll %d: %.3f\n" u v)
+          (Microtools.Study.min_per_unroll outcomes);
+        let stable, noisy, unstable =
+          Microtools.Study.quality_summary outcomes
+        in
+        Printf.printf "measurement quality: %d stable, %d noisy, %d unstable\n"
+          stable noisy unstable;
+        (match
+           Microtools.Analysis.recommend_unroll
+             (Microtools.Study.min_per_unroll outcomes)
+         with
+        | Some u -> Printf.printf "recommended unroll factor: %d\n" u
+        | None -> ());
+        (match config.Microtools.Study.Run_config.resume_from with
+        | Some path ->
+          Printf.printf "journal: resumed %d of %d variants from %s\n"
+            (Microtools.Study.resumed_count outcomes)
+            (List.length outcomes) path
+        | None -> ());
+        let quarantined = Microtools.Study.quarantined outcomes in
+        List.iter
+          (fun (v, q) ->
+            Printf.printf "quarantined: %s: %s\n" (Mt_creator.Variant.id v)
+              (Mt_resilience.Supervisor.quarantine_to_string q))
+          quarantined;
+        (match csv with
+        | Some path ->
+          Mt_stats.Csv.save (Microtools.Study.csv outcomes) path;
+          Printf.printf "full results written to %s\n" path
+        | None -> ());
+        Mt_cli.print_cache_stats config;
+        (match config.Microtools.Study.Run_config.snapshot_out with
+        | Some path ->
+          Mt_obsv.Snapshot.save (Microtools.Study.snapshot study outcomes) path;
+          Printf.printf "run snapshot written to %s (compare with mt_report)\n"
+            path
+        | None -> ());
+        let code =
+          match Microtools.Study.best outcomes with
+          | Some (v, r) ->
+            Printf.printf "\nbest variant: %s at %.3f %s/%s\n"
               (Mt_creator.Variant.id v) r.Report.value r.Report.unit_label
-              r.Report.per_label)
-        ranked;
-      if List.length ranked > shown then
-        Printf.printf "     ... and %d more (use --top 0 for all)\n"
-          (List.length ranked - shown);
-      Printf.printf "\nper-unroll minima:\n";
-      List.iter
-        (fun (u, v) -> Printf.printf "  unroll %d: %.3f\n" u v)
-        (Microtools.Study.min_per_unroll outcomes);
-      let stable, noisy, unstable = Microtools.Study.quality_summary outcomes in
-      Printf.printf "measurement quality: %d stable, %d noisy, %d unstable\n"
-        stable noisy unstable;
-      (match
-         Microtools.Analysis.recommend_unroll
-           (Microtools.Study.min_per_unroll outcomes)
-       with
-      | Some u -> Printf.printf "recommended unroll factor: %d\n" u
-      | None -> ());
-      (match csv with
-      | Some path ->
-        Mt_stats.Csv.save (Microtools.Study.csv outcomes) path;
-        Printf.printf "full results written to %s\n" path
-      | None -> ());
-      (match cache with
-      | Some c ->
-        Printf.printf "cache: %d hits, %d misses, %.1f%% hit rate\n"
-          (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
-          (100. *. Mt_parallel.Cache.hit_rate c)
-      | None -> ());
-      (match snapshot_out with
-      | Some path ->
-        Mt_obsv.Snapshot.save (Microtools.Study.snapshot study outcomes) path;
-        Printf.printf "run snapshot written to %s (compare with mt_report)\n" path
-      | None -> ());
-      let code =
-        match Microtools.Study.best outcomes with
-        | Some (v, r) ->
-          Printf.printf "\nbest variant: %s at %.3f %s/%s\n"
-            (Mt_creator.Variant.id v) r.Report.value r.Report.unit_label
-            r.Report.per_label;
-          0
-        | None ->
-          prerr_endline "mt_study: no variant succeeded";
-          1
-      in
-      write_telemetry ();
-      code))
+              r.Report.per_label;
+            if quarantined = [] then 0 else 4
+          | None ->
+            prerr_endline "mt_study: no variant succeeded";
+            1
+        in
+        Mt_cli.finish tel config;
+        code))
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"DESCRIPTION" ~doc:"XML kernel description.")
@@ -173,84 +154,15 @@ let reps_arg = Arg.(value & opt int 2 & info [ "repetitions" ] ~doc:"Calls per e
 
 let exps_arg = Arg.(value & opt int 5 & info [ "experiments" ] ~doc:"Experiments per variant.")
 
-let adaptive_arg =
-  Arg.(value & flag
-       & info [ "adaptive-experiments" ]
-           ~doc:"Keep measuring past $(b,--experiments) until each variant's \
-                 bootstrap confidence interval is tight enough \
-                 ($(b,--rciw-target)) or $(b,--max-experiments) is spent.")
-
-let rciw_target_arg =
-  Arg.(value & opt float 0.02
-       & info [ "rciw-target" ] ~docv:"FRAC"
-           ~doc:"Adaptive stop rule: relative confidence-interval width of \
-                 the median to reach before stopping early.")
-
-let max_exps_arg =
-  Arg.(value & opt int 64
-       & info [ "max-experiments" ] ~docv:"N"
-           ~doc:"Adaptive budget ceiling per variant.")
-
 let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~doc:"Ranked variants to print (0 = all).")
 
 let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write all results as CSV.")
 
-let jobs_arg =
-  Arg.(value & opt int 1
-       & info [ "jobs"; "j" ] ~docv:"N"
-           ~doc:"Evaluate variants on $(docv) domains (0 = one per available core). \
-                 Results are merged in variant order, so the output is identical \
-                 to a sequential run.")
-
-let cache_dir_arg =
-  Arg.(value & opt (some string) None
-       & info [ "cache-dir" ] ~docv:"DIR"
-           ~doc:"On-disk result cache location (default: \\$XDG_CACHE_HOME/microtools \
-                 or ~/.cache/microtools).")
-
-let no_cache_arg =
-  Arg.(value & flag
-       & info [ "no-cache" ]
-           ~doc:"Disable the result cache; re-simulate every variant.")
-
-let trace_arg =
-  Arg.(value & opt (some string) None
-       & info [ "trace-out" ] ~docv:"FILE"
-           ~doc:"Write a Chrome trace_event JSON of the run (per-pass, \
-                 per-variant and per-phase spans) to $(docv); open it in \
-                 chrome://tracing or Perfetto.")
-
-let metrics_arg =
-  Arg.(value & opt (some string) None
-       & info [ "metrics-out" ] ~docv:"FILE"
-           ~doc:"Write a key,value metrics CSV (pool, cache, simulator and \
-                 memory counters) to $(docv).")
-
-let snapshot_arg =
-  Arg.(value & opt (some string) None
-       & info [ "snapshot-out" ] ~docv:"FILE"
-           ~doc:"Write a run-provenance snapshot (kernel/machine hashes, \
-                 options, per-variant statistics) as JSON to $(docv); two \
-                 snapshots are compared with mt_report.")
-
-let trace_detail_arg =
-  Arg.(value
-       & opt (enum [ ("off", Mt_telemetry.Off); ("sampled", Mt_telemetry.Sampled); ("full", Mt_telemetry.Full) ])
-           Mt_telemetry.Off
-       & info [ "trace-detail" ]
-           ~doc:"Instruction/cache lane detail in the Chrome trace: off (no \
-                 lane bookkeeping on the simulate path), sampled (every 64th \
-                 dynamic instruction), or full.  Takes effect when \
-                 $(b,--trace-out) is given.")
-
 let cmd =
   let doc = "generate a kernel's variation space and rank every variant" in
-  Cmd.v (Cmd.info "mt_study" ~doc)
+  Cmd.v (Cmd.info "mt_study" ~doc ~exits:(Cmd.Exit.info 4 ~doc:"partial success: some variants were quarantined." :: Cmd.Exit.defaults))
     Term.(
       const run $ input_arg $ machine_arg $ machine_file_arg $ array_arg
-      $ per_arg $ reps_arg $ exps_arg $ adaptive_arg $ rciw_target_arg
-      $ max_exps_arg $ top_arg $ csv_arg $ jobs_arg $ cache_dir_arg
-      $ no_cache_arg $ trace_arg $ metrics_arg $ snapshot_arg
-      $ trace_detail_arg)
+      $ per_arg $ reps_arg $ exps_arg $ top_arg $ csv_arg $ Mt_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,289 @@
+(* The run-shaping command line every MicroTools binary shares:
+   parallelism, caching, adaptive measurement, the resilience policy,
+   fault injection, checkpoint/resume and the observability outputs all
+   parse here, into one Study.Run_config.t.  Binaries keep only their
+   kernel-specific flags (input file, machine, array sizes, ...). *)
+
+open Cmdliner
+
+type t = Microtools.Study.Run_config.t
+
+let default_policy = Mt_resilience.Policy.default
+
+(* ------------------------------------------------------------------ *)
+(* Flag definitions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let docs_run = "RUN OPTIONS"
+
+let docs_resilience = "RESILIENCE OPTIONS"
+
+let docs_obsv = "OBSERVABILITY OPTIONS"
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N" ~docs:docs_run
+        ~doc:
+          "Run independent units of work on $(docv) domains (0 = one per \
+           available core).  Results merge back in request order, so the \
+           output is identical to a sequential run.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR" ~docs:docs_run
+        ~doc:
+          "On-disk result cache location (default: \\$XDG_CACHE_HOME/microtools \
+           or ~/.cache/microtools).")
+
+let no_cache_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-cache" ] ~docs:docs_run
+        ~doc:"Disable the result cache; re-simulate everything.")
+
+let adaptive_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "adaptive-experiments" ] ~docs:docs_run
+        ~doc:
+          "Treat each configured experiment count as a minimum and keep \
+           measuring until the median's bootstrap confidence interval \
+           reaches $(b,--rciw-target) or $(b,--max-experiments) is spent.")
+
+let rciw_target_arg =
+  Arg.(
+    value
+    & opt float 0.02
+    & info [ "rciw-target" ] ~docv:"FRAC" ~docs:docs_run
+        ~doc:
+          "Adaptive stop rule: relative confidence-interval width of the \
+           median to reach before stopping early.")
+
+let max_exps_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "max-experiments" ] ~docv:"N" ~docs:docs_run
+        ~doc:"Adaptive budget ceiling per measurement.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int default_policy.Mt_resilience.Policy.retries
+    & info [ "retries" ] ~docv:"N" ~docs:docs_resilience
+        ~doc:
+          "Retry a crashing or over-budget unit of work $(docv) times \
+           (with deterministic exponential backoff) before quarantining \
+           it.")
+
+let backoff_ms_arg =
+  Arg.(
+    value
+    & opt float (default_policy.Mt_resilience.Policy.backoff_base_s *. 1000.)
+    & info [ "retry-backoff-ms" ] ~docv:"MS" ~docs:docs_resilience
+        ~doc:
+          "Base backoff delay before the first retry, in milliseconds; \
+           doubles per retry, with deterministic seeded jitter.")
+
+let resilience_seed_arg =
+  Arg.(
+    value
+    & opt int default_policy.Mt_resilience.Policy.backoff_seed
+    & info [ "resilience-seed" ] ~docv:"SEED" ~docs:docs_resilience
+        ~doc:"Seed of the deterministic backoff-jitter stream.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS" ~docs:docs_resilience
+        ~doc:
+          "Wall-clock budget per attempt; an attempt that runs longer is \
+           treated as hung and retried/quarantined.")
+
+let sim_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sim-budget" ] ~docv:"INSNS" ~docs:docs_resilience
+        ~doc:
+          "Simulated-instruction budget per attempt, clamped onto the \
+           launcher's max_instructions fuel.")
+
+let fault_conv =
+  let parse s =
+    match Mt_resilience.Fault.of_spec s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (Mt_resilience.Fault.to_spec f)
+  in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt_all fault_conv []
+    & info [ "inject-fault" ] ~docv:"SPEC" ~docs:docs_resilience
+        ~doc:
+          "Deterministically break the K-th unit of work (repeatable): \
+           $(i,variant=K:kind) with kind one of $(b,raise), $(b,timeout) \
+           or $(b,corrupt-cache-entry), optionally $(i,@N) to fault only \
+           the first N attempts (so a retry succeeds).  Used by tests and \
+           the CI chaos-smoke job.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE" ~docs:docs_resilience
+        ~doc:
+          "Append every completed unit of work to a crash-safe checkpoint \
+           journal at $(docv), resumable with $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE" ~docs:docs_resilience
+        ~doc:
+          "Replay work already recorded in this checkpoint journal and \
+           measure only the rest.  Pass the same file to $(b,--journal) \
+           to keep extending it across interruptions.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE" ~docs:docs_obsv
+        ~doc:
+          "Write a Chrome trace_event JSON of the run (per-pass, \
+           per-variant, per-attempt and per-phase spans) to $(docv); open \
+           it in chrome://tracing or Perfetto.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~docs:docs_obsv
+        ~doc:
+          "Write a key,value metrics CSV (pool, cache, resilience, \
+           simulator and memory counters) to $(docv).")
+
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-out" ] ~docv:"FILE" ~docs:docs_obsv
+        ~doc:
+          "Write a run-provenance snapshot (kernel/machine hashes, options, \
+           per-variant statistics, quarantined variants) as JSON to \
+           $(docv); two snapshots are compared with mt_report.")
+
+let trace_detail_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("off", Mt_telemetry.Off);
+             ("sampled", Mt_telemetry.Sampled);
+             ("full", Mt_telemetry.Full);
+           ])
+        Mt_telemetry.Off
+    & info [ "trace-detail" ] ~docs:docs_obsv
+        ~doc:
+          "Instruction/cache lane detail in the Chrome trace: off (no lane \
+           bookkeeping on the simulate path), sampled (every 64th dynamic \
+           instruction), or full.  Takes effect when $(b,--trace-out) is \
+           given.")
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let build jobs cache_dir no_cache adaptive rciw_target max_experiments
+    retries backoff_ms resilience_seed timeout sim_budget faults journal
+    resume trace_out metrics_out snapshot_out trace_detail =
+  let cache =
+    if no_cache then None
+    else
+      Some
+        (Mt_parallel.Cache.create
+           ~dir:
+             (Option.value ~default:(Mt_parallel.Cache.default_dir ())
+                cache_dir)
+           ())
+  in
+  let policy =
+    Mt_resilience.Policy.make ~retries
+      ~backoff_base_s:(backoff_ms /. 1000.)
+      ~backoff_seed:resilience_seed ?wall_budget_s:timeout ?sim_budget ()
+  in
+  Microtools.Study.Run_config.make ~domains:jobs ?cache
+    ?adaptive:(if adaptive then Some (rciw_target, max_experiments) else None)
+    ~policy ~faults ?journal_out:journal ?resume_from:resume ?trace_out
+    ?metrics_out ?snapshot_out ~trace_detail ()
+
+let term =
+  Term.(
+    const build $ jobs_arg $ cache_dir_arg $ no_cache_arg $ adaptive_arg
+    $ rciw_target_arg $ max_exps_arg $ retries_arg $ backoff_ms_arg
+    $ resilience_seed_arg $ timeout_arg $ sim_budget_arg $ faults_arg
+    $ journal_arg $ resume_arg $ trace_arg $ metrics_arg $ snapshot_arg
+    $ trace_detail_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Shared runtime plumbing                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Run_config = Microtools.Study.Run_config
+
+let setup (config : t) =
+  Mt_telemetry.set_detail config.Run_config.trace_detail;
+  if
+    config.Run_config.trace_out <> None
+    || config.Run_config.metrics_out <> None
+  then begin
+    let tel = Mt_telemetry.create () in
+    Mt_telemetry.set_global tel;
+    tel
+  end
+  else Mt_telemetry.disabled
+
+let finish tel (config : t) =
+  Option.iter
+    (fun path ->
+      Mt_telemetry.write_chrome_trace tel path;
+      Printf.printf
+        "trace written to %s (open in chrome://tracing or Perfetto)\n" path)
+    config.Run_config.trace_out;
+  Option.iter
+    (fun path ->
+      Mt_telemetry.write_metrics_csv tel path;
+      Printf.printf "metrics written to %s\n" path)
+    config.Run_config.metrics_out
+
+let print_cache_stats (config : t) =
+  match config.Run_config.cache with
+  | Some c ->
+    Printf.printf "cache: %d hits, %d misses, %.1f%% hit rate\n"
+      (Mt_parallel.Cache.hits c) (Mt_parallel.Cache.misses c)
+      (100. *. Mt_parallel.Cache.hit_rate c)
+  | None -> ()
+
+let run_summary (config : t) =
+  let domains = Run_config.effective_domains config in
+  Printf.sprintf "%d domain%s%s" domains
+    (if domains = 1 then "" else "s")
+    (match config.Run_config.cache with
+    | Some c ->
+      ", cache " ^ Option.value ~default:"memory" (Mt_parallel.Cache.dir c)
+    | None -> ", cache off")

@@ -1,0 +1,38 @@
+(** The run-shaping command line shared by mt_study, mt_experiments,
+    microlauncher and the bench harness.
+
+    One Cmdliner {!term} parses every flag that shapes $(i,how) a run
+    executes — [--jobs], [--cache-dir]/[--no-cache], the adaptive
+    measurement knobs, the resilience policy ([--retries],
+    [--retry-backoff-ms], [--timeout], [--sim-budget],
+    [--resilience-seed]), fault injection ([--inject-fault]),
+    checkpoint/resume ([--journal], [--resume]) and the observability
+    outputs ([--trace-out], [--metrics-out], [--snapshot-out],
+    [--trace-detail]) — into one {!Microtools.Study.Run_config.t}.
+    Binaries compose it with their kernel-specific arguments and must
+    not re-declare any of these flags themselves. *)
+
+type t = Microtools.Study.Run_config.t
+
+val term : t Cmdliner.Term.t
+(** The shared flag set as a Cmdliner term.  Builds the cache eagerly
+    (unless [--no-cache]) and folds the resilience flags into
+    [config.policy]. *)
+
+val setup : t -> Mt_telemetry.t
+(** Apply [config.trace_detail] and, when [--trace-out] or
+    [--metrics-out] was given, install and return a fresh global
+    telemetry handle ({!Mt_telemetry.disabled} otherwise).  Call once,
+    before any measurement. *)
+
+val finish : Mt_telemetry.t -> t -> unit
+(** Write the Chrome trace and metrics CSV requested by [config],
+    announcing each path on stdout.  Call once, after the run. *)
+
+val print_cache_stats : t -> unit
+(** The one-line [cache: H hits, M misses, R% hit rate] digest every
+    binary prints (a no-op with [--no-cache]). *)
+
+val run_summary : t -> string
+(** ["N domains, cache DIR"] — the run-shape fragment the binaries
+    embed in their banner lines. *)

@@ -1067,3 +1067,43 @@ let ids = List.map fst registry
 let by_id id = List.assoc_opt id registry
 
 let all ?quick () = List.map (fun (_, f) -> f ?quick ()) registry
+
+(* ------------------------------------------------------------------ *)
+(* Supervised batch execution                                          *)
+(* ------------------------------------------------------------------ *)
+
+let set_run_config (config : Study.Run_config.t) =
+  set_cache config.Study.Run_config.cache;
+  set_adaptive config.Study.Run_config.adaptive
+
+type table_outcome =
+  | Table of Exp_table.t
+  | Quarantined of Mt_resilience.Supervisor.quarantine
+  | Unknown
+
+(* One experiment = one unit of supervised work: a figure whose helper
+   [failwith]s (they all funnel through [ok_or_fail]) quarantines that
+   figure and the rest of the batch still prints.  Experiments are
+   independent simulator batches, so they parallelise like variants. *)
+let run_tables ?(quick = false) ~(config : Study.Run_config.t) ids =
+  let open Study.Run_config in
+  Mt_parallel.Pool.map_list ~domains:(effective_domains config)
+    (fun (index, id) ->
+      match by_id id with
+      | None -> (id, Unknown)
+      | Some f ->
+        let fault =
+          match Mt_resilience.Fault.find config.faults ~index with
+          (* Corrupt-cache faults target variant cache entries, which
+             experiments do not own individually; ignore them here. *)
+          | Some { Mt_resilience.Fault.kind = Corrupt_cache_entry; _ } -> None
+          | fl -> fl
+        in
+        (match
+           Mt_resilience.Supervisor.supervise ?fault ~policy:config.policy
+             ~key:id
+             (fun () -> f ?quick:(Some quick) ())
+         with
+        | Mt_resilience.Supervisor.Done (t, _) -> (id, Table t)
+        | Mt_resilience.Supervisor.Quarantined q -> (id, Quarantined q)))
+    (List.mapi (fun i id -> (i, id)) ids)

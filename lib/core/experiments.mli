@@ -112,3 +112,28 @@ val by_id : string -> (?quick:bool -> unit -> Exp_table.t) option
 (** Look up an experiment by its id ("fig11", "tab02", ...). *)
 
 val ids : string list
+
+val set_run_config : Study.Run_config.t -> unit
+(** {!set_cache} + {!set_adaptive} from one {!Study.Run_config.t} —
+    what the binaries call after parsing the shared [Mt_cli] flags. *)
+
+(** One experiment's fate in a supervised batch. *)
+type table_outcome =
+  | Table of Exp_table.t
+  | Quarantined of Mt_resilience.Supervisor.quarantine
+      (** the experiment kept crashing or hanging and was given up on *)
+  | Unknown  (** no experiment registered under that id *)
+
+val run_tables :
+  ?quick:bool ->
+  config:Study.Run_config.t ->
+  string list ->
+  (string * table_outcome) list
+(** Run the named experiments in request order, spread over
+    [Run_config.effective_domains config] domains, each under
+    {!Mt_resilience.Supervisor.supervise} with [config.policy]: one
+    figure whose helpers raise degrades to [Quarantined] instead of
+    aborting the batch.  [config.faults] injects failures by position
+    in [ids] (corrupt-cache faults are ignored here — they target
+    variant cache entries).  Call {!set_run_config} first so the
+    launches see the batch's cache and adaptive settings. *)

@@ -28,7 +28,130 @@ let variants t =
     t.generated <- Some vs;
     vs
 
-type outcome = { variant : Variant.t; result : (Report.t, string) result }
+(* ------------------------------------------------------------------ *)
+(* Run configuration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Run_config = struct
+  type t = {
+    domains : int;
+    cache : Mt_parallel.Cache.t option;
+    seed : int option;
+    adaptive : (float * int) option;
+    policy : Mt_resilience.Policy.t;
+    faults : Mt_resilience.Fault.t list;
+    journal_out : string option;
+    resume_from : string option;
+    trace_out : string option;
+    metrics_out : string option;
+    snapshot_out : string option;
+    trace_detail : Mt_telemetry.detail;
+  }
+
+  let default =
+    {
+      domains = 1;
+      cache = None;
+      seed = None;
+      adaptive = None;
+      policy = Mt_resilience.Policy.default;
+      faults = [];
+      journal_out = None;
+      resume_from = None;
+      trace_out = None;
+      metrics_out = None;
+      snapshot_out = None;
+      trace_detail = Mt_telemetry.Off;
+    }
+
+  let make ?(domains = default.domains) ?cache ?seed ?adaptive
+      ?(policy = default.policy) ?(faults = []) ?journal_out ?resume_from
+      ?trace_out ?metrics_out ?snapshot_out
+      ?(trace_detail = default.trace_detail) () =
+    {
+      domains;
+      cache;
+      seed;
+      adaptive;
+      policy;
+      faults;
+      journal_out;
+      resume_from;
+      trace_out;
+      metrics_out;
+      snapshot_out;
+      trace_detail;
+    }
+
+  let with_domains domains t = { t with domains }
+
+  let with_cache cache t = { t with cache }
+
+  let with_seed seed t = { t with seed }
+
+  let with_adaptive adaptive t = { t with adaptive }
+
+  let with_policy policy t = { t with policy }
+
+  let with_faults faults t = { t with faults }
+
+  let with_journal journal_out t = { t with journal_out }
+
+  let with_resume resume_from t = { t with resume_from }
+
+  let with_trace_out trace_out t = { t with trace_out }
+
+  let with_metrics_out metrics_out t = { t with metrics_out }
+
+  let with_snapshot_out snapshot_out t = { t with snapshot_out }
+
+  let with_trace_detail trace_detail t = { t with trace_detail }
+
+  let effective_domains t =
+    if t.domains <= 0 then Mt_parallel.Pool.available_domains ()
+    else t.domains
+
+  (* The run-shaping knobs (seed, adaptive budget, sim fuel) are
+     applied to the launcher options at run time, in one place, so the
+     cache keys and the measurements always agree on what ran. *)
+  let apply_options t (opts : Options.t) =
+    let opts =
+      match t.seed with
+      | None -> opts
+      | Some s -> { opts with Options.quality_seed = s }
+    in
+    let opts =
+      match t.adaptive with
+      | None -> opts
+      | Some (rciw_target, max_experiments) ->
+        {
+          opts with
+          Options.adaptive_experiments = true;
+          rciw_target;
+          max_experiments = max max_experiments opts.Options.experiments;
+        }
+    in
+    match t.policy.Mt_resilience.Policy.sim_budget with
+    | None -> opts
+    | Some fuel ->
+      { opts with Options.max_instructions = min fuel opts.Options.max_instructions }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type exec = {
+  attempts : int;
+  quarantined : Mt_resilience.Supervisor.quarantine option;
+  resumed : bool;
+}
+
+type outcome = {
+  variant : Variant.t;
+  result : (Report.t, string) result;
+  exec : exec;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Result caching                                                      *)
@@ -67,23 +190,121 @@ let cached_launch ?cache opts variant =
     ~encode:(fun result -> Marshal.to_string result [])
     ~decode:(fun data : (Report.t, string) result -> Marshal.from_string data 0)
 
-let run ?(domains = 1) ?cache ?seed t =
-  let options =
-    match seed with
-    | None -> t.options
-    | Some s -> { t.options with Options.quality_seed = s }
-  in
+(* ------------------------------------------------------------------ *)
+(* Supervised, journalled execution                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The journal payload: the variant's result plus its quarantine state,
+   so a resumed run replays not just the measurement but the verdict —
+   the final CSV of interrupted-then-resumed equals uninterrupted. *)
+type journal_payload =
+  (Report.t, string) result * Mt_resilience.Supervisor.quarantine option
+
+let encode_payload (p : journal_payload) = Marshal.to_string p []
+
+let decode_payload data : journal_payload option =
+  match Marshal.from_string data 0 with
+  | p -> Some p
+  | exception _ -> None
+
+(* Garbage planted at a variant's cache key by corrupt-cache-entry
+   faults; anything Marshal refuses to read back works. *)
+let corrupt_bytes = "!! corrupt cache entry (injected fault) !!"
+
+let run_variant ~(config : Run_config.t) ~options ~journal ~resumed ~index
+    variant =
+  let tel = Mt_telemetry.global () in
+  let key = cache_key options variant in
+  match Mt_resilience.Journal.find resumed ~key with
+  | Some entry when decode_payload entry.Mt_resilience.Journal.data <> None ->
+    let result, quarantined =
+      Option.get (decode_payload entry.Mt_resilience.Journal.data)
+    in
+    Mt_telemetry.incr tel "resilience.resume.skipped";
+    { variant; result; exec = { attempts = 0; quarantined; resumed = true } }
+  | _ ->
+    Mt_telemetry.span tel "study.variant"
+      ~args:[ ("variant", Variant.id variant) ]
+      (fun () ->
+        Mt_telemetry.incr tel "sim.variants";
+        let fault = Mt_resilience.Fault.find config.Run_config.faults ~index in
+        (* Corrupt-cache faults are planted here (the supervisor has no
+           cache handle): garbage at the variant's key before the first
+           lookup, exercising the cache's decode recovery. *)
+        let fault =
+          match fault with
+          | Some { Mt_resilience.Fault.kind = Corrupt_cache_entry; _ } ->
+            (match config.Run_config.cache with
+            | Some cache ->
+              Mt_telemetry.incr tel "resilience.fault.injected";
+              Mt_parallel.Cache.store cache key corrupt_bytes
+            | None -> ());
+            None (* nothing left to inject at the supervision layer *)
+          | f -> f
+        in
+        let result, exec =
+          match
+            Mt_resilience.Supervisor.supervise ?fault
+              ~policy:config.Run_config.policy ~key:(Variant.id variant)
+              (fun () -> cached_launch ?cache:config.Run_config.cache options variant)
+          with
+          | Mt_resilience.Supervisor.Done (result, attempts) ->
+            (result, { attempts; quarantined = None; resumed = false })
+          | Mt_resilience.Supervisor.Quarantined q ->
+            ( Error (Mt_resilience.Supervisor.quarantine_to_string q),
+              { attempts = q.Mt_resilience.Supervisor.attempts;
+                quarantined = Some q;
+                resumed = false } )
+        in
+        Option.iter
+          (fun w ->
+            Mt_resilience.Journal.record w ~key ~id:(Variant.id variant)
+              ~data:(encode_payload (result, exec.quarantined)))
+          journal;
+        { variant; result; exec })
+
+let run ?(config = Run_config.default) t =
+  let options = Run_config.apply_options config t.options in
   let tel = Mt_telemetry.global () in
   let vs = variants t in
-  Mt_telemetry.span tel "study.run" (fun () ->
-      Mt_parallel.Pool.map_list ~domains
-        (fun variant ->
-          Mt_telemetry.span tel "study.variant"
-            ~args:[ ("variant", Variant.id variant) ]
-            (fun () ->
-              Mt_telemetry.incr tel "sim.variants";
-              { variant; result = cached_launch ?cache options variant }))
-        vs)
+  let resumed =
+    match config.Run_config.resume_from with
+    | None -> []
+    | Some path -> (
+      match Mt_resilience.Journal.load path with
+      | Ok entries -> entries
+      | Error msg -> failwith (Printf.sprintf "Study.run: resume %s: %s" path msg))
+  in
+  let journal =
+    match config.Run_config.journal_out with
+    | None -> None
+    | Some path ->
+      (* Resuming into the same file appends, so the journal ends up
+         covering the whole study; otherwise start fresh. *)
+      let append = config.Run_config.resume_from = Some path in
+      Some (Mt_resilience.Journal.create ~append path)
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Mt_resilience.Journal.close journal)
+    (fun () ->
+      Mt_telemetry.span tel "study.run" (fun () ->
+          Mt_parallel.Pool.map_list
+            ~domains:(Run_config.effective_domains config)
+            (fun (index, variant) ->
+              run_variant ~config ~options ~journal ~resumed ~index variant)
+            (List.mapi (fun i v -> (i, v)) vs)))
+
+let run_legacy ?(domains = 1) ?cache ?seed t =
+  run ~config:{ Run_config.default with Run_config.domains; cache; seed } t
+
+let resumed_count outcomes =
+  List.length (List.filter (fun o -> o.exec.resumed) outcomes)
+
+let quarantined outcomes =
+  List.filter_map
+    (fun o ->
+      Option.map (fun q -> (o.variant, q)) o.exec.quarantined)
+    outcomes
 
 let successes outcomes =
   List.filter_map
@@ -155,6 +376,7 @@ let snapshot ?(tool = "mt_study") t outcomes =
         machine_hash t )
     ~options:(Options.summary opts) ~seed:opts.Options.noise_seed
     ~variant_count:(List.length outcomes)
+    ~quarantined:(List.map (fun (v, _) -> Variant.id v) (quarantined outcomes))
     ~counters:(Mt_telemetry.counters (Mt_telemetry.global ()))
     variants
 
@@ -173,12 +395,23 @@ let quality_summary outcomes =
 let csv outcomes =
   let doc =
     Mt_stats.Csv.create
-      ~header:[ "variant"; "unroll"; "status"; "value"; "min"; "max"; "verdict" ]
+      ~header:
+        [ "variant"; "unroll"; "status"; "value"; "min"; "max"; "verdict"; "flags" ]
   in
   List.iter
     (fun o ->
       let id = Variant.id o.variant in
       let unroll = string_of_int o.variant.Variant.unroll in
+      (* Only quarantine makes the flags cell: attempts and resume are
+         execution history, and keeping them out is what makes an
+         interrupted-then-resumed run's CSV byte-identical to an
+         uninterrupted one. *)
+      let flags =
+        match o.exec.quarantined with
+        | Some q ->
+          Report.quarantine_flag ~kind:q.Mt_resilience.Supervisor.kind
+        | None -> ""
+      in
       match o.result with
       | Ok r ->
         Mt_stats.Csv.add_row doc
@@ -188,8 +421,10 @@ let csv outcomes =
             Printf.sprintf "%.6g" r.Report.summary.Mt_stats.minimum;
             Printf.sprintf "%.6g" r.Report.summary.Mt_stats.maximum;
             Mt_quality.verdict_to_string r.Report.quality.Mt_quality.verdict;
+            flags;
           ]
       | Error msg ->
-        Mt_stats.Csv.add_row doc [ id; unroll; "error: " ^ msg; ""; ""; ""; "" ])
+        Mt_stats.Csv.add_row doc
+          [ id; unroll; "error: " ^ msg; ""; ""; ""; ""; flags ])
     outcomes;
   doc

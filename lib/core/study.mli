@@ -19,37 +19,150 @@ val of_description :
 val variants : t -> Variant.t list
 (** The generated variation space (computed once, cached). *)
 
+(** How a run executes, gathered into one value instead of a growing
+    pile of optional arguments: parallelism, caching, seeding, the
+    adaptive-measurement budget, the resilience policy (retries /
+    backoff / budgets), injected faults, the checkpoint journal, and
+    the observability outputs.  {!Mt_cli} builds one of these from the
+    shared command-line flags; library callers use {!Run_config.make}
+    or pipe {!Run_config.default} through the [with_*] setters. *)
+module Run_config : sig
+  type t = {
+    domains : int;
+        (** worker domains; [<= 0] means one per available core *)
+    cache : Mt_parallel.Cache.t option;  (** result cache, if any *)
+    seed : int option;  (** overrides [Options.quality_seed] *)
+    adaptive : (float * int) option;
+        (** [(rciw_target, max_experiments)]: turn on adaptive
+            measurement with this stop rule and budget *)
+    policy : Mt_resilience.Policy.t;  (** supervision policy *)
+    faults : Mt_resilience.Fault.t list;  (** injected faults *)
+    journal_out : string option;  (** write a checkpoint journal here *)
+    resume_from : string option;  (** skip work recorded in this journal *)
+    trace_out : string option;  (** Chrome trace output (binaries) *)
+    metrics_out : string option;  (** metrics CSV output (binaries) *)
+    snapshot_out : string option;  (** run snapshot output (binaries) *)
+    trace_detail : Mt_telemetry.detail;
+  }
+
+  val default : t
+  (** 1 domain, no cache, no seed override, no adaptive override,
+      {!Mt_resilience.Policy.default}, no faults, no journal, no
+      outputs. *)
+
+  val make :
+    ?domains:int ->
+    ?cache:Mt_parallel.Cache.t ->
+    ?seed:int ->
+    ?adaptive:float * int ->
+    ?policy:Mt_resilience.Policy.t ->
+    ?faults:Mt_resilience.Fault.t list ->
+    ?journal_out:string ->
+    ?resume_from:string ->
+    ?trace_out:string ->
+    ?metrics_out:string ->
+    ?snapshot_out:string ->
+    ?trace_detail:Mt_telemetry.detail ->
+    unit ->
+    t
+
+  val with_domains : int -> t -> t
+
+  val with_cache : Mt_parallel.Cache.t option -> t -> t
+
+  val with_seed : int option -> t -> t
+
+  val with_adaptive : (float * int) option -> t -> t
+
+  val with_policy : Mt_resilience.Policy.t -> t -> t
+
+  val with_faults : Mt_resilience.Fault.t list -> t -> t
+
+  val with_journal : string option -> t -> t
+
+  val with_resume : string option -> t -> t
+
+  val with_trace_out : string option -> t -> t
+
+  val with_metrics_out : string option -> t -> t
+
+  val with_snapshot_out : string option -> t -> t
+
+  val with_trace_detail : Mt_telemetry.detail -> t -> t
+
+  val effective_domains : t -> int
+  (** [domains], resolving [<= 0] to
+      {!Mt_parallel.Pool.available_domains}. *)
+
+  val apply_options : t -> Options.t -> Options.t
+  (** The launcher options as the run will actually use them: [seed]
+      into [quality_seed], [adaptive] into the adaptive knobs, the
+      policy's [sim_budget] clamped onto [max_instructions].  {!run}
+      applies this itself; exposed for callers that build options
+      elsewhere (e.g. [microlauncher]). *)
+end
+
+(** Execution history the supervisor attaches to each variant. *)
+type exec = {
+  attempts : int;  (** attempts spent ([0] for a journal replay) *)
+  quarantined : Mt_resilience.Supervisor.quarantine option;
+      (** [Some _] when the supervisor gave up on the variant *)
+  resumed : bool;  (** replayed from a [--resume] journal *)
+}
+
 (** One variant's fate in the study. *)
-type outcome = { variant : Variant.t; result : (Report.t, string) result }
+type outcome = {
+  variant : Variant.t;
+  result : (Report.t, string) result;
+  exec : exec;
+}
 
-val run :
-  ?domains:int -> ?cache:Mt_parallel.Cache.t -> ?seed:int -> t -> outcome list
-(** Measure every variant under the study's launcher options.
+val run : ?config:Run_config.t -> t -> outcome list
+(** Measure every variant under the study's launcher options, shaped
+    and supervised by [config] (default {!Run_config.default}).
 
-    [seed] overrides [options.quality_seed] for this run — the explicit
-    seed behind every quality bootstrap (never the global [Random]
-    state), so verdicts reproduce bit-for-bit.
+    Execution: variants are spread over
+    [Run_config.effective_domains config] domains via
+    {!Mt_parallel.Pool}; the simulator is pure per variant and results
+    merge back in generation order, so a parallel run's outcome list —
+    and therefore its {!csv} — is byte-identical to a sequential one.
+    [config.cache] short-circuits variants whose (program text,
+    options, machine) triple was measured before.
 
-    [domains] (default 1) spreads the variant list over that many
-    domains via {!Mt_parallel.Pool}; the simulator is pure per variant,
-    and results are merged back in generation order, so a parallel
-    run's outcome list — and therefore its {!csv} — is byte-identical
-    to a sequential run's.
+    Supervision: each variant launch runs under
+    {!Mt_resilience.Supervisor.supervise} with [config.policy] — a
+    crashing or over-budget variant is retried with deterministic
+    backoff and, when retries are exhausted, degrades to an [Error]
+    outcome flagged in [exec.quarantined] instead of killing the study.
+    [config.faults] injects deterministic failures by variant index
+    (corrupt-cache faults plant garbage at the variant's cache key
+    before launching it).
 
-    [cache] short-circuits variants whose (program text, options,
-    machine) triple was measured before: their stored report is
-    replayed without touching the simulator.  A repeated run with the
-    same cache re-simulates nothing.
+    Checkpointing: with [config.journal_out], every completed variant
+    (including quarantined ones) is appended to a crash-safe journal
+    keyed by {!cache_key}; with [config.resume_from], variants found in
+    that journal are replayed from it ([exec.resumed]) and only the
+    rest are measured.  Resumed and fresh runs produce byte-identical
+    {!csv} output.
+    @raise Failure when [config.resume_from] cannot be read.
 
     When the global {!Mt_telemetry} handle is enabled, the run is a
-    [study.run] span containing one [study.variant] span per variant
-    (tagged with the variant id) and a [sim.variants] counter. *)
+    [study.run] span containing [study.variant] and
+    [resilience.attempt] spans, [sim.variants] plus the
+    [resilience.retry/timeout/quarantine/fault.injected/resume.*]
+    counters. *)
+
+val run_legacy :
+  ?domains:int -> ?cache:Mt_parallel.Cache.t -> ?seed:int -> t -> outcome list
+  [@@ocaml.deprecated "use Study.run ?config with Study.Run_config"]
+(** The pre-[Run_config] signature, kept for one release as a thin shim
+    over {!run}. *)
 
 val cache_key : Options.t -> Variant.t -> string
 (** The content address {!run} uses: a digest of the variant's
     fingerprint (id, unroll, lowered program text, ABI), the launcher
     options (minus output-routing fields) and the effective machine
-    config. *)
+    config.  Also the journal key for checkpoint/resume. *)
 
 val cached_launch :
   ?cache:Mt_parallel.Cache.t ->
@@ -58,6 +171,12 @@ val cached_launch :
     the primitive {!run} and {!Experiments} share. *)
 
 val successes : outcome list -> (Variant.t * Report.t) list
+
+val quarantined : outcome list -> (Variant.t * Mt_resilience.Supervisor.quarantine) list
+(** The variants the supervisor gave up on, with their verdicts. *)
+
+val resumed_count : outcome list -> int
+(** How many outcomes were replayed from the resume journal. *)
 
 val best : outcome list -> (Variant.t * Report.t) option
 (** The variant with the lowest measured value. *)
@@ -71,8 +190,11 @@ val min_per_unroll : outcome list -> (int * float) list
     minimum value was taken"). *)
 
 val csv : outcome list -> Mt_stats.Csv.t
-(** Variant id, unroll, decisions, measured value (or error), and the
-    series' quality verdict. *)
+(** Variant id, unroll, decisions, measured value (or error), the
+    series' quality verdict, and a flags column carrying
+    {!Report.quarantine_flag} for quarantined variants.  Attempt counts
+    and resume provenance are deliberately excluded so resumed and
+    uninterrupted runs emit byte-identical CSVs. *)
 
 val quality_summary : outcome list -> int * int * int
 (** [(stable, noisy, unstable)] verdict counts over the successful
@@ -86,5 +208,6 @@ val snapshot : ?tool:string -> t -> outcome list -> Mt_obsv.Snapshot.t
 (** A run manifest for these outcomes: kernel/machine content hashes,
     the full option summary, the noise seed, a per-variant statistical
     summary (keyed by variant id, for {!Mt_obsv.Diff} matching; failed
-    variants are counted in [variant_count] but carry no stats), and
-    the current global telemetry counters. *)
+    variants are counted in [variant_count] but carry no stats), the
+    quarantined variant ids (schema 3), and the current global
+    telemetry counters. *)

@@ -53,6 +53,11 @@ let flags_cell r =
   in
   String.concat ";" flags
 
+(* Quarantine is a launch-level fate, not a measurement signal: a
+   quarantined variant never produced a [t], so the study CSV formats
+   its flag here, beside the rest of the flag vocabulary. *)
+let quarantine_flag ~kind = "quarantined:" ^ kind
+
 let csv ?(full = false) reports =
   let max_experiments =
     List.fold_left (fun acc r -> max acc (Array.length r.experiments)) 0 reports

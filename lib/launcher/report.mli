@@ -49,6 +49,13 @@ val flags_cell : t -> string
     or [""] when there is nothing to act on.  A merely noisy verdict is
     not a flag; it lives in the "verdict" column. *)
 
+val quarantine_flag : kind:string -> string
+(** The flag ["quarantined:<kind>"] (kind: ["raise"] or ["timeout"])
+    that a study CSV row carries when the resilience supervisor gave up
+    on the variant — part of the same flags vocabulary as
+    {!flags_cell}, kept here because a quarantined variant has no [t]
+    of its own. *)
+
 val csv : ?full:bool -> t list -> Mt_stats.Csv.t
 (** The launcher's CSV: one row per measurement with id, mode, value,
     min/median/max/stddev plus quality columns (cov, rciw, verdict).

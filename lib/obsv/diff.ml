@@ -75,6 +75,24 @@ let compare ?(threshold = default_threshold) ?(min_band = default_min_band)
   note "machine hash" baseline.machine_hash current.machine_hash;
   note "kernel" baseline.kernel_name current.kernel_name;
   note "machine" baseline.machine_name current.machine_name;
+  (* Quarantined variants carry no stats, so they surface as
+     added/removed in the table; the note keeps the reader from
+     mistaking a supervision casualty for a genuinely deleted variant. *)
+  List.iter
+    (fun k ->
+      notes :=
+        Printf.sprintf
+          "variant %s was quarantined in the current run (its \"removed\" \
+           verdict reflects the quarantine, not a deleted variant)"
+          k
+        :: !notes)
+    current.quarantined;
+  List.iter
+    (fun k ->
+      notes :=
+        Printf.sprintf "variant %s was quarantined in the baseline run" k
+        :: !notes)
+    baseline.quarantined;
   let matched =
     List.map
       (fun (b : variant_stat) ->

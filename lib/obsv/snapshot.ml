@@ -1,7 +1,10 @@
 (* 2: per-variant measurement-quality block (rciw, outliers,
    warmup_trend, verdict).  Schema-1 documents load with quality
-   defaults (no signal: Stable, all metrics 0). *)
-let schema_version = 2
+   defaults (no signal: Stable, all metrics 0).
+   3: top-level "quarantined" key list — variants the resilience
+   supervisor gave up on (they carry no stats).  Older documents load
+   with an empty list. *)
+let schema_version = 3
 
 type variant_stat = {
   key : string;
@@ -33,6 +36,7 @@ type t = {
   seed : int;
   variant_count : int;
   variants : variant_stat list;
+  quarantined : string list;
   counters : (string * int) list;
 }
 
@@ -62,7 +66,7 @@ let point_stat ~key value = of_values ~key [| value |]
 
 let make ?(tool = "microtools") ?created_at ~kernel:(kernel_name, kernel_hash)
     ~machine:(machine_name, machine_hash) ?(options = []) ?(seed = 0)
-    ?variant_count ?(counters = []) variants =
+    ?variant_count ?(quarantined = []) ?(counters = []) variants =
   {
     schema = schema_version;
     tool;
@@ -77,6 +81,7 @@ let make ?(tool = "microtools") ?created_at ~kernel:(kernel_name, kernel_hash)
     variant_count =
       (match variant_count with Some n -> n | None -> List.length variants);
     variants;
+    quarantined;
     counters;
   }
 
@@ -120,6 +125,7 @@ let to_json t =
       ("seed", Json.Num (float_of_int t.seed));
       ("variant_count", Json.Num (float_of_int t.variant_count));
       ("variants", Json.List (List.map variant_to_json t.variants));
+      ("quarantined", Json.List (List.map (fun k -> Json.Str k) t.quarantined));
       ( "counters",
         Json.Obj
           (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) t.counters) );
@@ -229,6 +235,11 @@ let of_json json =
     let* variant_count =
       opt_field "variant_count" Json.to_int ~default:(List.length variants) json
     in
+    let* quarantined =
+      opt_field "quarantined"
+        (fun v -> Option.map (List.filter_map Json.to_str) (Json.to_list v))
+        ~default:[] json
+    in
     let* counters =
       opt_field "counters"
         (fun v ->
@@ -251,6 +262,7 @@ let of_json json =
         seed;
         variant_count;
         variants;
+        quarantined;
         counters;
       }
   end

@@ -6,11 +6,12 @@
     be committed as CI baselines and diffed by {!Diff}. *)
 
 val schema_version : int
-(** Current on-disk schema (2: adds the per-variant quality block).
-    {!of_json} refuses documents written by a newer schema; older
-    documents load with defaults for new fields — in particular a
-    schema-1 snapshot loads with a [Stable] verdict and zeroed quality
-    metrics. *)
+(** Current on-disk schema (3: adds the top-level [quarantined] key
+    list; 2 added the per-variant quality block).  {!of_json} refuses
+    documents written by a newer schema; older documents load with
+    defaults for new fields — a schema-1 snapshot loads with a [Stable]
+    verdict and zeroed quality metrics, a schema-2 one with no
+    quarantined variants. *)
 
 type variant_stat = {
   key : string;  (** stable identity for cross-run matching *)
@@ -42,6 +43,9 @@ type t = {
   seed : int;
   variant_count : int;
   variants : variant_stat list;
+  quarantined : string list;
+      (** keys of variants the resilience supervisor quarantined —
+          counted in [variant_count] but absent from [variants] *)
   counters : (string * int) list;  (** telemetry counters at save time *)
 }
 
@@ -70,6 +74,7 @@ val make :
   ?options:(string * string) list ->
   ?seed:int ->
   ?variant_count:int ->
+  ?quarantined:string list ->
   ?counters:(string * int) list ->
   variant_stat list ->
   t

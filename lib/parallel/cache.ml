@@ -9,6 +9,7 @@ type t = {
   dir : string option;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  decode_failures : int Atomic.t;
 }
 
 let default_dir () =
@@ -34,6 +35,7 @@ let create ?dir () =
     dir;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    decode_failures = Atomic.make 0;
   }
 
 let dir t = t.dir
@@ -113,7 +115,19 @@ let with_cache c ~key compute ~encode ~decode =
   | Some t -> (
     let k = key () in
     match find t k with
-    | Some data -> decode data
+    | Some data -> (
+      match decode data with
+      | v -> v
+      | exception _ ->
+        (* A corrupt or stale entry (truncated write, foreign bytes at
+           our key) must degrade to a recompute, never to a crash: the
+           cache is an accelerator, not a source of truth.  The fresh
+           value overwrites the bad entry. *)
+        Atomic.incr t.decode_failures;
+        Mt_telemetry.incr (Mt_telemetry.global ()) "cache.decode_failures";
+        let v = compute () in
+        store t k (encode v);
+        v)
     | None ->
       let v = compute () in
       store t k (encode v);
@@ -122,6 +136,8 @@ let with_cache c ~key compute ~encode ~decode =
 let hits t = Atomic.get t.hits
 
 let misses t = Atomic.get t.misses
+
+let decode_failures t = Atomic.get t.decode_failures
 
 let hit_rate t =
   let h = hits t and m = misses t in

@@ -55,7 +55,12 @@ val with_cache :
 (** [with_cache c ~key compute ~encode ~decode] is [compute ()] routed
     through the cache when [c] is [Some _]: replay the stored value on
     a hit, otherwise compute, store and return.  With [None], just
-    [compute ()] (and no counter moves). *)
+    [compute ()] (and no counter moves).
+
+    A hit whose [decode] raises (a corrupt or truncated entry) degrades
+    to the compute path: the failure is counted
+    ({!decode_failures}, telemetry [cache.decode_failures]), the value
+    is recomputed, and the bad entry is overwritten. *)
 
 (** {1 Counters}
 
@@ -71,3 +76,6 @@ val misses : t -> int
 
 val hit_rate : t -> float
 (** [hits / (hits + misses)], 0 when no lookup happened yet. *)
+
+val decode_failures : t -> int
+(** Hits whose stored bytes failed to decode and were recomputed. *)

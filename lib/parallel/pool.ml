@@ -4,8 +4,18 @@ let available_domains () = max 1 (Domain.recommended_domain_count ())
    — its shard of the queue.  Writing results.(i) from exactly one
    domain per index keeps the array race-free under the OCaml 5 memory
    model without any locking. *)
-let map ~domains f items =
+
+(* The failure-tolerant primitive: every item's fate is materialised,
+   so one raising item no longer takes its shard's siblings down — the
+   shard records the failure and keeps draining.  [map] and the
+   resilience supervisor are both built on this. *)
+let try_map ~domains f items =
   let tel = Mt_telemetry.global () in
+  let wrap x =
+    match f x with
+    | v -> Ok v
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
   let n = Array.length items in
   let domains = max 1 (min domains n) in
   if domains <= 1 then begin
@@ -13,22 +23,19 @@ let map ~domains f items =
       Mt_telemetry.add tel "pool.items" n;
       Mt_telemetry.incr tel "pool.shards"
     end;
-    Array.map f items
+    Array.map wrap items
   end
   else begin
     let results = Array.make n None in
-    let failures = Array.make domains None in
     let worker d () =
       Mt_telemetry.span tel (Printf.sprintf "pool.shard.%d" d) (fun () ->
           let i = ref d in
           let processed = ref 0 in
-          (try
-             while !i < n do
-               results.(!i) <- Some (f items.(!i));
-               incr processed;
-               i := !i + domains
-             done
-           with e -> failures.(d) <- Some (e, Printexc.get_raw_backtrace ()));
+          while !i < n do
+            results.(!i) <- Some (wrap items.(!i));
+            incr processed;
+            i := !i + domains
+          done;
           if Mt_telemetry.enabled tel then begin
             Mt_telemetry.add tel "pool.items" !processed;
             Mt_telemetry.add tel (Printf.sprintf "pool.shard.%d.items" d) !processed;
@@ -38,24 +45,50 @@ let map ~domains f items =
     let spawned = List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
     worker 0 ();
     List.iter Domain.join spawned;
-    (match List.filter_map Fun.id (Array.to_list failures) with
-    | [] -> ()
-    | [ (e, bt) ] ->
-      (* A single failing shard re-raises its exception as-is, carrying
-         the worker's backtrace to the caller's domain. *)
-      Printexc.raise_with_backtrace e bt
-    | (e, bt) :: _ as failed ->
-      Printexc.raise_with_backtrace
-        (Failure
-           (Printf.sprintf "Mt_parallel.Pool.map: %d of %d shards failed; first: %s"
-              (List.length failed) domains (Printexc.to_string e)))
-        bt);
     Array.map
       (function
         | Some r -> r
-        | None -> invalid_arg "Mt_parallel.Pool.map: missing result")
+        | None -> invalid_arg "Mt_parallel.Pool.try_map: missing result")
       results
   end
+
+let try_map_list ~domains f items =
+  Array.to_list (try_map ~domains f (Array.of_list items))
+
+let map ~domains f items =
+  let n = Array.length items in
+  let clamped = max 1 (min domains n) in
+  let results = try_map ~domains f items in
+  let failures = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Error (e, bt) -> failures := (i, e, bt) :: !failures
+      | Ok _ -> ())
+    results;
+  (match List.rev !failures with
+  | [] -> ()
+  | [ (_, e, bt) ] ->
+    (* A single failing item re-raises its exception as-is, carrying
+       the worker's backtrace to the caller's domain. *)
+    Printexc.raise_with_backtrace e bt
+  | ((_, e, bt) :: _) as failed ->
+    let shards =
+      List.sort_uniq Int.compare (List.map (fun (i, _, _) -> i mod clamped) failed)
+    in
+    (match shards with
+    | [ _ ] -> Printexc.raise_with_backtrace e bt
+    | _ ->
+      Printexc.raise_with_backtrace
+        (Failure
+           (Printf.sprintf "Mt_parallel.Pool.map: %d of %d shards failed; first: %s"
+              (List.length shards) clamped (Printexc.to_string e)))
+        bt));
+  Array.map
+    (function
+      | Ok v -> v
+      | Error _ -> invalid_arg "Mt_parallel.Pool.map: missing result")
+    results
 
 let map_list ~domains f items =
   Array.to_list (map ~domains f (Array.of_list items))

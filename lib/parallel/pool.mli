@@ -18,26 +18,46 @@ val available_domains : unit -> int
 (** The runtime's recommended domain count for this machine (at least
     1).  Binaries use it for [--jobs 0] ("auto"). *)
 
-val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map ~domains f items] applies [f] to every item, spreading the
+val try_map :
+  domains:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn * Printexc.raw_backtrace) result array
+(** [try_map ~domains f items] applies [f] to every item, spreading the
     work over [min domains (Array.length items)] domains (clamped to at
-    least 1), and returns the results in input order.
+    least 1), and returns every item's fate in input order: [Ok] with
+    the result, or [Error] with the exception and the worker's
+    backtrace.  A raising item never takes its shard's siblings down —
+    the shard records the failure and keeps draining, so a study with
+    one crashing variant still measures the other N-1.  This is the
+    primitive the resilience supervisor routes shard failures through.
 
     With [domains <= 1] no domain is spawned and the items are mapped
     in place — the degenerate case costs nothing over [Array.map].
 
     [f] must be safe to run from multiple domains at once (the
-    simulator is: every launch builds its own state).  If any
-    application of [f] raises, the remaining shards still complete and
-    the exception of the lowest-numbered failing shard is re-raised in
-    the caller's domain with the worker's backtrace preserved
-    ({!Printexc.raise_with_backtrace}).  When several shards fail, a
-    [Failure] naming the failed-shard count (and the first exception)
-    is raised instead, again with the first worker's backtrace.
+    simulator is: every launch builds its own state).
 
     When the global {!Mt_telemetry} handle is enabled, each shard is a
     timed span ([pool.shard.<d>]) and per-shard item counts are
     recorded ([pool.items], [pool.shard.<d>.items], [pool.shards]). *)
+
+val try_map_list :
+  domains:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn * Printexc.raw_backtrace) result list
+(** {!try_map} over lists, preserving order. *)
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** {!try_map} for callers that want failures to propagate: returns the
+    unwrapped results in input order, and if any application of [f]
+    raised, re-raises after all shards have completed.  A single
+    failing shard re-raises its first exception as-is in the caller's
+    domain with the worker's backtrace preserved
+    ({!Printexc.raise_with_backtrace}); when several shards fail, a
+    [Failure] naming the failed-shard count (and the first exception)
+    is raised instead, again with the first worker's backtrace. *)
 
 val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists, preserving order. *)

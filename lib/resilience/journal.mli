@@ -1,0 +1,39 @@
+(** The crash-safe checkpoint journal: an append-only JSON-lines file
+    recording each completed unit of work as
+    [{"key": <digest>, "id": <name>, "data": <hex payload>}].
+
+    Every record is written under a mutex and flushed before {!record}
+    returns, so a run killed at any point leaves a journal that is
+    valid up to at most one torn final line — which {!load} silently
+    drops.  [key] is the unit's content digest (studies reuse
+    {!Mt_parallel.Cache.digest_key}), [data] an opaque payload
+    (hex-encoded so Marshal bytes survive JSON).
+
+    A resumed run loads the journal, skips every unit whose key is
+    present, and appends the units it completes to the same file. *)
+
+type entry = { key : string; id : string; data : string }
+
+type writer
+
+val create : ?append:bool -> string -> writer
+(** Open a journal for writing.  [append] (default false: truncate)
+    continues an existing journal — what [--resume] does so the file
+    ends up covering the whole study. *)
+
+val path : writer -> string
+
+val record : writer -> key:string -> id:string -> data:string -> unit
+(** Append one completed unit and flush.  Thread-safe.  Bumps the
+    [resilience.resume.recorded] telemetry counter. *)
+
+val close : writer -> unit
+
+val load : string -> (entry list, string) result
+(** All well-formed entries, in file order; torn or foreign lines are
+    skipped rather than failing the load.  [Error] only for I/O
+    failures (e.g. the file does not exist). *)
+
+val find : entry list -> key:string -> entry option
+(** The entry for [key]; when a key was recorded twice the later record
+    wins. *)

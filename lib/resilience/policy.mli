@@ -1,0 +1,50 @@
+(** The supervision policy: how many times a failing unit of work is
+    retried, how long to back off between attempts, and the budgets
+    past which an attempt counts as hung.
+
+    Everything here is deterministic.  Backoff delays are a pure
+    function of [(backoff_seed, key, attempt)] — no global [Random],
+    no wall clock — so two runs of the same study back off identically
+    and a test can predict every delay. *)
+
+type t = {
+  retries : int;  (** retry attempts after the first failure (>= 0) *)
+  backoff_base_s : float;  (** delay before retry 1; doubles per retry *)
+  backoff_max_s : float;  (** hard cap on any single delay *)
+  backoff_jitter : float;
+      (** jitter fraction: the delay is scaled by a deterministic
+          uniform draw in [1, 1 + jitter] *)
+  backoff_seed : int;  (** seed of the jitter stream *)
+  wall_budget_s : float option;
+      (** wall-clock budget per attempt; an attempt that finishes
+          later is treated as hung and quarantined/retried *)
+  sim_budget : int option;
+      (** simulated-instruction budget per attempt (mapped onto
+          [Options.max_instructions] by the caller) *)
+}
+
+val default : t
+(** 1 retry, 2 ms base, 250 ms cap, 0.5 jitter, seed 42, no budgets. *)
+
+val make :
+  ?retries:int ->
+  ?backoff_base_s:float ->
+  ?backoff_max_s:float ->
+  ?backoff_jitter:float ->
+  ?backoff_seed:int ->
+  ?wall_budget_s:float ->
+  ?sim_budget:int ->
+  unit ->
+  t
+(** {!default} with overrides; negative numeric fields are clamped
+    to 0. *)
+
+val delay : t -> key:string -> attempt:int -> float
+(** The backoff delay in seconds slept after failing [attempt]
+    (1-based): [backoff_base_s * 2^(attempt-1)] scaled by the
+    deterministic jitter draw for [(backoff_seed, key, attempt)],
+    capped at [backoff_max_s].  Deterministic: same policy, key and
+    attempt always yield the same delay. *)
+
+val summary : t -> string
+(** One-line human-readable rendering. *)

@@ -70,6 +70,33 @@ let test_pool_multi_failure_reports_count () =
     check_bool "counts the failed shards" true (contains msg "2 of 4 shards failed");
     check_bool "carries the first exception" true (contains msg "boom-0")
 
+let test_try_map_siblings_survive () =
+  (* One exploding item must not take down the results of the other
+     items on its shard, nor any other shard. *)
+  let results =
+    Mt_parallel.Pool.try_map ~domains:4
+      (fun i -> if i = 5 then failwith "boom" else 2 * i)
+      (Array.init 16 (fun i -> i))
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> check_int "sibling result" (2 * i) v
+      | Error (e, _) ->
+        check_int "only item 5 fails" 5 i;
+        check_bool "original exception" true (e = Failure "boom"))
+    results
+
+let test_try_map_all_fail () =
+  let results =
+    Mt_parallel.Pool.try_map_list ~domains:2
+      (fun _ -> failwith "everything is on fire")
+      [ 1; 2; 3 ]
+  in
+  check_int "every item reports" 3 (List.length results);
+  check_bool "all errors" true
+    (List.for_all (function Error _ -> true | Ok _ -> false) results)
+
 (* ------------------------------------------------------------------ *)
 (* Cache primitive                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -129,12 +156,15 @@ let big_spec =
   Mt_kernels.Streams.loadstore_spec ~opcode:Mt_isa.Insn.MOVSS ~stride:4
     ~unroll:(1, 6) ()
 
+let run_config ?cache domains =
+  Microtools.Study.Run_config.(default |> with_domains domains |> with_cache cache)
+
 let test_parallel_matches_sequential () =
   let study = Microtools.Study.create big_spec quick_opts in
   check_bool "enough variants" true
     (List.length (Microtools.Study.variants study) >= 64);
-  let seq = Microtools.Study.run ~domains:1 study in
-  let par = Microtools.Study.run ~domains:4 study in
+  let seq = Microtools.Study.run ~config:(run_config 1) study in
+  let par = Microtools.Study.run ~config:(run_config 4) study in
   check_string "byte-identical CSV"
     (Mt_stats.Csv.to_string (Microtools.Study.csv seq))
     (Mt_stats.Csv.to_string (Microtools.Study.csv par))
@@ -143,10 +173,11 @@ let test_second_run_fully_cached () =
   let cache = Mt_parallel.Cache.create () in
   let study = Microtools.Study.create big_spec quick_opts in
   let n = List.length (Microtools.Study.variants study) in
-  let first = Microtools.Study.run ~domains:2 ~cache study in
+  let config = run_config ~cache 2 in
+  let first = Microtools.Study.run ~config study in
   check_int "cold run misses everything" n (Mt_parallel.Cache.misses cache);
   check_int "cold run hits nothing" 0 (Mt_parallel.Cache.hits cache);
-  let second = Microtools.Study.run ~domains:2 ~cache study in
+  let second = Microtools.Study.run ~config study in
   (* Zero simulator invocations the second time: every lookup hits and
      the miss counter does not move. *)
   check_int "warm run all hits" n (Mt_parallel.Cache.hits cache);
@@ -181,6 +212,10 @@ let tests =
       test_pool_single_failure_preserves_exception;
     Alcotest.test_case "pool multi failure reports shard count" `Quick
       test_pool_multi_failure_reports_count;
+    Alcotest.test_case "try_map keeps sibling results" `Quick
+      test_try_map_siblings_survive;
+    Alcotest.test_case "try_map total failure still reports per item" `Quick
+      test_try_map_all_fail;
     Alcotest.test_case "cache memory round-trip" `Quick test_cache_memory;
     Alcotest.test_case "cache key injective" `Quick test_cache_key_injective;
     Alcotest.test_case "cache disk persistence" `Quick

@@ -1,0 +1,487 @@
+(* Tests for the resilience layer: deterministic backoff, fault-spec
+   parsing, the supervisor's retry/quarantine matrix, the checkpoint
+   journal (including torn final lines), cache decode recovery, and
+   journal resume producing byte-identical study output. *)
+
+open Mt_machine
+open Mt_launcher
+module Policy = Mt_resilience.Policy
+module Fault = Mt_resilience.Fault
+module Supervisor = Mt_resilience.Supervisor
+module Journal = Mt_resilience.Journal
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_string = Alcotest.(check string)
+
+(* A policy whose sleeps cost nothing, for fast retry-path tests. *)
+let instant ?(retries = 1) ?wall_budget_s () =
+  Policy.make ~retries ~backoff_base_s:0. ~backoff_jitter:0. ?wall_budget_s ()
+
+(* ------------------------------------------------------------------ *)
+(* Policy: deterministic backoff                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_backoff_deterministic_and_bounded =
+  (* Same (seed, key, attempt) -> same delay, and the delay sits in
+     [base * 2^(a-1), base * 2^(a-1) * (1 + jitter)] when the cap is
+     out of reach. *)
+  QCheck.Test.make ~count:300
+    ~name:"backoff: deterministic and within the jitter envelope"
+    QCheck.(pair string (int_range 1 8))
+    (fun (key, attempt) ->
+      let p =
+        Policy.make ~retries:8 ~backoff_base_s:0.004 ~backoff_max_s:1e9
+          ~backoff_jitter:0.5 ~backoff_seed:7 ()
+      in
+      let d1 = Policy.delay p ~key ~attempt in
+      let d2 = Policy.delay p ~key ~attempt in
+      let raw = 0.004 *. (2. ** float_of_int (attempt - 1)) in
+      d1 = d2 && d1 >= raw && d1 <= raw *. 1.5)
+
+let test_backoff_no_jitter_exact () =
+  let p =
+    Policy.make ~backoff_base_s:0.002 ~backoff_jitter:0. ~backoff_max_s:1e9 ()
+  in
+  Alcotest.(check (float 1e-12)) "attempt 1" 0.002 (Policy.delay p ~key:"k" ~attempt:1);
+  Alcotest.(check (float 1e-12)) "attempt 3" 0.008 (Policy.delay p ~key:"k" ~attempt:3)
+
+let test_backoff_capped () =
+  let p = Policy.make ~backoff_base_s:1.0 ~backoff_max_s:0.25 () in
+  check_bool "cap holds" true (Policy.delay p ~key:"k" ~attempt:6 <= 0.25)
+
+let test_backoff_seed_matters () =
+  let delay seed =
+    Policy.delay
+      (Policy.make ~backoff_base_s:1.0 ~backoff_jitter:1.0 ~backoff_max_s:1e9
+         ~backoff_seed:seed ())
+      ~key:"k" ~attempt:1
+  in
+  (* 64 seeds all colliding would mean the seed is ignored. *)
+  let distinct =
+    List.sort_uniq compare (List.init 64 delay) |> List.length
+  in
+  check_bool "seeds spread the jitter" true (distinct > 1)
+
+(* ------------------------------------------------------------------ *)
+(* Fault specs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_spec_parse () =
+  (match Fault.of_spec "variant=0:raise" with
+  | Ok { Fault.index = 0; kind = Fault.Raise; times = None } -> ()
+  | _ -> Alcotest.fail "variant=0:raise");
+  (match Fault.of_spec "variant=3:timeout@1" with
+  | Ok { Fault.index = 3; kind = Fault.Timeout; times = Some 1 } -> ()
+  | _ -> Alcotest.fail "variant=3:timeout@1");
+  (match Fault.of_spec "variant=2:corrupt-cache-entry" with
+  | Ok { Fault.index = 2; kind = Fault.Corrupt_cache_entry; times = None } -> ()
+  | _ -> Alcotest.fail "variant=2:corrupt-cache-entry");
+  List.iter
+    (fun bad ->
+      match Fault.of_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" bad))
+    [ ""; "variant=:raise"; "variant=1:explode"; "variant=x:raise"; "1:raise" ]
+
+let test_fault_spec_round_trip () =
+  List.iter
+    (fun spec ->
+      match Fault.of_spec spec with
+      | Error msg -> Alcotest.fail msg
+      | Ok f -> check_string "round trip" spec (Fault.to_spec f))
+    [ "variant=0:raise"; "variant=3:timeout@1"; "variant=2:corrupt-cache-entry" ]
+
+let test_fault_fires () =
+  let once = Fault.make ~times:1 ~index:0 Fault.Raise in
+  check_bool "fires on 1" true (Fault.fires once ~attempt:1);
+  check_bool "quiet on 2" false (Fault.fires once ~attempt:2);
+  let always = Fault.make ~index:0 Fault.Raise in
+  check_bool "always fires" true (Fault.fires always ~attempt:5)
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: retry / quarantine matrix                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervise_success_first_try () =
+  match Supervisor.supervise ~policy:(instant ()) ~key:"k" (fun () -> 42) with
+  | Supervisor.Done (42, 1) -> ()
+  | _ -> Alcotest.fail "expected Done (42, 1)"
+
+let test_supervise_retry_then_succeed () =
+  let attempts = ref 0 in
+  match
+    Supervisor.supervise ~policy:(instant ~retries:2 ()) ~key:"k" (fun () ->
+        incr attempts;
+        if !attempts < 2 then failwith "flaky" else "ok")
+  with
+  | Supervisor.Done ("ok", 2) -> check_int "two attempts" 2 !attempts
+  | _ -> Alcotest.fail "expected success on attempt 2"
+
+let test_supervise_retries_exhausted () =
+  match
+    Supervisor.supervise ~policy:(instant ~retries:2 ()) ~key:"k" (fun () ->
+        failwith "always broken")
+  with
+  | Supervisor.Quarantined q ->
+    check_string "kind" "raise" q.Supervisor.kind;
+    check_int "attempts = 1 + retries" 3 q.Supervisor.attempts;
+    check_bool "detail carries the exception" true
+      (let msg = q.Supervisor.detail in
+       String.length msg >= 6)
+  | Supervisor.Done _ -> Alcotest.fail "expected quarantine"
+
+let test_supervise_error_value_flows_through () =
+  (* An Error *value* is a measurement result, not a crash: no retry. *)
+  let attempts = ref 0 in
+  match
+    Supervisor.supervise ~policy:(instant ~retries:3 ()) ~key:"k" (fun () ->
+        incr attempts;
+        (Error "bad kernel" : (int, string) result))
+  with
+  | Supervisor.Done (Error "bad kernel", 1) -> check_int "no retries" 1 !attempts
+  | _ -> Alcotest.fail "expected the Error value on attempt 1"
+
+let test_supervise_injected_raise_then_recover () =
+  (* Fault on the first attempt only: the retry must succeed. *)
+  let fault = Fault.make ~times:1 ~index:0 Fault.Raise in
+  match
+    Supervisor.supervise ~fault ~policy:(instant ()) ~key:"k" (fun () -> 7)
+  with
+  | Supervisor.Done (7, 2) -> ()
+  | _ -> Alcotest.fail "expected recovery on attempt 2"
+
+let test_supervise_injected_raise_exhausts () =
+  let fault = Fault.make ~index:0 Fault.Raise in
+  match
+    Supervisor.supervise ~fault ~policy:(instant ~retries:1 ()) ~key:"k"
+      (fun () -> 7)
+  with
+  | Supervisor.Quarantined q ->
+    check_string "kind" "raise" q.Supervisor.kind;
+    check_int "attempts" 2 q.Supervisor.attempts
+  | Supervisor.Done _ -> Alcotest.fail "expected quarantine"
+
+let test_supervise_injected_timeout () =
+  let fault = Fault.make ~index:0 Fault.Timeout in
+  match
+    Supervisor.supervise ~fault
+      ~policy:(instant ~retries:0 ~wall_budget_s:60. ())
+      ~key:"k" (fun () -> 7)
+  with
+  | Supervisor.Quarantined q -> check_string "kind" "timeout" q.Supervisor.kind
+  | Supervisor.Done _ -> Alcotest.fail "expected a timeout quarantine"
+
+let test_supervise_wall_budget_post_hoc () =
+  (* A real (not injected) over-budget attempt: the budget is checked
+     after the attempt returns, so even a successful value is discarded
+     as hung. *)
+  match
+    Supervisor.supervise
+      ~policy:(instant ~retries:0 ~wall_budget_s:1e-9 ())
+      ~key:"k"
+      (fun () -> Unix.sleepf 0.002)
+  with
+  | Supervisor.Quarantined q -> check_string "kind" "timeout" q.Supervisor.kind
+  | Supervisor.Done _ -> Alcotest.fail "expected a timeout quarantine"
+
+let test_quarantine_to_string () =
+  let q = { Supervisor.kind = "raise"; detail = "boom"; attempts = 3 } in
+  check_string "rendering" "quarantined (raise) after 3 attempts: boom"
+    (Supervisor.quarantine_to_string q)
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let temp_path () =
+  Filename.temp_file "mt-journal-test" ".jsonl"
+
+let test_journal_round_trip () =
+  let path = temp_path () in
+  let w = Journal.create path in
+  Journal.record w ~key:"k1" ~id:"v1" ~data:"\x00binary\xffpayload";
+  Journal.record w ~key:"k2" ~id:"v2" ~data:"";
+  Journal.close w;
+  (match Journal.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok entries ->
+    check_int "two entries" 2 (List.length entries);
+    (match Journal.find entries ~key:"k1" with
+    | Some e ->
+      check_string "id" "v1" e.Journal.id;
+      check_string "binary data survives" "\x00binary\xffpayload" e.Journal.data
+    | None -> Alcotest.fail "k1 missing"));
+  Sys.remove path
+
+let test_journal_last_record_wins () =
+  let path = temp_path () in
+  let w = Journal.create path in
+  Journal.record w ~key:"k" ~id:"v" ~data:"old";
+  Journal.record w ~key:"k" ~id:"v" ~data:"new";
+  Journal.close w;
+  (match Journal.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok entries -> (
+    match Journal.find entries ~key:"k" with
+    | Some e -> check_string "later record wins" "new" e.Journal.data
+    | None -> Alcotest.fail "k missing"));
+  Sys.remove path
+
+let test_journal_torn_line_dropped () =
+  let path = temp_path () in
+  let w = Journal.create path in
+  Journal.record w ~key:"k1" ~id:"v1" ~data:"whole";
+  Journal.close w;
+  (* Simulate a crash mid-write: a final line cut off in the middle. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"key\": \"k2\", \"id\": \"v2\", \"da";
+  close_out oc;
+  (match Journal.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok entries ->
+    check_int "torn line dropped" 1 (List.length entries);
+    check_bool "whole line kept" true (Journal.find entries ~key:"k1" <> None));
+  Sys.remove path
+
+let test_journal_append_mode () =
+  let path = temp_path () in
+  let w = Journal.create path in
+  Journal.record w ~key:"k1" ~id:"v1" ~data:"a";
+  Journal.close w;
+  let w = Journal.create ~append:true path in
+  Journal.record w ~key:"k2" ~id:"v2" ~data:"b";
+  Journal.close w;
+  (match Journal.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok entries -> check_int "both survive" 2 (List.length entries));
+  Sys.remove path
+
+let test_journal_load_missing () =
+  match Journal.load "/nonexistent/mt-journal.jsonl" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an Error for a missing file"
+
+(* ------------------------------------------------------------------ *)
+(* Study integration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let x5650 = Config.nehalem_x5650_2s
+
+let quick_opts =
+  {
+    (Options.default x5650) with
+    Options.array_bytes = 16 * 1024;
+    repetitions = 1;
+    experiments = 2;
+  }
+
+(* 2 + 4 + 8 = 14 variants: big enough to exercise sharding, small
+   enough to stay quick. *)
+let small_spec =
+  Mt_kernels.Streams.loadstore_spec ~opcode:Mt_isa.Insn.MOVSS ~stride:4
+    ~unroll:(1, 3) ()
+
+let config_with ?cache ?(faults = []) ?journal_out ?resume_from () =
+  let open Microtools.Study.Run_config in
+  default |> with_cache cache |> with_faults faults
+  |> with_policy (instant ~retries:0 ())
+  |> with_journal journal_out |> with_resume resume_from
+
+let test_study_fault_quarantines_not_aborts () =
+  let study = Microtools.Study.create small_spec quick_opts in
+  let n = List.length (Microtools.Study.variants study) in
+  let config = config_with ~faults:[ Fault.make ~index:0 Fault.Raise ] () in
+  let outcomes = Microtools.Study.run ~config study in
+  check_int "every variant reports" n (List.length outcomes);
+  let quarantined = Microtools.Study.quarantined outcomes in
+  check_int "exactly one quarantine" 1 (List.length quarantined);
+  check_int "siblings all succeed" (n - 1)
+    (List.length (Microtools.Study.successes outcomes));
+  (* The CSV carries the quarantine flag for exactly that variant. *)
+  let csv = Mt_stats.Csv.to_string (Microtools.Study.csv outcomes) in
+  check_bool "flag in CSV" true
+    (let needle = "quarantined:raise" in
+     let rec go i =
+       i + String.length needle <= String.length csv
+       && (String.sub csv i (String.length needle) = needle || go (i + 1))
+     in
+     go 0);
+  (* ... and the snapshot lists it (schema 3). *)
+  let snap = Microtools.Study.snapshot study outcomes in
+  check_int "snapshot quarantined list" 1
+    (List.length snap.Mt_obsv.Snapshot.quarantined)
+
+let test_study_retry_masks_transient_fault () =
+  let study = Microtools.Study.create small_spec quick_opts in
+  let n = List.length (Microtools.Study.variants study) in
+  let config =
+    let open Microtools.Study.Run_config in
+    config_with ~faults:[ Fault.make ~times:1 ~index:0 Fault.Raise ] ()
+    |> with_policy (instant ~retries:1 ())
+  in
+  let outcomes = Microtools.Study.run ~config study in
+  check_int "no quarantine" 0
+    (List.length (Microtools.Study.quarantined outcomes));
+  check_int "all succeed" n (List.length (Microtools.Study.successes outcomes))
+
+let test_study_corrupt_cache_recovers () =
+  let cache = Mt_parallel.Cache.create () in
+  let study = Microtools.Study.create small_spec quick_opts in
+  let n = List.length (Microtools.Study.variants study) in
+  let config =
+    config_with ~cache
+      ~faults:[ Fault.make ~index:0 Fault.Corrupt_cache_entry ]
+      ()
+  in
+  let outcomes = Microtools.Study.run ~config study in
+  check_int "all succeed despite the corrupt entry" n
+    (List.length (Microtools.Study.successes outcomes));
+  check_bool "decode failure was counted" true
+    (Mt_parallel.Cache.decode_failures cache >= 1)
+
+let baseline_csv study =
+  Mt_stats.Csv.to_string
+    (Microtools.Study.csv (Microtools.Study.run ~config:(config_with ()) study))
+
+let test_study_journal_resume_byte_identical () =
+  let study = Microtools.Study.create small_spec quick_opts in
+  let baseline = baseline_csv study in
+  let journal = temp_path () in
+  (* First run: journal everything. *)
+  let first =
+    Microtools.Study.run ~config:(config_with ~journal_out:journal ()) study
+  in
+  check_int "fresh run resumes nothing" 0
+    (Microtools.Study.resumed_count first);
+  (* Simulate a crash: keep only the first half of the journal, plus a
+     torn final line. *)
+  let lines =
+    let ic = open_in_bin journal in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  let keep = List.filteri (fun i _ -> i < List.length lines / 2) lines in
+  let oc = open_out_bin journal in
+  List.iter (fun l -> output_string oc (l ^ "\n")) keep;
+  output_string oc "{\"key\": \"torn";
+  close_out oc;
+  (* Resume: only the missing variants are re-measured, the journal is
+     extended in place, and the CSV is byte-identical. *)
+  let resumed =
+    Microtools.Study.run
+      ~config:(config_with ~journal_out:journal ~resume_from:journal ())
+      study
+  in
+  check_int "resumed exactly the surviving half" (List.length keep)
+    (Microtools.Study.resumed_count resumed);
+  check_string "resumed CSV is byte-identical" baseline
+    (Mt_stats.Csv.to_string (Microtools.Study.csv resumed));
+  (* The extended journal now covers the whole study: a second resume
+     re-measures nothing. *)
+  let again =
+    Microtools.Study.run
+      ~config:(config_with ~journal_out:journal ~resume_from:journal ())
+      study
+  in
+  check_int "second resume replays everything"
+    (List.length (Microtools.Study.variants study))
+    (Microtools.Study.resumed_count again);
+  check_string "still byte-identical" baseline
+    (Mt_stats.Csv.to_string (Microtools.Study.csv again));
+  Sys.remove journal
+
+let test_study_quarantine_journals_and_resumes () =
+  (* A quarantined variant is checkpointed too: the resumed run replays
+     the quarantine verdict instead of re-measuring the poison pill. *)
+  let study = Microtools.Study.create small_spec quick_opts in
+  let journal = temp_path () in
+  let faults = [ Fault.make ~index:0 Fault.Raise ] in
+  let first =
+    Microtools.Study.run
+      ~config:(config_with ~faults ~journal_out:journal ())
+      study
+  in
+  let csv_first = Mt_stats.Csv.to_string (Microtools.Study.csv first) in
+  (* Resume with the fault list cleared: index 0 must come back
+     quarantined from the journal, not freshly measured. *)
+  let resumed =
+    Microtools.Study.run ~config:(config_with ~resume_from:journal ()) study
+  in
+  check_int "everything replayed"
+    (List.length (Microtools.Study.variants study))
+    (Microtools.Study.resumed_count resumed);
+  check_string "quarantine verdict survives the journal" csv_first
+    (Mt_stats.Csv.to_string (Microtools.Study.csv resumed));
+  check_int "still one quarantine" 1
+    (List.length (Microtools.Study.quarantined resumed));
+  Sys.remove journal
+
+(* The deprecated shim: silence the alert locally, prove it still
+   behaves like the new API. *)
+module Legacy_shim = struct
+  [@@@ocaml.alert "-deprecated"]
+  [@@@ocaml.warning "-3"]
+
+  let run_legacy study = Microtools.Study.run_legacy ~domains:1 study
+end
+
+let test_run_legacy_shim () =
+  let study = Microtools.Study.create small_spec quick_opts in
+  let via_shim = Legacy_shim.run_legacy study in
+  let via_config = Microtools.Study.run ~config:(config_with ()) study in
+  check_string "shim matches Run_config"
+    (Mt_stats.Csv.to_string (Microtools.Study.csv via_config))
+    (Mt_stats.Csv.to_string (Microtools.Study.csv via_shim))
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_backoff_deterministic_and_bounded;
+    Alcotest.test_case "backoff exact without jitter" `Quick
+      test_backoff_no_jitter_exact;
+    Alcotest.test_case "backoff cap" `Quick test_backoff_capped;
+    Alcotest.test_case "backoff seed matters" `Quick test_backoff_seed_matters;
+    Alcotest.test_case "fault spec parses" `Quick test_fault_spec_parse;
+    Alcotest.test_case "fault spec round-trips" `Quick
+      test_fault_spec_round_trip;
+    Alcotest.test_case "fault fires per attempt" `Quick test_fault_fires;
+    Alcotest.test_case "supervise: first-try success" `Quick
+      test_supervise_success_first_try;
+    Alcotest.test_case "supervise: retry then succeed" `Quick
+      test_supervise_retry_then_succeed;
+    Alcotest.test_case "supervise: retries exhausted" `Quick
+      test_supervise_retries_exhausted;
+    Alcotest.test_case "supervise: Error value not retried" `Quick
+      test_supervise_error_value_flows_through;
+    Alcotest.test_case "supervise: injected raise recovers" `Quick
+      test_supervise_injected_raise_then_recover;
+    Alcotest.test_case "supervise: injected raise exhausts" `Quick
+      test_supervise_injected_raise_exhausts;
+    Alcotest.test_case "supervise: injected timeout" `Quick
+      test_supervise_injected_timeout;
+    Alcotest.test_case "supervise: wall budget post hoc" `Quick
+      test_supervise_wall_budget_post_hoc;
+    Alcotest.test_case "quarantine rendering" `Quick test_quarantine_to_string;
+    Alcotest.test_case "journal round-trip" `Quick test_journal_round_trip;
+    Alcotest.test_case "journal last record wins" `Quick
+      test_journal_last_record_wins;
+    Alcotest.test_case "journal drops torn final line" `Quick
+      test_journal_torn_line_dropped;
+    Alcotest.test_case "journal append mode" `Quick test_journal_append_mode;
+    Alcotest.test_case "journal load missing file" `Quick
+      test_journal_load_missing;
+    Alcotest.test_case "study: fault quarantines, not aborts" `Quick
+      test_study_fault_quarantines_not_aborts;
+    Alcotest.test_case "study: retry masks transient fault" `Quick
+      test_study_retry_masks_transient_fault;
+    Alcotest.test_case "study: corrupt cache entry recovers" `Quick
+      test_study_corrupt_cache_recovers;
+    Alcotest.test_case "study: journal resume byte-identical" `Slow
+      test_study_journal_resume_byte_identical;
+    Alcotest.test_case "study: quarantine journals and resumes" `Quick
+      test_study_quarantine_journals_and_resumes;
+    Alcotest.test_case "run_legacy shim" `Quick test_run_legacy_shim;
+  ]

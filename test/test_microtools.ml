@@ -12,6 +12,7 @@ let () =
       ("kernels", Kernels_tests.tests);
       ("study", Study_tests.tests);
       ("parallel", Parallel_tests.tests);
+      ("resilience", Resilience_tests.tests);
       ("telemetry", Telemetry_tests.tests);
       ("obsv", Obsv_tests.tests);
       ("quality", Quality_tests.tests);
