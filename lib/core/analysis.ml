@@ -33,7 +33,10 @@ let utilizations (cfg : Config.t) (o : Core.outcome) =
   let ram_latency = Config.cycles_of_ns cfg cfg.Config.ram_latency_ns in
   [
     (Front_end, per o.Core.instructions cfg.Config.issue_width);
-    (Load_port, per o.Core.loads cfg.Config.load_ports);
+    (* Prefetch hints never stall but do occupy a load-port slot, so
+       they belong in port pressure (and only there — energy and the
+       demand-load counters keep them separate). *)
+    (Load_port, per (o.Core.loads + o.Core.prefetches) cfg.Config.load_ports);
     (Store_port, per o.Core.stores cfg.Config.store_ports);
     (Fp_ports, per o.Core.fp_ops (cfg.Config.fp_add_ports + cfg.Config.fp_mul_ports));
     (Memory_bandwidth, ram_bytes /. ram_share /. cycles);

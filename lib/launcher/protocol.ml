@@ -268,25 +268,31 @@ let measure_totals p =
     Mt_telemetry.span tel "quality.adaptive" (fun () ->
         let target = opts.Options.rciw_target in
         let budget = opts.Options.max_experiments in
-        let rec extend totals n =
-          if preview_rciw totals <= target then begin
+        (* The series is accumulated newest-first and reversed per use:
+           appending with [totals @ [total]] would rebuild the whole
+           list per extension (quadratic in extensions), while the
+           preview below reprocesses the series anyway, so one O(n)
+           reverse costs nothing extra.  Experiment order — which the
+           noise stream and drop-first depend on — is preserved. *)
+        let rec extend rev_totals n =
+          if preview_rciw (List.rev rev_totals) <= target then begin
             Mt_telemetry.incr tel "quality.adaptive.early_stops";
             Mt_telemetry.add tel "quality.adaptive.experiments_saved"
               (budget - n);
-            Ok totals
+            Ok (List.rev rev_totals)
           end
           else if n >= budget then begin
             Mt_telemetry.incr tel "quality.adaptive.budget_exhausted";
-            Ok totals
+            Ok (List.rev rev_totals)
           end
           else begin
             Mt_telemetry.incr tel "quality.adaptive.extensions";
             match run_experiment () with
             | Error msg -> Error msg
-            | Ok total -> extend (totals @ [ total ]) (n + 1)
+            | Ok total -> extend (total :: rev_totals) (n + 1)
           end
         in
-        extend totals (List.length totals))
+        extend (List.rev totals) (List.length totals))
   in
   let* totals =
     Mt_telemetry.span tel "launcher.measure" (fun () ->

@@ -13,6 +13,14 @@ type t = {
   (* Per-access observer for deep trace lanes; [None] (the default)
      costs one branch per access. *)
   mutable on_access : (hit:bool -> unit) option;
+  set_mask : int;
+  (* Per set, the line served by the set's previous access.  A repeat
+     of the same line is a guaranteed hit already sitting at way 0
+     (both the hit and the miss paths leave the accessed line
+     most-recently-used), so the way scan and LRU shuffle can be
+     skipped wholesale — and because the check is per set, interleaved
+     streams in distinct sets all stay on the shortcut. *)
+  last_line : int array;
 }
 
 let log2_exact n =
@@ -32,6 +40,8 @@ let create (geom : Config.cache_geom) =
     hit_count = 0;
     miss_count = 0;
     on_access = None;
+    set_mask = (if sets land (sets - 1) = 0 then sets - 1 else min_int);
+    last_line = Array.make sets min_int;
   }
 
 let set_on_access t hook = t.on_access <- hook
@@ -53,30 +63,52 @@ let find_way t base line =
   in
   go 0
 
-let promote t base way line =
-  (* Shift tags [0, way) down by one and put [line] in front. *)
-  for i = way downto 1 do
-    t.tags.(base + i) <- t.tags.(base + i - 1)
-  done;
-  t.tags.(base) <- line
-
+(* Self-contained: the way scan and LRU promotion are open-coded so the
+   per-lookup cost is the loop itself — no inner-closure allocation and
+   no helper calls on the path every simulated access takes. *)
 let access t line =
-  let base = set_of_line t line * t.ways in
-  let way = find_way t base line in
-  let hit =
-    if way >= 0 then begin
+  let set =
+    if t.set_mask >= 0 then line land t.set_mask else line mod t.sets
+  in
+  if line = Array.unsafe_get t.last_line set then begin
+    (* Guaranteed hit at way 0: the set's previous access left this
+       line most-recently-used, so the scan and shuffle are no-ops. *)
+    t.hit_count <- t.hit_count + 1;
+    (match t.on_access with None -> () | Some f -> f ~hit:true);
+    true
+  end
+  else begin
+    Array.unsafe_set t.last_line set line;
+    let ways = t.ways in
+    let base = set * ways in
+    let tags = t.tags in
+    (* [base + way < sets * ways = Array.length tags] throughout, so
+       the scan and the LRU shuffle skip the bounds checks. *)
+    let way = ref 0 in
+    while !way < ways && Array.unsafe_get tags (base + !way) <> line do
+      incr way
+    done;
+    let hit = !way < ways in
+    if hit then begin
       t.hit_count <- t.hit_count + 1;
-      if way > 0 then promote t base way line;
-      true
+      if !way > 0 then begin
+        for i = !way downto 1 do
+          Array.unsafe_set tags (base + i)
+            (Array.unsafe_get tags (base + i - 1))
+        done;
+        Array.unsafe_set tags base line
+      end
     end
     else begin
       t.miss_count <- t.miss_count + 1;
-      promote t base (t.ways - 1) line;
-      false
-    end
-  in
-  (match t.on_access with None -> () | Some f -> f ~hit);
-  hit
+      for i = ways - 1 downto 1 do
+        Array.unsafe_set tags (base + i) (Array.unsafe_get tags (base + i - 1))
+      done;
+      Array.unsafe_set tags base line
+    end;
+    (match t.on_access with None -> () | Some f -> f ~hit);
+    hit
+  end
 
 let probe t line =
   let base = set_of_line t line * t.ways in
@@ -85,7 +117,8 @@ let probe t line =
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   t.hit_count <- 0;
-  t.miss_count <- 0
+  t.miss_count <- 0;
+  Array.fill t.last_line 0 (Array.length t.last_line) min_int
 
 let hits t = t.hit_count
 

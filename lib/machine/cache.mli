@@ -2,7 +2,26 @@
     line addresses.  Alignment-induced set conflicts between
     concurrently streamed arrays emerge from this model directly. *)
 
-type t
+type t = {
+  geom : Config.cache_geom;
+  sets : int;
+  ways : int;
+  line_shift : int;
+  tags : int array;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable on_access : (hit:bool -> unit) option;
+  set_mask : int;
+  last_line : int array;
+}
+(** Exposed concretely so {!Memory}'s per-access fast path can inline
+    the repeat-same-line hit check without a cross-module call:
+    [last_line.(set)] is the line served by the set's previous access,
+    which both the hit and the miss paths of {!access} leave
+    most-recently-used — a repeat is a guaranteed hit at way 0 with no
+    LRU movement.  [set_mask] is [sets - 1] for power-of-two set
+    counts, [min_int] otherwise (index by modulo).  Mutate only
+    through {!access} / {!reset}. *)
 
 val create : Config.cache_geom -> t
 

@@ -9,6 +9,7 @@ type outcome = {
   mispredicts : int;
   loads : int;
   stores : int;
+  prefetches : int;
   fp_ops : int;
   alu_ops : int;
 }
@@ -58,7 +59,63 @@ type decoded = {
   control : control;
 }
 
-type compiled = decoded array
+(* ------------------------------------------------------------------ *)
+(* Basic-block replay representation                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The steady-state path replays a flattened form of the program:
+   operand addressing, port/booker indices, uop occupancies and the
+   architectural effect are all resolved once, at block-build time, so
+   the per-instruction loop reads plain ints and floats and allocates
+   nothing.  Port booker indices: Load 0, Store 1, Alu 2, Fp_add 3,
+   Fp_mul/Fp_div 4, Branch 5. *)
+
+type fast_insn = {
+  f_insn : Insn.t;  (* original instruction, for the trace hook *)
+  f_pc : int;  (* original instruction index, for traces and faults *)
+  f_srcs : int array;
+  f_dst : int;
+  f_pidx : int array;  (* booker index per uop *)
+  f_pocc : int array;  (* booked occupancy per uop *)
+  f_uport : int;  (* booker index when the insn is exactly one
+                     occupancy-1 uop (the common case), else -1 *)
+  f_has_effect : bool;  (* false when the architectural effect is a no-op *)
+  f_fp_uops : int;
+  f_alu_uops : int;
+  f_lat : float;
+  f_mem : int;  (* 0 = none, 1 = demand, 2 = prefetch hint *)
+  f_write : bool;
+  f_nt : bool;
+  f_bytes : int;
+  f_align : int;
+  (* Effective address [f_adisp + gpr f_abase + gpr f_aindex * f_ascale];
+     -1 slots contribute 0, matching Exec.address_of on absent or XMM
+     base/index registers. *)
+  f_abase : int;
+  f_aindex : int;
+  f_ascale : int;
+  f_adisp : int;
+  f_sets_flags : bool;
+  f_reads_flags : bool;
+  f_effect : Exec.effect;
+}
+
+(* Block terminators.  Block id -1 means "off the end of the listing"
+   (the interpreter treats that as a normal stop). *)
+type fterm =
+  | T_fall of int
+  | T_end
+  | T_ret
+  | T_jump of int
+  | T_cond of Insn.cond * int * int * bool
+      (* cond, taken block, fall-through block, backward (mispredict
+         on fall-through) *)
+
+type fblock = { body : fast_insn array; term : fterm }
+
+type fast_prog = { blocks : fblock array; entry : int }
+
+type compiled = { dec : decoded array; mutable fast : fast_prog option }
 
 exception Compile_error of error
 
@@ -136,8 +193,129 @@ let compile (program : Insn.program) =
           incr pc
         | Insn.Label _ | Insn.Comment _ | Insn.Directive _ -> ())
       program;
-    Ok (Array.of_list (List.rev !decoded))
+    Ok { dec = Array.of_list (List.rev !decoded); fast = None }
   with Compile_error e -> Error e
+
+let port_index = function
+  | Semantics.Load -> 0
+  | Semantics.Store -> 1
+  | Semantics.Alu -> 2
+  | Semantics.Fp_add -> 3
+  | Semantics.Fp_mul | Semantics.Fp_div -> 4
+  | Semantics.Branch_port -> 5
+
+let fast_of_decoded pc (d : decoded) =
+  let mem_slot = function
+    | None -> -1
+    | Some (Reg.Gpr (n, _)) -> Exec.gpr_index n
+    | Some (Reg.Xmm _ | Reg.Logical _) -> -1
+  in
+  let abase, aindex, ascale, adisp =
+    match d.mem_op with
+    | None -> -1, -1, 0, 0
+    | Some m ->
+      mem_slot m.Operand.base, mem_slot m.Operand.index, m.Operand.scale,
+      m.Operand.disp
+  in
+  let count p =
+    Array.fold_left (fun acc q -> if List.mem q p then acc + 1 else acc) 0
+      d.ports
+  in
+  {
+    f_insn = d.insn;
+    f_pc = pc;
+    f_srcs = d.srcs;
+    f_dst = d.dst;
+    f_pidx = Array.map port_index d.ports;
+    f_pocc =
+      Array.map
+        (fun p -> if p = Semantics.Fp_div then int_of_float d.latency else 1)
+        d.ports;
+    f_uport =
+      (match d.ports with
+      | [| p |] when p <> Semantics.Fp_div -> port_index p
+      | _ -> -1);
+    f_has_effect = not (Exec.effect_is_none (Exec.compile_effect d.insn));
+    f_fp_uops = count [ Semantics.Fp_add; Semantics.Fp_mul; Semantics.Fp_div ];
+    f_alu_uops = count [ Semantics.Alu ];
+    f_lat = d.latency;
+    f_mem = (match d.mem_op with
+      | None -> 0
+      | Some _ -> if d.mem_prefetch then 2 else 1);
+    f_write = d.mem_write;
+    f_nt = d.mem_nt;
+    f_bytes = d.mem_bytes;
+    f_align = d.align_req;
+    f_abase = abase;
+    f_aindex = aindex;
+    f_ascale = ascale;
+    f_adisp = adisp;
+    f_sets_flags = d.d_sets_flags;
+    f_reads_flags = d.d_reads_flags;
+    f_effect = Exec.compile_effect d.insn;
+  }
+
+let build_fast (dec : decoded array) =
+  let n = Array.length dec in
+  if n = 0 then { blocks = [||]; entry = -1 }
+  else begin
+    (* Leaders: instruction 0, every branch target, and every
+       instruction following a control-flow instruction, so a branch is
+       always the last instruction of its block. *)
+    let leader = Array.make (n + 1) false in
+    leader.(0) <- true;
+    Array.iteri
+      (fun i d ->
+        let mark t = if t <= n then leader.(t) <- true in
+        match d.control with
+        | Fall -> ()
+        | Return -> mark (i + 1)
+        | Jump t ->
+          mark t;
+          mark (i + 1)
+        | Cond (_, t) ->
+          mark t;
+          mark (i + 1))
+      dec;
+    let blk_of = Array.make (n + 1) (-1) in
+    let nblocks = ref 0 in
+    for i = 0 to n - 1 do
+      if leader.(i) then begin
+        blk_of.(i) <- !nblocks;
+        incr nblocks
+      end
+    done;
+    let target_blk t = if t >= n then -1 else blk_of.(t) in
+    let blocks =
+      Array.init !nblocks (fun _ -> { body = [||]; term = T_end })
+    in
+    let start = ref 0 in
+    for b = 0 to !nblocks - 1 do
+      let s = !start in
+      let e = ref (s + 1) in
+      while !e < n && not leader.(!e) do incr e done;
+      let e = !e in
+      let body = Array.init (e - s) (fun k -> fast_of_decoded (s + k) dec.(s + k)) in
+      let term =
+        match dec.(e - 1).control with
+        | Fall -> if e = n then T_end else T_fall blk_of.(e)
+        | Return -> T_ret
+        | Jump t -> T_jump (target_blk t)
+        | Cond (c, t) -> T_cond (c, target_blk t, target_blk e, t <= e - 1)
+      in
+      blocks.(b) <- { body; term };
+      start := e
+    done;
+    { blocks; entry = 0 }
+  end
+
+let fast_of cp =
+  match cp.fast with
+  | Some f -> f
+  | None ->
+    let f = build_fast cp.dec in
+    cp.fast <- Some f;
+    f
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -159,33 +337,47 @@ module Booker = struct
 
   let window = 8192
 
+  (* [window] is a power of two so the ring index is a mask, not an
+     integer division — [book] runs once per booked cycle on the hot
+     path and idiv latency would dominate it. *)
+  let mask = window - 1
+
   let create ~ports =
     { ports; window; counts = Array.make window 0; cycle_of = Array.make window min_int }
 
+  (* [idx] is masked into [0, window), so the ring accesses skip the
+     bounds checks. *)
   let rec book t c =
-    let idx = c mod t.window in
-    if t.cycle_of.(idx) <> c then begin
-      t.cycle_of.(idx) <- c;
-      t.counts.(idx) <- 0
+    let idx = c land mask in
+    if Array.unsafe_get t.cycle_of idx <> c then begin
+      Array.unsafe_set t.cycle_of idx c;
+      Array.unsafe_set t.counts idx 0
     end;
-    if t.counts.(idx) < t.ports then begin
-      t.counts.(idx) <- t.counts.(idx) + 1;
+    let n = Array.unsafe_get t.counts idx in
+    if n < t.ports then begin
+      Array.unsafe_set t.counts idx (n + 1);
       c
     end
     else book t (c + 1)
 
-  (* Book [occupancy] consecutive cycles starting no earlier than
-     [time]; returns the first booked cycle as a float. *)
+  let rec extend_span t c remaining =
+    if remaining > 0 then begin
+      ignore (book t c);
+      extend_span t (c + 1) (remaining - 1)
+    end
+
+  (* Book [occupancy] consecutive cycles starting no earlier than cycle
+     [start]; returns the first booked cycle.  All-integer so the hot
+     path never boxes. *)
+  let book_span t ~start ~occupancy =
+    let first = book t start in
+    extend_span t (first + 1) (occupancy - 1);
+    first
+
+  (* Float-facing wrapper kept for the reference interpreter. *)
   let book_from t ~time ~occupancy =
-    let start = book t (int_of_float (Float.ceil time)) in
-    let rec extend c remaining =
-      if remaining > 0 then begin
-        ignore (book t c);
-        extend (c + 1) (remaining - 1)
-      end
-    in
-    extend (start + 1) (occupancy - 1);
-    float_of_int start
+    float_of_int
+      (book_span t ~start:(int_of_float (Float.ceil time)) ~occupancy)
 end
 
 type port_file = {
@@ -215,8 +407,12 @@ let port_booker pf = function
   | Semantics.Fp_mul | Semantics.Fp_div -> pf.fp_mul
   | Semantics.Branch_port -> pf.branch
 
-let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
-    (memory : Memory.t) (prog : compiled) =
+(* The reference interpreter: the original per-instruction loop over
+   the decoded array, kept verbatim as the oracle the fast path is
+   tested against (golden corpus + QCheck equivalence suites). *)
+let run_reference ?(init = []) ?(max_instructions = 50_000_000) ?trace
+    (cfg : Config.t) (memory : Memory.t) (cp : compiled) =
+  let prog = cp.dec in
   let exec = Exec.create () in
   List.iter (fun (r, v) -> Exec.set exec r v) init;
   let ready = Array.make slot_count 0. in
@@ -236,6 +432,7 @@ let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
   let mispredicts = ref 0 in
   let loads = ref 0 in
   let stores = ref 0 in
+  let prefetches = ref 0 in
   let fp_ops = ref 0 in
   let alu_ops = ref 0 in
   let pc = ref 0 in
@@ -308,7 +505,10 @@ let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
         if d.d_sets_flags then ready.(flags_slot) <- issue +. 1.;
         (* In-order retirement pressure. *)
         (match d.mem_op with
-        | Some _ -> if d.mem_write then incr stores else incr loads
+        | Some _ ->
+          if d.mem_prefetch then incr prefetches
+          else if d.mem_write then incr stores
+          else incr loads
         | None -> ());
         Array.iter
           (fun p ->
@@ -371,8 +571,380 @@ let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
         mispredicts = !mispredicts;
         loads = !loads;
         stores = !stores;
+        prefetches = !prefetches;
         fp_ops = !fp_ops;
         alu_ops = !alu_ops;
+      }
+
+(* Scalar pipeline state of the fast path.  All fields are floats, so
+   the record is flat and mutation never boxes. *)
+type fstate = {
+  mutable fetch : float;
+  mutable last_retire : float;
+  mutable last_completion : float;
+  mutable s_t : float;
+  mutable s_issue : float;
+  mutable s_completion : float;
+}
+
+type icounts = {
+  mutable issued : int;
+  mutable i_branches : int;
+  mutable i_mispredicts : int;
+  mutable i_loads : int;
+  mutable i_stores : int;
+  mutable i_prefetches : int;
+  mutable i_fp : int;
+  mutable i_alu : int;
+}
+
+exception Stop_run
+
+(* Integer ceiling of a non-negative cycle time: a truncating convert
+   plus a compare, instead of a call into libm.  Identical to
+   [int_of_float (Float.ceil x)] for the [0, 2^52] range cycle times
+   live in. *)
+let[@inline] iceil x =
+  let t = int_of_float x in
+  if float_of_int t < x then t + 1 else t
+
+(* The allocation-free steady-state interpreter.  Identical cycle
+   accounting to [run_reference] — same dependence maxima, same booking
+   sequence, same memory-access order — replayed over the prebuilt
+   basic blocks with no per-instruction closures, options or boxed
+   floats.  Verified equivalent by the golden and QCheck suites. *)
+let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
+    (memory : Memory.t) (cp : compiled) =
+  let fp = fast_of cp in
+  let exec = Exec.create () in
+  List.iter (fun (r, v) -> Exec.set exec r v) init;
+  let gprs = exec.Exec.gpr in
+  (* Hoisted memory-pipeline handles for the open-coded steady-state
+     access below (see the note on {!Memory.t}). *)
+  let mem_l1 = memory.Memory.l1 in
+  let mem_dtlb = memory.Memory.dtlb in
+  let mem_memo_line = memory.Memory.memo_line in
+  let mem_memo_stream = memory.Memory.memo_stream in
+  let mem_st_addr = memory.Memory.st_addr in
+  let mem_lshift = mem_l1.Cache.line_shift in
+  let mem_tlb_on = memory.Memory.tlb_on in
+  let mem_fast_ok = memory.Memory.alias_scale = 0. in
+  let memo_n = Array.length mem_memo_line in
+  let l1_lat_f = float_of_int cfg.l1_latency_cycles in
+  let ready = Array.make slot_count 0. in
+  let wissue = Array.make slot_count 0. in
+  let pf = make_ports cfg in
+  let bookers = [| pf.load; pf.store; pf.alu; pf.fp_add; pf.fp_mul; pf.branch |] in
+  let rob_size = cfg.rob_size in
+  let rob = Array.make rob_size 0. in
+  let decode_step = 1. /. float_of_int cfg.issue_width in
+  let penalty = float_of_int cfg.mispredict_penalty_cycles in
+  let s =
+    { fetch = 0.; last_retire = 0.; last_completion = 0.; s_t = 0.;
+      s_issue = 0.; s_completion = 0. }
+  in
+  let c =
+    { issued = 0; i_branches = 0; i_mispredicts = 0; i_loads = 0;
+      i_stores = 0; i_prefetches = 0; i_fp = 0; i_alu = 0 }
+  in
+  let err = ref None in
+  Memory.drain memory;
+  Memory.reset_counters memory;
+  let blocks = fp.blocks in
+  let bid = ref fp.entry in
+  (* Wrapping index equal to [c.issued mod rob_size], maintained by
+     increment-and-compare so the loop never pays an integer division. *)
+  let rob_idx = ref 0 in
+  (try
+     while true do
+       if !bid < 0 then raise_notrace Stop_run;
+       let blk = blocks.(!bid) in
+       let body = blk.body in
+       for k = 0 to Array.length body - 1 do
+         if c.issued >= max_instructions then begin
+           err := Some (Fuel_exhausted c.issued);
+           raise_notrace Stop_run
+         end;
+         let d = Array.unsafe_get body k in
+         (* Scoreboard slots, the rob ring index and GPR numbers are
+            all in range by construction (see [fast_of_decoded] and
+            the [rob_idx] wrap below), so the steady state reads them
+            unchecked. *)
+         let window_ready = Array.unsafe_get rob !rob_idx in
+         s.s_t <- (if window_ready > s.fetch then window_ready else s.fetch);
+         let srcs = d.f_srcs in
+         for j = 0 to Array.length srcs - 1 do
+           let r = Array.unsafe_get ready (Array.unsafe_get srcs j) in
+           if r > s.s_t then s.s_t <- r
+         done;
+         if d.f_reads_flags then begin
+           let r = Array.unsafe_get ready flags_slot in
+           if r > s.s_t then s.s_t <- r
+         end;
+         if d.f_dst >= 0 then begin
+           let w = Array.unsafe_get wissue d.f_dst +. 1. in
+           if w > s.s_t then s.s_t <- w
+         end;
+         s.s_issue <- s.s_t;
+         if d.f_uport >= 0 then begin
+           (* Common case: one occupancy-1 uop — book it directly,
+              skipping the uop loop and the span extension.  The
+              first ring probe is open-coded; only a saturated cycle
+              falls back to the general walk. *)
+           let bk = Array.unsafe_get bookers d.f_uport in
+           let start = iceil s.s_t in
+           let idx = start land Booker.mask in
+           let slot =
+             if Array.unsafe_get bk.Booker.cycle_of idx <> start then begin
+               Array.unsafe_set bk.Booker.cycle_of idx start;
+               Array.unsafe_set bk.Booker.counts idx 1;
+               start
+             end
+             else begin
+               let n = Array.unsafe_get bk.Booker.counts idx in
+               if n < bk.Booker.ports then begin
+                 Array.unsafe_set bk.Booker.counts idx (n + 1);
+                 start
+               end
+               else Booker.book bk (start + 1)
+             end
+           in
+           let slotf = float_of_int slot in
+           if slotf > s.s_issue then s.s_issue <- slotf
+         end
+         else begin
+           let pidx = d.f_pidx in
+           if Array.length pidx > 0 then begin
+             let start = iceil s.s_t in
+             for j = 0 to Array.length pidx - 1 do
+               let slot =
+                 Booker.book_span bookers.(pidx.(j)) ~start
+                   ~occupancy:d.f_pocc.(j)
+               in
+               let slotf = float_of_int slot in
+               if slotf > s.s_issue then s.s_issue <- slotf
+             done
+           end
+         end;
+         s.s_completion <- s.s_issue +. d.f_lat;
+         if d.f_mem > 0 then begin
+           let addr =
+             d.f_adisp
+             + (if d.f_abase >= 0 then Array.unsafe_get gprs d.f_abase else 0)
+             + (if d.f_aindex >= 0 then
+                  Array.unsafe_get gprs d.f_aindex * d.f_ascale
+                else 0)
+           in
+           if d.f_mem = 2 then
+             ignore
+               (Memory.access_nt memory ~nt:false ~now:s.s_issue ~addr
+                  ~bytes:d.f_bytes ~write:false)
+           else if d.f_align > 1 && addr mod d.f_align <> 0 then begin
+             err := Some (Alignment_fault { pc = d.f_pc; addr; required = d.f_align });
+             raise_notrace Stop_run
+           end
+           else begin
+             (* Open-coded memo-hit access — the steady state of every
+                strided stream.  All checks up to the mutation block
+                are pure, so any failure falls back to the full
+                pipeline with no state touched; [-1.] marks the
+                fallback (ready times are never negative). *)
+             let r =
+               if mem_fast_ok && (not d.f_nt) && d.f_bytes >= 1 then begin
+                 let line = addr lsr mem_lshift in
+                 if (addr + d.f_bytes - 1) lsr mem_lshift <> line then -1.
+                 else begin
+                   let slot =
+                     let sl = ref (-1) in
+                     let i = ref 0 in
+                     while !sl < 0 && !i < memo_n do
+                       if Array.unsafe_get mem_memo_line !i = line then
+                         sl := !i;
+                       incr i
+                     done;
+                     !sl
+                   in
+                   if slot < 0 then -1.
+                   else begin
+                     let tlb_ok =
+                       (not mem_tlb_on)
+                       ||
+                       let page = addr lsr 12 in
+                       let dset =
+                         let m = mem_dtlb.Cache.set_mask in
+                         if m >= 0 then page land m
+                         else page mod mem_dtlb.Cache.sets
+                       in
+                       page = Array.unsafe_get mem_dtlb.Cache.last_line dset
+                     in
+                     if not tlb_ok then -1.
+                     else begin
+                       let lset =
+                         let m = mem_l1.Cache.set_mask in
+                         if m >= 0 then line land m
+                         else line mod mem_l1.Cache.sets
+                       in
+                       if line <> Array.unsafe_get mem_l1.Cache.last_line lset
+                       then -1.
+                       else begin
+                         (* Exactly the mutations [Memory.access_nt]
+                            performs on this path, in the same order. *)
+                         memory.Memory.c_accesses <-
+                           memory.Memory.c_accesses + 1;
+                         memory.Memory.last_split <- false;
+                         if mem_tlb_on then begin
+                           mem_dtlb.Cache.hit_count <-
+                             mem_dtlb.Cache.hit_count + 1;
+                           match mem_dtlb.Cache.on_access with
+                           | None -> ()
+                           | Some f -> f ~hit:true
+                         end;
+                         mem_l1.Cache.hit_count <-
+                           mem_l1.Cache.hit_count + 1;
+                         (match mem_l1.Cache.on_access with
+                         | None -> ()
+                         | Some f -> f ~hit:true);
+                         memory.Memory.last_level <- Memory.L1;
+                         memory.Memory.c_l1_hits <-
+                           memory.Memory.c_l1_hits + 1;
+                         Array.unsafe_set mem_st_addr
+                           (Array.unsafe_get mem_memo_stream slot)
+                           addr;
+                         s.s_issue +. l1_lat_f
+                       end
+                     end
+                   end
+                 end
+               end
+               else -1.
+             in
+             let data_ready =
+               if r >= 0. then r
+               else begin
+                 let dr =
+                   Memory.access_nt memory ~nt:d.f_nt ~now:s.s_issue ~addr
+                     ~bytes:d.f_bytes ~write:d.f_write
+                 in
+                 if Memory.last_access_was_split memory then
+                   ignore
+                     (Booker.book_span bookers.(if d.f_write then 1 else 0)
+                        ~start:(iceil s.s_issue) ~occupancy:1);
+                 dr
+               end
+             in
+             let dc = data_ready +. d.f_lat -. 1. in
+             if dc > s.s_completion then s.s_completion <- dc
+           end
+         end;
+         if d.f_dst >= 0 then begin
+           Array.unsafe_set ready d.f_dst s.s_completion;
+           Array.unsafe_set wissue d.f_dst s.s_issue
+         end;
+         if d.f_sets_flags then
+           Array.unsafe_set ready flags_slot (s.s_issue +. 1.);
+         if d.f_mem = 1 then begin
+           if d.f_write then c.i_stores <- c.i_stores + 1
+           else c.i_loads <- c.i_loads + 1
+         end
+         else if d.f_mem = 2 then c.i_prefetches <- c.i_prefetches + 1;
+         c.i_fp <- c.i_fp + d.f_fp_uops;
+         c.i_alu <- c.i_alu + d.f_alu_uops;
+         (match trace with
+         | Some f -> f d.f_pc d.f_insn ~issue:s.s_issue ~completion:s.s_completion
+         | None -> ());
+         let retire =
+           if s.last_retire > s.s_completion then s.last_retire
+           else s.s_completion
+         in
+         Array.unsafe_set rob !rob_idx retire;
+         rob_idx := !rob_idx + 1;
+         if !rob_idx = rob_size then rob_idx := 0;
+         s.last_retire <- retire;
+         if s.s_completion > s.last_completion then
+           s.last_completion <- s.s_completion;
+         s.fetch <- s.fetch +. decode_step;
+         (* Exec.apply_effect, open-coded over the exposed
+            representation so the steady state pays no call. *)
+         (if d.f_has_effect then
+            match d.f_effect with
+            | Exec.E_none -> ()
+            | Exec.E_mov (dst, s) ->
+              Array.unsafe_set gprs dst
+                (match s with
+                | Exec.S_imm n -> n
+                | Exec.S_gpr i -> Array.unsafe_get gprs i)
+            | Exec.E_lea (dst, base, index, scale, disp) ->
+              Array.unsafe_set gprs dst
+                (disp
+                + (if base >= 0 then Array.unsafe_get gprs base else 0)
+                + (if index >= 0 then Array.unsafe_get gprs index * scale
+                   else 0))
+            | Exec.E_bin (k, dst, a, b) ->
+              let av =
+                match a with
+                | Exec.S_imm n -> n
+                | Exec.S_gpr i -> Array.unsafe_get gprs i
+              in
+              let bv =
+                match b with
+                | Exec.S_imm n -> n
+                | Exec.S_gpr i -> Array.unsafe_get gprs i
+              in
+              let v =
+                match k with
+                | Exec.B_add -> av + bv
+                | Exec.B_sub -> av - bv
+                | Exec.B_and -> av land bv
+                | Exec.B_or -> av lor bv
+                | Exec.B_xor -> av lxor bv
+                | Exec.B_imul -> av * bv
+                | Exec.B_shl -> av lsl bv
+                | Exec.B_shr -> av lsr bv
+              in
+              if dst >= 0 then Array.unsafe_set gprs dst v;
+              exec.Exec.flags <- v);
+         c.issued <- c.issued + 1
+       done;
+       (match blk.term with
+       | T_fall nxt -> bid := nxt
+       | T_end | T_ret -> raise_notrace Stop_run
+       | T_jump tgt ->
+         c.i_branches <- c.i_branches + 1;
+         s.fetch <- Float.ceil s.fetch;
+         bid := tgt
+       | T_cond (cond, tb, fb, backward) ->
+         c.i_branches <- c.i_branches + 1;
+         if Exec.branch_taken exec cond then begin
+           s.fetch <- Float.ceil s.fetch;
+           bid := tb
+         end
+         else begin
+           if backward then begin
+             c.i_mispredicts <- c.i_mispredicts + 1;
+             let m = s.s_issue +. penalty in
+             if m > s.fetch then s.fetch <- m
+           end;
+           bid := fb
+         end)
+     done
+   with Stop_run -> ());
+  match !err with
+  | Some e -> Error e
+  | None ->
+    Ok
+      {
+        cycles =
+          (if s.fetch > s.last_completion then s.fetch else s.last_completion);
+        instructions = c.issued;
+        rax = Exec.get exec (Reg.gpr64 Reg.RAX);
+        mem = Memory.counters memory;
+        branches = c.i_branches;
+        mispredicts = c.i_mispredicts;
+        loads = c.i_loads;
+        stores = c.i_stores;
+        prefetches = c.i_prefetches;
+        fp_ops = c.i_fp;
+        alu_ops = c.i_alu;
       }
 
 let run_program ?init ?max_instructions cfg memory program =

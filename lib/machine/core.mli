@@ -17,8 +17,12 @@ type outcome = {
   mem : Memory.counters;
   branches : int;
   mispredicts : int;
-  loads : int;  (** Instructions that read memory. *)
+  loads : int;  (** Instructions that read memory on demand (no hints). *)
   stores : int;  (** Instructions that wrote memory. *)
+  prefetches : int;
+      (** Prefetch-hint instructions.  They warm the memory pipeline and
+          occupy a load-port slot but never stall, so they are counted
+          apart from demand [loads]. *)
   fp_ops : int;  (** Floating-point uops executed. *)
   alu_ops : int;  (** Integer/address uops executed. *)
 }
@@ -55,7 +59,24 @@ val run :
     addresses).  The memory pipeline keeps its cache contents across
     calls — that is how the launcher's warm-up run works — but its
     in-flight fill state is drained first.  [max_instructions] defaults
-    to 50 million. *)
+    to 50 million.
+
+    This is the allocation-free basic-block replay engine: addressing,
+    port lists and architectural effects are resolved once per program
+    (cached on [compiled]) and the steady-state loop allocates no minor
+    words per instruction on the non-memory path. *)
+
+val run_reference :
+  ?init:(Mt_isa.Reg.t * int) list ->
+  ?max_instructions:int ->
+  ?trace:(int -> Mt_isa.Insn.t -> issue:float -> completion:float -> unit) ->
+  Config.t ->
+  Memory.t ->
+  compiled ->
+  (outcome, error) result
+(** The original per-instruction interpreter, kept as the oracle for
+    the fast path: same cycle accounting, same memory-access order,
+    bit-identical outcomes.  Slower; use {!run} unless comparing. *)
 
 val run_program :
   ?init:(Mt_isa.Reg.t * int) list ->

@@ -16,11 +16,34 @@ type counters = {
 
 (* One tracked prefetch stream: the last line it touched and the line
    stride it has locked onto (0 until two accesses establish one). *)
-type stream = { mutable last_line : int; mutable stride : int; mutable last_addr : int }
+(* Stored as three parallel unboxed int arrays rather than an array of
+   records: the 16-entry scans below run on every access, and chasing
+   16 record pointers per scan is what they would otherwise spend their
+   time on. *)
+
+(* Same-line repeat-access memo: a tiny table of lines whose stream-
+   table scan is known to be a pure "found" (exactly one tracker on the
+   line, no tracker within prefetch range).  A repeat access to such a
+   line can skip the 16-way scans entirely — the scan would mutate
+   nothing and return found=true — which is what makes dense strided
+   streams resolve their stream/translation bookkeeping once per line
+   rather than once per access.  Entries are invalidated whenever any
+   tracker moves near them.  Only used when alias interference is off
+   (scale 0): the alias scan reads every tracker's last address, so it
+   cannot be skipped. *)
+let memo_size = 8
 
 type t = {
   cfg : Config.t;
   sharers : int;
+  alias_scale : float;
+      (* 4 KiB alias penalty scale, constant per pipeline: (sharers-1)/4
+         when the feature is on, else 0. *)
+  prefetcher_on : bool;
+  tlb_on : bool;
+  memo_line : int array;  (* -1 = empty slot *)
+  memo_stream : int array;
+  mutable memo_next : int;
   l1 : Cache.t;
   l2 : Cache.t;
   l3 : Cache.t;
@@ -28,7 +51,9 @@ type t = {
   stlb : Cache.t;  (* 512-entry 4-way second-level TLB *)
   mutable walker_free : float;  (* the single page walker serializes *)
   ram_share : float;  (* bytes per core cycle *)
-  streams : stream array;
+  st_line : int array;  (* last line touched, or min_int *)
+  st_stride : int array;  (* locked stride in lines, 0 = not locked *)
+  st_addr : int array;  (* last raw address, or min_int *)
   mutable next_stream : int;  (* round-robin victim *)
   fill_buffers : float array;  (* busy-until times *)
   mutable bandwidth_free : float;  (* fill-path serialization point *)
@@ -78,6 +103,15 @@ let create ?(ram_sharers = 1) (cfg : Config.t) =
   {
     cfg;
     sharers = ram_sharers;
+    alias_scale =
+      (if cfg.Config.features.Config.alias_interference then
+         float_of_int (ram_sharers - 1) /. 4.
+       else 0.);
+    prefetcher_on = cfg.Config.features.Config.prefetcher;
+    tlb_on = cfg.Config.features.Config.tlb;
+    memo_line = Array.make memo_size (-1);
+    memo_stream = Array.make memo_size 0;
+    memo_next = 0;
     l1 = Cache.create cfg.l1;
     l2 = Cache.create cfg.l2;
     l3 = Cache.create l3_slice;
@@ -85,9 +119,9 @@ let create ?(ram_sharers = 1) (cfg : Config.t) =
     stlb = Cache.create stlb_geom;
     walker_free = 0.;
     ram_share = Config.ram_stream_bytes_per_cycle cfg ~sharers:ram_sharers;
-    streams =
-      Array.init stream_table_size (fun _ ->
-          { last_line = min_int; stride = 0; last_addr = min_int });
+    st_line = Array.make stream_table_size min_int;
+    st_stride = Array.make stream_table_size 0;
+    st_addr = Array.make stream_table_size min_int;
     next_stream = 0;
     fill_buffers = Array.make cfg.miss_parallelism 0.;
     bandwidth_free = 0.;
@@ -160,22 +194,25 @@ let reset t =
   Cache.reset t.dtlb;
   Cache.reset t.stlb;
   t.walker_free <- 0.;
-  Array.iter
-    (fun s ->
-      s.last_line <- min_int;
-      s.stride <- 0;
-      s.last_addr <- min_int)
-    t.streams;
+  Array.fill t.st_line 0 stream_table_size min_int;
+  Array.fill t.st_stride 0 stream_table_size 0;
+  Array.fill t.st_addr 0 stream_table_size min_int;
   t.next_stream <- 0;
+  Array.fill t.memo_line 0 memo_size (-1);
+  t.memo_next <- 0;
   Array.fill t.fill_buffers 0 (Array.length t.fill_buffers) 0.;
   t.bandwidth_free <- 0.;
   t.last_level <- L1;
+  t.last_split <- false;
   reset_counters t
 
 let drain t =
   Array.fill t.fill_buffers 0 (Array.length t.fill_buffers) 0.;
   t.bandwidth_free <- 0.;
-  t.walker_free <- 0.
+  t.walker_free <- 0.;
+  (* Same staleness gap as [reset] had: a split flag describing an
+     access from before the drain must not leak into the next run. *)
+  t.last_split <- false
 
 let level_of_last_access t = t.last_level
 
@@ -199,44 +236,105 @@ let set_access_hook t hook =
 (* Stream prefetch detection                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* A tracker moved onto [moved_line]: any memo entry it was backing, or
+   any entry now within prefetch range of the tracker's new position,
+   is no longer a guaranteed pure hit. *)
+let memo_invalidate t ~stream ~moved_line =
+  for i = 0 to memo_size - 1 do
+    let l = Array.unsafe_get t.memo_line i in
+    if l >= 0 then begin
+      let d = l - moved_line in
+      if
+        Array.unsafe_get t.memo_stream i = stream
+        || (d >= -max_prefetch_stride_lines && d <= max_prefetch_stride_lines)
+      then Array.unsafe_set t.memo_line i (-1)
+    end
+  done
+
+let memo_find t line =
+  let r = ref (-1) in
+  let i = ref 0 in
+  while !r < 0 && !i < memo_size do
+    if Array.unsafe_get t.memo_line !i = line then r := !i;
+    incr i
+  done;
+  !r
+
+(* After a slow scan found [line], check whether a repeat access could
+   skip the scan: exactly one tracker sits on the line and no other
+   tracker is within prefetch range (so the scan neither mutates a
+   tracker nor allocates one).  If so, remember it. *)
+let memo_try_establish t line =
+  let matches = ref 0 in
+  let idx = ref (-1) in
+  let near = ref false in
+  for i = 0 to stream_table_size - 1 do
+    let l = Array.unsafe_get t.st_line i in
+    if l = line then begin
+      incr matches;
+      idx := i
+    end
+    else if l <> min_int then begin
+      (* The empty-slot sentinel must be skipped before the distance
+         test: [line - min_int] overflows, and [abs min_int] is still
+         negative, so an unguarded compare reads an empty slot as
+         "near" and line 0 can never be memoized. *)
+      let d = line - l in
+      if d <> 0 && abs d <= max_prefetch_stride_lines then near := true
+    end
+  done;
+  if !matches = 1 && not !near then begin
+    let slot = t.memo_next in
+    t.memo_line.(slot) <- line;
+    t.memo_stream.(slot) <- !idx;
+    t.memo_next <- (slot + 1) mod memo_size
+  end
+
 (* Returns [true] when [line] continues an established stream whose
    stride is small enough for the hardware streamer to follow. *)
 let stream_hit t line =
   let found = ref false in
-  Array.iter
-    (fun s ->
-      if not !found then begin
-        if s.last_line = line then found := true
-        else begin
-          let delta = line - s.last_line in
-          if delta <> 0 && abs delta <= max_prefetch_stride_lines then begin
-            if s.stride = delta then begin
-              (* Established stream continues. *)
-              s.last_line <- line;
-              found := true
-            end
-            else if s.stride = 0 && s.last_line <> min_int then begin
-              (* Second touch establishes the stride; the streamer
-                 starts covering from the next access on. *)
-              s.stride <- delta;
-              s.last_line <- line
-            end
-          end
+  let i = ref 0 in
+  while (not !found) && !i < stream_table_size do
+    let l = Array.unsafe_get t.st_line !i in
+    if l = line then found := true
+    else begin
+      let delta = line - l in
+      if delta <> 0 && abs delta <= max_prefetch_stride_lines then begin
+        let st = Array.unsafe_get t.st_stride !i in
+        if st = delta then begin
+          (* Established stream continues. *)
+          Array.unsafe_set t.st_line !i line;
+          memo_invalidate t ~stream:!i ~moved_line:line;
+          found := true
         end
-      end)
-    t.streams;
+        else if st = 0 && l <> min_int then begin
+          (* Second touch establishes the stride; the streamer
+             starts covering from the next access on. *)
+          Array.unsafe_set t.st_stride !i delta;
+          Array.unsafe_set t.st_line !i line;
+          memo_invalidate t ~stream:!i ~moved_line:line
+        end
+      end
+    end;
+    incr i
+  done;
   if not !found then begin
     (* Is some tracker one step behind (training touch)?  Otherwise
        allocate a fresh tracker on the round-robin victim. *)
-    let trained =
-      Array.exists (fun s -> s.stride <> 0 && s.last_line + s.stride = line) t.streams
-    in
-    if not trained then begin
-      let s = t.streams.(t.next_stream) in
-      s.last_line <- line;
-      s.stride <- 0;
-      s.last_addr <- min_int;
-      t.next_stream <- (t.next_stream + 1) mod stream_table_size
+    let trained = ref false in
+    for j = 0 to stream_table_size - 1 do
+      let st = Array.unsafe_get t.st_stride j in
+      if st <> 0 && Array.unsafe_get t.st_line j + st = line then
+        trained := true
+    done;
+    if not !trained then begin
+      let victim = t.next_stream in
+      t.st_line.(victim) <- line;
+      t.st_stride.(victim) <- 0;
+      t.st_addr.(victim) <- min_int;
+      t.next_stream <- (victim + 1) mod stream_table_size;
+      memo_invalidate t ~stream:victim ~moved_line:line
     end
   end;
   !found
@@ -248,18 +346,22 @@ let alias_conflict t addr =
   let page_off = addr land 4095 in
   let page = addr lsr 12 in
   let conflict = ref false in
-  Array.iter
-    (fun s ->
-      if s.last_addr <> min_int then begin
-        let other_off = s.last_addr land 4095 in
-        let other_page = s.last_addr lsr 12 in
-        if other_page <> page && abs (other_off - page_off) < 64 then conflict := true
-      end)
-    t.streams;
+  for i = 0 to stream_table_size - 1 do
+    let a = Array.unsafe_get t.st_addr i in
+    if a <> min_int then begin
+      let other_off = a land 4095 in
+      let other_page = a lsr 12 in
+      if other_page <> page && abs (other_off - page_off) < 64 then
+        conflict := true
+    end
+  done;
   !conflict
 
 let record_addr t line addr =
-  Array.iter (fun s -> if s.last_line = line then s.last_addr <- addr) t.streams
+  for i = 0 to stream_table_size - 1 do
+    if Array.unsafe_get t.st_line i = line then
+      Array.unsafe_set t.st_addr i addr
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Fill pipeline                                                       *)
@@ -315,9 +417,8 @@ let line_fill t ~now ~streamed ~write ~serving =
 
 (* Look the line up in the hierarchy; allocate it at every level it
    missed in (inclusive caching).  Returns serving level. *)
-let lookup t line =
-  if Cache.access t.l1 line then L1
-  else if Cache.access t.l2 line then L2
+let lookup_beyond_l1 t line =
+  if Cache.access t.l2 line then L2
   else if Cache.access t.l3 line then L3
   else Ram
 
@@ -325,42 +426,53 @@ let lookup t line =
    re-lookup, a full miss walks the page table through the single
    hardware walker (walks serialize — the mechanism behind the paper's
    Figure 3 cliff once the matmul column stride exceeds a page). *)
-let translate t ~now ~addr =
-  if not t.cfg.Config.features.Config.tlb then 0.
+let translate_miss t ~now ~page =
+  t.c_tlb_misses <- t.c_tlb_misses + 1;
+  if Cache.access t.stlb page then stlb_hit_penalty
   else begin
-  let page = addr lsr 12 in
-  if Cache.access t.dtlb page then 0.
-  else begin
-    t.c_tlb_misses <- t.c_tlb_misses + 1;
-    if Cache.access t.stlb page then stlb_hit_penalty
-    else begin
-      t.c_page_walks <- t.c_page_walks + 1;
-      let start = Float.max now t.walker_free in
-      let finish = start +. page_walk_cycles in
-      t.walker_free <- finish;
-      finish -. now
-    end
-  end
+    t.c_page_walks <- t.c_page_walks + 1;
+    let start = Float.max now t.walker_free in
+    let finish = start +. page_walk_cycles in
+    t.walker_free <- finish;
+    finish -. now
   end
 
+let translate t ~now ~addr =
+  if not t.tlb_on then 0.
+  else begin
+    let page = addr lsr 12 in
+    if Cache.access t.dtlb page then 0. else translate_miss t ~now ~page
+  end
+
+(* The TLB-hit and L1-hit cases are open-coded at each access site:
+   they are the steady state, and a call per layer is what the slow
+   path would otherwise spend its time on. *)
 let single_access t ~now ~addr ~write =
-  let tlb_penalty = translate t ~now ~addr in
-  let now = now +. tlb_penalty in
+  let now =
+    if not t.tlb_on then now
+    else begin
+      let page = addr lsr 12 in
+      if Cache.access t.dtlb page then now
+      else now +. translate_miss t ~now ~page
+    end
+  in
   let line = Cache.line_of_addr t.l1 addr in
-  let streamed = stream_hit t line && t.cfg.Config.features.Config.prefetcher in
-  let serving = lookup t line in
-  t.last_level <- serving;
+  let streamed = stream_hit t line && t.prefetcher_on in
   let ready =
-    match serving with
-    | L1 ->
+    if Cache.access t.l1 line then begin
+      t.last_level <- L1;
       t.c_l1_hits <- t.c_l1_hits + 1;
       now +. float_of_int t.cfg.l1_latency_cycles
-    | L2 | L3 | Ram ->
+    end
+    else begin
+      let serving = lookup_beyond_l1 t line in
+      t.last_level <- serving;
       (match serving with
       | L2 -> t.c_l2_hits <- t.c_l2_hits + 1
       | L3 -> t.c_l3_hits <- t.c_l3_hits + 1
       | Ram | L1 -> t.c_ram <- t.c_ram + 1);
       line_fill t ~now ~streamed ~write ~serving
+    end
   in
   record_addr t line addr;
   ready
@@ -384,47 +496,135 @@ let nt_store t ~now ~addr ~bytes =
   let wc_allowance = 4. *. line /. bw in
   Float.max (now +. 1.) (t.bandwidth_free -. wc_allowance)
 
-let access ?(nt = false) t ~now ~addr ~bytes ~write =
+(* Memoized repeat of [single_access] for a line whose stream scan is
+   known pure-found: translation and cache lookup still run for real
+   (they carry their own state and counters), only the 16-way stream
+   scans are skipped.  [streamed] is exactly what the slow path would
+   compute: found && prefetcher feature. *)
+let split_access t ~now ~addr ~write ~first_line =
+  (* Line-split access: both halves must arrive, plus a fixed split
+     penalty for the re-issue (the core also books a replay uop). *)
+  t.c_splits <- t.c_splits + 1;
+  if t.cfg.Config.features.Config.split_penalty then t.last_split <- true;
+  let r1 = single_access t ~now ~addr ~write in
+  let second_addr = (first_line + 1) * t.cfg.l1.line_bytes in
+  let r2 = single_access t ~now:r1 ~addr:second_addr ~write in
+  let penalty =
+    if t.cfg.Config.features.Config.split_penalty then
+      float_of_int t.cfg.split_line_penalty_cycles
+    else 0.
+  in
+  Float.max r1 r2 +. penalty
+
+let access_nt t ~nt ~now ~addr ~bytes ~write =
   t.c_accesses <- t.c_accesses + 1;
-  let bytes = max 1 bytes in
+  let bytes = if bytes < 1 then 1 else bytes in
   t.last_split <- false;
   if nt && write then nt_store t ~now ~addr ~bytes
   else begin
-  let first_line = Cache.line_of_addr t.l1 addr in
-  let last_line = Cache.line_of_addr t.l1 (addr + bytes - 1) in
-  (* Cross-array page-offset collisions only hurt when the memory
-     system is under multi-core pressure (Section 5.2.2's alignment
-     studies run 8- and 32-core saturated configurations); a lone core
-     absorbs them (Fig. 4's <3% variation at 200x200). *)
-  let alias_scale =
-    if t.cfg.Config.features.Config.alias_interference then
-      float_of_int (t.sharers - 1) /. 4.
-    else 0.
-  in
-  let alias = alias_scale > 0. && alias_conflict t addr in
-  if alias then t.c_alias <- t.c_alias + 1;
-  let alias_pen =
-    if alias then t.cfg.page_4k_alias_penalty_cycles *. alias_scale else 0.
-  in
-  (* A conflicting access replays through the memory pipeline: the
-     penalty is occupancy, not just latency, so saturated streams slow
-     down (the Figures 15/16 alignment bands). *)
-  if alias then
-    t.bandwidth_free <- Float.max t.bandwidth_free now +. alias_pen;
-  if first_line = last_line then single_access t ~now ~addr ~write +. alias_pen
-  else begin
-    (* Line-split access: both halves must arrive, plus a fixed split
-       penalty for the re-issue (the core also books a replay uop). *)
-    t.c_splits <- t.c_splits + 1;
-    if t.cfg.Config.features.Config.split_penalty then t.last_split <- true;
-    let r1 = single_access t ~now ~addr ~write in
-    let second_addr = (first_line + 1) * t.cfg.l1.line_bytes in
-    let r2 = single_access t ~now:r1 ~addr:second_addr ~write in
-    let penalty =
-      if t.cfg.Config.features.Config.split_penalty then
-        float_of_int t.cfg.split_line_penalty_cycles
-      else 0.
-    in
-    Float.max r1 r2 +. penalty +. alias_pen
+    let shift = t.l1.Cache.line_shift in
+    let first_line = addr lsr shift in
+    let last_line = (addr + bytes - 1) lsr shift in
+    if t.alias_scale = 0. then begin
+      (* No alias interference: the penalty term is identically 0 and
+         the alias scan never runs, so the memo fast path applies. *)
+      if first_line = last_line then begin
+        let slot = memo_find t first_line in
+        if slot >= 0 then begin
+          (* Memo hit, open-coded (= [memo_single_access] with the
+             repeat-line cache checks already inlined): the steady
+             state of every strided stream lands here. *)
+          let now =
+            if not t.tlb_on then now
+            else begin
+              let page = addr lsr 12 in
+              let dtlb = t.dtlb in
+              let dset =
+                let m = dtlb.Cache.set_mask in
+                if m >= 0 then page land m else page mod dtlb.Cache.sets
+              in
+              if page = Array.unsafe_get dtlb.Cache.last_line dset then begin
+                dtlb.Cache.hit_count <- dtlb.Cache.hit_count + 1;
+                (match dtlb.Cache.on_access with
+                | None -> ()
+                | Some f -> f ~hit:true);
+                now
+              end
+              else if Cache.access dtlb page then now
+              else now +. translate_miss t ~now ~page
+            end
+          in
+          let ready =
+            let l1 = t.l1 in
+            let lset =
+              let m = l1.Cache.set_mask in
+              if m >= 0 then first_line land m else first_line mod l1.Cache.sets
+            in
+            if first_line = Array.unsafe_get l1.Cache.last_line lset then begin
+              l1.Cache.hit_count <- l1.Cache.hit_count + 1;
+              (match l1.Cache.on_access with
+              | None -> ()
+              | Some f -> f ~hit:true);
+              t.last_level <- L1;
+              t.c_l1_hits <- t.c_l1_hits + 1;
+              now +. float_of_int t.cfg.l1_latency_cycles
+            end
+            else if Cache.access l1 first_line then begin
+              t.last_level <- L1;
+              t.c_l1_hits <- t.c_l1_hits + 1;
+              now +. float_of_int t.cfg.l1_latency_cycles
+            end
+            else begin
+              let serving = lookup_beyond_l1 t first_line in
+              t.last_level <- serving;
+              (match serving with
+              | L2 -> t.c_l2_hits <- t.c_l2_hits + 1
+              | L3 -> t.c_l3_hits <- t.c_l3_hits + 1
+              | Ram | L1 -> t.c_ram <- t.c_ram + 1);
+              line_fill t ~now ~streamed:t.prefetcher_on ~write ~serving
+            end
+          in
+          Array.unsafe_set t.st_addr (Array.unsafe_get t.memo_stream slot) addr;
+          ready
+        end
+        else begin
+          let r = single_access t ~now ~addr ~write in
+          memo_try_establish t first_line;
+          r
+        end
+      end
+      else split_access t ~now ~addr ~write ~first_line
+    end
+    else begin
+      (* Cross-array page-offset collisions only hurt when the memory
+         system is under multi-core pressure (Section 5.2.2's alignment
+         studies run 8- and 32-core saturated configurations); a lone
+         core absorbs them (Fig. 4's <3% variation at 200x200). *)
+      let alias = alias_conflict t addr in
+      if alias then t.c_alias <- t.c_alias + 1;
+      let alias_pen =
+        if alias then t.cfg.page_4k_alias_penalty_cycles *. t.alias_scale
+        else 0.
+      in
+      (* A conflicting access replays through the memory pipeline: the
+         penalty is occupancy, not just latency, so saturated streams
+         slow down (the Figures 15/16 alignment bands). *)
+      if alias then
+        t.bandwidth_free <- Float.max t.bandwidth_free now +. alias_pen;
+      if first_line = last_line then
+        single_access t ~now ~addr ~write +. alias_pen
+      else split_access t ~now ~addr ~write ~first_line +. alias_pen
+    end
   end
-  end
+
+let access ?(nt = false) t ~now ~addr ~bytes ~write =
+  access_nt t ~nt ~now ~addr ~bytes ~write
+
+let access_batch ?(nt = false) t ~now ~addr ~stride ~count ~bytes ~write =
+  let ready = ref now in
+  let a = ref addr in
+  for _ = 1 to count do
+    ready := access_nt t ~nt ~now ~addr:!a ~bytes ~write;
+    a := !a + stride
+  done;
+  !ready

@@ -8,9 +8,54 @@
     data is available.  All times are in core cycles (floats, so
     bandwidth fractions survive). *)
 
-type t
-
 type level = L1 | L2 | L3 | Ram
+
+type t = {
+  cfg : Config.t;
+  sharers : int;
+  alias_scale : float;
+      (** 4 KiB alias penalty scale, constant per pipeline: (sharers-1)/4
+          when the feature is on, else 0. *)
+  prefetcher_on : bool;
+  tlb_on : bool;
+  memo_line : int array;  (** -1 = empty slot *)
+  memo_stream : int array;
+  mutable memo_next : int;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  dtlb : Cache.t;
+  stlb : Cache.t;
+  mutable walker_free : float;
+  ram_share : float;
+  st_line : int array;
+  st_stride : int array;
+  st_addr : int array;
+  mutable next_stream : int;
+  fill_buffers : float array;
+  mutable bandwidth_free : float;
+  mutable c_accesses : int;
+  mutable c_l1_hits : int;
+  mutable c_l2_hits : int;
+  mutable c_l3_hits : int;
+  mutable c_ram : int;
+  mutable c_splits : int;
+  mutable c_alias : int;
+  mutable c_prefetched : int;
+  mutable c_tlb_misses : int;
+  mutable c_page_walks : int;
+  mutable c_nt_stores : int;
+  mutable last_level : level;
+  mutable last_split : bool;
+}
+(** Exposed concretely — like {!Exec.t} and {!Cache.t} — so
+    {!Core.run}'s replay loop can open-code the steady-state access
+    (single line, memo hit, repeat dTLB page, repeat L1 line) without
+    a cross-module call or a boxed float return.  The inline path
+    performs exactly the mutations {!access} would; every check it
+    makes before deciding is pure, so any failure falls back to
+    {!access_nt} with no state touched.  All other users must go
+    through {!access}. *)
 
 type counters = {
   accesses : int;
@@ -40,6 +85,31 @@ val access :
     writeback).  With [nt] (non-temporal), a store bypasses the caches
     through write-combining buffers: no allocation, no RFO, half the
     DRAM traffic — the [movntps] behaviour. *)
+
+val access_nt :
+  t -> nt:bool -> now:float -> addr:int -> bytes:int -> write:bool -> float
+(** Exactly {!access}, with the non-temporal flag passed plainly.  The
+    core's allocation-free path uses this so a dynamic [~nt] never
+    constructs an option per access. *)
+
+val access_batch :
+  ?nt:bool ->
+  t ->
+  now:float ->
+  addr:int ->
+  stride:int ->
+  count:int ->
+  bytes:int ->
+  write:bool ->
+  float
+(** [access_batch t ~now ~addr ~stride ~count ~bytes ~write] issues
+    [count] accesses at [addr], [addr+stride], ... — all at time [now],
+    the fill pipeline serializing internally — and returns the last
+    access's data-ready time.  Observationally identical to folding
+    {!access} over the addresses; the win is that a dense stream
+    resolves its stream-table and translation bookkeeping once per
+    line (the same-line accesses hit the repeat-access memo) instead
+    of once per access, and the per-call overhead is paid once. *)
 
 val config : t -> Config.t
 

@@ -1,0 +1,425 @@
+(* Equivalence and allocation-discipline tests for the block-replay
+   fast path: [Core.run] must be observationally identical to the
+   reference interpreter [Core.run_reference] — same cycles, same
+   counters, bit for bit — and the non-memory steady state must not
+   allocate. *)
+
+open Mt_machine
+open Mt_isa
+open Mt_creator
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let cfg = Config.nehalem_x5650_2s
+
+let rsi = Reg.gpr64 Reg.RSI
+
+let rdi = Reg.gpr64 Reg.RDI
+
+let eax = Reg.gpr32 Reg.RAX
+
+let i op ops = Insn.Insn (Insn.make op ops)
+
+let loop ?(step = 1) body =
+  [ Insn.Label "L" ] @ body
+  @ [
+      i Insn.ADD [ Operand.imm 1; Operand.reg eax ];
+      i Insn.SUB [ Operand.imm step; Operand.reg rdi ];
+      i (Insn.Jcc Insn.GE) [ Operand.label "L" ];
+      i Insn.RET [];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Outcome equality                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let show_outcome (o : Core.outcome) =
+  Printf.sprintf
+    "cycles=%.17g insns=%d rax=%d br=%d misp=%d ld=%d st=%d pf=%d fp=%d \
+     alu=%d mem=(acc=%d l1=%d l2=%d l3=%d ram=%d split=%d alias=%d pref=%d \
+     tlb=%d walk=%d nt=%d)"
+    o.Core.cycles o.Core.instructions o.Core.rax o.Core.branches
+    o.Core.mispredicts o.Core.loads o.Core.stores o.Core.prefetches
+    o.Core.fp_ops o.Core.alu_ops o.Core.mem.Memory.accesses
+    o.Core.mem.Memory.l1_hits o.Core.mem.Memory.l2_hits
+    o.Core.mem.Memory.l3_hits o.Core.mem.Memory.ram_accesses
+    o.Core.mem.Memory.split_accesses o.Core.mem.Memory.alias_stalls
+    o.Core.mem.Memory.prefetched_fills o.Core.mem.Memory.tlb_misses
+    o.Core.mem.Memory.page_walks o.Core.mem.Memory.nt_stores
+
+let show_result = function
+  | Ok o -> "Ok " ^ show_outcome o
+  | Error e -> "Error " ^ Core.error_to_string e
+
+(* Run the same compiled program through both engines on identically
+   fresh state and demand bit-identical results. *)
+let check_equivalent ?(what = "engines agree") ?init ?max_instructions
+    ?(machine = cfg) ?ram_sharers program =
+  match Core.compile program with
+  | Error e -> Alcotest.failf "%s: compile: %s" what (Core.error_to_string e)
+  | Ok compiled ->
+    let mem_fast = Memory.create ?ram_sharers machine in
+    let mem_ref = Memory.create ?ram_sharers machine in
+    let fast = Core.run ?init ?max_instructions machine mem_fast compiled in
+    let reference =
+      Core.run_reference ?init ?max_instructions machine mem_ref compiled
+    in
+    if fast <> reference then
+      Alcotest.failf "%s:\n  fast: %s\n  ref:  %s" what (show_result fast)
+        (show_result reference)
+
+(* ------------------------------------------------------------------ *)
+(* Directed equivalence cases                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_equiv_alu_loop () =
+  let rbx = Reg.gpr64 Reg.RBX in
+  let rcx = Reg.gpr64 Reg.RCX in
+  check_equivalent ~what:"alu loop" ~init:[ (rdi, 199) ]
+    (loop
+       [
+         i Insn.ADD [ Operand.imm 3; Operand.reg rbx ];
+         i Insn.IMUL [ Operand.reg rbx; Operand.reg rcx ];
+         i Insn.XOR [ Operand.reg rcx; Operand.reg rbx ];
+       ])
+
+let test_equiv_load_store_loop () =
+  let xmm0 = Reg.xmm 0 in
+  check_equivalent ~what:"load/store stream"
+    ~init:[ (rdi, 499); (rsi, 1 lsl 22) ]
+    (loop
+       [
+         i Insn.MOVSS [ Operand.mem ~base:rsi (); Operand.reg xmm0 ];
+         i Insn.MOVSS [ Operand.reg xmm0; Operand.mem ~base:rsi ~disp:4096 () ];
+         i Insn.ADD [ Operand.imm 4; Operand.reg rsi ];
+       ])
+
+let test_equiv_split_accesses () =
+  let xmm0 = Reg.xmm 0 in
+  (* 8-byte loads at line-60: every access straddles a cache line. *)
+  check_equivalent ~what:"line splits" ~init:[ (rdi, 99); (rsi, (1 lsl 22) + 60) ]
+    (loop
+       [
+         i Insn.MOVSD [ Operand.mem ~base:rsi (); Operand.reg xmm0 ];
+         i Insn.ADD [ Operand.imm 64; Operand.reg rsi ];
+       ])
+
+let test_equiv_prefetch_and_nt () =
+  let xmm0 = Reg.xmm 0 in
+  check_equivalent ~what:"prefetch + nt store"
+    ~init:[ (rdi, 299); (rsi, 1 lsl 23) ]
+    (loop
+       [
+         i Insn.PREFETCHT0 [ Operand.mem ~base:rsi ~disp:256 () ];
+         i Insn.MOVSS [ Operand.mem ~base:rsi (); Operand.reg xmm0 ];
+         i Insn.MOVNTPS [ Operand.reg xmm0; Operand.mem ~base:rsi ~disp:(1 lsl 22) () ];
+         i Insn.ADD [ Operand.imm 16; Operand.reg rsi ];
+       ])
+
+let test_equiv_alias_sharers () =
+  let xmm0 = Reg.xmm 0 in
+  (* With ram_sharers > 1 the alias-interference path (the slow branch
+     the memo must not shortcut) is live. *)
+  check_equivalent ~what:"alias interference" ~ram_sharers:8
+    ~init:[ (rdi, 199); (rsi, 1 lsl 22) ]
+    (loop
+       [
+         i Insn.MOVSS [ Operand.mem ~base:rsi (); Operand.reg xmm0 ];
+         i Insn.MOVSS [ Operand.mem ~base:rsi ~disp:(1 lsl 20) (); Operand.reg (Reg.xmm 1) ];
+         i Insn.ADD [ Operand.imm 4; Operand.reg rsi ];
+       ])
+
+let test_equiv_fuel_and_faults () =
+  (* Fuel exhaustion must trip at the same instruction. *)
+  let forever = [ Insn.Label "L"; i Insn.JMP [ Operand.label "L" ] ] in
+  check_equivalent ~what:"fuel" ~max_instructions:777 forever;
+  (* Alignment faults must agree on pc/addr. *)
+  let misaligned =
+    [
+      i Insn.MOVAPS [ Operand.mem ~base:rsi (); Operand.reg (Reg.xmm 0) ];
+      i Insn.RET [];
+    ]
+  in
+  check_equivalent ~what:"alignment fault" ~init:[ (rsi, 4100) ] misaligned
+
+let test_equiv_empty_and_straightline () =
+  check_equivalent ~what:"empty" [];
+  check_equivalent ~what:"ret only" [ i Insn.RET [] ];
+  check_equivalent ~what:"fall off the end"
+    [ i Insn.ADD [ Operand.imm 1; Operand.reg eax ] ];
+  check_equivalent ~what:"jump off the end"
+    [ i Insn.JMP [ Operand.label "end" ]; Insn.Label "end" ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden corpus: every description x every preset                     *)
+(* ------------------------------------------------------------------ *)
+
+(* dune runtest runs us in test/; dune exec runs from the root. *)
+let corpus_dir =
+  if Sys.file_exists "../descriptions" then "../descriptions" else "descriptions"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Sample [n] variants evenly across the space (first and last always
+   included): full spaces run to hundreds of variants per kernel, and
+   the engine behaviour varies with unroll/opcode/stride, not with the
+   variant index. *)
+let sample n xs =
+  let len = List.length xs in
+  if len <= n then xs
+  else
+    List.filteri
+      (fun idx _ -> idx = len - 1 || idx mod (len / n) = 0)
+      xs
+
+let golden_init abi passes =
+  let bases = List.init 8 (fun idx -> (idx + 1) * (1 lsl 21)) in
+  (abi.Abi.counter, Abi.trip_count_for_passes abi passes)
+  :: List.mapi
+       (fun idx (r, _step) -> (r, List.nth bases (idx mod 8)))
+       abi.Abi.pointers
+
+let test_golden_corpus () =
+  let kernels = Sys.readdir corpus_dir in
+  Array.sort compare kernels;
+  let kernels =
+    Array.to_list kernels |> List.filter (fun f -> Filename.check_suffix f ".xml")
+  in
+  check_bool "full corpus present" true (List.length kernels >= 11);
+  let checked = ref 0 in
+  List.iter
+    (fun file ->
+      let text = read_file (Filename.concat corpus_dir file) in
+      let spec =
+        match Description.of_string text with
+        | Ok spec -> spec
+        | Error msg -> Alcotest.failf "%s: %s" file msg
+      in
+      let variants = sample 4 (Creator.generate spec) in
+      List.iter
+        (fun (name, machine) ->
+          List.iter
+            (fun v ->
+              let abi =
+                match v.Variant.abi with
+                | Some abi -> abi
+                | None -> Alcotest.failf "%s: variant without abi" file
+              in
+              let program = Variant.concrete_body v in
+              check_equivalent
+                ~what:(Printf.sprintf "%s/%s/%s" file name (Variant.id v))
+                ~machine
+                ~init:(golden_init abi 24)
+                program;
+              incr checked)
+            variants)
+        Config.presets)
+    kernels;
+  (* 11 kernels x 3 presets x sampled variants. *)
+  check_bool "covered the corpus" true (!checked >= 11 * 3 * 3)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: random short programs                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_random_programs =
+  let open QCheck in
+  let gpr = Gen.oneofl [ Reg.RBX; Reg.RCX; Reg.RDX; Reg.R8; Reg.R9 ] in
+  let body_insn =
+    Gen.(
+      oneof
+        [
+          (* ALU reg/imm *)
+          ( oneofl [ Insn.ADD; Insn.SUB; Insn.AND; Insn.OR; Insn.XOR; Insn.IMUL ]
+          >>= fun op ->
+            gpr >>= fun d ->
+            oneof
+              [
+                (0 -- 64 >|= fun n -> Insn.make op [ Operand.imm n; Operand.reg (Reg.gpr64 d) ]);
+                ( gpr >|= fun s ->
+                  Insn.make op [ Operand.reg (Reg.gpr64 s); Operand.reg (Reg.gpr64 d) ] );
+              ] );
+          (* MOV / LEA *)
+          ( gpr >>= fun d ->
+            oneof
+              [
+                (0 -- 1000 >|= fun n -> Insn.make Insn.MOV [ Operand.imm n; Operand.reg (Reg.gpr64 d) ]);
+                ( 0 -- 512 >|= fun disp ->
+                  Insn.make Insn.LEA
+                    [ Operand.mem ~base:rsi ~disp (); Operand.reg (Reg.gpr64 d) ] );
+              ] );
+          (* SSE arithmetic *)
+          ( oneofl [ Insn.ADDSD; Insn.MULSS; Insn.ADDPS; Insn.MULPD; Insn.DIVSD ]
+          >>= fun op ->
+            0 -- 3 >>= fun a ->
+            0 -- 3 >|= fun b ->
+            Insn.make op [ Operand.reg (Reg.xmm a); Operand.reg (Reg.xmm b) ] );
+          (* Loads and stores off the array base (unaligned-tolerant). *)
+          ( oneofl [ 0; 4; 8; 60; 64; 4096 ] >>= fun disp ->
+            0 -- 3 >>= fun x ->
+            oneofl
+              [
+                Insn.make Insn.MOVSD
+                  [ Operand.mem ~base:rsi ~disp (); Operand.reg (Reg.xmm x) ];
+                Insn.make Insn.MOVUPS
+                  [ Operand.mem ~base:rsi ~disp (); Operand.reg (Reg.xmm x) ];
+                Insn.make Insn.MOVSS
+                  [ Operand.reg (Reg.xmm x); Operand.mem ~base:rsi ~disp () ];
+              ]
+            >|= fun insn -> insn );
+          (* Walk the base pointer. *)
+          ( oneofl [ 4; 8; 16; 64; 4160 ] >|= fun step ->
+            Insn.make Insn.ADD [ Operand.imm step; Operand.reg rsi ] );
+        ])
+  in
+  let gen =
+    Gen.(
+      list_size (1 -- 8) body_insn >>= fun body ->
+      1 -- 40 >|= fun trips -> (body, trips))
+  in
+  Test.make ~count:80 ~name:"fastpath: random programs match the reference"
+    (make gen) (fun (body, trips) ->
+      check_equivalent ~what:"random program"
+        ~init:[ (rdi, trips); (rsi, 1 lsl 22) ]
+        (loop (List.map (fun x -> Insn.Insn x) body));
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation discipline                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_zero_alloc_off_path () =
+  let rbx = Reg.gpr64 Reg.RBX in
+  let rcx = Reg.gpr64 Reg.RCX in
+  let program =
+    loop
+      [
+        i Insn.ADD [ Operand.imm 3; Operand.reg rbx ];
+        i Insn.XOR [ Operand.reg rbx; Operand.reg rcx ];
+        i Insn.IMUL [ Operand.imm 5; Operand.reg rcx ];
+        i Insn.SUB [ Operand.reg rcx; Operand.reg rbx ];
+      ]
+  in
+  let compiled =
+    match Core.compile program with
+    | Ok c -> c
+    | Error e -> Alcotest.fail (Core.error_to_string e)
+  in
+  let memory = Memory.create cfg in
+  let words_for trips =
+    (* Warm everything (block build, caches) with the same trip count
+       first, so the measured run sees only steady-state work. *)
+    ignore (Core.run ~init:[ (rdi, trips) ] cfg memory compiled);
+    let before = Gc.minor_words () in
+    ignore (Core.run ~init:[ (rdi, trips) ] cfg memory compiled);
+    Gc.minor_words () -. before
+  in
+  let small = words_for 100 in
+  let large = words_for 5_000 in
+  (* Both runs pay the same per-run setup; the extra ~34k instructions
+     of the large run must cost zero additional minor words. *)
+  let per_insn = (large -. small) /. float_of_int (7 * (5_000 - 100)) in
+  if per_insn > 0.01 then
+    Alcotest.failf
+      "fast path allocates %.4f minor words per instruction (small run %.0f, \
+       large run %.0f)"
+      per_insn small large
+
+(* ------------------------------------------------------------------ *)
+(* Satellite bug regressions                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_prefetch_not_counted_as_load () =
+  let xmm0 = Reg.xmm 0 in
+  let program =
+    loop
+      [
+        i Insn.MOVSS [ Operand.mem ~base:rsi (); Operand.reg xmm0 ];
+        i Insn.PREFETCHT0 [ Operand.mem ~base:rsi ~disp:256 () ];
+        i Insn.ADD [ Operand.imm 4; Operand.reg rsi ];
+      ]
+  in
+  let memory = Memory.create cfg in
+  match Core.run_program ~init:[ (rdi, 49); (rsi, 1 lsl 22) ] cfg memory program with
+  | Error e -> Alcotest.fail (Core.error_to_string e)
+  | Ok r ->
+    check_int "demand loads only" 50 r.Core.loads;
+    check_int "prefetches counted apart" 50 r.Core.prefetches;
+    check_int "no stores" 0 r.Core.stores;
+    (* Both the demand load and the hint reach the memory pipeline. *)
+    check_int "memory accesses" 100 r.Core.mem.Memory.accesses
+
+let split_access m =
+  ignore (Memory.access m ~now:0. ~addr:((1 lsl 22) + 60) ~bytes:8 ~write:false)
+
+let test_reset_clears_split_flag () =
+  let m = Memory.create cfg in
+  split_access m;
+  check_bool "split observed" true (Memory.last_access_was_split m);
+  Memory.reset m;
+  check_bool "reset clears the split flag" false (Memory.last_access_was_split m)
+
+let test_drain_clears_split_flag () =
+  let m = Memory.create cfg in
+  split_access m;
+  check_bool "split observed" true (Memory.last_access_was_split m);
+  Memory.drain m;
+  check_bool "drain clears the split flag" false (Memory.last_access_was_split m)
+
+(* ------------------------------------------------------------------ *)
+(* access_batch                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_batch_equiv ~what ~addr ~stride ~count ~bytes ~write =
+  let ma = Memory.create cfg in
+  let mb = Memory.create cfg in
+  let batched =
+    Memory.access_batch ma ~now:0. ~addr ~stride ~count ~bytes ~write
+  in
+  let folded = ref 0. in
+  for k = 0 to count - 1 do
+    folded := Memory.access mb ~now:0. ~addr:(addr + (k * stride)) ~bytes ~write
+  done;
+  Alcotest.(check (float 0.)) (what ^ ": ready time") !folded batched;
+  check_bool
+    (what ^ ": counters")
+    true
+    (Memory.counters ma = Memory.counters mb)
+
+let test_access_batch_matches_fold () =
+  check_batch_equiv ~what:"dense read" ~addr:(1 lsl 22) ~stride:8 ~count:512
+    ~bytes:8 ~write:false;
+  check_batch_equiv ~what:"page-crossing write" ~addr:((1 lsl 22) + 32)
+    ~stride:128 ~count:200 ~bytes:16 ~write:true;
+  check_batch_equiv ~what:"line splits" ~addr:((1 lsl 22) + 60) ~stride:64
+    ~count:64 ~bytes:8 ~write:false
+
+let tests =
+  [
+    Alcotest.test_case "equiv: alu loop" `Quick test_equiv_alu_loop;
+    Alcotest.test_case "equiv: load/store loop" `Quick test_equiv_load_store_loop;
+    Alcotest.test_case "equiv: line splits" `Quick test_equiv_split_accesses;
+    Alcotest.test_case "equiv: prefetch and nt" `Quick test_equiv_prefetch_and_nt;
+    Alcotest.test_case "equiv: alias sharers" `Quick test_equiv_alias_sharers;
+    Alcotest.test_case "equiv: fuel and faults" `Quick test_equiv_fuel_and_faults;
+    Alcotest.test_case "equiv: degenerate programs" `Quick
+      test_equiv_empty_and_straightline;
+    Alcotest.test_case "golden corpus x presets" `Quick test_golden_corpus;
+    QCheck_alcotest.to_alcotest prop_random_programs;
+    Alcotest.test_case "zero minor words per instruction" `Quick
+      test_zero_alloc_off_path;
+    Alcotest.test_case "prefetches are not demand loads" `Quick
+      test_prefetch_not_counted_as_load;
+    Alcotest.test_case "reset clears split flag" `Quick
+      test_reset_clears_split_flag;
+    Alcotest.test_case "drain clears split flag" `Quick
+      test_drain_clears_split_flag;
+    Alcotest.test_case "access_batch matches folded access" `Quick
+      test_access_batch_matches_fold;
+  ]

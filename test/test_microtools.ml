@@ -6,6 +6,7 @@ let () =
       ("isa", Isa_tests.tests);
       ("machine", Machine_tests.tests);
       ("core-sim", Core_sim_tests.tests);
+      ("fastpath", Fastpath_tests.tests);
       ("creator", Creator_tests.tests);
       ("launcher", Launcher_tests.tests);
       ("openmp", Openmp_tests.tests);
