@@ -13,8 +13,74 @@
 open Cmdliner
 open Mt_launcher
 
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+(* Client mode: the same flags, round-tripped into an mt_serve
+   submission.  The daemon streams back the header and per-variant CSV
+   rows; rebuilding the document with the same Mt_stats.Csv renderer
+   makes --csv output byte-identical to a local run's. *)
+let submit_run ~socket input machine machine_file array_kb per repetitions
+    experiments csv config =
+  let machine =
+    match machine_file with
+    | Some path -> Mt_serve.Protocol.Inline_xml (read_file path)
+    | None -> Mt_serve.Protocol.Preset machine
+  in
+  let submission =
+    {
+      Mt_serve.Protocol.kernel_xml = read_file input;
+      machine;
+      array_kb;
+      per;
+      repetitions;
+      experiments;
+      run = Mt_serve.Protocol.run_options_of_config config;
+    }
+  in
+  let on_response = function
+    | Mt_serve.Protocol.Accepted { job; queue_depth } ->
+      Printf.printf "submitted to %s: job %d (queue depth %d)\n%!" socket job
+        queue_depth
+    | _ -> ()
+  in
+  match Mt_serve.Client.submit ~socket ~on_response submission with
+  | Error msg ->
+    Printf.eprintf "mt_study: submit: %s\n" msg;
+    1
+  | Ok summary ->
+    (match (csv, summary.Mt_serve.Client.csv) with
+    | Some path, Some doc ->
+      Mt_stats.Csv.save doc path;
+      Printf.printf "full results written to %s\n" path
+    | Some _, None ->
+      Printf.eprintf "mt_study: daemon streamed no result rows\n"
+    | None, _ -> ());
+    (match
+       (config.Microtools.Study.Run_config.snapshot_out,
+        summary.Mt_serve.Client.snapshot)
+     with
+    | Some path, Some doc ->
+      let oc = open_out path in
+      output_string oc (Mt_obsv.Json.to_string ~indent:true doc);
+      close_out oc;
+      Printf.printf "run snapshot written to %s (compare with mt_report)\n" path
+    | _ -> ());
+    Printf.printf "job %d done: %d quarantined, daemon cache hit rate %.1f%%\n"
+      summary.Mt_serve.Client.job summary.Mt_serve.Client.quarantined
+      (100. *. summary.Mt_serve.Client.cache_hit_rate);
+    if summary.Mt_serve.Client.quarantined > 0 then 4 else 0
+
 let run input machine machine_file array_kb per repetitions experiments top
-    csv config =
+    csv submit config =
+  match submit with
+  | Some socket ->
+    submit_run ~socket input machine machine_file array_kb per repetitions
+      experiments csv config
+  | None ->
   let tel = Mt_cli.setup config in
   let resolved =
     match machine_file with
@@ -163,6 +229,7 @@ let cmd =
   Cmd.v (Cmd.info "mt_study" ~doc ~exits:(Cmd.Exit.info 4 ~doc:"partial success: some variants were quarantined." :: Cmd.Exit.defaults))
     Term.(
       const run $ input_arg $ machine_arg $ machine_file_arg $ array_arg
-      $ per_arg $ reps_arg $ exps_arg $ top_arg $ csv_arg $ Mt_cli.term)
+      $ per_arg $ reps_arg $ exps_arg $ top_arg $ csv_arg $ Mt_cli.submit_arg
+      $ Mt_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -39,6 +39,17 @@ let cache_dir_arg =
           "On-disk result cache location (default: \\$XDG_CACHE_HOME/microtools \
            or ~/.cache/microtools).")
 
+let cache_max_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-mb" ] ~docv:"MiB" ~docs:docs_run
+        ~doc:
+          "Bound the on-disk result cache to $(docv); once a store pushes \
+           the directory over budget the least-recently-used entries are \
+           evicted (safe across concurrent processes sharing the \
+           directory).  Unbounded by default.")
+
 let no_cache_arg =
   Arg.(
     value
@@ -205,13 +216,28 @@ let trace_detail_arg =
            instruction), or full.  Takes effect when $(b,--trace-out) is \
            given.")
 
+(* Not part of {!term}: client-mode routing, composed only by binaries
+   that can submit to an mt_serve daemon (currently mt_study). *)
+let submit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "submit" ] ~docv:"SOCKET" ~docs:docs_run
+        ~doc:
+          "Instead of measuring locally, submit the study to the mt_serve \
+           daemon listening on this Unix-domain socket and stream the \
+           results back.  The run-shaping flags (seed, adaptive knobs, \
+           resilience policy, fault injection) travel with the \
+           submission; $(b,--jobs), $(b,--cache-dir) and the output \
+           flags stay local to the daemon/client respectively.")
+
 (* ------------------------------------------------------------------ *)
 (* Assembly                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let build jobs cache_dir no_cache adaptive rciw_target max_experiments
-    retries backoff_ms resilience_seed timeout sim_budget faults journal
-    resume trace_out metrics_out snapshot_out trace_detail =
+let build jobs cache_dir cache_max_mb no_cache adaptive rciw_target
+    max_experiments retries backoff_ms resilience_seed timeout sim_budget
+    faults journal resume trace_out metrics_out snapshot_out trace_detail =
   let cache =
     if no_cache then None
     else
@@ -220,6 +246,7 @@ let build jobs cache_dir no_cache adaptive rciw_target max_experiments
            ~dir:
              (Option.value ~default:(Mt_parallel.Cache.default_dir ())
                 cache_dir)
+           ?max_bytes:(Option.map (fun mb -> mb * 1024 * 1024) cache_max_mb)
            ())
   in
   let policy =
@@ -234,7 +261,8 @@ let build jobs cache_dir no_cache adaptive rciw_target max_experiments
 
 let term =
   Term.(
-    const build $ jobs_arg $ cache_dir_arg $ no_cache_arg $ adaptive_arg
+    const build $ jobs_arg $ cache_dir_arg $ cache_max_mb_arg $ no_cache_arg
+    $ adaptive_arg
     $ rciw_target_arg $ max_exps_arg $ retries_arg $ backoff_ms_arg
     $ resilience_seed_arg $ timeout_arg $ sim_budget_arg $ faults_arg
     $ journal_arg $ resume_arg $ trace_arg $ metrics_arg $ snapshot_arg

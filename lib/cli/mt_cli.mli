@@ -2,7 +2,8 @@
     microlauncher and the bench harness.
 
     One Cmdliner {!term} parses every flag that shapes $(i,how) a run
-    executes — [--jobs], [--cache-dir]/[--no-cache], the adaptive
+    executes — [--jobs], [--cache-dir]/[--cache-max-mb]/[--no-cache],
+    the adaptive
     measurement knobs, the resilience policy ([--retries],
     [--retry-backoff-ms], [--timeout], [--sim-budget],
     [--resilience-seed]), fault injection ([--inject-fault]),
@@ -18,6 +19,12 @@ val term : t Cmdliner.Term.t
 (** The shared flag set as a Cmdliner term.  Builds the cache eagerly
     (unless [--no-cache]) and folds the resilience flags into
     [config.policy]. *)
+
+val submit_arg : string option Cmdliner.Term.t
+(** The [--submit SOCKET] flag routing a run to an mt_serve daemon
+    instead of measuring locally.  Kept out of {!term} so only binaries
+    with a client mode (mt_study) declare it; they turn the parsed
+    {!t} into wire options with [Mt_serve.Protocol.run_options_of_config]. *)
 
 val setup : t -> Mt_telemetry.t
 (** Apply [config.trace_detail] and, when [--trace-out] or

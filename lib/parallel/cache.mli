@@ -17,7 +17,16 @@
     All operations are safe to call concurrently from multiple domains
     (the table is mutex-protected, counters are atomic, and disk writes
     are atomic rename-into-place), which is what lets {!Pool.map}
-    workers share one cache. *)
+    workers share one cache.
+
+    A disk-backed cache directory is furthermore safe to share between
+    {e processes} — the mt_serve daemon plus any number of one-shot CLI
+    runs: temp files are opened [O_EXCL] under pid- and domain-unique
+    names (two writers can never interleave into the same temp file),
+    entry installation is an atomic rename, and the optional
+    size-bounded LRU eviction pass is serialised through an advisory
+    file lock on [DIR/.lock].  Disk hits bump the entry's mtime, which
+    is the LRU recency stamp shared by every process. *)
 
 type t
 
@@ -26,10 +35,15 @@ val default_dir : unit -> string
     [$HOME/.cache/microtools], falling back to a directory under the
     system temp dir when neither variable is set. *)
 
-val create : ?dir:string -> unit -> t
+val create : ?dir:string -> ?max_bytes:int -> unit -> t
 (** [create ()] is a process-local in-memory cache.  [create ~dir ()]
     additionally persists every entry under [dir] (created, with
-    parents, if missing). *)
+    parents, if missing).  [max_bytes] bounds the on-disk size: after
+    each store the directory is trimmed back under the bound by
+    removing entries oldest-mtime-first (LRU; reads refresh mtime),
+    never including the entry just written.  Evictions only affect the
+    disk store — values already promoted into a process's memory table
+    stay replayable there. *)
 
 val dir : t -> string option
 
@@ -79,3 +93,7 @@ val hit_rate : t -> float
 
 val decode_failures : t -> int
 (** Hits whose stored bytes failed to decode and were recomputed. *)
+
+val evictions : t -> int
+(** Disk entries this handle removed enforcing [max_bytes] (telemetry
+    [cache.evictions]).  Always 0 without a size bound. *)

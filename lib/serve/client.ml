@@ -1,0 +1,83 @@
+(* The client side of the protocol: connect, send one request, fold the
+   response stream.  [mt_study --submit] and the serve tests sit on
+   this. *)
+
+type summary = {
+  job : int;
+  csv : Mt_stats.Csv.t option;
+  snapshot : Mt_obsv.Json.t option;
+  quarantined : int;
+  cache_hit_rate : float;
+}
+
+let with_connection ~socket f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot reach daemon at %s: %s" socket
+         (Unix.error_message err))
+  | () ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        f ic oc)
+
+let submit ~socket ?(on_response = fun (_ : Protocol.response) -> ()) s =
+  with_connection ~socket (fun ic oc ->
+      Protocol.send_request oc (Protocol.Submit s);
+      let rec drain acc =
+        match Protocol.read_response ic with
+        | None -> Error "daemon closed the connection mid-stream"
+        | Some (Error msg) -> Error ("protocol error: " ^ msg)
+        | Some (Ok resp) -> (
+          on_response resp;
+          match resp with
+          | Protocol.Accepted { job; _ } -> drain { acc with job }
+          | Protocol.Header cells ->
+            drain { acc with csv = Some (Mt_stats.Csv.create ~header:cells) }
+          | Protocol.Row cells -> (
+            match acc.csv with
+            | None -> Error "protocol error: row before header"
+            | Some doc ->
+              Mt_stats.Csv.add_row doc cells;
+              drain acc)
+          | Protocol.Snapshot doc -> drain { acc with snapshot = Some doc }
+          | Protocol.Done { job; quarantined; cache_hit_rate } ->
+            Ok { acc with job; quarantined; cache_hit_rate }
+          | Protocol.Failed { message; _ } -> Error message
+          | Protocol.Rejected reason ->
+            Error (Protocol.reject_to_string reason)
+          | Protocol.Pong | Protocol.Stats_reply _ | Protocol.Bye ->
+            Error "protocol error: unexpected response to a submission")
+      in
+      drain
+        { job = 0; csv = None; snapshot = None; quarantined = 0;
+          cache_hit_rate = 0. })
+
+(* One-shot request/response exchanges. *)
+let roundtrip ~socket request expected =
+  with_connection ~socket (fun ic oc ->
+      Protocol.send_request oc request;
+      match Protocol.read_response ic with
+      | None -> Error "daemon closed the connection"
+      | Some (Error msg) -> Error ("protocol error: " ^ msg)
+      | Some (Ok resp) -> expected resp)
+
+let ping ~socket =
+  roundtrip ~socket Protocol.Ping (function
+    | Protocol.Pong -> Ok ()
+    | _ -> Error "protocol error: expected pong")
+
+let stats ~socket =
+  roundtrip ~socket Protocol.Stats (function
+    | Protocol.Stats_reply counters -> Ok counters
+    | _ -> Error "protocol error: expected stats")
+
+let shutdown ~socket =
+  roundtrip ~socket Protocol.Shutdown (function
+    | Protocol.Bye -> Ok ()
+    | _ -> Error "protocol error: expected bye")

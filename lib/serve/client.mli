@@ -1,0 +1,29 @@
+(** Client side of the mt_serve protocol. *)
+
+type summary = {
+  job : int;
+  csv : Mt_stats.Csv.t option;
+      (** header + every streamed row, rebuilt with the same
+          {!Mt_stats.Csv} renderer the one-shot path uses — saving it
+          reproduces [mt_study --csv] byte for byte *)
+  snapshot : Mt_obsv.Json.t option;
+  quarantined : int;
+  cache_hit_rate : float;
+}
+
+val submit :
+  socket:string ->
+  ?on_response:(Protocol.response -> unit) ->
+  Protocol.submission ->
+  (summary, string) result
+(** Submit one study and drain the response stream ([on_response] sees
+    every message as it arrives, e.g. to print rows live).  Errors are
+    rejections ({!Protocol.reject_to_string}), job failures, or a dead
+    daemon. *)
+
+val ping : socket:string -> (unit, string) result
+
+val stats : socket:string -> ((string * int) list, string) result
+
+val shutdown : socket:string -> (unit, string) result
+(** Ask the daemon to stop accepting, finish queued jobs, and exit. *)

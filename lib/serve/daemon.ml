@@ -1,0 +1,349 @@
+(* The mt_serve daemon: accept study submissions over a Unix-domain
+   socket, hold them in a bounded job queue, and execute them through
+   the existing Run_config/Supervisor/Journal engine.
+
+   Thread layout: the caller's thread runs the accept loop; each
+   connection gets a short-lived handler thread (it parses and
+   validates the request, enqueues, and waits); a fixed pool of worker
+   threads pulls jobs off the shared queue as they free up — idle
+   workers steal whatever is next, so one slow study never convoys the
+   queue behind a busy worker.  Each job's simulation work still fans
+   out across [Mt_parallel.Pool] domains per the base run config. *)
+
+(* NB: no [open Mt_launcher] — its [Protocol] (the measurement
+   protocol) would shadow this library's wire [Protocol]. *)
+module Options = Mt_launcher.Options
+module Run_config = Microtools.Study.Run_config
+
+type config = {
+  socket_path : string;
+  queue_capacity : int;
+  workers : int;
+  state_dir : string option;
+  base : Run_config.t;
+}
+
+let default_config ?(base = Run_config.default) socket_path =
+  { socket_path; queue_capacity = 64; workers = 2; state_dir = None; base }
+
+type job = {
+  id : int;
+  submission : Protocol.submission;
+  oc : out_channel;
+  lock : Mutex.t;
+  finished : Condition.t;
+  mutable done_ : bool;
+}
+
+type t = {
+  config : config;
+  queue : job Jobq.t;
+  listener : Unix.file_descr;
+  stopping : bool Atomic.t;
+  next_id : int Atomic.t;
+  inflight : int Atomic.t;
+  completed : int Atomic.t;
+  failed : int Atomic.t;
+}
+
+let tel () = Mt_telemetry.global ()
+
+(* ------------------------------------------------------------------ *)
+(* Submission -> study                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let options_of_submission (s : Protocol.submission) =
+  let ( let* ) = Result.bind in
+  let* machine =
+    match s.Protocol.machine with
+    | Protocol.Preset name -> (
+      match Mt_machine.Config.find_preset name with
+      | Some cfg -> Ok cfg
+      | None ->
+        Error
+          (Printf.sprintf "unknown machine %s (known: %s)" name
+             (String.concat ", " (List.map fst Mt_machine.Config.presets))))
+    | Protocol.Inline_xml text -> Mt_machine.Config_io.of_string text
+  in
+  let* per =
+    match s.Protocol.per with
+    | "pass" -> Ok Options.Per_pass
+    | "instruction" -> Ok Options.Per_instruction
+    | "element" -> Ok Options.Per_element
+    | "call" -> Ok Options.Per_call
+    | p -> Error (Printf.sprintf "unknown per unit %S" p)
+  in
+  if s.Protocol.array_kb < 1 then Error "array_kb must be >= 1"
+  else if s.Protocol.repetitions < 1 then Error "repetitions must be >= 1"
+  else if s.Protocol.experiments < 1 then Error "experiments must be >= 1"
+  else
+    Ok
+      {
+        (Options.default machine) with
+        Options.array_bytes = s.Protocol.array_kb * 1024;
+        per;
+        repetitions = s.Protocol.repetitions;
+        experiments = s.Protocol.experiments;
+      }
+
+(* Validate as much as possible on the connection thread, before the
+   job takes a queue slot: a submission that can never run is a
+   [Bad_request], not a wasted worker dispatch. *)
+let study_of_submission (s : Protocol.submission) =
+  match options_of_submission s with
+  | Error _ as e -> e
+  | Ok opts -> Microtools.Study.of_description s.Protocol.kernel_xml opts
+
+(* ------------------------------------------------------------------ *)
+(* Job execution                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let job_run_config d job =
+  let config = Protocol.config_into_base job.submission.Protocol.run d.config.base in
+  match d.config.state_dir with
+  | None -> config
+  | Some dir ->
+    (* Per-job crash journal: a daemon killed mid-job leaves a resumable
+       checkpoint behind; the file is removed once the job completes. *)
+    Run_config.with_journal
+      (Some (Filename.concat dir (Printf.sprintf "job-%d.journal" job.id)))
+      config
+
+let stream_outcomes d job outcomes =
+  let doc = Microtools.Study.csv outcomes in
+  Protocol.send_response job.oc (Protocol.Header (Mt_stats.Csv.header doc));
+  List.iter
+    (fun row -> Protocol.send_response job.oc (Protocol.Row row))
+    (Mt_stats.Csv.rows doc);
+  let quarantined = List.length (Microtools.Study.quarantined outcomes) in
+  let cache_hit_rate =
+    match d.config.base.Run_config.cache with
+    | Some c -> Mt_parallel.Cache.hit_rate c
+    | None -> 0.
+  in
+  (quarantined, cache_hit_rate)
+
+let execute d job =
+  match study_of_submission job.submission with
+  | Error msg ->
+    (* Validation re-runs here for jobs enqueued through a raw socket
+       client that skipped the handler's early check. *)
+    Atomic.incr d.failed;
+    Mt_telemetry.incr (tel ()) "serve.jobs.failed";
+    Protocol.send_response job.oc
+      (Protocol.Failed { job = job.id; message = msg })
+  | Ok study -> (
+    let config = job_run_config d job in
+    match Microtools.Study.run ~config study with
+    | exception e ->
+      Atomic.incr d.failed;
+      Mt_telemetry.incr (tel ()) "serve.jobs.failed";
+      Protocol.send_response job.oc
+        (Protocol.Failed { job = job.id; message = Printexc.to_string e })
+    | outcomes ->
+      let quarantined, cache_hit_rate = stream_outcomes d job outcomes in
+      let snapshot =
+        Mt_obsv.Snapshot.to_json
+          (Microtools.Study.snapshot ~tool:"mt_serve" study outcomes)
+      in
+      Protocol.send_response job.oc (Protocol.Snapshot snapshot);
+      Protocol.send_response job.oc
+        (Protocol.Done { job = job.id; quarantined; cache_hit_rate });
+      Option.iter
+        (fun path -> try Sys.remove path with Sys_error _ -> ())
+        config.Run_config.journal_out;
+      Atomic.incr d.completed;
+      Mt_telemetry.incr (tel ()) "serve.jobs.completed")
+
+let worker d () =
+  let rec loop () =
+    match Jobq.pop d.queue with
+    | None -> ()
+    | Some job ->
+      Atomic.incr d.inflight;
+      Mt_telemetry.incr (tel ()) "serve.jobs.started";
+      (try execute d job
+       with _ ->
+         (* The socket died mid-stream (client hung up): the job is
+            finished either way; never take the worker down. *)
+         ());
+      Atomic.decr d.inflight;
+      Mutex.lock job.lock;
+      job.done_ <- true;
+      Condition.signal job.finished;
+      Mutex.unlock job.lock;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stats d =
+  let cache_counters =
+    match d.config.base.Run_config.cache with
+    | None -> []
+    | Some c ->
+      [
+        ("cache.hits", Mt_parallel.Cache.hits c);
+        ("cache.misses", Mt_parallel.Cache.misses c);
+        ("cache.decode_failures", Mt_parallel.Cache.decode_failures c);
+        ("cache.evictions", Mt_parallel.Cache.evictions c);
+      ]
+  in
+  [
+    ("serve.queue.capacity", Jobq.capacity d.queue);
+    ("serve.queue.depth", Jobq.depth d.queue);
+    ("serve.jobs.inflight", Atomic.get d.inflight);
+    ("serve.jobs.completed", Atomic.get d.completed);
+    ("serve.jobs.failed", Atomic.get d.failed);
+  ]
+  @ cache_counters
+
+let trigger_stop d =
+  if not (Atomic.exchange d.stopping true) then begin
+    (* Closing the fd would NOT wake a thread blocked in accept(2);
+       shutting the listener down does (accept fails with EINVAL), and
+       a throwaway connection covers any platform where shutdown on a
+       listening socket is a no-op.  In-queue and in-flight jobs still
+       run to completion. *)
+    (try Unix.shutdown d.listener Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    try
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> Unix.connect fd (Unix.ADDR_UNIX d.config.socket_path))
+    with Unix.Unix_error _ -> ()
+  end
+
+let handle_submit d oc s =
+  Mt_telemetry.incr (tel ()) "serve.submissions";
+  match study_of_submission s with
+  | Error msg ->
+    Mt_telemetry.incr (tel ()) "serve.rejected.bad_request";
+    Protocol.send_response oc (Protocol.Rejected (Protocol.Bad_request msg))
+  | Ok _ -> (
+    let job =
+      {
+        id = Atomic.fetch_and_add d.next_id 1;
+        submission = s;
+        oc;
+        lock = Mutex.create ();
+        finished = Condition.create ();
+        done_ = false;
+      }
+    in
+    match Jobq.push d.queue job with
+    | Error (`Queue_full | `Closed) ->
+      (* A closing daemon has no capacity either: same typed error. *)
+      Mt_telemetry.incr (tel ()) "serve.rejected.queue_full";
+      Protocol.send_response oc (Protocol.Rejected Protocol.Queue_full)
+    | Ok () ->
+      Mt_telemetry.incr (tel ()) "serve.accepted";
+      Protocol.send_response oc
+        (Protocol.Accepted { job = job.id; queue_depth = Jobq.depth d.queue });
+      Mutex.lock job.lock;
+      while not job.done_ do
+        Condition.wait job.finished job.lock
+      done;
+      Mutex.unlock job.lock)
+
+let handle_connection d fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     match Protocol.read_request ic with
+     | None -> ()
+     | Some (Error msg) ->
+       Protocol.send_response oc (Protocol.Rejected (Protocol.Bad_request msg))
+     | Some (Ok Protocol.Ping) -> Protocol.send_response oc Protocol.Pong
+     | Some (Ok Protocol.Stats) ->
+       Protocol.send_response oc (Protocol.Stats_reply (stats d))
+     | Some (Ok Protocol.Shutdown) ->
+       Protocol.send_response oc Protocol.Bye;
+       trigger_stop d
+     | Some (Ok (Protocol.Submit s)) -> handle_submit d oc s
+   with _ -> () (* peer hung up mid-exchange *));
+  (try flush oc with Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ()
+  end
+
+let create config =
+  Option.iter mkdir_p config.state_dir;
+  mkdir_p (Filename.dirname config.socket_path);
+  (* A stale socket file from a dead daemon blocks bind; a live daemon
+     on the same path is a configuration error we surface via bind. *)
+  (match Unix.lstat config.socket_path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect probe (Unix.ADDR_UNIX config.socket_path) with
+    | () ->
+      Unix.close probe;
+      failwith
+        (Printf.sprintf "mt_serve: %s already has a live daemon"
+           config.socket_path)
+    | exception Unix.Unix_error _ ->
+      Unix.close probe;
+      (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ()))
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listener 64;
+  {
+    config;
+    queue = Jobq.create ~capacity:config.queue_capacity;
+    listener;
+    stopping = Atomic.make false;
+    next_id = Atomic.make 1;
+    inflight = Atomic.make 0;
+    completed = Atomic.make 0;
+    failed = Atomic.make 0;
+  }
+
+let serve d =
+  let workers =
+    List.init
+      (max 1 d.config.workers)
+      (fun _ -> Thread.create (worker d) ())
+  in
+  let rec accept_loop () =
+    match Unix.accept d.listener with
+    | fd, _ ->
+      if Atomic.get d.stopping then
+        (* The wake-up connection from trigger_stop, or a client racing
+           the shutdown: either way, no new work. *)
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        ignore (Thread.create (handle_connection d) fd);
+        accept_loop ()
+      end
+    | exception
+        Unix.Unix_error
+          ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      when Atomic.get d.stopping ->
+      ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  accept_loop ();
+  (try Unix.close d.listener with Unix.Unix_error _ -> ());
+  (* Drain: pending jobs still execute, their connection handlers are
+     still waiting on them; then the workers see the close and exit. *)
+  Jobq.close d.queue;
+  List.iter Thread.join workers;
+  try Unix.unlink d.config.socket_path with Unix.Unix_error _ -> ()
+
+let stop = trigger_stop
+
+let run config = serve (create config)

@@ -1,0 +1,58 @@
+(** The persistent study daemon behind [mt_serve]: a Unix-domain
+    listener, a bounded job queue, and a pool of worker threads that
+    execute submissions through the {!Microtools.Study.Run_config}
+    engine (each job still fans its variants out across the
+    [Mt_parallel.Pool] domains the base config allows).
+
+    Lifecycle: {!create} binds the socket (refusing a path with a live
+    daemon, silently replacing a stale socket file), {!serve} blocks
+    running the accept loop until a [shutdown] protocol message (or
+    {!stop}) arrives, then drains the queue — every accepted job
+    completes and streams its results before [serve] returns and the
+    socket file is removed.
+
+    Failure semantics: a malformed or unrunnable submission is rejected
+    before it takes a queue slot; a full queue rejects with a typed
+    [queue-full]; a job whose study raises streams a [failed] message
+    but never takes the daemon down; a client that hangs up mid-stream
+    only loses its own results.  With a [state_dir], each running job
+    keeps a crash journal — a daemon killed mid-job leaves a
+    [job-N.journal] checkpoint a later one-shot run can [--resume]. *)
+
+type config = {
+  socket_path : string;
+  queue_capacity : int;  (** submissions held beyond the running ones *)
+  workers : int;  (** concurrent jobs (each with [base]'s domains) *)
+  state_dir : string option;  (** per-job crash journals live here *)
+  base : Microtools.Study.Run_config.t;
+      (** domains, shared cache, trace routing for every job; the
+          per-submission wire options overlay seed/adaptive/policy/
+          faults on top ({!Protocol.config_into_base}) *)
+}
+
+val default_config :
+  ?base:Microtools.Study.Run_config.t -> string -> config
+(** [default_config socket_path]: queue of 64, 2 workers, no state
+    dir. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen.  Raises [Failure] when the socket path already
+    hosts a live daemon, [Unix.Unix_error] when it cannot bind. *)
+
+val serve : t -> unit
+(** Run the accept loop until shutdown; drains the queue before
+    returning. *)
+
+val run : config -> unit
+(** [serve (create config)]. *)
+
+val stop : t -> unit
+(** Initiate shutdown from another thread (also triggered by the
+    protocol [shutdown] message). *)
+
+val stats : t -> (string * int) list
+(** The counters served to a [stats] request: queue depth/capacity,
+    jobs in flight/completed/failed, and the shared cache's
+    hits/misses/decode-failures/evictions when one is configured. *)

@@ -1,0 +1,61 @@
+(* A bounded multi-producer/multi-consumer job queue: the back-pressure
+   point of the daemon.  Producers never block — a full queue is a typed
+   rejection the protocol reports back to the client, not a dropped or
+   silently parked submission.  Consumers (the worker threads) block
+   until work arrives or the queue is closed and drained. *)
+
+type 'a t = {
+  capacity : int;
+  items : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Mt_serve.Jobq.create: capacity < 1";
+  {
+    capacity;
+    items = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t x =
+  locked t (fun () ->
+      if t.closed then Error `Closed
+      else if Queue.length t.items >= t.capacity then Error `Queue_full
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.nonempty;
+        Ok ()
+      end)
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        match Queue.take_opt t.items with
+        | Some x -> Some x
+        | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.nonempty t.lock;
+            wait ()
+          end
+      in
+      wait ())
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      (* Every blocked consumer must wake to observe the close. *)
+      Condition.broadcast t.nonempty)
+
+let depth t = locked t (fun () -> Queue.length t.items)
+
+let capacity t = t.capacity

@@ -1,0 +1,23 @@
+(** A bounded multi-producer/multi-consumer job queue — the daemon's
+    back-pressure point.  Thread-safe (mutex + condition). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val push : 'a t -> 'a -> (unit, [ `Queue_full | `Closed ]) result
+(** Non-blocking enqueue.  A full queue is a typed error — the protocol
+    turns it into {!Protocol.Queue_full} — never a silent drop. *)
+
+val pop : 'a t -> 'a option
+(** Blocking dequeue; [None] once the queue is closed {e and} drained
+    (pending jobs are still served after {!close}). *)
+
+val close : 'a t -> unit
+(** Reject further pushes and wake every blocked consumer. *)
+
+val depth : 'a t -> int
+(** Jobs currently queued (excludes jobs already claimed by a worker). *)
+
+val capacity : 'a t -> int

@@ -1,0 +1,424 @@
+(* The mt_serve wire protocol: line-delimited JSON over a Unix-domain
+   stream socket, built on Mt_obsv.Json (which escapes every control
+   character, so one message is always exactly one line). *)
+
+module J = Mt_obsv.Json
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type machine = Preset of string | Inline_xml of string
+
+(* The serializable slice of Study.Run_config: everything that shapes
+   how a submitted study measures (seed, adaptive stopping, the whole
+   resilience policy, injected faults).  The non-serializable rest —
+   domains, the cache handle, journal/trace paths — is the daemon's to
+   provide, so a submission can never point the server at arbitrary
+   files. *)
+type run_options = {
+  seed : int option;
+  adaptive : (float * int) option;  (* rciw_target, max_experiments *)
+  retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  backoff_jitter : float;
+  backoff_seed : int;
+  wall_budget_s : float option;
+  sim_budget : int option;
+  faults : Mt_resilience.Fault.t list;
+}
+
+type submission = {
+  kernel_xml : string;
+  machine : machine;
+  array_kb : int;
+  per : string;  (* pass | instruction | element | call *)
+  repetitions : int;
+  experiments : int;
+  run : run_options;
+}
+
+type request = Submit of submission | Ping | Stats | Shutdown
+
+type reject_reason = Queue_full | Bad_request of string
+
+type response =
+  | Accepted of { job : int; queue_depth : int }
+  | Rejected of reject_reason
+  | Header of string list
+  | Row of string list
+  | Snapshot of J.t
+  | Done of { job : int; quarantined : int; cache_hit_rate : float }
+  | Failed of { job : int; message : string }
+  | Pong
+  | Stats_reply of (string * int) list
+  | Bye
+
+let reject_to_string = function
+  | Queue_full -> "queue-full"
+  | Bad_request msg -> "bad-request: " ^ msg
+
+(* ------------------------------------------------------------------ *)
+(* Run_config <-> run_options                                          *)
+(* ------------------------------------------------------------------ *)
+
+let default_run_options =
+  let p = Mt_resilience.Policy.default in
+  {
+    seed = None;
+    adaptive = None;
+    retries = p.Mt_resilience.Policy.retries;
+    backoff_base_s = p.Mt_resilience.Policy.backoff_base_s;
+    backoff_max_s = p.Mt_resilience.Policy.backoff_max_s;
+    backoff_jitter = p.Mt_resilience.Policy.backoff_jitter;
+    backoff_seed = p.Mt_resilience.Policy.backoff_seed;
+    wall_budget_s = None;
+    sim_budget = None;
+    faults = [];
+  }
+
+module Run_config = Microtools.Study.Run_config
+
+let run_options_of_config (c : Run_config.t) =
+  let p = c.Run_config.policy in
+  {
+    seed = c.Run_config.seed;
+    adaptive = c.Run_config.adaptive;
+    retries = p.Mt_resilience.Policy.retries;
+    backoff_base_s = p.Mt_resilience.Policy.backoff_base_s;
+    backoff_max_s = p.Mt_resilience.Policy.backoff_max_s;
+    backoff_jitter = p.Mt_resilience.Policy.backoff_jitter;
+    backoff_seed = p.Mt_resilience.Policy.backoff_seed;
+    wall_budget_s = p.Mt_resilience.Policy.wall_budget_s;
+    sim_budget = p.Mt_resilience.Policy.sim_budget;
+    faults = c.Run_config.faults;
+  }
+
+(* Overlay the wire options onto the daemon's base config.  The base
+   keeps its domains, cache and output routing; the submission decides
+   seed, adaptive stopping, policy and faults. *)
+let config_into_base run (base : Run_config.t) =
+  let policy =
+    Mt_resilience.Policy.make ~retries:run.retries
+      ~backoff_base_s:run.backoff_base_s ~backoff_max_s:run.backoff_max_s
+      ~backoff_jitter:run.backoff_jitter ~backoff_seed:run.backoff_seed
+      ?wall_budget_s:run.wall_budget_s ?sim_budget:run.sim_budget ()
+  in
+  base
+  |> Run_config.with_seed run.seed
+  |> Run_config.with_adaptive run.adaptive
+  |> Run_config.with_policy policy
+  |> Run_config.with_faults run.faults
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let num_opt = function None -> J.Null | Some v -> J.Num v
+
+let int_opt = function None -> J.Null | Some v -> J.Num (float_of_int v)
+
+let machine_to_json = function
+  | Preset name -> J.Obj [ ("preset", J.Str name) ]
+  | Inline_xml xml -> J.Obj [ ("xml", J.Str xml) ]
+
+let run_options_to_json r =
+  J.Obj
+    [
+      ("seed", int_opt r.seed);
+      ( "adaptive",
+        match r.adaptive with
+        | None -> J.Null
+        | Some (target, budget) ->
+          J.Obj
+            [
+              ("rciw_target", J.Num target);
+              ("max_experiments", J.Num (float_of_int budget));
+            ] );
+      ("retries", J.Num (float_of_int r.retries));
+      ("backoff_base_s", J.Num r.backoff_base_s);
+      ("backoff_max_s", J.Num r.backoff_max_s);
+      ("backoff_jitter", J.Num r.backoff_jitter);
+      ("backoff_seed", J.Num (float_of_int r.backoff_seed));
+      ("wall_budget_s", num_opt r.wall_budget_s);
+      ("sim_budget", int_opt r.sim_budget);
+      ( "faults",
+        J.List
+          (List.map (fun f -> J.Str (Mt_resilience.Fault.to_spec f)) r.faults)
+      );
+    ]
+
+let submission_to_json s =
+  J.Obj
+    [
+      ("kernel_xml", J.Str s.kernel_xml);
+      ("machine", machine_to_json s.machine);
+      ("array_kb", J.Num (float_of_int s.array_kb));
+      ("per", J.Str s.per);
+      ("repetitions", J.Num (float_of_int s.repetitions));
+      ("experiments", J.Num (float_of_int s.experiments));
+      ("run", run_options_to_json s.run);
+    ]
+
+let request_to_json = function
+  | Submit s -> J.Obj [ ("type", J.Str "submit"); ("job", submission_to_json s) ]
+  | Ping -> J.Obj [ ("type", J.Str "ping") ]
+  | Stats -> J.Obj [ ("type", J.Str "stats") ]
+  | Shutdown -> J.Obj [ ("type", J.Str "shutdown") ]
+
+let cells_to_json cells = J.List (List.map (fun c -> J.Str c) cells)
+
+let response_to_json = function
+  | Accepted { job; queue_depth } ->
+    J.Obj
+      [
+        ("type", J.Str "accepted");
+        ("job", J.Num (float_of_int job));
+        ("queue_depth", J.Num (float_of_int queue_depth));
+      ]
+  | Rejected Queue_full ->
+    J.Obj [ ("type", J.Str "rejected"); ("reason", J.Str "queue-full") ]
+  | Rejected (Bad_request msg) ->
+    J.Obj
+      [
+        ("type", J.Str "rejected");
+        ("reason", J.Str "bad-request");
+        ("detail", J.Str msg);
+      ]
+  | Header cells -> J.Obj [ ("type", J.Str "header"); ("cells", cells_to_json cells) ]
+  | Row cells -> J.Obj [ ("type", J.Str "row"); ("cells", cells_to_json cells) ]
+  | Snapshot doc -> J.Obj [ ("type", J.Str "snapshot"); ("data", doc) ]
+  | Done { job; quarantined; cache_hit_rate } ->
+    J.Obj
+      [
+        ("type", J.Str "done");
+        ("job", J.Num (float_of_int job));
+        ("quarantined", J.Num (float_of_int quarantined));
+        ("cache_hit_rate", J.Num cache_hit_rate);
+      ]
+  | Failed { job; message } ->
+    J.Obj
+      [
+        ("type", J.Str "failed");
+        ("job", J.Num (float_of_int job));
+        ("message", J.Str message);
+      ]
+  | Pong -> J.Obj [ ("type", J.Str "pong") ]
+  | Stats_reply counters ->
+    J.Obj
+      [
+        ("type", J.Str "stats");
+        ( "counters",
+          J.Obj (List.map (fun (k, v) -> (k, J.Num (float_of_int v))) counters)
+        );
+      ]
+  | Bye -> J.Obj [ ("type", J.Str "bye") ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name doc =
+  match J.member name doc with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str name doc =
+  let* v = field name doc in
+  match J.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let int_field name doc =
+  let* v = field name doc in
+  match J.to_int v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let float_field name doc =
+  let* v = field name doc in
+  match J.to_float v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S: expected a number" name)
+
+let opt_of name conv doc =
+  match J.member name doc with
+  | None | Some J.Null -> Ok None
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok (Some x)
+    | None -> Error (Printf.sprintf "field %S: bad value" name))
+
+let cells_of doc =
+  let* v = field "cells" doc in
+  match J.to_list v with
+  | None -> Error "field \"cells\": expected a list"
+  | Some items ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match J.to_str item with
+        | Some s -> Ok (s :: acc)
+        | None -> Error "field \"cells\": expected strings")
+      (Ok []) items
+    |> Result.map List.rev
+
+let machine_of_json doc =
+  match (J.member "preset" doc, J.member "xml" doc) with
+  | Some (J.Str name), _ -> Ok (Preset name)
+  | _, Some (J.Str xml) -> Ok (Inline_xml xml)
+  | _ -> Error "machine: expected {\"preset\": name} or {\"xml\": text}"
+
+let run_options_of_json doc =
+  let* seed = opt_of "seed" J.to_int doc in
+  let* adaptive =
+    match J.member "adaptive" doc with
+    | None | Some J.Null -> Ok None
+    | Some a ->
+      let* target = float_field "rciw_target" a in
+      let* budget = int_field "max_experiments" a in
+      Ok (Some (target, budget))
+  in
+  let* retries = int_field "retries" doc in
+  let* backoff_base_s = float_field "backoff_base_s" doc in
+  let* backoff_max_s = float_field "backoff_max_s" doc in
+  let* backoff_jitter = float_field "backoff_jitter" doc in
+  let* backoff_seed = int_field "backoff_seed" doc in
+  let* wall_budget_s = opt_of "wall_budget_s" J.to_float doc in
+  let* sim_budget = opt_of "sim_budget" J.to_int doc in
+  let* faults =
+    let* v = field "faults" doc in
+    match J.to_list v with
+    | None -> Error "field \"faults\": expected a list"
+    | Some items ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match item with
+          | J.Str spec ->
+            let* f = Mt_resilience.Fault.of_spec spec in
+            Ok (f :: acc)
+          | _ -> Error "field \"faults\": expected fault spec strings")
+        (Ok []) items
+      |> Result.map List.rev
+  in
+  Ok
+    {
+      seed;
+      adaptive;
+      retries;
+      backoff_base_s;
+      backoff_max_s;
+      backoff_jitter;
+      backoff_seed;
+      wall_budget_s;
+      sim_budget;
+      faults;
+    }
+
+let submission_of_json doc =
+  let* kernel_xml = str "kernel_xml" doc in
+  let* machine_doc = field "machine" doc in
+  let* machine = machine_of_json machine_doc in
+  let* array_kb = int_field "array_kb" doc in
+  let* per = str "per" doc in
+  let* repetitions = int_field "repetitions" doc in
+  let* experiments = int_field "experiments" doc in
+  let* run_doc = field "run" doc in
+  let* run = run_options_of_json run_doc in
+  Ok { kernel_xml; machine; array_kb; per; repetitions; experiments; run }
+
+let request_of_json doc =
+  let* kind = str "type" doc in
+  match kind with
+  | "submit" ->
+    let* job = field "job" doc in
+    let* s = submission_of_json job in
+    Ok (Submit s)
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | k -> Error (Printf.sprintf "unknown request type %S" k)
+
+let response_of_json doc =
+  let* kind = str "type" doc in
+  match kind with
+  | "accepted" ->
+    let* job = int_field "job" doc in
+    let* queue_depth = int_field "queue_depth" doc in
+    Ok (Accepted { job; queue_depth })
+  | "rejected" -> (
+    let* reason = str "reason" doc in
+    match reason with
+    | "queue-full" -> Ok (Rejected Queue_full)
+    | "bad-request" ->
+      let detail =
+        Option.value ~default:"" (Option.bind (J.member "detail" doc) J.to_str)
+      in
+      Ok (Rejected (Bad_request detail))
+    | r -> Error (Printf.sprintf "unknown rejection reason %S" r))
+  | "header" ->
+    let* cells = cells_of doc in
+    Ok (Header cells)
+  | "row" ->
+    let* cells = cells_of doc in
+    Ok (Row cells)
+  | "snapshot" ->
+    let* data = field "data" doc in
+    Ok (Snapshot data)
+  | "done" ->
+    let* job = int_field "job" doc in
+    let* quarantined = int_field "quarantined" doc in
+    let* cache_hit_rate = float_field "cache_hit_rate" doc in
+    Ok (Done { job; quarantined; cache_hit_rate })
+  | "failed" ->
+    let* job = int_field "job" doc in
+    let* message = str "message" doc in
+    Ok (Failed { job; message })
+  | "pong" -> Ok Pong
+  | "stats" ->
+    let* v = field "counters" doc in
+    (match J.to_obj v with
+    | None -> Error "field \"counters\": expected an object"
+    | Some kvs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match J.to_int v with
+          | Some n -> Ok ((k, n) :: acc)
+          | None -> Error "field \"counters\": expected integers")
+        (Ok []) kvs
+      |> Result.map List.rev)
+    |> Result.map (fun counters -> Stats_reply counters)
+  | "bye" -> Ok Bye
+  | k -> Error (Printf.sprintf "unknown response type %S" k)
+
+(* ------------------------------------------------------------------ *)
+(* Line framing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let write_line oc json =
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  flush oc
+
+let send_request oc r = write_line oc (request_to_json r)
+
+let send_response oc r = write_line oc (response_to_json r)
+
+let read_json ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | line -> (
+    match J.of_string line with
+    | Ok doc -> Some (Ok doc)
+    | Error msg -> Some (Error msg))
+
+let read_request ic =
+  Option.map (fun r -> Result.bind r request_of_json) (read_json ic)
+
+let read_response ic =
+  Option.map (fun r -> Result.bind r response_of_json) (read_json ic)

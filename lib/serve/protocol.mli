@@ -1,0 +1,105 @@
+(** The mt_serve wire protocol: line-delimited JSON over a Unix-domain
+    stream socket.
+
+    Every message is one {!Mt_obsv.Json} document on one line (the
+    printer escapes all control characters, so embedded kernel XML or
+    CSV cells can never break the framing).  A client sends one
+    {!request} and reads {!response} lines until a terminal one
+    ([Rejected], [Done], [Failed], [Pong], [Stats_reply] or [Bye]).
+
+    A study submission carries the kernel description XML, the machine
+    (preset name or inline machine XML) and the serializable slice of
+    {!Microtools.Study.Run_config} ({!run_options}); the daemon's own
+    domains, shared cache and journal directory are deliberately not
+    client-controllable. *)
+
+module J = Mt_obsv.Json
+
+type machine =
+  | Preset of string  (** a {!Mt_machine.Config.presets} name *)
+  | Inline_xml of string  (** a machine description document *)
+
+type run_options = {
+  seed : int option;
+  adaptive : (float * int) option;  (** (rciw_target, max_experiments) *)
+  retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  backoff_jitter : float;
+  backoff_seed : int;
+  wall_budget_s : float option;
+  sim_budget : int option;
+  faults : Mt_resilience.Fault.t list;
+}
+
+type submission = {
+  kernel_xml : string;
+  machine : machine;
+  array_kb : int;
+  per : string;  (** pass | instruction | element | call *)
+  repetitions : int;
+  experiments : int;
+  run : run_options;
+}
+
+type request = Submit of submission | Ping | Stats | Shutdown
+
+type reject_reason =
+  | Queue_full  (** back-pressure: the bounded job queue is at capacity *)
+  | Bad_request of string
+
+type response =
+  | Accepted of { job : int; queue_depth : int }
+  | Rejected of reject_reason
+  | Header of string list  (** the CSV header, once, before any [Row] *)
+  | Row of string list  (** one CSV row per variant, in variant order *)
+  | Snapshot of J.t  (** the run-provenance snapshot document *)
+  | Done of { job : int; quarantined : int; cache_hit_rate : float }
+  | Failed of { job : int; message : string }
+  | Pong
+  | Stats_reply of (string * int) list
+  | Bye
+
+val reject_to_string : reject_reason -> string
+
+val default_run_options : run_options
+(** {!Mt_resilience.Policy.default} with no seed, no adaptive stopping
+    and no faults. *)
+
+val run_options_of_config : Microtools.Study.Run_config.t -> run_options
+(** Project the serializable slice out of a full run config — how
+    [mt_study --submit] turns its parsed Mt_cli flags into wire
+    options. *)
+
+val config_into_base :
+  run_options -> Microtools.Study.Run_config.t -> Microtools.Study.Run_config.t
+(** [config_into_base run base] overlays the wire options onto the
+    daemon's base config, keeping [base]'s domains, cache and output
+    routing.  Right inverse of {!run_options_of_config} on the
+    serializable fields. *)
+
+(** {1 JSON codecs} *)
+
+val submission_to_json : submission -> J.t
+
+val submission_of_json : J.t -> (submission, string) result
+
+val request_to_json : request -> J.t
+
+val request_of_json : J.t -> (request, string) result
+
+val response_to_json : response -> J.t
+
+val response_of_json : J.t -> (response, string) result
+
+(** {1 Line framing} *)
+
+val send_request : out_channel -> request -> unit
+(** Write one request line and flush. *)
+
+val send_response : out_channel -> response -> unit
+
+val read_request : in_channel -> (request, string) result option
+(** [None] on a closed peer; [Some (Error _)] on a malformed line. *)
+
+val read_response : in_channel -> (response, string) result option

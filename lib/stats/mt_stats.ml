@@ -52,13 +52,17 @@ let stddev xs =
     sqrt (sq /. float_of_int (n - 1))
   end
 
+(* CoV and its relatives are dispersion measures: they must stay
+   non-negative for negative-mean series (energy deltas, diffs), or a
+   downstream noise band computed from them flips sign and every
+   comparison clears it.  Hence the [abs_float] on each denominator. *)
 let coefficient_of_variation xs =
   let m = mean xs in
-  if m = 0. then 0. else stddev xs /. m
+  if m = 0. then 0. else stddev xs /. abs_float m
 
 let relative_spread xs =
   let lo = min_of xs and hi = max_of xs in
-  if lo = 0. then 0. else (hi -. lo) /. lo
+  if lo = 0. then 0. else (hi -. lo) /. abs_float lo
 
 let percentile_sorted ys p =
   check_non_empty "Mt_stats.percentile_sorted" ys;
@@ -99,7 +103,9 @@ let pooled_cov groups =
       /. float_of_int total
     in
     if grand_mean = 0. then 0.
-    else pooled_stddev (List.map (fun (n, _, s) -> (n, s)) groups) /. grand_mean
+    else
+      pooled_stddev (List.map (fun (n, _, s) -> (n, s)) groups)
+      /. abs_float grand_mean
   end
 
 (* One sort serves minimum, maximum and median; callers needing more
@@ -200,6 +206,10 @@ module Csv = struct
         | '\n' -> finish_record (); unquoted (i + 1)
         | '\r' when i + 1 < n && s.[i + 1] = '\n' ->
           finish_record (); unquoted (i + 2)
+        | '\r' ->
+          (* A bare CR (old-Mac line ending, or a file-final [\r]) is a
+             record terminator too — never cell data. *)
+          finish_record (); unquoted (i + 1)
         | '"' when Buffer.length cell = 0 -> quoted (i + 1)
         | c -> Buffer.add_char cell c; unquoted (i + 1)
     and quoted i =

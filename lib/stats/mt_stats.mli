@@ -31,12 +31,13 @@ val stddev : float array -> float
 (** Sample standard deviation; 0 for arrays of length < 2. *)
 
 val coefficient_of_variation : float array -> float
-(** [stddev / mean]; the launcher's stability metric.  0 when the mean
-    is 0. *)
+(** [stddev / |mean|]; the launcher's stability metric.  0 when the
+    mean is 0.  Always non-negative — dispersion has no sign, even for
+    negative-mean series. *)
 
 val relative_spread : float array -> float
-(** [(max - min) / min]; the paper's "variation is less than 3%" style
-    metric.  0 when the minimum is 0. *)
+(** [(max - min) / |min|]; the paper's "variation is less than 3%"
+    style metric.  0 when the minimum is 0; non-negative always. *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0, 100], linear interpolation. *)
@@ -63,10 +64,11 @@ val pooled_stddev : (int * float) list -> float
 
 val pooled_cov : (int * float * float) list -> float
 (** [pooled_cov [(n1, m1, s1); ...]] over [(count, mean, stddev)]
-    groups: {!pooled_stddev} divided by the count-weighted grand mean —
-    the μOpTime-style noise band used by regression gating (a median
-    delta inside a multiple of this band is indistinguishable from
-    run-to-run noise).  0 when the grand mean is 0 or no samples. *)
+    groups: {!pooled_stddev} divided by the absolute count-weighted
+    grand mean — the μOpTime-style noise band used by regression gating
+    (a median delta inside a multiple of this band is indistinguishable
+    from run-to-run noise).  0 when the grand mean is 0 or no samples;
+    non-negative always, so the derived band never flips sign. *)
 
 (** {1 CSV} *)
 
@@ -101,7 +103,8 @@ module Csv : sig
   val parse_string : string -> (string list list, string) result
   (** Parse RFC-4180 text into records (header row included).  Inverse
       of {!to_string}'s quoting: cells may contain commas, doubled
-      quotes and embedded newlines. *)
+      quotes and embedded newlines.  Tolerant reader: LF, CRLF and bare
+      CR (including a file-final [\r]) all terminate a record. *)
 
   val of_string : string -> (t, string) result
   (** Parse a document: first record is the header, remaining records

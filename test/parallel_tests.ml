@@ -136,6 +136,127 @@ let test_cache_disk_persistence () =
   check_bool "disk hit" true (Mt_parallel.Cache.find c2 key = Some "42");
   check_int "counted as hit" 1 (Mt_parallel.Cache.hits c2)
 
+let test_cache_store_tmp_collision () =
+  let dir = temp_dir () in
+  let key = Mt_parallel.Cache.digest_key [ "collide" ] in
+  let path = Filename.concat dir (key ^ ".bin") in
+  (* Pre-plant the first temp name this process would pick (a stale
+     file left by a crashed twin whose pid got recycled): O_EXCL must
+     skip to the next suffix, never truncate into the planted file. *)
+  let planted =
+    Printf.sprintf "%s.%d.%d.0.tmp" path (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  let oc = open_out_bin planted in
+  output_string oc "stale";
+  close_out oc;
+  let c = Mt_parallel.Cache.create ~dir () in
+  Mt_parallel.Cache.store c key "fresh";
+  let c2 = Mt_parallel.Cache.create ~dir () in
+  check_bool "stored around the stale tmp" true
+    (Mt_parallel.Cache.find c2 key = Some "fresh");
+  check_string "planted file untouched" "stale"
+    (In_channel.with_open_bin planted In_channel.input_all)
+
+(* The writer half of the multi-process stress test.  OCaml 5 forbids
+   Unix.fork once domains exist (the pool tests above spawn some), so
+   the test re-execs its own binary with MT_CACHE_STRESS_WRITER set —
+   test_microtools.ml dispatches here before Alcotest ever runs. *)
+let stress_payload_size = 4096
+
+let cache_stress_writer spec =
+  match String.split_on_char '|' spec with
+  | [ dir; key; ch; rounds ] when String.length ch = 1 ->
+    let c = Mt_parallel.Cache.create ~dir () in
+    let payload = String.make stress_payload_size ch.[0] in
+    for _ = 1 to int_of_string rounds do
+      Mt_parallel.Cache.store c key payload
+    done;
+    exit 0
+  | _ ->
+    prerr_endline ("bad MT_CACHE_STRESS_WRITER spec: " ^ spec);
+    exit 2
+
+let test_cache_multiprocess_stress () =
+  (* N processes hammer the same key in one shared directory while this
+     process keeps reading it cold: every observed value must be one
+     writer's complete payload (single repeated byte), never an
+     interleaving, and the final entry must decode cleanly. *)
+  let dir = temp_dir () in
+  let key = Mt_parallel.Cache.digest_key [ "shared" ] in
+  let writers = 8 and rounds = 50 and size = stress_payload_size in
+  let done_flag = Filename.concat dir "writers-done" in
+  (* system() forks at the C level (exec immediately after), which is
+     the one fork flavour still legal with live domains. *)
+  let cmd =
+    Printf.sprintf
+      "{ for w in a b c d e f g h; do MT_CACHE_STRESS_WRITER=\"%s|%s|$w|%d\" \
+       %s & done; wait; : > %s; } &"
+      dir key rounds
+      (Filename.quote Sys.executable_name)
+      (Filename.quote done_flag)
+  in
+  check_int "writers launched" 0 (Sys.command cmd);
+  ignore writers;
+  let torn = ref 0 in
+  let deadline = Unix.gettimeofday () +. 60. in
+  while (not (Sys.file_exists done_flag)) && Unix.gettimeofday () < deadline do
+    (* A fresh handle per read defeats the in-memory promotion — every
+       lookup really goes to disk, concurrent with the writers. *)
+    let c = Mt_parallel.Cache.create ~dir () in
+    (match Mt_parallel.Cache.find c key with
+    | None -> ()
+    | Some data ->
+      if
+        String.length data <> size
+        || String.exists (fun ch -> ch <> data.[0]) data
+      then incr torn);
+    ignore (Unix.sleepf 0.001)
+  done;
+  check_bool "writers finished in time" true (Sys.file_exists done_flag);
+  check_int "no torn reads" 0 !torn;
+  let c = Mt_parallel.Cache.create ~dir () in
+  let v =
+    Mt_parallel.Cache.with_cache (Some c)
+      ~key:(fun () -> key)
+      (fun () -> Alcotest.fail "entry must exist after the writers exit")
+      ~encode:Fun.id
+      ~decode:(fun data ->
+        if String.exists (fun ch -> ch <> data.[0]) data then failwith "torn"
+        else data)
+  in
+  check_int "decode failures" 0 (Mt_parallel.Cache.decode_failures c);
+  check_int "payload intact" size (String.length v)
+
+let test_cache_eviction_lru () =
+  let dir = temp_dir () in
+  let kb = 1024 in
+  let c = Mt_parallel.Cache.create ~dir ~max_bytes:(3 * kb) () in
+  let key i = Mt_parallel.Cache.digest_key [ "evict"; string_of_int i ] in
+  let path k = Filename.concat dir (k ^ ".bin") in
+  Mt_parallel.Cache.store c (key 1) (String.make kb 'x');
+  Mt_parallel.Cache.store c (key 2) (String.make kb 'y');
+  (* Age entries 1 and 2 explicitly so the LRU order is deterministic
+     regardless of filesystem timestamp granularity. *)
+  let now = Unix.gettimeofday () in
+  Unix.utimes (path (key 1)) (now -. 200.) (now -. 200.);
+  Unix.utimes (path (key 2)) (now -. 100.) (now -. 100.);
+  Mt_parallel.Cache.store c (key 3) (String.make kb 'z');
+  check_bool "under budget keeps everything" true
+    (Sys.file_exists (path (key 1)));
+  check_int "no evictions yet" 0 (Mt_parallel.Cache.evictions c);
+  Mt_parallel.Cache.store c (key 4) (String.make kb 'w');
+  check_bool "oldest entry evicted" false (Sys.file_exists (path (key 1)));
+  check_bool "second-oldest survives" true (Sys.file_exists (path (key 2)));
+  check_bool "newest survives" true (Sys.file_exists (path (key 4)));
+  check_int "one eviction counted" 1 (Mt_parallel.Cache.evictions c);
+  (* An entry larger than the whole budget still lands: the entry just
+     written is exempt from its own eviction pass. *)
+  let c2 = Mt_parallel.Cache.create ~dir ~max_bytes:kb () in
+  Mt_parallel.Cache.store c2 (key 5) (String.make (2 * kb) 'v');
+  check_bool "oversized store survives" true (Sys.file_exists (path (key 5)));
+  check_bool "older entries trimmed" false (Sys.file_exists (path (key 2)))
+
 (* ------------------------------------------------------------------ *)
 (* Study integration: determinism and zero re-simulation               *)
 (* ------------------------------------------------------------------ *)
@@ -220,6 +341,11 @@ let tests =
     Alcotest.test_case "cache key injective" `Quick test_cache_key_injective;
     Alcotest.test_case "cache disk persistence" `Quick
       test_cache_disk_persistence;
+    Alcotest.test_case "cache tmp collision" `Quick
+      test_cache_store_tmp_collision;
+    Alcotest.test_case "cache multi-process stress" `Quick
+      test_cache_multiprocess_stress;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_eviction_lru;
     Alcotest.test_case "parallel CSV == sequential CSV" `Slow
       test_parallel_matches_sequential;
     Alcotest.test_case "second run re-simulates nothing" `Slow

@@ -1,0 +1,347 @@
+(* Tests for the mt_serve stack: wire-protocol codecs, the bounded job
+   queue's typed back-pressure, and an in-process daemon end to end —
+   including the byte-identity guarantee between a streamed CSV and the
+   one-shot Study.csv document. *)
+
+open Mt_serve
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round-trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fault spec =
+  match Mt_resilience.Fault.of_spec spec with
+  | Ok f -> f
+  | Error msg -> Alcotest.failf "bad fault spec %s: %s" spec msg
+
+let full_submission =
+  {
+    Protocol.kernel_xml = "<kernel name=\"k\">\n  \"quoted\" & <tags>\n</kernel>";
+    machine = Protocol.Inline_xml "<machine>\r\n</machine>";
+    array_kb = 48;
+    per = "element";
+    repetitions = 3;
+    experiments = 7;
+    run =
+      {
+        Protocol.seed = Some 42;
+        adaptive = Some (0.05, 32);
+        retries = 4;
+        backoff_base_s = 0.125;
+        backoff_max_s = 2.5;
+        backoff_jitter = 0.25;
+        backoff_seed = 99;
+        wall_budget_s = Some 1.5;
+        sim_budget = Some 100_000;
+        faults = [ fault "variant=2:raise@1"; fault "variant=5:timeout" ];
+      };
+  }
+
+let roundtrip_request req =
+  match Protocol.request_of_json (Protocol.request_to_json req) with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "request did not decode: %s" msg
+
+let roundtrip_response resp =
+  match Protocol.response_of_json (Protocol.response_to_json resp) with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "response did not decode: %s" msg
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req -> check_bool "request survives" true (roundtrip_request req = req))
+    [
+      Protocol.Submit full_submission;
+      Protocol.Submit
+        {
+          full_submission with
+          Protocol.machine = Protocol.Preset "nehalem_x5650_2s";
+          run = Protocol.default_run_options;
+        };
+      Protocol.Ping;
+      Protocol.Stats;
+      Protocol.Shutdown;
+    ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      check_bool "response survives" true (roundtrip_response resp = resp))
+    [
+      Protocol.Accepted { job = 7; queue_depth = 3 };
+      Protocol.Rejected Protocol.Queue_full;
+      Protocol.Rejected (Protocol.Bad_request "unknown machine \"zen9\"");
+      Protocol.Header [ "variant"; "value"; "unit" ];
+      Protocol.Row [ "movss_u2"; "1.125"; "cy/elem" ];
+      Protocol.Row [ "has,comma"; "has\"quote"; "has\nnewline" ];
+      Protocol.Snapshot
+        (Mt_obsv.Json.Obj
+           [ ("tool", Mt_obsv.Json.Str "mt_serve"); ("n", Mt_obsv.Json.Num 3.) ]);
+      Protocol.Done { job = 7; quarantined = 1; cache_hit_rate = 0.5 };
+      Protocol.Failed { job = 8; message = "simulator exploded" };
+      Protocol.Pong;
+      Protocol.Stats_reply [ ("serve.queue.depth", 2); ("cache.evictions", 0) ];
+      Protocol.Bye;
+    ]
+
+(* The serializable slice survives Run_config -> wire -> Run_config:
+   projecting the overlaid config again yields the same wire options. *)
+let test_run_options_config_fidelity () =
+  let policy =
+    Mt_resilience.Policy.make ~retries:4 ~backoff_base_s:0.125
+      ~backoff_max_s:2.5 ~backoff_jitter:0.25 ~backoff_seed:99
+      ~wall_budget_s:1.5 ~sim_budget:100_000 ()
+  in
+  let config =
+    Microtools.Study.Run_config.make ~seed:42 ~adaptive:(0.05, 32) ~policy
+      ~faults:[ fault "variant=2:raise@1" ] ()
+  in
+  let wire = Protocol.run_options_of_config config in
+  let rebuilt =
+    Protocol.config_into_base wire Microtools.Study.Run_config.default
+  in
+  check_bool "projection is a fixpoint" true
+    (Protocol.run_options_of_config rebuilt = wire);
+  (* The daemon-side fields stay the base's, not the client's. *)
+  check_int "domains stay base" 1
+    rebuilt.Microtools.Study.Run_config.domains;
+  check_bool "no journal leaks over the wire" true
+    (rebuilt.Microtools.Study.Run_config.journal_out = None)
+
+let test_framing_one_line_per_message () =
+  let buf = Buffer.create 256 in
+  let text =
+    Protocol.request_to_json (Protocol.Submit full_submission)
+    |> Mt_obsv.Json.to_string
+  in
+  Buffer.add_string buf text;
+  (* Kernel XML with raw newlines/CRs must not break line framing. *)
+  check_bool "encoded message has no raw newline" true
+    (not (String.exists (fun c -> c = '\n' || c = '\r') (Buffer.contents buf)))
+
+(* ------------------------------------------------------------------ *)
+(* Jobq back-pressure                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let reject_testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | `Queue_full -> Format.pp_print_string ppf "`Queue_full"
+      | `Closed -> Format.pp_print_string ppf "`Closed")
+    ( = )
+
+let test_jobq_backpressure () =
+  let q = Jobq.create ~capacity:2 in
+  check_int "capacity" 2 (Jobq.capacity q);
+  Alcotest.(check (result unit reject_testable)) "first" (Ok ()) (Jobq.push q 1);
+  Alcotest.(check (result unit reject_testable)) "second" (Ok ()) (Jobq.push q 2);
+  Alcotest.(check (result unit reject_testable))
+    "full queue is a typed rejection" (Error `Queue_full) (Jobq.push q 3);
+  check_int "depth" 2 (Jobq.depth q);
+  check_bool "fifo pop" true (Jobq.pop q = Some 1);
+  Alcotest.(check (result unit reject_testable))
+    "slot freed" (Ok ()) (Jobq.push q 3);
+  Jobq.close q;
+  Alcotest.(check (result unit reject_testable))
+    "closed queue rejects" (Error `Closed) (Jobq.push q 4);
+  check_bool "drains after close" true (Jobq.pop q = Some 2);
+  check_bool "drains after close" true (Jobq.pop q = Some 3);
+  check_bool "empty + closed ends" true (Jobq.pop q = None)
+
+let test_jobq_blocking_pop () =
+  let q = Jobq.create ~capacity:1 in
+  let got = ref None in
+  let consumer = Thread.create (fun () -> got := Jobq.pop q) () in
+  Thread.delay 0.05;
+  Alcotest.(check (result unit reject_testable))
+    "push wakes consumer" (Ok ()) (Jobq.push q 42);
+  Thread.join consumer;
+  check_bool "consumer got the job" true (!got = Some 42)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: in-process daemon                                       *)
+(* ------------------------------------------------------------------ *)
+
+let small_spec =
+  Mt_kernels.Streams.loadstore_spec ~opcode:Mt_isa.Insn.MOVSS ~stride:4
+    ~unroll:(1, 3) ()
+
+let small_submission =
+  {
+    Protocol.kernel_xml = Mt_kernels.Streams.description_xml small_spec;
+    machine = Protocol.Preset "nehalem_x5650_2s";
+    array_kb = 16;
+    per = "element";
+    repetitions = 1;
+    experiments = 2;
+    run = Protocol.default_run_options;
+  }
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+(* Unix-domain socket paths are length-limited (~108 bytes), so keep
+   them directly under the system temp dir. *)
+let temp_socket () =
+  let path = Filename.temp_file "mtserve" ".sock" in
+  Sys.remove path;
+  path
+
+let with_daemon ?(workers = 2) ?(queue = 8) f =
+  let socket = temp_socket () in
+  let cache_dir = temp_dir "mtservecache" in
+  let cache = Mt_parallel.Cache.create ~dir:cache_dir () in
+  let base = Microtools.Study.Run_config.make ~cache () in
+  let config =
+    {
+      Daemon.socket_path = socket;
+      queue_capacity = queue;
+      workers;
+      state_dir = None;
+      base;
+    }
+  in
+  let daemon = Daemon.create config in
+  let server = Thread.create (fun () -> Daemon.serve daemon) () in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Client.shutdown ~socket with _ -> ());
+      Daemon.stop daemon;
+      Thread.join server;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () -> f ~socket ~daemon)
+
+let one_shot_csv_text () =
+  let opts =
+    {
+      (Mt_launcher.Options.default Mt_machine.Config.nehalem_x5650_2s) with
+      Mt_launcher.Options.array_bytes = 16 * 1024;
+      per = Mt_launcher.Options.Per_element;
+      repetitions = 1;
+      experiments = 2;
+    }
+  in
+  match
+    Microtools.Study.of_description small_submission.Protocol.kernel_xml opts
+  with
+  | Error msg -> Alcotest.failf "one-shot study: %s" msg
+  | Ok study ->
+    let outcomes = Microtools.Study.run study in
+    Mt_stats.Csv.to_string (Microtools.Study.csv outcomes)
+
+let test_daemon_end_to_end () =
+  with_daemon (fun ~socket ~daemon:_ ->
+      (match Client.ping ~socket with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "ping: %s" msg);
+      match Client.submit ~socket small_submission with
+      | Error msg -> Alcotest.failf "submit: %s" msg
+      | Ok summary ->
+        check_int "no quarantine" 0 summary.Client.quarantined;
+        check_bool "snapshot streamed" true (summary.Client.snapshot <> None);
+        (match summary.Client.csv with
+        | None -> Alcotest.fail "no CSV streamed"
+        | Some doc ->
+          check_int "one row per variant" 14 (Mt_stats.Csv.row_count doc);
+          check_string "streamed CSV is byte-identical to one-shot"
+            (one_shot_csv_text ())
+            (Mt_stats.Csv.to_string doc));
+        (* Same study again: every variant must now come from the shared
+           cache. *)
+        (match Client.submit ~socket small_submission with
+        | Error msg -> Alcotest.failf "resubmit: %s" msg
+        | Ok again ->
+          check_string "repeat run streams identical bytes"
+            (one_shot_csv_text ())
+            (Mt_stats.Csv.to_string (Option.get again.Client.csv));
+          check_bool "repeat run hits the shared cache" true
+            (again.Client.cache_hit_rate > 0.));
+        match Client.stats ~socket with
+        | Error msg -> Alcotest.failf "stats: %s" msg
+        | Ok counters ->
+          let get k =
+            match List.assoc_opt k counters with
+            | Some v -> v
+            | None -> Alcotest.failf "missing counter %s" k
+          in
+          check_int "both jobs completed" 2 (get "serve.jobs.completed");
+          check_int "no failures" 0 (get "serve.jobs.failed");
+          check_bool "cache served repeats" true (get "cache.hits" > 0))
+
+let test_daemon_concurrent_clients () =
+  with_daemon ~workers:2 (fun ~socket ~daemon:_ ->
+      let expected = one_shot_csv_text () in
+      let results = Array.make 4 (Error "never ran") in
+      let clients =
+        Array.init 4 (fun i ->
+            Thread.create
+              (fun () -> results.(i) <- Client.submit ~socket small_submission)
+              ())
+      in
+      Array.iter Thread.join clients;
+      Array.iteri
+        (fun i result ->
+          match result with
+          | Error msg -> Alcotest.failf "client %d: %s" i msg
+          | Ok summary ->
+            check_string
+              (Printf.sprintf "client %d CSV byte-identical" i)
+              expected
+              (Mt_stats.Csv.to_string (Option.get summary.Client.csv)))
+        results)
+
+let test_daemon_bad_request () =
+  with_daemon (fun ~socket ~daemon:_ ->
+      let bad =
+        { small_submission with Protocol.machine = Protocol.Preset "zen9" }
+      in
+      match Client.submit ~socket bad with
+      | Ok _ -> Alcotest.fail "unknown machine was accepted"
+      | Error msg ->
+        let contains needle hay =
+          let n = String.length needle and h = String.length hay in
+          let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "typed bad-request names the machine" true
+          (contains "zen9" msg))
+
+let test_daemon_rejects_live_socket_reuse () =
+  with_daemon (fun ~socket ~daemon:_ ->
+      check_bool "second daemon on a live socket refuses" true
+        (try
+           ignore
+             (Daemon.create
+                {
+                  (Daemon.default_config socket) with
+                  Daemon.base = Microtools.Study.Run_config.default;
+                });
+           false
+         with Failure _ -> true))
+
+let suite =
+  [
+    Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "run_options/config fidelity" `Quick
+      test_run_options_config_fidelity;
+    Alcotest.test_case "one line per message" `Quick
+      test_framing_one_line_per_message;
+    Alcotest.test_case "jobq back-pressure" `Quick test_jobq_backpressure;
+    Alcotest.test_case "jobq blocking pop" `Quick test_jobq_blocking_pop;
+    Alcotest.test_case "daemon end to end" `Quick test_daemon_end_to_end;
+    Alcotest.test_case "daemon concurrent clients" `Quick
+      test_daemon_concurrent_clients;
+    Alcotest.test_case "daemon bad request" `Quick test_daemon_bad_request;
+    Alcotest.test_case "daemon refuses live socket" `Quick
+      test_daemon_rejects_live_socket_reuse;
+  ]

@@ -32,6 +32,32 @@ let test_cv () =
 let test_cv_zero_mean () =
   checkf "cv zero mean" 0. (S.coefficient_of_variation [| 1.; -1. |])
 
+let test_cv_negative_mean () =
+  (* Dispersion has no sign: a negated series has exactly the CoV of
+     the original, not its negation (which would flip the noise band in
+     Mt_obsv.Diff and flag every comparison as a regression). *)
+  let neg = Array.map (fun x -> -.x) xs in
+  checkf "cv of negated series"
+    (S.coefficient_of_variation xs)
+    (S.coefficient_of_variation neg);
+  Alcotest.(check bool)
+    "cv non-negative" true
+    (S.coefficient_of_variation neg >= 0.)
+
+let test_pooled_cov_negative_mean () =
+  let groups = [ (10, 5., 2.); (10, 7., 3.) ] in
+  let negated = List.map (fun (n, m, s) -> (n, -.m, s)) groups in
+  checkf "pooled cov sign-invariant" (S.pooled_cov groups)
+    (S.pooled_cov negated);
+  Alcotest.(check bool)
+    "pooled cov non-negative" true
+    (S.pooled_cov negated >= 0.)
+
+let test_relative_spread_negative_min () =
+  (* min = -4, max = -1: spread 3 relative to |min|. *)
+  checkf "spread negative series" 0.75
+    (S.relative_spread [| -4.; -1.; -3.; -2. |])
+
 let test_pooled_stddev () =
   (* Equal groups with equal spread pool to that spread. *)
   checkf "equal groups" 5. (S.pooled_stddev [ (10, 5.); (10, 5.) ]);
@@ -100,6 +126,28 @@ let test_csv_row_count () =
   S.Csv.add_row doc [ "1" ];
   S.Csv.add_row doc [ "2" ];
   check_int "two" 2 (S.Csv.row_count doc)
+
+let test_csv_bare_cr () =
+  (* A \r not followed by \n terminates the record (old-Mac line
+     endings, or a final \r with no newline after it) — it must never
+     survive as cell data. *)
+  Alcotest.(check (result (list (list string)) string))
+    "CR-separated records"
+    (Ok [ [ "a"; "b" ]; [ "c"; "d" ] ])
+    (S.Csv.parse_string "a,b\rc,d");
+  Alcotest.(check (result (list (list string)) string))
+    "file-final CR"
+    (Ok [ [ "a"; "b" ] ])
+    (S.Csv.parse_string "a,b\r");
+  Alcotest.(check (result (list (list string)) string))
+    "mixed terminators"
+    (Ok [ [ "a" ]; [ "b" ]; [ "c" ]; [ "d" ] ])
+    (S.Csv.parse_string "a\rb\r\nc\nd\r");
+  (* Inside quotes a CR is still data, exactly like \n. *)
+  Alcotest.(check (result (list (list string)) string))
+    "quoted CR is data"
+    (Ok [ [ "a\rb" ] ])
+    (S.Csv.parse_string "\"a\rb\"")
 
 let test_csv_roundtrip () =
   (* Every RFC-4180 special case in one document: commas, quotes,
@@ -184,6 +232,11 @@ let tests =
     Alcotest.test_case "stddev short" `Quick test_stddev_short;
     Alcotest.test_case "coefficient of variation" `Quick test_cv;
     Alcotest.test_case "cv zero mean" `Quick test_cv_zero_mean;
+    Alcotest.test_case "cv negative mean" `Quick test_cv_negative_mean;
+    Alcotest.test_case "pooled cov negative mean" `Quick
+      test_pooled_cov_negative_mean;
+    Alcotest.test_case "relative spread negative min" `Quick
+      test_relative_spread_negative_min;
     Alcotest.test_case "pooled stddev" `Quick test_pooled_stddev;
     Alcotest.test_case "pooled cov" `Quick test_pooled_cov;
     Alcotest.test_case "relative spread" `Quick test_relative_spread;
@@ -195,6 +248,7 @@ let tests =
     Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
     Alcotest.test_case "csv width mismatch" `Quick test_csv_width_mismatch;
     Alcotest.test_case "csv row count" `Quick test_csv_row_count;
+    Alcotest.test_case "csv bare CR" `Quick test_csv_bare_cr;
     Alcotest.test_case "csv round-trip" `Quick test_csv_roundtrip;
     Alcotest.test_case "csv parse errors" `Quick test_csv_parse_errors;
     Alcotest.test_case "csv save" `Quick test_csv_save;

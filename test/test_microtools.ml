@@ -1,3 +1,11 @@
+(* Multi-process cache stress: when re-exec'd with this variable set,
+   the binary is one of the concurrent writer processes, not the test
+   suite (see Parallel_tests.cache_stress_writer). *)
+let () =
+  match Sys.getenv_opt "MT_CACHE_STRESS_WRITER" with
+  | Some spec -> Parallel_tests.cache_stress_writer spec
+  | None -> ()
+
 let () =
   Alcotest.run "microtools"
     [
@@ -17,6 +25,7 @@ let () =
       ("telemetry", Telemetry_tests.tests);
       ("obsv", Obsv_tests.tests);
       ("quality", Quality_tests.tests);
+      ("serve", Serve_tests.suite);
       ("extensions", Extensions_tests.tests);
       ("cc", Cc_tests.tests);
       ("mpi", Mpi_tests.tests);
