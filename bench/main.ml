@@ -427,9 +427,12 @@ let main quick no_bechamel simspeed_out simspeed_only ids (config : Mt_cli.t) =
   Mt_cli.print_cache_stats config;
   print_newline ();
   if not no_bechamel then run_bechamel ();
-  (match config.Microtools.Study.Run_config.snapshot_out with
-  | None -> ()
-  | Some path ->
+  (match
+     ( config.Microtools.Study.Run_config.snapshot_out,
+       config.Microtools.Study.Run_config.history_append )
+   with
+  | None, None -> ()
+  | snapshot_out, _ ->
     (* The committed BENCH_study.json baseline: one single-observation
        stat per numeric table cell, diffable against a fresh run with
        mt_report. *)
@@ -450,8 +453,13 @@ let main quick no_bechamel simspeed_out simspeed_only ids (config : Mt_cli.t) =
               [ Marshal.to_string Config.presets [] ] )
         ~counters:(Mt_telemetry.counters tel) variants
     in
-    Mt_obsv.Snapshot.save snap path;
-    Printf.printf "run snapshot written to %s (compare with mt_report)\n" path);
+    Option.iter
+      (fun path ->
+        Mt_obsv.Snapshot.save snap path;
+        Printf.printf "run snapshot written to %s (compare with mt_report)\n"
+          path)
+      snapshot_out;
+    Mt_cli.append_history ~label:"bench" config snap);
   (match simspeed_out with
   | Some _ -> run_simspeed ~quick simspeed_out
   | None -> ());

@@ -115,11 +115,20 @@ let main ids all quick csv_dir list config =
     let ids = if all || ids = [] then Microtools.Experiments.ids else ids in
     Microtools.Experiments.set_run_config config;
     let code, tables = run_ids ids quick csv_dir config in
-    Option.iter
-      (fun path ->
-        Mt_obsv.Snapshot.save (snapshot_of_tables ids tables) path;
-        Printf.printf "run snapshot written to %s (compare with mt_report)\n" path)
-      config.Microtools.Study.Run_config.snapshot_out;
+    (match
+       ( config.Microtools.Study.Run_config.snapshot_out,
+         config.Microtools.Study.Run_config.history_append )
+     with
+    | None, None -> ()
+    | snapshot_out, _ ->
+      let snap = snapshot_of_tables ids tables in
+      Option.iter
+        (fun path ->
+          Mt_obsv.Snapshot.save snap path;
+          Printf.printf "run snapshot written to %s (compare with mt_report)\n"
+            path)
+        snapshot_out;
+      Mt_cli.append_history ~label:(String.concat "+" ids) config snap);
     Mt_cli.finish tel config;
     code
   end

@@ -13,14 +13,29 @@
 
 open Cmdliner
 
-let run socket queue_capacity workers state_dir config =
+let run socket queue_capacity workers state_dir history_dir log_json config =
   let tel = Mt_cli.setup config in
+  (* A daemon always keeps telemetry on, even without --trace-out /
+     --metrics-out: the metrics endpoint and the job-latency quantiles
+     in the stats reply and exit banner are its whole observability
+     surface, and a handle that only exists when a trace file was
+     requested would leave a live daemon blind. *)
+  let tel =
+    if Mt_telemetry.enabled tel then tel
+    else begin
+      let t = Mt_telemetry.create () in
+      Mt_telemetry.set_global t;
+      t
+    end
+  in
   let daemon_config =
     {
       Mt_serve.Daemon.socket_path = socket;
       queue_capacity;
       workers;
       state_dir;
+      history_dir;
+      log_json;
       base = config;
     }
   in
@@ -85,6 +100,28 @@ let state_dir_arg =
            (job-N.journal, removed on completion), so a killed daemon \
            leaves resumable checkpoints.")
 
+let history_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history-dir" ] ~docv:"DIR"
+        ~doc:
+          "Archive every completed job's run snapshot into the history \
+           directory $(docv) (append-only, safe to share with \
+           $(b,--history-append) CLI runs); analyse the accumulated \
+           timeline with $(b,mt_report --history).")
+
+let log_json_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "log-json" ]
+        ~doc:
+          "Emit one structured JSON log line per job event on stdout \
+           (job.accepted, job.done, job.failed, with queue-wait and \
+           execution latency in microseconds) instead of relying on the \
+           human banner alone.")
+
 let cmd =
   let doc = "serve study submissions from a persistent daemon" in
   Cmd.v
@@ -92,6 +129,6 @@ let cmd =
        ~exits:(Cmd.Exit.info 2 ~doc:"cannot bind the socket." :: Cmd.Exit.defaults))
     Term.(
       const run $ socket_arg $ queue_arg $ workers_arg $ state_dir_arg
-      $ Mt_cli.term)
+      $ history_dir_arg $ log_json_arg $ Mt_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -69,6 +69,21 @@ let submit_run ~socket input machine machine_file array_kb per repetitions
       close_out oc;
       Printf.printf "run snapshot written to %s (compare with mt_report)\n" path
     | _ -> ());
+    (* The daemon streams the snapshot back as JSON; --history-append in
+       client mode archives it locally (the daemon may additionally keep
+       its own archive via mt_serve --history-dir). *)
+    (match
+       (config.Microtools.Study.Run_config.history_append,
+        summary.Mt_serve.Client.snapshot)
+     with
+    | Some _, Some doc -> (
+      match Mt_obsv.Snapshot.of_json doc with
+      | Ok snap ->
+        Mt_cli.append_history ~label:(Filename.basename input) config snap
+      | Error msg -> Printf.eprintf "mt_study: history: %s\n" msg)
+    | Some _, None ->
+      Printf.eprintf "mt_study: history: daemon streamed no snapshot\n"
+    | None, _ -> ());
     Printf.printf "job %d done: %d quarantined, daemon cache hit rate %.1f%%\n"
       summary.Mt_serve.Client.job summary.Mt_serve.Client.quarantined
       (100. *. summary.Mt_serve.Client.cache_hit_rate);
@@ -181,12 +196,20 @@ let run input machine machine_file array_kb per repetitions experiments top
           Printf.printf "full results written to %s\n" path
         | None -> ());
         Mt_cli.print_cache_stats config;
-        (match config.Microtools.Study.Run_config.snapshot_out with
-        | Some path ->
-          Mt_obsv.Snapshot.save (Microtools.Study.snapshot study outcomes) path;
-          Printf.printf "run snapshot written to %s (compare with mt_report)\n"
-            path
-        | None -> ());
+        (match
+           ( config.Microtools.Study.Run_config.snapshot_out,
+             config.Microtools.Study.Run_config.history_append )
+         with
+        | None, None -> ()
+        | snapshot_out, _ ->
+          let snap = Microtools.Study.snapshot study outcomes in
+          (match snapshot_out with
+          | Some path ->
+            Mt_obsv.Snapshot.save snap path;
+            Printf.printf
+              "run snapshot written to %s (compare with mt_report)\n" path
+          | None -> ());
+          Mt_cli.append_history ~label:(Filename.basename input) config snap);
         let code =
           match Microtools.Study.best outcomes with
           | Some (v, r) ->

@@ -198,6 +198,17 @@ let snapshot_arg =
            per-variant statistics, quarantined variants) as JSON to \
            $(docv); two snapshots are compared with mt_report.")
 
+let history_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history-append" ] ~docv:"DIR" ~docs:docs_obsv
+        ~doc:
+          "Also archive the run snapshot into the history directory \
+           $(docv) (an append-only, digest-indexed snapshot archive; \
+           safe to share between concurrent runs and an mt_serve \
+           daemon).  Analyse the archive with $(b,mt_report --history).")
+
 let trace_detail_arg =
   Arg.(
     value
@@ -237,7 +248,8 @@ let submit_arg =
 
 let build jobs cache_dir cache_max_mb no_cache adaptive rciw_target
     max_experiments retries backoff_ms resilience_seed timeout sim_budget
-    faults journal resume trace_out metrics_out snapshot_out trace_detail =
+    faults journal resume trace_out metrics_out snapshot_out history_append
+    trace_detail =
   let cache =
     if no_cache then None
     else
@@ -257,7 +269,7 @@ let build jobs cache_dir cache_max_mb no_cache adaptive rciw_target
   Microtools.Study.Run_config.make ~domains:jobs ?cache
     ?adaptive:(if adaptive then Some (rciw_target, max_experiments) else None)
     ~policy ~faults ?journal_out:journal ?resume_from:resume ?trace_out
-    ?metrics_out ?snapshot_out ~trace_detail ()
+    ?metrics_out ?snapshot_out ?history_append ~trace_detail ()
 
 let term =
   Term.(
@@ -266,7 +278,7 @@ let term =
     $ rciw_target_arg $ max_exps_arg $ retries_arg $ backoff_ms_arg
     $ resilience_seed_arg $ timeout_arg $ sim_budget_arg $ faults_arg
     $ journal_arg $ resume_arg $ trace_arg $ metrics_arg $ snapshot_arg
-    $ trace_detail_arg)
+    $ history_arg $ trace_detail_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Shared runtime plumbing                                             *)
@@ -298,6 +310,19 @@ let finish tel (config : t) =
       Mt_telemetry.write_metrics_csv tel path;
       Printf.printf "metrics written to %s\n" path)
     config.Run_config.metrics_out
+
+(* Archiving is best-effort by design: a full disk or unwritable
+   archive must not fail the measurement that just completed — the
+   numbers still print and any --snapshot-out file is already saved. *)
+let append_history ?label (config : t) snap =
+  Option.iter
+    (fun dir ->
+      match Mt_obsv.History.append ?label ~dir snap with
+      | Ok entry ->
+        Printf.printf "history: archived as %s (seq %d) in %s\n"
+          entry.Mt_obsv.History.label entry.Mt_obsv.History.seq dir
+      | Error msg -> Printf.eprintf "%s\n" msg)
+    config.Run_config.history_append
 
 let print_cache_stats (config : t) =
   match config.Run_config.cache with

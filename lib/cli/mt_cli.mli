@@ -9,7 +9,8 @@
     [--resilience-seed]), fault injection ([--inject-fault]),
     checkpoint/resume ([--journal], [--resume]) and the observability
     outputs ([--trace-out], [--metrics-out], [--snapshot-out],
-    [--trace-detail]) — into one {!Microtools.Study.Run_config.t}.
+    [--history-append], [--trace-detail]) — into one
+    {!Microtools.Study.Run_config.t}.
     Binaries compose it with their kernel-specific arguments and must
     not re-declare any of these flags themselves. *)
 
@@ -35,6 +36,11 @@ val setup : t -> Mt_telemetry.t
 val finish : Mt_telemetry.t -> t -> unit
 (** Write the Chrome trace and metrics CSV requested by [config],
     announcing each path on stdout.  Call once, after the run. *)
+
+val append_history : ?label:string -> t -> Mt_obsv.Snapshot.t -> unit
+(** Archive the run snapshot into [config.history_append]'s directory
+    (a no-op when the flag was not given).  Best-effort: an archive
+    failure is reported on stderr but never fails the run. *)
 
 val print_cache_stats : t -> unit
 (** The one-line [cache: H hits, M misses, R% hit rate] digest every

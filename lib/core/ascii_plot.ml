@@ -92,3 +92,31 @@ let of_table ~x_column ~y_columns (t : Exp_table.t) =
       in
       { label; points })
     y_columns
+
+(* One-line trend glyph for history timelines: eight block heights
+   spanning [min, max] of the series.  Pure ASCII fallbacks would lose
+   too much resolution, and the repo's tables already assume a UTF-8
+   terminal for nothing — so the sparkline is the one place that does;
+   a flat series renders as all-low so a constant history looks calm. *)
+let sparkline values =
+  let n = Array.length values in
+  if n = 0 then ""
+  else begin
+    let glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                    "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+    let lo = Array.fold_left Float.min values.(0) values in
+    let hi = Array.fold_left Float.max values.(0) values in
+    let span = hi -. lo in
+    let buf = Buffer.create (n * 3) in
+    Array.iter
+      (fun v ->
+        let level =
+          if span <= 0. then 0
+          else
+            min (Array.length glyphs - 1)
+              (int_of_float ((v -. lo) /. span *. float_of_int (Array.length glyphs - 1) +. 0.5))
+        in
+        Buffer.add_string buf glyphs.(max 0 level))
+      values;
+    Buffer.contents buf
+  end

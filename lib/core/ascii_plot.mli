@@ -27,3 +27,9 @@ val of_table :
 (** Lift numeric columns of an experiment table into series ([x_column]
     and [y_columns] are 0-based column indices with labels).  Rows
     whose cells do not parse as numbers are skipped. *)
+
+val sparkline : float array -> string
+(** One-line trend glyph (UTF-8 block characters, one per value, eight
+    levels spanning the series' own [min, max]) — how [mt_report
+    --history] compresses each variant's timeline into a table cell.
+    A constant series renders all-low; empty input renders empty. *)

@@ -45,6 +45,7 @@ module Run_config = struct
     trace_out : string option;
     metrics_out : string option;
     snapshot_out : string option;
+    history_append : string option;
     trace_detail : Mt_telemetry.detail;
   }
 
@@ -61,12 +62,13 @@ module Run_config = struct
       trace_out = None;
       metrics_out = None;
       snapshot_out = None;
+      history_append = None;
       trace_detail = Mt_telemetry.Off;
     }
 
   let make ?(domains = default.domains) ?cache ?seed ?adaptive
       ?(policy = default.policy) ?(faults = []) ?journal_out ?resume_from
-      ?trace_out ?metrics_out ?snapshot_out
+      ?trace_out ?metrics_out ?snapshot_out ?history_append
       ?(trace_detail = default.trace_detail) () =
     {
       domains;
@@ -80,6 +82,7 @@ module Run_config = struct
       trace_out;
       metrics_out;
       snapshot_out;
+      history_append;
       trace_detail;
     }
 
@@ -104,6 +107,8 @@ module Run_config = struct
   let with_metrics_out metrics_out t = { t with metrics_out }
 
   let with_snapshot_out snapshot_out t = { t with snapshot_out }
+
+  let with_history_append history_append t = { t with history_append }
 
   let with_trace_detail trace_detail t = { t with trace_detail }
 

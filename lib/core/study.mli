@@ -42,6 +42,9 @@ module Run_config : sig
     trace_out : string option;  (** Chrome trace output (binaries) *)
     metrics_out : string option;  (** metrics CSV output (binaries) *)
     snapshot_out : string option;  (** run snapshot output (binaries) *)
+    history_append : string option;
+        (** also archive the run snapshot into this history directory
+            (binaries; see [Mt_obsv.History]) *)
     trace_detail : Mt_telemetry.detail;
   }
 
@@ -62,6 +65,7 @@ module Run_config : sig
     ?trace_out:string ->
     ?metrics_out:string ->
     ?snapshot_out:string ->
+    ?history_append:string ->
     ?trace_detail:Mt_telemetry.detail ->
     unit ->
     t
@@ -87,6 +91,8 @@ module Run_config : sig
   val with_metrics_out : string option -> t -> t
 
   val with_snapshot_out : string option -> t -> t
+
+  val with_history_append : string option -> t -> t
 
   val with_trace_detail : Mt_telemetry.detail -> t -> t
 

@@ -203,13 +203,16 @@ let str_alist name json =
         (Json.to_obj v))
     ~default:[] json
 
+(* Forward as well as backward compatible: documents written by a
+   *newer* schema load too — unknown fields (top-level and per-variant)
+   are simply ignored, so an older binary can still read history
+   archives a newer one has been appending to.  Fields this version
+   knows keep their usual malformed-field errors; only genuinely
+   unknown keys are skipped. *)
 let of_json json =
   let ( let* ) = Result.bind in
   let* schema = field "schema" Json.to_int json in
-  if schema > schema_version then
-    err "snapshot: schema %d is newer than this tool understands (%d)" schema
-      schema_version
-  else begin
+  begin
     let* tool = opt_field "tool" Json.to_str ~default:"unknown" json in
     let* created_at = opt_field "created_at" Json.to_float ~default:0. json in
     let sub name part =

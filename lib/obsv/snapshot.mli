@@ -7,11 +7,14 @@
 
 val schema_version : int
 (** Current on-disk schema (3: adds the top-level [quarantined] key
-    list; 2 added the per-variant quality block).  {!of_json} refuses
-    documents written by a newer schema; older documents load with
-    defaults for new fields — a schema-1 snapshot loads with a [Stable]
+    list; 2 added the per-variant quality block).  {!of_json} is
+    compatible in both directions: older documents load with defaults
+    for fields they predate — a schema-1 snapshot loads with a [Stable]
     verdict and zeroed quality metrics, a schema-2 one with no
-    quarantined variants. *)
+    quarantined variants — and documents written by a {e newer} schema
+    load with their unknown fields ignored, so an older binary can
+    still read a history archive a newer one appends to.  The loaded
+    [schema] field preserves the document's own version. *)
 
 type variant_stat = {
   key : string;  (** stable identity for cross-run matching *)

@@ -51,7 +51,8 @@ let submit ~socket ?(on_response = fun (_ : Protocol.response) -> ()) s =
           | Protocol.Failed { message; _ } -> Error message
           | Protocol.Rejected reason ->
             Error (Protocol.reject_to_string reason)
-          | Protocol.Pong | Protocol.Stats_reply _ | Protocol.Bye ->
+          | Protocol.Pong | Protocol.Stats_reply _ | Protocol.Metrics_reply _
+          | Protocol.Metrics_text _ | Protocol.Bye ->
             Error "protocol error: unexpected response to a submission")
       in
       drain
@@ -76,6 +77,16 @@ let stats ~socket =
   roundtrip ~socket Protocol.Stats (function
     | Protocol.Stats_reply counters -> Ok counters
     | _ -> Error "protocol error: expected stats")
+
+let metrics ~socket =
+  roundtrip ~socket (Protocol.Metrics Protocol.Metrics_json) (function
+    | Protocol.Metrics_reply m -> Ok m
+    | _ -> Error "protocol error: expected metrics")
+
+let metrics_text ~socket =
+  roundtrip ~socket (Protocol.Metrics Protocol.Metrics_prometheus) (function
+    | Protocol.Metrics_text text -> Ok text
+    | _ -> Error "protocol error: expected metrics text")
 
 let shutdown ~socket =
   roundtrip ~socket Protocol.Shutdown (function

@@ -25,5 +25,13 @@ val ping : socket:string -> (unit, string) result
 
 val stats : socket:string -> ((string * int) list, string) result
 
+val metrics : socket:string -> (Protocol.metrics, string) result
+(** The daemon's live metrics dump (counters, gauges, latency
+    summaries) as structured data. *)
+
+val metrics_text : socket:string -> (string, string) result
+(** The same dump rendered by the daemon as Prometheus text exposition
+    format — pipe it straight to a scrape file. *)
+
 val shutdown : socket:string -> (unit, string) result
 (** Ask the daemon to stop accepting, finish queued jobs, and exit. *)

@@ -20,11 +20,21 @@ type config = {
   queue_capacity : int;
   workers : int;
   state_dir : string option;
+  history_dir : string option;
+  log_json : bool;
   base : Run_config.t;
 }
 
 let default_config ?(base = Run_config.default) socket_path =
-  { socket_path; queue_capacity = 64; workers = 2; state_dir = None; base }
+  {
+    socket_path;
+    queue_capacity = 64;
+    workers = 2;
+    state_dir = None;
+    history_dir = None;
+    log_json = false;
+    base;
+  }
 
 type job = {
   id : int;
@@ -33,6 +43,7 @@ type job = {
   lock : Mutex.t;
   finished : Condition.t;
   mutable done_ : bool;
+  submitted_at : float;  (* wall clock at enqueue, for queue-wait *)
 }
 
 type t = {
@@ -44,9 +55,33 @@ type t = {
   inflight : int Atomic.t;
   completed : int Atomic.t;
   failed : int Atomic.t;
+  started_at : float;
 }
 
 let tel () = Mt_telemetry.global ()
+
+(* The two live latency histograms a scraper reads quantiles from. *)
+let queue_wait_metric = "serve.job.queue_wait.us"
+
+let exec_metric = "serve.job.exec.us"
+
+(* Structured per-job log lines (--log-json): one JSON object per
+   event on stdout, flushed per line so `mt_serve | jq` tails live.
+   Guarded by config so the default human banner stays byte-identical.
+   stdout is shared with job execution output; the single print is
+   atomic enough (one write of one line) for line-oriented consumers. *)
+let log_json d event fields =
+  if d.config.log_json then begin
+    let doc =
+      Mt_obsv.Json.Obj
+        (("ts", Mt_obsv.Json.Num (Unix.gettimeofday ()))
+        :: ("event", Mt_obsv.Json.Str event)
+        :: fields)
+    in
+    print_string (Mt_obsv.Json.to_string doc);
+    print_newline ();
+    flush stdout
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Submission -> study                                                 *)
@@ -123,6 +158,11 @@ let stream_outcomes d job outcomes =
   in
   (quarantined, cache_hit_rate)
 
+(* Runs the study and streams everything EXCEPT the terminal
+   Done/Failed message, which the worker sends only after all
+   bookkeeping (counters, latency histograms, the history archive) has
+   landed — so a client that reads stats, metrics or the archive the
+   moment its submission returns is guaranteed to see its own job. *)
 let execute d job =
   match study_of_submission job.submission with
   | Error msg ->
@@ -130,30 +170,40 @@ let execute d job =
        client that skipped the handler's early check. *)
     Atomic.incr d.failed;
     Mt_telemetry.incr (tel ()) "serve.jobs.failed";
-    Protocol.send_response job.oc
-      (Protocol.Failed { job = job.id; message = msg })
+    `Failed msg
   | Ok study -> (
     let config = job_run_config d job in
     match Microtools.Study.run ~config study with
     | exception e ->
       Atomic.incr d.failed;
       Mt_telemetry.incr (tel ()) "serve.jobs.failed";
-      Protocol.send_response job.oc
-        (Protocol.Failed { job = job.id; message = Printexc.to_string e })
+      `Failed (Printexc.to_string e)
     | outcomes ->
       let quarantined, cache_hit_rate = stream_outcomes d job outcomes in
-      let snapshot =
-        Mt_obsv.Snapshot.to_json
-          (Microtools.Study.snapshot ~tool:"mt_serve" study outcomes)
-      in
-      Protocol.send_response job.oc (Protocol.Snapshot snapshot);
+      let snap = Microtools.Study.snapshot ~tool:"mt_serve" study outcomes in
       Protocol.send_response job.oc
-        (Protocol.Done { job = job.id; quarantined; cache_hit_rate });
+        (Protocol.Snapshot (Mt_obsv.Snapshot.to_json snap));
       Option.iter
         (fun path -> try Sys.remove path with Sys_error _ -> ())
         config.Run_config.journal_out;
+      (* Continuous benchmarking: every completed job lands in the
+         shared archive, so a long-lived daemon accumulates the
+         timeline mt_report --history analyses.  Best-effort — an
+         unwritable archive must not fail the job that just streamed
+         its results. *)
+      Option.iter
+        (fun dir ->
+          match
+            Mt_obsv.History.append
+              ~label:(Printf.sprintf "job-%d" job.id)
+              ~dir snap
+          with
+          | Ok _ -> ()
+          | Error msg -> Printf.eprintf "mt_serve: %s\n%!" msg)
+        d.config.history_dir;
       Atomic.incr d.completed;
-      Mt_telemetry.incr (tel ()) "serve.jobs.completed")
+      Mt_telemetry.incr (tel ()) "serve.jobs.completed";
+      `Completed (quarantined, cache_hit_rate))
 
 let worker d () =
   let rec loop () =
@@ -162,11 +212,42 @@ let worker d () =
     | Some job ->
       Atomic.incr d.inflight;
       Mt_telemetry.incr (tel ()) "serve.jobs.started";
-      (try execute d job
-       with _ ->
-         (* The socket died mid-stream (client hung up): the job is
-            finished either way; never take the worker down. *)
-         ());
+      let popped_at = Unix.gettimeofday () in
+      let queue_wait_us = 1e6 *. (popped_at -. job.submitted_at) in
+      Mt_telemetry.observe (tel ()) queue_wait_metric queue_wait_us;
+      let status =
+        try execute d job
+        with _ ->
+          (* The socket died mid-stream (client hung up): the job is
+             finished either way; never take the worker down. *)
+          `Failed "connection lost"
+      in
+      let exec_us = 1e6 *. (Unix.gettimeofday () -. popped_at) in
+      Mt_telemetry.observe (tel ()) exec_metric exec_us;
+      log_json d
+        (match status with
+        | `Completed _ -> "job.done"
+        | `Failed _ -> "job.failed")
+        ([
+           ("job", Mt_obsv.Json.Num (float_of_int job.id));
+           ("queue_wait_us", Mt_obsv.Json.Num queue_wait_us);
+           ("exec_us", Mt_obsv.Json.Num exec_us);
+         ]
+        @
+        match status with
+        | `Completed (quarantined, _) ->
+          [ ("quarantined", Mt_obsv.Json.Num (float_of_int quarantined)) ]
+        | `Failed msg -> [ ("message", Mt_obsv.Json.Str msg) ]);
+      (* The terminal message, last: it unblocks the waiting client. *)
+      (try
+         match status with
+         | `Completed (quarantined, cache_hit_rate) ->
+           Protocol.send_response job.oc
+             (Protocol.Done { job = job.id; quarantined; cache_hit_rate })
+         | `Failed message ->
+           Protocol.send_response job.oc
+             (Protocol.Failed { job = job.id; message })
+       with _ -> () (* client hung up: the job is finished either way *));
       Atomic.decr d.inflight;
       Mutex.lock job.lock;
       job.done_ <- true;
@@ -179,6 +260,23 @@ let worker d () =
 (* ------------------------------------------------------------------ *)
 (* Connections                                                         *)
 (* ------------------------------------------------------------------ *)
+
+let uptime_s d = Unix.gettimeofday () -. d.started_at
+
+(* Live latency quantiles, as integer microseconds so they slot into
+   the (string * int) stats counters unchanged.  Empty histograms (no
+   jobs yet, or telemetry disabled) simply omit the keys, so older
+   clients and the codec round-trip are unaffected. *)
+let latency_quantiles () =
+  List.concat_map
+    (fun metric ->
+      List.filter_map
+        (fun (label, p) ->
+          Option.map
+            (fun v -> (Printf.sprintf "%s.%s" metric label, int_of_float v))
+            (Mt_telemetry.quantile (tel ()) metric p))
+        [ ("p50", 50.); ("p90", 90.); ("p99", 99.) ])
+    [ queue_wait_metric; exec_metric ]
 
 let stats d =
   let cache_counters =
@@ -193,13 +291,54 @@ let stats d =
       ]
   in
   [
+    ("serve.uptime.s", int_of_float (uptime_s d));
     ("serve.queue.capacity", Jobq.capacity d.queue);
     ("serve.queue.depth", Jobq.depth d.queue);
     ("serve.jobs.inflight", Atomic.get d.inflight);
     ("serve.jobs.completed", Atomic.get d.completed);
     ("serve.jobs.failed", Atomic.get d.failed);
   ]
-  @ cache_counters
+  @ latency_quantiles () @ cache_counters
+
+(* The scrape endpoint's payload: the stats counters plus every
+   telemetry counter, uptime as a proper float gauge, and the latency
+   histograms as quantile summaries. *)
+let metrics d =
+  let summaries =
+    List.filter_map
+      (fun (name, h) ->
+        if h.Mt_telemetry.count = 0 then None
+        else
+          Some
+            ( name,
+              {
+                Protocol.m_count = h.Mt_telemetry.count;
+                m_sum = h.Mt_telemetry.sum;
+                m_quantiles =
+                  List.filter_map
+                    (fun q ->
+                      Option.map
+                        (fun v -> (q /. 100., v))
+                        (Mt_telemetry.quantile (tel ()) name q))
+                    [ 50.; 90.; 99. ];
+              } ))
+      (Mt_telemetry.histograms (tel ()))
+  in
+  let stat_counters =
+    List.filter (fun (k, _) -> k <> "serve.uptime.s") (stats d)
+  in
+  let tel_counters =
+    (* Telemetry counters the stats list doesn't already carry
+       (pool/sim/resilience internals recorded during jobs). *)
+    List.filter
+      (fun (k, _) -> not (List.mem_assoc k stat_counters))
+      (Mt_telemetry.counters (tel ()))
+  in
+  {
+    Protocol.m_counters = stat_counters @ tel_counters;
+    m_gauges = [ ("serve.uptime.s", uptime_s d) ];
+    m_summaries = summaries;
+  }
 
 let trigger_stop d =
   if not (Atomic.exchange d.stopping true) then begin
@@ -233,6 +372,7 @@ let handle_submit d oc s =
         lock = Mutex.create ();
         finished = Condition.create ();
         done_ = false;
+        submitted_at = Unix.gettimeofday ();
       }
     in
     match Jobq.push d.queue job with
@@ -242,6 +382,11 @@ let handle_submit d oc s =
       Protocol.send_response oc (Protocol.Rejected Protocol.Queue_full)
     | Ok () ->
       Mt_telemetry.incr (tel ()) "serve.accepted";
+      log_json d "job.accepted"
+        [
+          ("job", Mt_obsv.Json.Num (float_of_int job.id));
+          ("queue_depth", Mt_obsv.Json.Num (float_of_int (Jobq.depth d.queue)));
+        ];
       Protocol.send_response oc
         (Protocol.Accepted { job = job.id; queue_depth = Jobq.depth d.queue });
       Mutex.lock job.lock;
@@ -261,6 +406,11 @@ let handle_connection d fd =
      | Some (Ok Protocol.Ping) -> Protocol.send_response oc Protocol.Pong
      | Some (Ok Protocol.Stats) ->
        Protocol.send_response oc (Protocol.Stats_reply (stats d))
+     | Some (Ok (Protocol.Metrics Protocol.Metrics_json)) ->
+       Protocol.send_response oc (Protocol.Metrics_reply (metrics d))
+     | Some (Ok (Protocol.Metrics Protocol.Metrics_prometheus)) ->
+       Protocol.send_response oc
+         (Protocol.Metrics_text (Protocol.prometheus_of_metrics (metrics d)))
      | Some (Ok Protocol.Shutdown) ->
        Protocol.send_response oc Protocol.Bye;
        trigger_stop d
@@ -310,6 +460,7 @@ let create config =
     inflight = Atomic.make 0;
     completed = Atomic.make 0;
     failed = Atomic.make 0;
+    started_at = Unix.gettimeofday ();
   }
 
 let serve d =

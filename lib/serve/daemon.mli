@@ -24,6 +24,14 @@ type config = {
   queue_capacity : int;  (** submissions held beyond the running ones *)
   workers : int;  (** concurrent jobs (each with [base]'s domains) *)
   state_dir : string option;  (** per-job crash journals live here *)
+  history_dir : string option;
+      (** archive every completed job's snapshot into this
+          {!Mt_obsv.History} directory (best-effort; an unwritable
+          archive never fails the job) *)
+  log_json : bool;
+      (** emit one structured JSON log line per job event
+          ([job.accepted], [job.done], [job.failed], with queue-wait
+          and execution latency) on stdout *)
   base : Microtools.Study.Run_config.t;
       (** domains, shared cache, trace routing for every job; the
           per-submission wire options overlay seed/adaptive/policy/
@@ -33,7 +41,7 @@ type config = {
 val default_config :
   ?base:Microtools.Study.Run_config.t -> string -> config
 (** [default_config socket_path]: queue of 64, 2 workers, no state
-    dir. *)
+    dir, no history archive, human log lines. *)
 
 type t
 
@@ -53,6 +61,16 @@ val stop : t -> unit
     protocol [shutdown] message). *)
 
 val stats : t -> (string * int) list
-(** The counters served to a [stats] request: queue depth/capacity,
-    jobs in flight/completed/failed, and the shared cache's
+(** The counters served to a [stats] request: uptime (whole seconds),
+    queue depth/capacity, jobs in flight/completed/failed, live
+    p50/p90/p99 job queue-wait and execution latency (integer
+    microseconds, present once at least one job has run under an
+    enabled telemetry handle), and the shared cache's
     hits/misses/decode-failures/evictions when one is configured. *)
+
+val metrics : t -> Protocol.metrics
+(** The payload served to a [metrics] request: the {!stats} counters
+    plus every telemetry counter, uptime as a float gauge, and each
+    telemetry histogram as a quantile summary (p50/p90/p99 over the
+    live window).  Render with {!Protocol.metrics_to_json} or
+    {!Protocol.prometheus_of_metrics}. *)

@@ -39,7 +39,27 @@ type submission = {
   run : run_options;
 }
 
-type request = Submit of submission | Ping | Stats | Shutdown
+(* The live metrics dump: what a scraper sees.  Counters are the
+   monotonic ints of the stats reply; gauges carry the float-valued
+   instantaneous readings (uptime); summaries are the latency
+   histograms with live quantiles.  [Prometheus] asks the daemon to
+   render the same data as text exposition format, so a curl-equivalent
+   client needs no JSON handling at all. *)
+type metrics_format = Metrics_json | Metrics_prometheus
+
+type summary_metric = {
+  m_count : int;
+  m_sum : float;
+  m_quantiles : (float * float) list;  (* (quantile in [0,1], value) *)
+}
+
+type metrics = {
+  m_counters : (string * int) list;
+  m_gauges : (string * float) list;
+  m_summaries : (string * summary_metric) list;
+}
+
+type request = Submit of submission | Ping | Stats | Metrics of metrics_format | Shutdown
 
 type reject_reason = Queue_full | Bad_request of string
 
@@ -53,6 +73,8 @@ type response =
   | Failed of { job : int; message : string }
   | Pong
   | Stats_reply of (string * int) list
+  | Metrics_reply of metrics
+  | Metrics_text of string  (* Prometheus text exposition *)
   | Bye
 
 let reject_to_string = function
@@ -161,10 +183,86 @@ let submission_to_json s =
       ("run", run_options_to_json s.run);
     ]
 
+let metrics_format_to_string = function
+  | Metrics_json -> "json"
+  | Metrics_prometheus -> "prometheus"
+
+let metrics_format_of_string = function
+  | "json" -> Ok Metrics_json
+  | "prometheus" -> Ok Metrics_prometheus
+  | f -> Error (Printf.sprintf "unknown metrics format %S" f)
+
+let summary_to_json s =
+  J.Obj
+    [
+      ("count", J.Num (float_of_int s.m_count));
+      ("sum", J.Num s.m_sum);
+      ( "quantiles",
+        J.Obj
+          (List.map
+             (fun (q, v) -> (Printf.sprintf "%g" q, J.Num v))
+             s.m_quantiles) );
+    ]
+
+let metrics_to_json m =
+  J.Obj
+    [
+      ( "counters",
+        J.Obj (List.map (fun (k, v) -> (k, J.Num (float_of_int v))) m.m_counters)
+      );
+      ("gauges", J.Obj (List.map (fun (k, v) -> (k, J.Num v)) m.m_gauges));
+      ( "summaries",
+        J.Obj (List.map (fun (k, s) -> (k, summary_to_json s)) m.m_summaries) );
+    ]
+
+(* Prometheus text exposition (version 0.0.4): dotted metric names
+   become underscore-separated, counters get a _total-free name kept
+   verbatim (these are internal dashboards, not a public contract),
+   summaries expand to quantile-labelled samples plus _sum/_count. *)
+let prometheus_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let prometheus_of_metrics m =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) ->
+      let n = prometheus_name k in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    m.m_counters;
+  List.iter
+    (fun (k, v) ->
+      let n = prometheus_name k in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %g\n" n n v))
+    m.m_gauges;
+  List.iter
+    (fun (k, s) ->
+      let n = prometheus_name k in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"%g\"} %g\n" n q v))
+        s.m_quantiles;
+      Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" n s.m_sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n s.m_count))
+    m.m_summaries;
+  Buffer.contents buf
+
 let request_to_json = function
   | Submit s -> J.Obj [ ("type", J.Str "submit"); ("job", submission_to_json s) ]
   | Ping -> J.Obj [ ("type", J.Str "ping") ]
   | Stats -> J.Obj [ ("type", J.Str "stats") ]
+  | Metrics fmt ->
+    J.Obj
+      [
+        ("type", J.Str "metrics");
+        ("format", J.Str (metrics_format_to_string fmt));
+      ]
   | Shutdown -> J.Obj [ ("type", J.Str "shutdown") ]
 
 let cells_to_json cells = J.List (List.map (fun c -> J.Str c) cells)
@@ -213,6 +311,12 @@ let response_to_json = function
           J.Obj (List.map (fun (k, v) -> (k, J.Num (float_of_int v))) counters)
         );
       ]
+  | Metrics_reply m ->
+    J.Obj (("type", J.Str "metrics") :: (match metrics_to_json m with
+      | J.Obj fields -> fields
+      | _ -> []))
+  | Metrics_text text ->
+    J.Obj [ ("type", J.Str "metrics_text"); ("text", J.Str text) ]
   | Bye -> J.Obj [ ("type", J.Str "bye") ]
 
 (* ------------------------------------------------------------------ *)
@@ -340,6 +444,15 @@ let request_of_json doc =
     Ok (Submit s)
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
+  | "metrics" -> (
+    match J.member "format" doc with
+    | None -> Ok (Metrics Metrics_json)
+    | Some v -> (
+      match J.to_str v with
+      | None -> Error "field \"format\": expected a string"
+      | Some f ->
+        let* fmt = metrics_format_of_string f in
+        Ok (Metrics fmt)))
   | "shutdown" -> Ok Shutdown
   | k -> Error (Printf.sprintf "unknown request type %S" k)
 
@@ -393,6 +506,60 @@ let response_of_json doc =
         (Ok []) kvs
       |> Result.map List.rev)
     |> Result.map (fun counters -> Stats_reply counters)
+  | "metrics" ->
+    let int_obj name =
+      match J.member name doc with
+      | None -> Ok []
+      | Some v -> (
+        match J.to_obj v with
+        | None -> Error (Printf.sprintf "field %S: expected an object" name)
+        | Some kvs ->
+          Ok (List.filter_map (fun (k, v) ->
+                Option.map (fun n -> (k, n)) (J.to_int v)) kvs))
+    in
+    let float_obj name =
+      match J.member name doc with
+      | None -> Ok []
+      | Some v -> (
+        match J.to_obj v with
+        | None -> Error (Printf.sprintf "field %S: expected an object" name)
+        | Some kvs ->
+          Ok (List.filter_map (fun (k, v) ->
+                Option.map (fun f -> (k, f)) (J.to_float v)) kvs))
+    in
+    let* m_counters = int_obj "counters" in
+    let* m_gauges = float_obj "gauges" in
+    let* m_summaries =
+      match J.member "summaries" doc with
+      | None -> Ok []
+      | Some v -> (
+        match J.to_obj v with
+        | None -> Error "field \"summaries\": expected an object"
+        | Some kvs ->
+          List.fold_left
+            (fun acc (k, s) ->
+              let* acc = acc in
+              let* m_count = int_field "count" s in
+              let* m_sum = float_field "sum" s in
+              let m_quantiles =
+                match Option.bind (J.member "quantiles" s) J.to_obj with
+                | None -> []
+                | Some qs ->
+                  List.filter_map
+                    (fun (q, v) ->
+                      match (float_of_string_opt q, J.to_float v) with
+                      | Some q, Some v -> Some (q, v)
+                      | _ -> None)
+                    qs
+              in
+              Ok ((k, { m_count; m_sum; m_quantiles }) :: acc))
+            (Ok []) kvs
+          |> Result.map List.rev)
+    in
+    Ok (Metrics_reply { m_counters; m_gauges; m_summaries })
+  | "metrics_text" ->
+    let* text = str "text" doc in
+    Ok (Metrics_text text)
   | "bye" -> Ok Bye
   | k -> Error (Printf.sprintf "unknown response type %S" k)
 

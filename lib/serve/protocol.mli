@@ -5,7 +5,8 @@
     printer escapes all control characters, so embedded kernel XML or
     CSV cells can never break the framing).  A client sends one
     {!request} and reads {!response} lines until a terminal one
-    ([Rejected], [Done], [Failed], [Pong], [Stats_reply] or [Bye]).
+    ([Rejected], [Done], [Failed], [Pong], [Stats_reply],
+    [Metrics_reply], [Metrics_text] or [Bye]).
 
     A study submission carries the kernel description XML, the machine
     (preset name or inline machine XML) and the serializable slice of
@@ -42,7 +43,27 @@ type submission = {
   run : run_options;
 }
 
-type request = Submit of submission | Ping | Stats | Shutdown
+(** The live metrics dump behind the [metrics] request: the stats
+    counters, float-valued gauges (uptime), and the per-job latency
+    histograms with live quantiles.  [Metrics_prometheus] asks the
+    daemon to render the same data in Prometheus text exposition
+    format, so a scrape-style client needs no JSON handling. *)
+type metrics_format = Metrics_json | Metrics_prometheus
+
+type summary_metric = {
+  m_count : int;
+  m_sum : float;
+  m_quantiles : (float * float) list;
+      (** [(quantile in [0,1], value)] pairs, e.g. [(0.5, v)] for p50 *)
+}
+
+type metrics = {
+  m_counters : (string * int) list;
+  m_gauges : (string * float) list;
+  m_summaries : (string * summary_metric) list;
+}
+
+type request = Submit of submission | Ping | Stats | Metrics of metrics_format | Shutdown
 
 type reject_reason =
   | Queue_full  (** back-pressure: the bounded job queue is at capacity *)
@@ -58,9 +79,24 @@ type response =
   | Failed of { job : int; message : string }
   | Pong
   | Stats_reply of (string * int) list
+  | Metrics_reply of metrics  (** answers [Metrics Metrics_json] *)
+  | Metrics_text of string
+      (** answers [Metrics Metrics_prometheus]: the exposition document *)
   | Bye
 
 val reject_to_string : reject_reason -> string
+
+val metrics_format_to_string : metrics_format -> string
+
+val metrics_format_of_string : string -> (metrics_format, string) result
+
+val metrics_to_json : metrics -> J.t
+
+val prometheus_of_metrics : metrics -> string
+(** Render as Prometheus text exposition (version 0.0.4): counters and
+    gauges as single samples, summaries as quantile-labelled samples
+    plus [_sum]/[_count].  Dotted metric names are sanitised to
+    underscores ([serve.jobs.completed] → [serve_jobs_completed]). *)
 
 val default_run_options : run_options
 (** {!Mt_resilience.Policy.default} with no seed, no adaptive stopping

@@ -124,6 +124,140 @@ let summarize xs =
     stddev = stddev xs;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Longitudinal trend analysis                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Trend = struct
+  type classification =
+    | Stationary
+    | Drifting
+    | Step_regression
+    | Step_improvement
+
+  let classification_to_string = function
+    | Stationary -> "stationary"
+    | Drifting -> "drifting"
+    | Step_regression -> "step-regression"
+    | Step_improvement -> "step-improvement"
+
+  type result = {
+    classification : classification;
+    changepoint : int option;
+    shift : float;
+    drift : float;
+    band : float;
+    noise : float;
+  }
+
+  let default_threshold = 3.0
+
+  let default_min_band = 0.002
+
+  let default_min_segment = 2
+
+  (* Robust local-noise estimate: the scaled median absolute successive
+     difference.  Successive differences straddle a step change at only
+     one index, so — unlike the series' own stddev — a genuine regime
+     shift barely inflates the estimate, and the band it feeds stays a
+     measure of run-to-run wobble, not of the effect being detected.
+     The sqrt 2 removes the variance doubling of differencing; 1.4826
+     scales MAD to a Gaussian sigma. *)
+  let successive_noise xs =
+    let n = Array.length xs in
+    if n < 3 then 0.
+    else begin
+      let diffs = Array.init (n - 1) (fun i -> abs_float (xs.(i + 1) -. xs.(i))) in
+      let m = median xs in
+      if m = 0. then 0.
+      else 1.4826 *. median diffs /. (sqrt 2. *. abs_float m)
+    end
+
+  (* Rolling median with an odd window clamped to the series length —
+     the drift estimator reads its endpoints, so single-run spikes at
+     either end of the series cannot fake a drift. *)
+  let rolling_median ?(window = 3) xs =
+    let n = Array.length xs in
+    if n = 0 then [||]
+    else begin
+      let w = max 1 (min window n) in
+      let w = if w mod 2 = 0 then w - 1 else w in
+      let half = w / 2 in
+      Array.init n (fun i ->
+          let lo = max 0 (i - half) in
+          let hi = min (n - 1) (i + half) in
+          median (Array.sub xs lo (hi - lo + 1)))
+    end
+
+  let analyze ?(threshold = default_threshold) ?(min_band = default_min_band)
+      ?(min_segment = default_min_segment) ?noise xs =
+    let n = Array.length xs in
+    let noise =
+      match noise with Some v -> abs_float v | None -> successive_noise xs
+    in
+    let band = Float.max min_band (threshold *. noise) in
+    if n < 2 * min_segment then
+      { classification = Stationary; changepoint = None; shift = 0.;
+        drift = 0.; band; noise }
+    else begin
+      (* Median-shift changepoint: the split maximising the relative
+         shift between the two segment medians.  Medians, not means, so
+         one outlier run cannot manufacture a step.  On a clean step
+         the shift ties across every split that keeps each segment's
+         majority on its own side, so ties break towards the split with
+         the least within-segment absolute deviation — which is the
+         actual regime boundary (both segments internally flat). *)
+      let best_k = ref min_segment
+      and best_shift = ref 0.
+      and best_cost = ref infinity in
+      for k = min_segment to n - min_segment do
+        let left = Array.sub xs 0 k in
+        let right = Array.sub xs k (n - k) in
+        let ml = median left in
+        let mr = median right in
+        let denom = if ml = 0. then 1. else abs_float ml in
+        let shift = (mr -. ml) /. denom in
+        let deviation m acc x = acc +. abs_float (x -. m) in
+        let cost =
+          Array.fold_left (deviation ml) 0. left
+          +. Array.fold_left (deviation mr) 0. right
+        in
+        let eps = 1e-12 *. (1. +. abs_float !best_shift) in
+        if
+          abs_float shift > abs_float !best_shift +. eps
+          || (abs_float shift >= abs_float !best_shift -. eps
+              && cost < !best_cost)
+        then begin
+          best_shift := shift;
+          best_k := k;
+          best_cost := cost
+        end
+      done;
+      if abs_float !best_shift > band then
+        {
+          classification =
+            (if !best_shift > 0. then Step_regression else Step_improvement);
+          changepoint = Some !best_k;
+          shift = !best_shift;
+          drift = 0.;
+          band;
+          noise;
+        }
+      else begin
+        let rm = rolling_median ~window:(min 5 n) xs in
+        let first = rm.(0) in
+        let denom = if first = 0. then 1. else abs_float first in
+        let drift = (rm.(Array.length rm - 1) -. first) /. denom in
+        if abs_float drift > band then
+          { classification = Drifting; changepoint = None;
+            shift = !best_shift; drift; band; noise }
+        else
+          { classification = Stationary; changepoint = None;
+            shift = !best_shift; drift; band; noise }
+      end
+    end
+end
+
 module Csv = struct
   type t = { header : string list; mutable rows : string list list }
 

@@ -70,6 +70,75 @@ val pooled_cov : (int * float * float) list -> float
     from run-to-run noise).  0 when the grand mean is 0 or no samples;
     non-negative always, so the derived band never flips sign. *)
 
+(** {1 Trend analysis}
+
+    Noise-aware classification of a per-variant measurement timeline
+    (one value per archived run, oldest first) — the longitudinal
+    counterpart of {!pooled_cov}'s two-run noise band.  Detects median
+    step changes (a regression landed or was fixed between two runs)
+    and slow drift (the rolling median walked away), and calls
+    everything inside the noise band stationary, so a CI gate built on
+    it does not flap on run-to-run wobble. *)
+
+module Trend : sig
+  type classification =
+    | Stationary  (** inside the noise band end to end *)
+    | Drifting  (** the rolling median moved beyond the band, gradually *)
+    | Step_regression  (** a median step up (slower) escaped the band *)
+    | Step_improvement  (** a median step down (faster) escaped the band *)
+
+  val classification_to_string : classification -> string
+
+  type result = {
+    classification : classification;
+    changepoint : int option;
+        (** first index of the new regime, for step classifications *)
+    shift : float;
+        (** largest relative median shift between the two segments of
+            any split (signed; positive = later segment is slower) *)
+    drift : float;
+        (** relative endpoint-to-endpoint move of the rolling median
+            (signed), when no step escaped the band *)
+    band : float;  (** the noise band the effects were judged against *)
+    noise : float;  (** the noise estimate the band was built from *)
+  }
+
+  val default_threshold : float
+  (** 3.0 — same multiplier as the two-run diff gate in [mt_report]. *)
+
+  val default_min_band : float
+  (** 0.002 — floor under the band (deterministic series measure with
+      zero successive noise). *)
+
+  val default_min_segment : int
+  (** 2 — shortest segment a changepoint split may produce. *)
+
+  val successive_noise : float array -> float
+  (** Scaled median absolute successive difference relative to the
+      series median: a robust run-to-run noise estimate that a genuine
+      step change barely inflates.  0 for series shorter than 3. *)
+
+  val rolling_median : ?window:int -> float array -> float array
+  (** Centred rolling median (odd [window], default 3, clamped at the
+      edges); same length as the input. *)
+
+  val analyze :
+    ?threshold:float ->
+    ?min_band:float ->
+    ?min_segment:int ->
+    ?noise:float ->
+    float array ->
+    result
+  (** [analyze xs] classifies the series, oldest value first.  The
+      noise band is [max min_band (threshold * noise)]; [noise]
+      defaults to {!successive_noise} but callers holding per-run
+      within-run variability (e.g. {!pooled_cov} over the archived
+      runs' stats) should pass it explicitly.  Steps are tested first
+      (largest median shift over all splits leaving [min_segment]
+      points per side), drift only when no step escapes the band.
+      Series shorter than [2 * min_segment] are stationary. *)
+end
+
 (** {1 CSV} *)
 
 module Csv : sig

@@ -16,11 +16,20 @@ type sample = {
   values : (string * float) list;
 }
 
+(* A bounded ring of the most recent observations per histogram, so
+   quantiles reflect the live window of a long-running daemon rather
+   than its whole lifetime.  2048 values bounds memory per histogram
+   regardless of uptime. *)
+type reservoir = { buf : float array; mutable len : int; mutable pos : int }
+
+let reservoir_capacity = 2048
+
 type state = {
   mutable events : event list;  (* newest first *)
   mutable samples : sample list;  (* newest first *)
   counters : (string, int) Hashtbl.t;
   histograms : (string, hist) Hashtbl.t;
+  reservoirs : (string, reservoir) Hashtbl.t;
   lock : Mutex.t;
   epoch : float;
   depth : int ref Domain.DLS.key;
@@ -45,6 +54,7 @@ let create () : t =
       samples = [];
       counters = Hashtbl.create 64;
       histograms = Hashtbl.create 16;
+      reservoirs = Hashtbl.create 16;
       lock = Mutex.create ();
       epoch = mono_us ();
       depth = Domain.DLS.new_key (fun () -> ref 0);
@@ -128,7 +138,18 @@ let observe_locked s name v =
         maximum = Float.max h.maximum v;
       }
   in
-  Hashtbl.replace s.histograms name h
+  Hashtbl.replace s.histograms name h;
+  let r =
+    match Hashtbl.find_opt s.reservoirs name with
+    | Some r -> r
+    | None ->
+      let r = { buf = Array.make reservoir_capacity 0.; len = 0; pos = 0 } in
+      Hashtbl.replace s.reservoirs name r;
+      r
+  in
+  r.buf.(r.pos) <- v;
+  r.pos <- (r.pos + 1) mod reservoir_capacity;
+  if r.len < reservoir_capacity then r.len <- r.len + 1
 
 let observe t name v =
   match t with None -> () | Some s -> locked s (fun () -> observe_locked s name v)
@@ -137,6 +158,23 @@ let histograms t =
   match t with
   | None -> []
   | Some s -> locked s (fun () -> sorted_bindings s.histograms)
+
+let quantile t name p =
+  match t with
+  | None -> None
+  | Some s ->
+    let snapshot =
+      locked s (fun () ->
+          match Hashtbl.find_opt s.reservoirs name with
+          | None -> None
+          | Some r when r.len = 0 -> None
+          | Some r -> Some (Array.sub r.buf 0 r.len))
+    in
+    Option.map
+      (fun values ->
+        Array.sort Float.compare values;
+        Mt_stats.percentile_sorted values p)
+      snapshot
 
 let now_us s = mono_us () -. s.epoch
 

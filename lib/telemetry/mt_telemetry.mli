@@ -90,6 +90,13 @@ val histograms : t -> (string * hist) list
 (** All histograms, sorted by name.  Every completed span also feeds a
     ["span.<name>.us"] histogram with its duration. *)
 
+val quantile : t -> string -> float -> float option
+(** [quantile t name p] with [p] in [0, 100]: the [p]-th percentile of
+    the named histogram's most recent observations (a bounded window of
+    the last 2048 values, so a long-lived daemon reports live latency
+    quantiles, not lifetime ones).  [None] for unknown names, empty
+    histograms and disabled handles. *)
+
 (** {1 Spans} *)
 
 type event = {

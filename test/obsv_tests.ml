@@ -85,14 +85,30 @@ let test_snapshot_round_trip () =
       | Ok loaded ->
         check_bool "identical after save/load" true (loaded = snap))
 
-let test_snapshot_rejects_newer_schema () =
+(* Forward compatibility: a document written by a newer schema — a
+   bumped version number plus fields this binary has never heard of, at
+   the top level and inside each variant — must load with the unknown
+   fields ignored, so older binaries can read newer history entries. *)
+let test_snapshot_loads_newer_schema () =
   let text =
-    Printf.sprintf "{\"schema\": %d, \"variants\": []}"
+    Printf.sprintf
+      "{\"schema\": %d, \"tool\": \"future\", \"novel_top_level\": {\"x\": 1},\n\
+      \ \"variants\": [{\"key\": \"v0\", \"median\": 2.5,\n\
+      \                 \"novel_variant_field\": [1, 2, 3]}],\n\
+      \ \"another_unknown\": \"ignored\"}"
       (Snapshot.schema_version + 1)
   in
   match Snapshot.of_string text with
-  | Ok _ -> Alcotest.fail "accepted a newer schema"
-  | Error msg -> check_bool "names schema" true (String.length msg > 0)
+  | Error msg -> Alcotest.failf "newer schema failed to load: %s" msg
+  | Ok snap ->
+    check_int "document schema preserved" (Snapshot.schema_version + 1)
+      snap.Snapshot.schema;
+    check_str "tool" "future" snap.Snapshot.tool;
+    (match snap.Snapshot.variants with
+    | [ v ] ->
+      check_str "variant key" "v0" v.Snapshot.key;
+      Alcotest.(check (float 1e-9)) "variant median" 2.5 v.Snapshot.median
+    | vs -> Alcotest.failf "expected 1 variant, got %d" (List.length vs))
 
 let test_identical_snapshots_diff_empty () =
   let snap = sample_snapshot () in
@@ -441,8 +457,8 @@ let tests =
       test_json_unicode_escape;
     Alcotest.test_case "snapshot save/load round-trips" `Quick
       test_snapshot_round_trip;
-    Alcotest.test_case "snapshot rejects newer schema" `Quick
-      test_snapshot_rejects_newer_schema;
+    Alcotest.test_case "snapshot loads newer schema ignoring unknown fields"
+      `Quick test_snapshot_loads_newer_schema;
     Alcotest.test_case "identical snapshots diff empty" `Quick
       test_identical_snapshots_diff_empty;
     Alcotest.test_case "delta inside noise band is unchanged" `Quick

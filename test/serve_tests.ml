@@ -66,6 +66,8 @@ let test_request_roundtrip () =
         };
       Protocol.Ping;
       Protocol.Stats;
+      Protocol.Metrics Protocol.Metrics_json;
+      Protocol.Metrics Protocol.Metrics_prometheus;
       Protocol.Shutdown;
     ]
 
@@ -87,8 +89,57 @@ let test_response_roundtrip () =
       Protocol.Failed { job = 8; message = "simulator exploded" };
       Protocol.Pong;
       Protocol.Stats_reply [ ("serve.queue.depth", 2); ("cache.evictions", 0) ];
+      Protocol.Metrics_reply
+        {
+          Protocol.m_counters = [ ("serve.jobs.completed", 5) ];
+          m_gauges = [ ("serve.uptime.s", 12.5) ];
+          m_summaries =
+            [
+              ( "serve.job.exec.us",
+                {
+                  Protocol.m_count = 5;
+                  m_sum = 1250.;
+                  m_quantiles = [ (0.5, 200.); (0.9, 400.); (0.99, 450.) ];
+                } );
+            ];
+        };
+      Protocol.Metrics_text
+        "# TYPE serve_jobs_completed counter\nserve_jobs_completed 5\n";
       Protocol.Bye;
     ]
+
+(* The exposition renderer: names sanitised, summaries expanded to
+   quantile samples plus _sum/_count — what a scrape sees. *)
+let test_prometheus_rendering () =
+  let text =
+    Protocol.prometheus_of_metrics
+      {
+        Protocol.m_counters = [ ("serve.jobs.completed", 5) ];
+        m_gauges = [ ("serve.uptime.s", 12.5) ];
+        m_summaries =
+          [
+            ( "serve.job.exec.us",
+              {
+                Protocol.m_count = 5;
+                m_sum = 1250.;
+                m_quantiles = [ (0.5, 200.) ];
+              } );
+          ];
+      }
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "counter sample" true (contains "serve_jobs_completed 5\n");
+  check_bool "counter type line" true
+    (contains "# TYPE serve_jobs_completed counter\n");
+  check_bool "gauge sample" true (contains "serve_uptime_s 12.5\n");
+  check_bool "summary quantile" true
+    (contains "serve_job_exec_us{quantile=\"0.5\"} 200\n");
+  check_bool "summary sum" true (contains "serve_job_exec_us_sum 1250\n");
+  check_bool "summary count" true (contains "serve_job_exec_us_count 5\n")
 
 (* The serializable slice survives Run_config -> wire -> Run_config:
    projecting the overlaid config again yields the same wire options. *)
@@ -196,7 +247,7 @@ let temp_socket () =
   Sys.remove path;
   path
 
-let with_daemon ?(workers = 2) ?(queue = 8) f =
+let with_daemon ?(workers = 2) ?(queue = 8) ?history_dir ?(log_json = false) f =
   let socket = temp_socket () in
   let cache_dir = temp_dir "mtservecache" in
   let cache = Mt_parallel.Cache.create ~dir:cache_dir () in
@@ -207,6 +258,8 @@ let with_daemon ?(workers = 2) ?(queue = 8) f =
       queue_capacity = queue;
       workers;
       state_dir = None;
+      history_dir;
+      log_json;
       base;
     }
   in
@@ -315,6 +368,78 @@ let test_daemon_bad_request () =
         check_bool "typed bad-request names the machine" true
           (contains "zen9" msg))
 
+let string_contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* The metrics endpoint end to end, with a live telemetry handle so
+   the job-latency histograms actually record (a daemon always enables
+   one; the test runner's default is disabled, so install and restore). *)
+let test_daemon_metrics_endpoint () =
+  let prev = Mt_telemetry.global () in
+  Mt_telemetry.set_global (Mt_telemetry.create ());
+  Fun.protect
+    ~finally:(fun () -> Mt_telemetry.set_global prev)
+    (fun () ->
+      with_daemon (fun ~socket ~daemon:_ ->
+          (match Client.submit ~socket small_submission with
+          | Error msg -> Alcotest.failf "submit: %s" msg
+          | Ok _ -> ());
+          (match Client.metrics ~socket with
+          | Error msg -> Alcotest.failf "metrics: %s" msg
+          | Ok m ->
+            check_int "completed counter" 1
+              (List.assoc "serve.jobs.completed" m.Protocol.m_counters);
+            check_bool "uptime gauge present" true
+              (List.mem_assoc "serve.uptime.s" m.Protocol.m_gauges);
+            (match List.assoc_opt "serve.job.exec.us" m.Protocol.m_summaries with
+            | None -> Alcotest.fail "no exec-latency summary"
+            | Some s ->
+              check_int "one observation" 1 s.Protocol.m_count;
+              check_bool "p50 present" true
+                (List.mem_assoc 0.5 s.Protocol.m_quantiles)));
+          (match Client.stats ~socket with
+          | Error msg -> Alcotest.failf "stats: %s" msg
+          | Ok counters ->
+            check_bool "stats carries p50 exec latency" true
+              (List.mem_assoc "serve.job.exec.us.p50" counters);
+            check_bool "stats carries uptime" true
+              (List.mem_assoc "serve.uptime.s" counters));
+          match Client.metrics_text ~socket with
+          | Error msg -> Alcotest.failf "metrics text: %s" msg
+          | Ok text ->
+            check_bool "exposition has jobs-completed counter" true
+              (string_contains "serve_jobs_completed 1\n" text);
+            check_bool "exposition has exec-latency summary" true
+              (string_contains "# TYPE serve_job_exec_us summary" text)))
+
+(* --history-dir: every completed job lands in the archive, in order. *)
+let test_daemon_history_archive () =
+  let dir = temp_dir "mtservehist" in
+  with_daemon ~history_dir:dir (fun ~socket ~daemon:_ ->
+      List.iter
+        (fun _ ->
+          match Client.submit ~socket small_submission with
+          | Error msg -> Alcotest.failf "submit: %s" msg
+          | Ok _ -> ())
+        [ (); () ];
+      match Mt_obsv.History.load dir with
+      | Error msg -> Alcotest.failf "history load: %s" msg
+      | Ok hist ->
+        check_int "two archived runs" 2 (Mt_obsv.History.length hist);
+        let entries = Mt_obsv.History.entries hist in
+        check_bool "sequence numbers ascend from 1" true
+          (List.map (fun e -> e.Mt_obsv.History.seq) entries = [ 1; 2 ]);
+        List.iter
+          (fun e ->
+            match Mt_obsv.History.snapshot hist e with
+            | Error msg -> Alcotest.failf "archived snapshot: %s" msg
+            | Ok snap ->
+              check_string "archived by the daemon" "mt_serve"
+                snap.Mt_obsv.Snapshot.tool)
+          entries)
+
 let test_daemon_rejects_live_socket_reuse () =
   with_daemon (fun ~socket ~daemon:_ ->
       check_bool "second daemon on a live socket refuses" true
@@ -342,6 +467,11 @@ let suite =
     Alcotest.test_case "daemon concurrent clients" `Quick
       test_daemon_concurrent_clients;
     Alcotest.test_case "daemon bad request" `Quick test_daemon_bad_request;
+    Alcotest.test_case "prometheus rendering" `Quick test_prometheus_rendering;
+    Alcotest.test_case "daemon metrics endpoint" `Quick
+      test_daemon_metrics_endpoint;
+    Alcotest.test_case "daemon history archive" `Quick
+      test_daemon_history_archive;
     Alcotest.test_case "daemon refuses live socket" `Quick
       test_daemon_rejects_live_socket_reuse;
   ]

@@ -24,6 +24,7 @@ let () =
       ("resilience", Resilience_tests.tests);
       ("telemetry", Telemetry_tests.tests);
       ("obsv", Obsv_tests.tests);
+      ("history", History_tests.tests);
       ("quality", Quality_tests.tests);
       ("serve", Serve_tests.suite);
       ("extensions", Extensions_tests.tests);
