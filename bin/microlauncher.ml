@@ -113,6 +113,10 @@ let run input function_name machine machine_file freq array_kb alignments repeti
         1
       | Mt_resilience.Supervisor.Done (Ok report, _) ->
         Format.printf "%a@." Report.pp report;
+        Mt_cli.report_profiles config
+          (match report.Report.profile with
+          | Some b -> [ (Filename.basename input, b) ]
+          | None -> []);
         if analyze then analyze_kernel opts source;
         0
     in

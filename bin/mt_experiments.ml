@@ -115,6 +115,7 @@ let main ids all quick csv_dir list config =
     let ids = if all || ids = [] then Microtools.Experiments.ids else ids in
     Microtools.Experiments.set_run_config config;
     let code, tables = run_ids ids quick csv_dir config in
+    Mt_cli.report_profiles config (Microtools.Experiments.profiles ());
     (match
        ( config.Microtools.Study.Run_config.snapshot_out,
          config.Microtools.Study.Run_config.history_append )

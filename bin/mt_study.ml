@@ -184,6 +184,13 @@ let run input machine machine_file array_kb per repetitions experiments top
             (Microtools.Study.resumed_count outcomes)
             (List.length outcomes) path
         | None -> ());
+        Mt_cli.report_profiles config
+          (List.filter_map
+             (fun (v, r) ->
+               Option.map
+                 (fun b -> (Mt_creator.Variant.id v, b))
+                 r.Mt_launcher.Report.profile)
+             ranked);
         let quarantined = Microtools.Study.quarantined outcomes in
         List.iter
           (fun (v, q) ->

@@ -209,6 +209,31 @@ let history_arg =
            safe to share between concurrent runs and an mt_serve \
            daemon).  Analyse the archive with $(b,mt_report --history).")
 
+let profile_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "profile" ] ~docs:docs_obsv
+        ~doc:
+          "Record per-instruction bottleneck attribution during the \
+           measured calls and print a top-down cycle-accounting \
+           breakdown (frontend / ports / dependency / window / memory \
+           level) plus the critical dependency path per variant.  The \
+           measured numbers are unchanged; profiles also travel in \
+           $(b,--snapshot-out) documents, where mt_report uses them to \
+           explain regressions.")
+
+let profile_folded_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-folded" ] ~docv:"FILE" ~docs:docs_obsv
+        ~doc:
+          "Also write the attribution as collapsed-stack lines to \
+           $(docv) (one stack per category plus the critical path), \
+           ready for flamegraph.pl or speedscope.  Implies \
+           $(b,--profile).")
+
 let trace_detail_arg =
   Arg.(
     value
@@ -249,7 +274,7 @@ let submit_arg =
 let build jobs cache_dir cache_max_mb no_cache adaptive rciw_target
     max_experiments retries backoff_ms resilience_seed timeout sim_budget
     faults journal resume trace_out metrics_out snapshot_out history_append
-    trace_detail =
+    trace_detail profile profile_folded =
   let cache =
     if no_cache then None
     else
@@ -269,7 +294,9 @@ let build jobs cache_dir cache_max_mb no_cache adaptive rciw_target
   Microtools.Study.Run_config.make ~domains:jobs ?cache
     ?adaptive:(if adaptive then Some (rciw_target, max_experiments) else None)
     ~policy ~faults ?journal_out:journal ?resume_from:resume ?trace_out
-    ?metrics_out ?snapshot_out ?history_append ~trace_detail ()
+    ?metrics_out ?snapshot_out ?history_append ~trace_detail
+    ~profile:(profile || profile_folded <> None)
+    ?profile_folded ()
 
 let term =
   Term.(
@@ -278,7 +305,7 @@ let term =
     $ rciw_target_arg $ max_exps_arg $ retries_arg $ backoff_ms_arg
     $ resilience_seed_arg $ timeout_arg $ sim_budget_arg $ faults_arg
     $ journal_arg $ resume_arg $ trace_arg $ metrics_arg $ snapshot_arg
-    $ history_arg $ trace_detail_arg)
+    $ history_arg $ trace_detail_arg $ profile_arg $ profile_folded_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Shared runtime plumbing                                             *)
@@ -305,11 +332,44 @@ let finish tel (config : t) =
       Printf.printf
         "trace written to %s (open in chrome://tracing or Perfetto)\n" path)
     config.Run_config.trace_out;
+  (* The output format follows the extension: FILE.prom gets Prometheus
+     text exposition (same encoder as the mt_serve metrics endpoint),
+     anything else the key,value CSV. *)
   Option.iter
     (fun path ->
-      Mt_telemetry.write_metrics_csv tel path;
-      Printf.printf "metrics written to %s\n" path)
+      if Filename.check_suffix path ".prom" then begin
+        Mt_telemetry.write_metrics_prometheus tel path;
+        Printf.printf "metrics written to %s (Prometheus text format)\n" path
+      end
+      else begin
+        Mt_telemetry.write_metrics_csv tel path;
+        Printf.printf "metrics written to %s\n" path
+      end)
     config.Run_config.metrics_out
+
+(* The profile outputs every profiling binary shares: a breakdown
+   table per profiled report on stdout and, with --profile-folded, one
+   collapsed-stack file covering all of them (each variant a separate
+   root frame).  A no-op unless the run was profiled. *)
+let report_profiles (config : t) profiled =
+  if profiled <> [] then begin
+    List.iter
+      (fun (key, b) -> print_string (Mt_profile.render ~label:key b))
+      profiled;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            List.iter
+              (fun (key, b) -> output_string oc (Mt_profile.folded ~root:key b))
+              profiled);
+        Printf.printf
+          "folded profile written to %s (feed to flamegraph.pl or speedscope)\n"
+          path)
+      config.Run_config.profile_folded
+  end
 
 (* Archiving is best-effort by design: a full disk or unwritable
    archive must not fail the measurement that just completed — the

@@ -9,7 +9,8 @@
     [--resilience-seed]), fault injection ([--inject-fault]),
     checkpoint/resume ([--journal], [--resume]) and the observability
     outputs ([--trace-out], [--metrics-out], [--snapshot-out],
-    [--history-append], [--trace-detail]) — into one
+    [--history-append], [--trace-detail], [--profile],
+    [--profile-folded]) — into one
     {!Microtools.Study.Run_config.t}.
     Binaries compose it with their kernel-specific arguments and must
     not re-declare any of these flags themselves. *)
@@ -34,8 +35,17 @@ val setup : t -> Mt_telemetry.t
     before any measurement. *)
 
 val finish : Mt_telemetry.t -> t -> unit
-(** Write the Chrome trace and metrics CSV requested by [config],
-    announcing each path on stdout.  Call once, after the run. *)
+(** Write the Chrome trace and metrics file requested by [config],
+    announcing each path on stdout.  A [--metrics-out] path ending in
+    [.prom] is written as Prometheus text exposition instead of the
+    key,value CSV.  Call once, after the run. *)
+
+val report_profiles : t -> (string * Mt_profile.breakdown) list -> unit
+(** Print the bottleneck-attribution breakdown table of every
+    [(label, breakdown)] pair and, when [--profile-folded] was given,
+    write one collapsed-stack file covering all of them (each label a
+    separate root frame).  A no-op on an empty list (the run was not
+    profiled). *)
 
 val append_history : ?label:string -> t -> Mt_obsv.Snapshot.t -> unit
 (** Archive the run snapshot into [config.history_append]'s directory

@@ -104,19 +104,36 @@ let sparkline values =
   else begin
     let glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
                     "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |] in
-    let lo = Array.fold_left Float.min values.(0) values in
-    let hi = Array.fold_left Float.max values.(0) values in
-    let span = hi -. lo in
+    (* The scale comes from the finite samples only: one stray NaN or
+       infinity (a corrupt history cell, a division by a zero count)
+       must not blank the whole line.  Non-finite samples render as
+       fixed placeholders instead — '?' for NaN, the extreme glyphs for
+       the infinities. *)
+    let lo = ref infinity and hi = ref neg_infinity in
+    Array.iter
+      (fun v ->
+        if Float.is_finite v then begin
+          if v < !lo then lo := v;
+          if v > !hi then hi := v
+        end)
+      values;
+    let lo = !lo in
+    let span = !hi -. lo in
+    let top = Array.length glyphs - 1 in
     let buf = Buffer.create (n * 3) in
     Array.iter
       (fun v ->
-        let level =
-          if span <= 0. then 0
-          else
-            min (Array.length glyphs - 1)
-              (int_of_float ((v -. lo) /. span *. float_of_int (Array.length glyphs - 1) +. 0.5))
-        in
-        Buffer.add_string buf glyphs.(max 0 level))
+        if Float.is_nan v then Buffer.add_char buf '?'
+        else if v = infinity then Buffer.add_string buf glyphs.(top)
+        else if v = neg_infinity then Buffer.add_string buf glyphs.(0)
+        else
+          let level =
+            if span <= 0. then 0
+            else
+              min top
+                (int_of_float ((v -. lo) /. span *. float_of_int top +. 0.5))
+          in
+          Buffer.add_string buf glyphs.(max 0 level))
       values;
     Buffer.contents buf
   end

@@ -32,4 +32,7 @@ val sparkline : float array -> string
 (** One-line trend glyph (UTF-8 block characters, one per value, eight
     levels spanning the series' own [min, max]) — how [mt_report
     --history] compresses each variant's timeline into a table cell.
-    A constant series renders all-low; empty input renders empty. *)
+    A constant (or single-sample) series renders all-low; empty input
+    renders empty.  Non-finite samples never blank the line: the scale
+    spans the finite samples only, NaN renders as [?], and the
+    infinities render as the extreme glyphs. *)

@@ -40,6 +40,27 @@ let adaptive : (float * int) option ref = ref None
 
 let set_adaptive a = adaptive := a
 
+(* Bottleneck profiling, configured the same way (--profile): every
+   launch records attribution, and the breakdowns are collected here
+   for the binary to render after the tables.  Figures measure from
+   parallel domains, so collection is a lock-free push. *)
+let profile = ref false
+
+let set_profile p = profile := p
+
+let collected_profiles : (string * Mt_profile.breakdown) list Atomic.t =
+  Atomic.make []
+
+let rec push_profile entry =
+  let old = Atomic.get collected_profiles in
+  if not (Atomic.compare_and_set collected_profiles old (entry :: old)) then
+    push_profile entry
+
+(* Sorted, not collection-ordered: domain interleaving must not make
+   two identical runs print their profiles differently. *)
+let profiles () =
+  List.sort_uniq Stdlib.compare (Atomic.get collected_profiles)
+
 let launch_variant opts variant =
   let opts =
     match !adaptive with
@@ -52,7 +73,24 @@ let launch_variant opts variant =
         max_experiments = max max_experiments opts.Options.experiments;
       }
   in
-  Study.cached_launch ?cache:!cache opts variant
+  let opts =
+    if !profile then { opts with Options.profile = true } else opts
+  in
+  let result = Study.cached_launch ?cache:!cache opts variant in
+  (match result with
+  | Ok r ->
+    Option.iter
+      (fun b ->
+        (* One launch per (variant, array size): the same variant is
+           measured at every hierarchy level, so the id alone would
+           collide. *)
+        push_profile
+          ( Printf.sprintf "%s@%dKB" (Variant.id variant)
+              (opts.Options.array_bytes / 1024),
+            b ))
+      r.Report.profile
+  | Error _ -> ());
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Shared measurement helpers                                          *)
@@ -1074,7 +1112,8 @@ let all ?quick () = List.map (fun (_, f) -> f ?quick ()) registry
 
 let set_run_config (config : Study.Run_config.t) =
   set_cache config.Study.Run_config.cache;
-  set_adaptive config.Study.Run_config.adaptive
+  set_adaptive config.Study.Run_config.adaptive;
+  set_profile config.Study.Run_config.profile
 
 type table_outcome =
   | Table of Exp_table.t

@@ -113,9 +113,21 @@ val by_id : string -> (?quick:bool -> unit -> Exp_table.t) option
 
 val ids : string list
 
+val set_profile : bool -> unit
+(** Turn bottleneck attribution on for every subsequent launch (the
+    [--profile] flag): each launch's report carries a breakdown, and a
+    copy is collected for {!profiles}. *)
+
+val profiles : unit -> (string * Mt_profile.breakdown) list
+(** The breakdowns collected since the process started, labelled
+    [<variant-id>@<array-KB>] (the same variant is measured at several
+    hierarchy levels) and sorted by label with duplicates collapsed,
+    so parallel figure execution cannot reorder the output. *)
+
 val set_run_config : Study.Run_config.t -> unit
-(** {!set_cache} + {!set_adaptive} from one {!Study.Run_config.t} —
-    what the binaries call after parsing the shared [Mt_cli] flags. *)
+(** {!set_cache} + {!set_adaptive} + {!set_profile} from one
+    {!Study.Run_config.t} — what the binaries call after parsing the
+    shared [Mt_cli] flags. *)
 
 (** One experiment's fate in a supervised batch. *)
 type table_outcome =

@@ -47,6 +47,8 @@ module Run_config = struct
     snapshot_out : string option;
     history_append : string option;
     trace_detail : Mt_telemetry.detail;
+    profile : bool;
+    profile_folded : string option;
   }
 
   let default =
@@ -64,12 +66,15 @@ module Run_config = struct
       snapshot_out = None;
       history_append = None;
       trace_detail = Mt_telemetry.Off;
+      profile = false;
+      profile_folded = None;
     }
 
   let make ?(domains = default.domains) ?cache ?seed ?adaptive
       ?(policy = default.policy) ?(faults = []) ?journal_out ?resume_from
       ?trace_out ?metrics_out ?snapshot_out ?history_append
-      ?(trace_detail = default.trace_detail) () =
+      ?(trace_detail = default.trace_detail) ?(profile = default.profile)
+      ?profile_folded () =
     {
       domains;
       cache;
@@ -84,6 +89,8 @@ module Run_config = struct
       snapshot_out;
       history_append;
       trace_detail;
+      profile;
+      profile_folded;
     }
 
   let with_domains domains t = { t with domains }
@@ -112,6 +119,10 @@ module Run_config = struct
 
   let with_trace_detail trace_detail t = { t with trace_detail }
 
+  let with_profile profile t = { t with profile }
+
+  let with_profile_folded profile_folded t = { t with profile_folded }
+
   let effective_domains t =
     if t.domains <= 0 then Mt_parallel.Pool.available_domains ()
     else t.domains
@@ -120,6 +131,7 @@ module Run_config = struct
      applied to the launcher options at run time, in one place, so the
      cache keys and the measurements always agree on what ran. *)
   let apply_options t (opts : Options.t) =
+    let opts = if t.profile then { opts with Options.profile = true } else opts in
     let opts =
       match t.seed with
       | None -> opts
@@ -365,13 +377,18 @@ let snapshot ?(tool = "mt_study") t outcomes =
         match o.result with
         | Error _ -> None
         | Ok r ->
+          let profile =
+            match r.Report.profile with
+            | Some b -> Mt_profile.vector b
+            | None -> []
+          in
           Some
             (Mt_obsv.Snapshot.of_values
                ~key:(Variant.id o.variant)
                ~unroll:o.variant.Variant.unroll
                ~unit_label:r.Report.unit_label ~per_label:r.Report.per_label
                ~thresholds:opts.Options.quality ~seed:opts.Options.quality_seed
-               r.Report.experiments))
+               ~profile r.Report.experiments))
       outcomes
   in
   Mt_obsv.Snapshot.make ~tool

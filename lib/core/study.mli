@@ -46,6 +46,12 @@ module Run_config : sig
         (** also archive the run snapshot into this history directory
             (binaries; see [Mt_obsv.History]) *)
     trace_detail : Mt_telemetry.detail;
+    profile : bool;
+        (** record bottleneck attribution during measured calls and
+            attach the breakdown to every report (and snapshot) *)
+    profile_folded : string option;
+        (** write a folded-stack flamegraph of the attribution here
+            (binaries; implies [profile]) *)
   }
 
   val default : t
@@ -67,6 +73,8 @@ module Run_config : sig
     ?snapshot_out:string ->
     ?history_append:string ->
     ?trace_detail:Mt_telemetry.detail ->
+    ?profile:bool ->
+    ?profile_folded:string ->
     unit ->
     t
 
@@ -96,14 +104,19 @@ module Run_config : sig
 
   val with_trace_detail : Mt_telemetry.detail -> t -> t
 
+  val with_profile : bool -> t -> t
+
+  val with_profile_folded : string option -> t -> t
+
   val effective_domains : t -> int
   (** [domains], resolving [<= 0] to
       {!Mt_parallel.Pool.available_domains}. *)
 
   val apply_options : t -> Options.t -> Options.t
   (** The launcher options as the run will actually use them: [seed]
-      into [quality_seed], [adaptive] into the adaptive knobs, the
-      policy's [sim_budget] clamped onto [max_instructions].  {!run}
+      into [quality_seed], [adaptive] into the adaptive knobs,
+      [profile] into [Options.profile], the policy's [sim_budget]
+      clamped onto [max_instructions].  {!run}
       applies this itself; exposed for callers that build options
       elsewhere (e.g. [microlauncher]). *)
 end

@@ -44,9 +44,10 @@ type t = {
   max_experiments : int;
   quality_seed : int;
   quality : Mt_quality.thresholds;
+  profile : bool;
 }
 
-let count = 39
+let count = 40
 
 let default machine =
   {
@@ -89,6 +90,7 @@ let default machine =
     max_experiments = 64;
     quality_seed = 42;
     quality = Mt_quality.default_thresholds;
+    profile = false;
   }
 
 let effective_machine t =
@@ -161,6 +163,7 @@ let summary t =
     ("max_experiments", string_of_int t.max_experiments);
     ("quality_seed", string_of_int t.quality_seed);
     ("quality_thresholds", Mt_quality.thresholds_summary t.quality);
+    ("profile", string_of_bool t.profile);
   ]
 
 let err fmt = Printf.ksprintf (fun s -> Error s) fmt

@@ -68,6 +68,10 @@ type t = {
       (* 33. seed for the quality bootstrap RNG — explicit so snapshots
          and mt_report diffs reproduce bit-for-bit *)
   quality : Mt_quality.thresholds;  (* 34. verdict classification bands *)
+  profile : bool;
+      (* 35. record per-instruction bottleneck attribution during the
+         measured calls and attach the cycle-accounting breakdown to
+         the report; never changes the measured numbers *)
 }
 
 val default : Mt_machine.Config.t -> t

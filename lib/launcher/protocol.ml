@@ -14,6 +14,9 @@ type prepared = {
   noise : Noise.t;
   noise_seed : int;  (* effective seed behind [noise], for previews *)
   empty_cycles : float;
+  attr : Attribution.t option;
+      (* bottleneck attribution sink, created when [opts.profile];
+         reset after warm-up so the profile covers measured calls only *)
 }
 
 let err fmt = Printf.ksprintf (fun s -> Error s) fmt
@@ -92,6 +95,9 @@ let prepare ?sharers ?passes ?(start_pass = 0) ?(noise_salt = 0) opts program ab
             noise;
             noise_seed;
             empty_cycles = empty_kernel_cycles cfg;
+            attr =
+              (if opts.Options.profile then Some (Attribution.create ())
+               else None);
           }
       end)
 
@@ -141,7 +147,7 @@ let run_traced p tel stride =
     ~finally:(fun () -> Memory.set_access_hook p.memory None)
     (fun () ->
       Core.run ~init:p.init ~max_instructions:p.opts.Options.max_instructions
-        ~trace p.cfg p.memory p.compiled)
+        ~trace ?attr:p.attr p.cfg p.memory p.compiled)
 
 let run_once p =
   (* The detail gate is two atomic loads and a branch; when Off the
@@ -153,7 +159,7 @@ let run_once p =
     if stride > 0 && Mt_telemetry.enabled tel then run_traced p tel stride
     else
       Core.run ~init:p.init ~max_instructions:p.opts.Options.max_instructions
-        p.cfg p.memory p.compiled
+        ?attr:p.attr p.cfg p.memory p.compiled
   with
   | Ok outcome -> Ok outcome
   | Error e -> err "%s: %s" p.abi.Abi.function_name (Core.error_to_string e)
@@ -197,6 +203,9 @@ let measure_totals p =
           Result.map Option.some (run_once p))
     else Ok None
   in
+  (* The warm-up call is not a measurement: restart attribution so the
+     profile describes the measured steady state only. *)
+  (match p.attr with Some a -> Attribution.reset a | None -> ());
   (* Trust the kernel's own iteration count when it provides one (the
      %eax convention of Section 4.4). *)
   let actual_passes =
@@ -339,13 +348,22 @@ let report_of_totals ?(mode = "seq") ?noise p ~actual_passes totals =
       totals
   in
   let mem = Memory.counters p.memory in
+  let profile =
+    match p.attr with
+    | Some a ->
+      Some
+        (Mt_profile.of_attribution
+           ~name:(fun pc -> Core.disassemble p.compiled ~pc)
+           a)
+    | None -> None
+  in
   let report =
     Report.make
       ~id:p.abi.Abi.function_name ~mode ~unit_label:(unit_label opts)
       ~per_label:(per_label opts) ~passes_per_call:actual_passes
       ~calls_per_experiment:reps ~overhead_exceeded ~mem
       ~thresholds:opts.Options.quality ~quality_seed:opts.Options.quality_seed
-      (Array.of_list values)
+      ?profile (Array.of_list values)
   in
   let tel = Mt_telemetry.global () in
   if Mt_telemetry.enabled tel then

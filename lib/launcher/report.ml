@@ -11,11 +11,12 @@ type t = {
   mem : Mt_machine.Memory.counters option;
   overhead_exceeded : bool;
   quality : Mt_quality.assessment;
+  profile : Mt_profile.breakdown option;
 }
 
 let make ~id ~mode ~unit_label ~per_label ?(passes_per_call = 0)
     ?(calls_per_experiment = 0) ?(overhead_exceeded = false) ?mem ?thresholds
-    ?quality_seed experiments =
+    ?quality_seed ?profile experiments =
   if Array.length experiments = 0 then
     invalid_arg "Report.make: no experiment values";
   let summary = Mt_stats.summarize experiments in
@@ -33,6 +34,7 @@ let make ~id ~mode ~unit_label ~per_label ?(passes_per_call = 0)
     mem;
     overhead_exceeded;
     quality;
+    profile;
   }
 
 (* Only actionable signals make the flags cell: [unstable] (the series

@@ -23,6 +23,10 @@ type t = {
       (** Stability verdict and metrics over {!field-experiments},
           computed at construction so every consumer (CSV, snapshots,
           diffs) reads the same classification. *)
+  profile : Mt_profile.breakdown option;
+      (** Bottleneck attribution over the measured calls, present when
+          the run was profiled ([Options.profile]).  Carried beside the
+          measurements — it never changes any CSV cell. *)
 }
 
 val make :
@@ -36,6 +40,7 @@ val make :
   ?mem:Mt_machine.Memory.counters ->
   ?thresholds:Mt_quality.thresholds ->
   ?quality_seed:int ->
+  ?profile:Mt_profile.breakdown ->
   float array ->
   t
 (** Build a record from per-experiment values.  [thresholds] and

@@ -1,0 +1,279 @@
+(* Bottleneck attribution sink for the two simulator engines.
+
+   Both [Core.run] and [Core.run_reference] compute every issue time
+   from explicit constraints — the fetch frontier, the finite window,
+   source/flags readiness, WAW issue serialization, port booking and
+   the memory pipeline — so the constraint that was *binding* for each
+   dynamic instruction is known exactly, not sampled.  This module
+   receives one [observe] call per dynamic instruction (from either
+   engine, with identical arguments) and accumulates:
+
+   - a cycle-accounting breakdown over {!categories} buckets in which
+     the advance of the completion frontier caused by each instruction
+     is attributed wholly to its binding constraint, and the buckets
+     sum *exactly* to the simulated [outcome.cycles] (each frontier
+     delta is accumulated together with its exact floating-point
+     subtraction error, Neumaier-style, so the telescoped total is the
+     frontier itself);
+   - a per-port uop pressure histogram;
+   - a bounded ring of dynamic-instruction records forming the RAW
+     dependency chains, from which {!critical_path} walks the longest
+     chain backwards from the latest completion.
+
+   The sink is a plain record of preallocated arrays: an [observe]
+   call mutates in place and never allocates, so the engines can hook
+   it behind a single [match] without disturbing the fast path's
+   zero-minor-words steady state when disabled. *)
+
+(* Category indices.  [cat_port_base + booker] names the execution
+   port using the fast path's booker indexing (Load 0, Store 1, Alu 2,
+   Fp_add 3, Fp_mul/Fp_div 4, Branch 5); [cat_mem_base + level] splits
+   memory stalls by the serving cache level (L1 0, L2 1, L3 2, DRAM
+   3). *)
+let cat_frontend = 0
+let cat_window = 1
+let cat_dependency = 2
+let cat_port_base = 3
+let cat_mem_base = 9
+let categories = 13
+
+let category_name = function
+  | 0 -> "frontend"
+  | 1 -> "window"
+  | 2 -> "dependency"
+  | 3 -> "port-load"
+  | 4 -> "port-store"
+  | 5 -> "port-alu"
+  | 6 -> "port-fp_add"
+  | 7 -> "port-fp_mul"
+  | 8 -> "port-branch"
+  | 9 -> "mem-L1"
+  | 10 -> "mem-L2"
+  | 11 -> "mem-L3"
+  | 12 -> "mem-DRAM"
+  | _ -> invalid_arg "Attribution.category_name"
+
+let port_count = 6
+
+let port_name = function
+  | 0 -> "load"
+  | 1 -> "store"
+  | 2 -> "alu"
+  | 3 -> "fp_add"
+  | 4 -> "fp_mul"
+  | 5 -> "branch"
+  | _ -> invalid_arg "Attribution.port_name"
+
+let level_index = function
+  | Memory.L1 -> 0
+  | Memory.L2 -> 1
+  | Memory.L3 -> 2
+  | Memory.Ram -> 3
+
+(* Ring size bounds the remembered dependency records: chains longer
+   than this are truncated at the walk (generation-checked below).
+   Power of two so the index is a mask. *)
+let ring_size = 65536
+
+let ring_mask = ring_size - 1
+
+let slot_count = 33
+
+let flags_slot = 32
+
+type t = {
+  (* Neumaier-compensated per-category cycle sums: the attributed
+     value lives in [cycles], accumulated rounding in [comp]. *)
+  cycles : float array;
+  comp : float array;
+  insns : int array;  (* dynamic instructions classified per category *)
+  port_uops : int array;  (* uops booked per execution port *)
+  mutable prev_frontier : float;  (* running max completion this run *)
+  (* Critical-path ring: one record per recent dynamic instruction.
+     [ring_abs] stores the absolute dynamic index for generation
+     validation — a parent pointer whose record was overwritten no
+     longer matches and terminates the walk. *)
+  ring_abs : int array;
+  ring_pc : int array;
+  ring_parent : int array;
+  ring_completion : float array;
+  mutable next_idx : int;
+  writer : int array;  (* scoreboard slot -> last writer's dynamic index *)
+  mutable max_idx : int;  (* dynamic index of the latest completion *)
+  mutable max_completion : float;
+}
+
+let create () =
+  {
+    cycles = Array.make categories 0.;
+    comp = Array.make categories 0.;
+    insns = Array.make categories 0;
+    port_uops = Array.make port_count 0;
+    prev_frontier = 0.;
+    ring_abs = Array.make ring_size (-1);
+    ring_pc = Array.make ring_size (-1);
+    ring_parent = Array.make ring_size (-1);
+    ring_completion = Array.make ring_size 0.;
+    next_idx = 0;
+    writer = Array.make slot_count (-1);
+    max_idx = -1;
+    max_completion = neg_infinity;
+  }
+
+(* Per-call reset: each [Core.run] restarts cycle time at 0, so the
+   completion frontier and the dependency bookkeeping must restart
+   with it.  Category accumulators are preserved — a profiled
+   measurement sums attribution over every measured kernel call. *)
+let begin_run a =
+  a.prev_frontier <- 0.;
+  Array.fill a.writer 0 slot_count (-1);
+  a.max_idx <- -1;
+  a.max_completion <- neg_infinity
+
+let reset a =
+  Array.fill a.cycles 0 categories 0.;
+  Array.fill a.comp 0 categories 0.;
+  Array.fill a.insns 0 categories 0;
+  Array.fill a.port_uops 0 port_count 0;
+  a.next_idx <- 0;
+  begin_run a
+
+(* Attribute the frontier advance [next - a.prev_frontier] to
+   [cat] together with the exact error of the subtraction
+   (two-sum with |next| >= |prev| >= 0), so the telescoped category
+   total reproduces the final frontier exactly. *)
+let[@inline] advance_frontier a cat next =
+  let p = a.prev_frontier in
+  if next > p then begin
+    let d = next -. p in
+    let e = next -. d -. p in
+    (* Neumaier add of [d] into the category sum. *)
+    let s = Array.unsafe_get a.cycles cat in
+    let t = s +. d in
+    let c =
+      if Float.abs s >= Float.abs d then s -. t +. d else d -. t +. s
+    in
+    Array.unsafe_set a.cycles cat t;
+    Array.unsafe_set a.comp cat
+      (Array.unsafe_get a.comp cat +. c +. e);
+    a.prev_frontier <- next
+  end
+
+let note_uop a port =
+  Array.unsafe_set a.port_uops port (Array.unsafe_get a.port_uops port + 1)
+
+(* One call per dynamic instruction, from either engine, placed after
+   the completion time is final and *before* the scoreboard update, so
+   [ready]/[wissue] still describe the pre-instruction state.
+
+   Classification priority (deterministic, shared by both engines):
+   1. the memory pipeline extended completion beyond issue + latency
+      -> memory category of the serving level;
+   2. port booking pushed issue past the first eligible cycle
+      [ceil t] (plain issue-slot quantization of a fractional
+      readiness time is not contention) -> the port whose booking set
+      the final issue ([bport]);
+   3. otherwise, whichever readiness term produced [t]: a source /
+      flags / WAW producer (dependency), the window slot when it
+      exceeds the fetch frontier (window), else the front end. *)
+let observe a ~pc ~dst ~srcs ~reads_flags ~sets_flags ~window_ready ~fetch ~t
+    ~issue ~completion ~mem_extended ~level ~bport ~ready ~wissue =
+  (* RAW argmax over sources (+ flags) for both the dependency test
+     and the critical-path parent. *)
+  let dep = ref neg_infinity in
+  let dep_slot = ref (-1) in
+  for j = 0 to Array.length srcs - 1 do
+    let s = Array.unsafe_get srcs j in
+    let r = Array.unsafe_get ready s in
+    if r > !dep then begin
+      dep := r;
+      dep_slot := s
+    end
+  done;
+  if reads_flags then begin
+    let r = Array.unsafe_get ready flags_slot in
+    if r > !dep then begin
+      dep := r;
+      dep_slot := flags_slot
+    end
+  end;
+  let waw = if dst >= 0 then Array.unsafe_get wissue dst +. 1. else neg_infinity in
+  let cat =
+    if mem_extended then cat_mem_base + level_index level
+    else if bport >= 0 && issue > Float.ceil t then cat_port_base + bport
+    else if (!dep_slot >= 0 && !dep = t) || waw = t then cat_dependency
+    else if window_ready > fetch then cat_window
+    else cat_frontend
+  in
+  a.insns.(cat) <- a.insns.(cat) + 1;
+  advance_frontier a cat completion;
+  (* Critical path: the parent is the producer of the latest-ready
+     source — the RAW edge — validated at walk time by generation. *)
+  let n = a.next_idx in
+  let parent = if !dep_slot >= 0 then a.writer.(!dep_slot) else -1 in
+  let i = n land ring_mask in
+  a.ring_abs.(i) <- n;
+  a.ring_pc.(i) <- pc;
+  a.ring_parent.(i) <- parent;
+  a.ring_completion.(i) <- completion;
+  if completion > a.max_completion then begin
+    a.max_completion <- completion;
+    a.max_idx <- n
+  end;
+  a.next_idx <- n + 1;
+  if dst >= 0 then a.writer.(dst) <- n;
+  if sets_flags then a.writer.(flags_slot) <- n
+
+(* Close the accounting for one run: when the fetch frontier ends past
+   the last completion the simulated cycle count is the fetch time, and
+   the overhang is front-end time by definition. *)
+let finish a ~fetch = advance_frontier a cat_frontend fetch
+
+let category_cycles a =
+  Array.init categories (fun i -> a.cycles.(i) +. a.comp.(i))
+
+let category_insns a = Array.copy a.insns
+
+let port_pressure a = Array.copy a.port_uops
+
+(* Neumaier sum over every partial (sums then compensations): the true
+   total is the final frontier, which is representable, so the
+   faithfully-rounded compensated sum returns it exactly. *)
+let total a =
+  let s = ref 0. in
+  let c = ref 0. in
+  let add v =
+    let t = !s +. v in
+    c := !c +. (if Float.abs !s >= Float.abs v then !s -. t +. v else v -. t +. !s);
+    s := t
+  in
+  Array.iter add a.cycles;
+  Array.iter add a.comp;
+  !s +. !c
+
+(* Walk the RAW chain backwards from the latest completion.  Each
+   element is [(pc, completion, edge)] where [edge] is the time this
+   instruction's completion trails its parent's (the chain-link
+   latency); the head of the returned list is the chain's start
+   (earliest instruction).  The walk stops at a missing parent, an
+   overwritten ring record, or [max_hops]. *)
+let critical_path ?(max_hops = ring_size) a =
+  let rec walk idx hops acc =
+    if idx < 0 || hops >= max_hops then acc
+    else begin
+      let i = idx land ring_mask in
+      if a.ring_abs.(i) <> idx then acc
+      else begin
+        let pc = a.ring_pc.(i) in
+        let completion = a.ring_completion.(i) in
+        let parent = a.ring_parent.(i) in
+        let edge =
+          if parent >= 0 && a.ring_abs.(parent land ring_mask) = parent then
+            completion -. a.ring_completion.(parent land ring_mask)
+          else completion
+        in
+        walk parent (hops + 1) ((pc, completion, edge) :: acc)
+      end
+    end
+  in
+  if a.max_idx < 0 then [] else walk a.max_idx 0 []

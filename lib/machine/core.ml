@@ -410,7 +410,7 @@ let port_booker pf = function
 (* The reference interpreter: the original per-instruction loop over
    the decoded array, kept verbatim as the oracle the fast path is
    tested against (golden corpus + QCheck equivalence suites). *)
-let run_reference ?(init = []) ?(max_instructions = 50_000_000) ?trace
+let run_reference ?(init = []) ?(max_instructions = 50_000_000) ?trace ?attr
     (cfg : Config.t) (memory : Memory.t) (cp : compiled) =
   let prog = cp.dec in
   let exec = Exec.create () in
@@ -437,8 +437,12 @@ let run_reference ?(init = []) ?(max_instructions = 50_000_000) ?trace
   let alu_ops = ref 0 in
   let pc = ref 0 in
   let stop = ref None in
+  (* Booker index that set the final issue time of the current
+     instruction; read by the attribution hook. *)
+  let bport = ref (-1) in
   Memory.drain memory;
   Memory.reset_counters memory;
+  (match attr with Some a -> Attribution.begin_run a | None -> ());
   while !stop = None do
     if !pc < 0 || !pc >= Array.length prog then stop := Some (Ok ())
     else if !issued >= max_instructions then
@@ -455,6 +459,7 @@ let run_reference ?(init = []) ?(max_instructions = 50_000_000) ?trace
       if d.dst >= 0 && wissue.(d.dst) +. 1. > !t then t := wissue.(d.dst) +. 1.;
       (* Ports: each uop books the first free cycle at or after the
          ready time; the instruction issues when its last uop does. *)
+      bport := -1;
       let issue = ref !t in
       Array.iter
         (fun p ->
@@ -463,7 +468,13 @@ let run_reference ?(init = []) ?(max_instructions = 50_000_000) ?trace
             if p = Semantics.Fp_div then int_of_float d.latency else 1
           in
           let slot = Booker.book_from booker ~time:!t ~occupancy in
-          if slot > !issue then issue := slot)
+          if slot > !issue then begin
+            issue := slot;
+            bport := port_index p
+          end;
+          match attr with
+          | Some a -> Attribution.note_uop a (port_index p)
+          | None -> ())
         d.ports;
       let issue = !issue in
       (* Memory access. *)
@@ -498,6 +509,14 @@ let run_reference ?(init = []) ?(max_instructions = 50_000_000) ?trace
       | Some _ -> ()
       | None ->
         let completion = !completion in
+        (match attr with
+        | Some a ->
+          Attribution.observe a ~pc:!pc ~dst:d.dst ~srcs:d.srcs
+            ~reads_flags:d.d_reads_flags ~sets_flags:d.d_sets_flags
+            ~window_ready ~fetch:!fetch ~t:!t ~issue ~completion
+            ~mem_extended:(completion > issue +. d.latency)
+            ~level:memory.Memory.last_level ~bport:!bport ~ready ~wissue
+        | None -> ());
         if d.dst >= 0 then begin
           ready.(d.dst) <- completion;
           wissue.(d.dst) <- issue
@@ -561,6 +580,9 @@ let run_reference ?(init = []) ?(max_instructions = 50_000_000) ?trace
   match !stop with
   | Some (Error e) -> Error e
   | Some (Ok ()) | None ->
+    (match attr with
+    | Some a -> Attribution.finish a ~fetch:!fetch
+    | None -> ());
     Ok
       {
         cycles = Float.max !last_completion !fetch;
@@ -613,8 +635,8 @@ let[@inline] iceil x =
    sequence, same memory-access order — replayed over the prebuilt
    basic blocks with no per-instruction closures, options or boxed
    floats.  Verified equivalent by the golden and QCheck suites. *)
-let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
-    (memory : Memory.t) (cp : compiled) =
+let run ?(init = []) ?(max_instructions = 50_000_000) ?trace ?attr
+    (cfg : Config.t) (memory : Memory.t) (cp : compiled) =
   let fp = fast_of cp in
   let exec = Exec.create () in
   List.iter (fun (r, v) -> Exec.set exec r v) init;
@@ -648,8 +670,13 @@ let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
       i_stores = 0; i_prefetches = 0; i_fp = 0; i_alu = 0 }
   in
   let err = ref None in
+  (* Booker index that set the final issue time of the current
+     instruction; hoisted so the steady state only stores an immediate
+     into it.  Read by the attribution hook. *)
+  let bport = ref (-1) in
   Memory.drain memory;
   Memory.reset_counters memory;
+  (match attr with Some a -> Attribution.begin_run a | None -> ());
   let blocks = fp.blocks in
   let bid = ref fp.entry in
   (* Wrapping index equal to [c.issued mod rob_size], maintained by
@@ -686,6 +713,7 @@ let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
            if w > s.s_t then s.s_t <- w
          end;
          s.s_issue <- s.s_t;
+         bport := -1;
          if d.f_uport >= 0 then begin
            (* Common case: one occupancy-1 uop — book it directly,
               skipping the uop loop and the span extension.  The
@@ -710,7 +738,13 @@ let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
              end
            in
            let slotf = float_of_int slot in
-           if slotf > s.s_issue then s.s_issue <- slotf
+           if slotf > s.s_issue then begin
+             s.s_issue <- slotf;
+             bport := d.f_uport
+           end;
+           (match attr with
+           | Some a -> Attribution.note_uop a d.f_uport
+           | None -> ())
          end
          else begin
            let pidx = d.f_pidx in
@@ -722,7 +756,13 @@ let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
                    ~occupancy:d.f_pocc.(j)
                in
                let slotf = float_of_int slot in
-               if slotf > s.s_issue then s.s_issue <- slotf
+               if slotf > s.s_issue then begin
+                 s.s_issue <- slotf;
+                 bport := pidx.(j)
+               end;
+               match attr with
+               | Some a -> Attribution.note_uop a pidx.(j)
+               | None -> ()
              done
            end
          end;
@@ -836,6 +876,15 @@ let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
              if dc > s.s_completion then s.s_completion <- dc
            end
          end;
+         (match attr with
+         | Some a ->
+           Attribution.observe a ~pc:d.f_pc ~dst:d.f_dst ~srcs:d.f_srcs
+             ~reads_flags:d.f_reads_flags ~sets_flags:d.f_sets_flags
+             ~window_ready ~fetch:s.fetch ~t:s.s_t ~issue:s.s_issue
+             ~completion:s.s_completion
+             ~mem_extended:(s.s_completion > s.s_issue +. d.f_lat)
+             ~level:memory.Memory.last_level ~bport:!bport ~ready ~wissue
+         | None -> ());
          if d.f_dst >= 0 then begin
            Array.unsafe_set ready d.f_dst s.s_completion;
            Array.unsafe_set wissue d.f_dst s.s_issue
@@ -931,6 +980,9 @@ let run ?(init = []) ?(max_instructions = 50_000_000) ?trace (cfg : Config.t)
   match !err with
   | Some e -> Error e
   | None ->
+    (match attr with
+    | Some a -> Attribution.finish a ~fetch:s.fetch
+    | None -> ());
     Ok
       {
         cycles =
@@ -951,3 +1003,7 @@ let run_program ?init ?max_instructions cfg memory program =
   match compile program with
   | Error e -> Error e
   | Ok compiled -> run ?init ?max_instructions cfg memory compiled
+
+let disassemble cp ~pc =
+  if pc >= 0 && pc < Array.length cp.dec then Insn.to_string cp.dec.(pc).insn
+  else Printf.sprintf "<pc %d>" pc

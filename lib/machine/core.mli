@@ -50,6 +50,7 @@ val run :
   ?init:(Mt_isa.Reg.t * int) list ->
   ?max_instructions:int ->
   ?trace:(int -> Mt_isa.Insn.t -> issue:float -> completion:float -> unit) ->
+  ?attr:Attribution.t ->
   Config.t ->
   Memory.t ->
   compiled ->
@@ -64,19 +65,26 @@ val run :
     This is the allocation-free basic-block replay engine: addressing,
     port lists and architectural effects are resolved once per program
     (cached on [compiled]) and the steady-state loop allocates no minor
-    words per instruction on the non-memory path. *)
+    words per instruction on the non-memory path.
+
+    [attr] hooks an {!Attribution} sink: every dynamic instruction's
+    binding constraint is recorded into it (same classifications as
+    {!run_reference}).  When absent the hook costs one branch per
+    instruction and the zero-allocation guarantee is unchanged. *)
 
 val run_reference :
   ?init:(Mt_isa.Reg.t * int) list ->
   ?max_instructions:int ->
   ?trace:(int -> Mt_isa.Insn.t -> issue:float -> completion:float -> unit) ->
+  ?attr:Attribution.t ->
   Config.t ->
   Memory.t ->
   compiled ->
   (outcome, error) result
 (** The original per-instruction interpreter, kept as the oracle for
     the fast path: same cycle accounting, same memory-access order,
-    bit-identical outcomes.  Slower; use {!run} unless comparing. *)
+    bit-identical outcomes — including identical {!Attribution}
+    records through [attr].  Slower; use {!run} unless comparing. *)
 
 val run_program :
   ?init:(Mt_isa.Reg.t * int) list ->
@@ -86,3 +94,8 @@ val run_program :
   Mt_isa.Insn.program ->
   (outcome, error) result
 (** [compile] + [run] in one step, for tests and one-shot uses. *)
+
+val disassemble : compiled -> pc:int -> string
+(** The source-syntax rendering of the instruction at [pc], for naming
+    profile critical-path entries.  Out-of-range pcs render as
+    ["<pc N>"]. *)

@@ -17,6 +17,12 @@ let quality_change_to_string = function
   | Quality_regression -> "regression"
   | Quality_improvement -> "improvement"
 
+type bottleneck = {
+  bn_category : string;
+  bn_delta : float;  (* attributed-cycle growth of the category *)
+  bn_fraction : float;  (* share of the median move it explains *)
+}
+
 type entry = {
   key : string;
   verdict : verdict;
@@ -25,6 +31,7 @@ type entry = {
   current : Snapshot.variant_stat option;
   delta : float;
   band : float;
+  bottleneck : bottleneck option;
 }
 
 type t = {
@@ -55,6 +62,42 @@ let noise_band ~threshold ~min_band (a : Snapshot.variant_stat)
    trustworthy?  Judged on verdict rank, so Stable -> Noisy and
    Noisy -> Unstable both count — a faster median measured by an
    unstable series is not an improvement to trust. *)
+(* Localize a believed median move to the bottleneck category whose
+   attributed cycles grew (regression) or shrank (improvement) the
+   most.  Profiles carry normalized shares, so each category's
+   attributed value is share x median; the fraction reports how much of
+   the whole move that one category explains.  Needs profiles on both
+   sides — unprofiled runs diff exactly as before. *)
+let localize (b : Snapshot.variant_stat) (c : Snapshot.variant_stat) verdict =
+  let bp = b.Snapshot.profile and cp = c.Snapshot.profile in
+  let dm = c.Snapshot.median -. b.Snapshot.median in
+  if bp = [] || cp = [] || dm = 0. then None
+  else
+    match verdict with
+    | Unchanged | Added | Removed -> None
+    | Regression | Improvement ->
+      let names =
+        List.sort_uniq Stdlib.compare (List.map fst bp @ List.map fst cp)
+      in
+      let share p n = Option.value ~default:0. (List.assoc_opt n p) in
+      let sign = if verdict = Regression then 1. else -1. in
+      let best =
+        List.fold_left
+          (fun acc n ->
+            let d =
+              (share cp n *. c.Snapshot.median)
+              -. (share bp n *. b.Snapshot.median)
+            in
+            match acc with
+            | Some (_, bd) when bd *. sign >= d *. sign -> acc
+            | _ -> Some (n, d))
+          None names
+      in
+      Option.map
+        (fun (n, d) ->
+          { bn_category = n; bn_delta = d; bn_fraction = d /. dm })
+        best
+
 let quality_change_of (b : Snapshot.variant_stat) (c : Snapshot.variant_stat) =
   let rb = Mt_quality.verdict_rank b.Snapshot.verdict in
   let rc = Mt_quality.verdict_rank c.Snapshot.verdict in
@@ -109,6 +152,7 @@ let compare ?(threshold = default_threshold) ?(min_band = default_min_band)
             current = None;
             delta = 0.;
             band = 0.;
+            bottleneck = None;
           }
         | Some c ->
           let denom = if b.median = 0. then 1. else Float.abs b.median in
@@ -127,6 +171,7 @@ let compare ?(threshold = default_threshold) ?(min_band = default_min_band)
             current = Some c;
             delta;
             band;
+            bottleneck = localize b c verdict;
           })
       baseline.variants
   in
@@ -145,6 +190,7 @@ let compare ?(threshold = default_threshold) ?(min_band = default_min_band)
               current = Some c;
               delta = 0.;
               band = 0.;
+              bottleneck = None;
             })
       current.variants
   in
@@ -207,6 +253,21 @@ let render t =
   List.iter
     (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n))
     t.provenance_notes;
+  (* Believed moves with profiles on both sides carry an attribution
+     note: the category whose attributed cycles moved most, and how
+     much of the whole delta it explains. *)
+  List.iter
+    (fun e ->
+      match e.bottleneck with
+      | Some bn ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "note: %s for %s: %+.1f%% cycles, %.0f%% attributable to %s %s\n"
+             (verdict_to_string e.verdict) e.key (100. *. e.delta)
+             (100. *. bn.bn_fraction) bn.bn_category
+             (if bn.bn_delta >= 0. then "growth" else "shrinkage"))
+      | None -> ())
+    t.entries;
   (* Quality regressions get their own note line, distinct from the
      perf summary: a series that went unstable needs a different fix
      (environment, warm-up, budget) than a slower median. *)
@@ -264,6 +325,16 @@ let entry_to_json e =
       ("current", stat e.current);
       ("delta", Json.Num e.delta);
       ("band", Json.Num e.band);
+      ( "bottleneck",
+        match e.bottleneck with
+        | None -> Json.Null
+        | Some bn ->
+          Json.Obj
+            [
+              ("category", Json.Str bn.bn_category);
+              ("delta", Json.Num bn.bn_delta);
+              ("fraction", Json.Num bn.bn_fraction);
+            ] );
     ]
 
 let to_json t =

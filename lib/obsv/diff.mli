@@ -22,6 +22,19 @@ type quality_change =
 val quality_change_to_string : quality_change -> string
 (** ["unchanged"] / ["regression"] / ["improvement"]. *)
 
+(** Where a believed median move came from, computed from the two runs'
+    bottleneck-attribution profiles (schema-4 snapshots recorded with
+    [--profile]).  Each category's attributed cycles are share x median;
+    the bottleneck is the category whose attributed cycles grew most
+    (regression) or shrank most (improvement). *)
+type bottleneck = {
+  bn_category : string;  (** e.g. ["mem-L2"], ["port-alu"], ["dependency"] *)
+  bn_delta : float;  (** attributed-cycle change of that category *)
+  bn_fraction : float;
+      (** [bn_delta / (current median - baseline median)] — the share of
+          the whole move this one category explains *)
+}
+
 type entry = {
   key : string;
   verdict : verdict;
@@ -32,6 +45,9 @@ type entry = {
   current : Snapshot.variant_stat option;  (** [None] when [Removed] *)
   delta : float;  (** relative median delta vs. baseline; larger = slower *)
   band : float;  (** the noise band the delta was judged against *)
+  bottleneck : bottleneck option;
+      (** [None] unless the verdict is a believed move and both runs
+          carry attribution profiles *)
 }
 
 type t = {
@@ -62,7 +78,9 @@ val has_quality_regressions : t -> bool
 
 val render : t -> string
 (** Terminal table: one row per variant plus a summary line and any
-    provenance notes.  Quality regressions add a per-variant
+    provenance notes.  Believed moves with profiles on both sides add a
+    per-variant attribution note ("regression for k: +9.8% cycles, 87%
+    attributable to mem-L2 growth"); quality regressions add their own
     "measurement quality regressed" note line, distinct from the perf
     summary. *)
 

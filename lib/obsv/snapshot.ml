@@ -3,8 +3,11 @@
    defaults (no signal: Stable, all metrics 0).
    3: top-level "quarantined" key list — variants the resilience
    supervisor gave up on (they carry no stats).  Older documents load
-   with an empty list. *)
-let schema_version = 3
+   with an empty list.
+   4: per-variant "profile" object — normalized bottleneck-category
+   cycle shares from the attribution profiler.  Older documents load
+   with an empty profile. *)
+let schema_version = 4
 
 type variant_stat = {
   key : string;
@@ -22,6 +25,7 @@ type variant_stat = {
   outliers : int;
   warmup_trend : bool;
   verdict : Mt_quality.verdict;
+  profile : (string * float) list;
 }
 
 type t = {
@@ -41,7 +45,7 @@ type t = {
 }
 
 let of_values ~key ?(unroll = 0) ?(unit_label = "value") ?(per_label = "point")
-    ?thresholds ?seed values =
+    ?thresholds ?seed ?(profile = []) values =
   let s = Mt_stats.summarize values in
   let q = Mt_quality.assess ?thresholds ?seed values in
   {
@@ -60,6 +64,7 @@ let of_values ~key ?(unroll = 0) ?(unit_label = "value") ?(per_label = "point")
     outliers = q.Mt_quality.outliers;
     warmup_trend = q.Mt_quality.warmup_trend;
     verdict = q.Mt_quality.verdict;
+    profile;
   }
 
 let point_stat ~key value = of_values ~key [| value |]
@@ -91,7 +96,7 @@ let make ?(tool = "microtools") ?created_at ~kernel:(kernel_name, kernel_hash)
 
 let variant_to_json v =
   Json.Obj
-    [
+    ([
       ("key", Json.Str v.key);
       ("unroll", Json.Num (float_of_int v.unroll));
       ("median", Json.Num v.median);
@@ -108,6 +113,16 @@ let variant_to_json v =
       ("warmup_trend", Json.Bool v.warmup_trend);
       ("verdict", Json.Str (Mt_quality.verdict_to_string v.verdict));
     ]
+    (* The profile object is emitted only when the run was profiled, so
+       unprofiled schema-4 documents stay byte-compatible with their
+       schema-3 shape apart from the version number. *)
+    @
+    if v.profile = [] then []
+    else
+      [
+        ( "profile",
+          Json.Obj (List.map (fun (k, s) -> (k, Json.Num s)) v.profile) );
+      ])
 
 let to_json t =
   Json.Obj
@@ -164,6 +179,17 @@ let variant_of_json json =
   let* rciw = opt_field "rciw" Json.to_float ~default:0. json in
   let* outliers = opt_field "outliers" Json.to_int ~default:0 json in
   let* warmup_trend = opt_field "warmup_trend" Json.to_bool ~default:false json in
+  (* Profile vector: absent before schema 4 and in unprofiled runs —
+     an empty profile simply means "no attribution recorded". *)
+  let* profile =
+    opt_field "profile"
+      (fun v ->
+        Option.map
+          (List.filter_map (fun (k, v) ->
+               Option.map (fun n -> (k, n)) (Json.to_float v)))
+          (Json.to_obj v))
+      ~default:[] json
+  in
   let* verdict =
     match Json.member "verdict" json with
     | None -> Ok Mt_quality.Stable
@@ -192,6 +218,7 @@ let variant_of_json json =
       outliers;
       warmup_trend;
       verdict;
+      profile;
     }
 
 let str_alist name json =

@@ -6,12 +6,14 @@
     be committed as CI baselines and diffed by {!Diff}. *)
 
 val schema_version : int
-(** Current on-disk schema (3: adds the top-level [quarantined] key
-    list; 2 added the per-variant quality block).  {!of_json} is
+(** Current on-disk schema (4: adds the per-variant [profile] object of
+    normalized bottleneck-category cycle shares; 3 added the top-level
+    [quarantined] key list; 2 the per-variant quality block).  {!of_json} is
     compatible in both directions: older documents load with defaults
     for fields they predate — a schema-1 snapshot loads with a [Stable]
     verdict and zeroed quality metrics, a schema-2 one with no
-    quarantined variants — and documents written by a {e newer} schema
+    quarantined variants, a schema-3 one with empty profiles — and
+    documents written by a {e newer} schema
     load with their unknown fields ignored, so an older binary can
     still read a history archive a newer one appends to.  The loaded
     [schema] field preserves the document's own version. *)
@@ -32,6 +34,9 @@ type variant_stat = {
   outliers : int;  (** samples beyond the MAD fence *)
   warmup_trend : bool;  (** head of the series exceeded the warm-up band *)
   verdict : Mt_quality.verdict;
+  profile : (string * float) list;
+      (** normalized bottleneck-category cycle shares
+          ([Mt_profile.vector]); empty when the run was not profiled *)
 }
 
 type t = {
@@ -59,6 +64,7 @@ val of_values :
   ?per_label:string ->
   ?thresholds:Mt_quality.thresholds ->
   ?seed:int ->
+  ?profile:(string * float) list ->
   float array ->
   variant_stat
 (** Summarise raw per-experiment samples into a [variant_stat],

@@ -1,7 +1,9 @@
 (* Bumped whenever the serialized value layout changes: the version is
    folded into every digest, so old on-disk entries simply never hit. *)
 (* v2: Report.t and Options.t grew measurement-quality fields. *)
-let format_version = "microtools-cache-v2"
+(* v3: Report.t gained the bottleneck-profile breakdown and Options.t
+   the profile flag. *)
+let format_version = "microtools-cache-v3"
 
 type t = {
   table : (string, string) Hashtbl.t;

@@ -1,0 +1,165 @@
+(* Bottleneck profiles: the user-facing shape of the simulator's
+   attribution data.  [Mt_machine.Attribution] accumulates raw
+   per-category cycle sums, port pressure and the RAW chain ring; this
+   module freezes them into a [breakdown] — a plain record that can be
+   attached to launcher reports, rendered as a table or folded stacks,
+   and reduced to the share vector snapshots carry. *)
+
+type category = {
+  cat_name : string;
+  cat_cycles : float;
+  cat_insns : int;  (* dynamic instructions attributed to the category *)
+}
+
+type chain_entry = {
+  ce_pc : int;
+  ce_name : string;  (* disassembly of the instruction at [ce_pc] *)
+  ce_count : int;  (* dynamic occurrences on the walked chain *)
+  ce_edge : float;  (* summed chain-link latency across occurrences *)
+}
+
+type breakdown = {
+  total_cycles : float;  (* sum of every category, = attributed cycles *)
+  cats : category list;  (* all 13 categories, fixed order *)
+  ports : (string * int) list;  (* uops booked per execution port *)
+  chain : chain_entry list;  (* critical path, aggregated per pc *)
+  chain_hops : int;  (* dynamic length of the walked chain *)
+}
+
+let category_names =
+  Array.init Mt_machine.Attribution.categories
+    Mt_machine.Attribution.category_name
+
+(* Aggregate the dynamic chain per static pc: a steady-state loop
+   walks the same instructions once per iteration, so the per-pc view
+   ("this FP add contributes 4 cycles x 38 iterations") is the
+   readable one. Entries keep first-appearance (program) order. *)
+let aggregate_chain name links =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (pc, _completion, edge) ->
+      match Hashtbl.find_opt tbl pc with
+      | Some (count, total) -> Hashtbl.replace tbl pc (count + 1, total +. edge)
+      | None ->
+        Hashtbl.add tbl pc (1, edge);
+        order := pc :: !order)
+    links;
+  List.rev_map
+    (fun pc ->
+      let count, edge = Hashtbl.find tbl pc in
+      { ce_pc = pc; ce_name = name pc; ce_count = count; ce_edge = edge })
+    !order
+
+let of_attribution ?(max_hops = 4096) ~name attr =
+  let cycles = Mt_machine.Attribution.category_cycles attr in
+  let insns = Mt_machine.Attribution.category_insns attr in
+  let links = Mt_machine.Attribution.critical_path ~max_hops attr in
+  {
+    total_cycles = Mt_machine.Attribution.total attr;
+    cats =
+      List.init (Array.length cycles) (fun i ->
+          {
+            cat_name = category_names.(i);
+            cat_cycles = cycles.(i);
+            cat_insns = insns.(i);
+          });
+    ports =
+      (let pressure = Mt_machine.Attribution.port_pressure attr in
+       List.init Mt_machine.Attribution.port_count (fun i ->
+           (Mt_machine.Attribution.port_name i, pressure.(i))));
+    chain = aggregate_chain name links;
+    chain_hops = List.length links;
+  }
+
+(* The share vector carried by snapshots: (category, fraction of total
+   cycles), all categories present, zeros included so vectors from
+   different runs align positionally. *)
+let vector b =
+  let total = if b.total_cycles > 0. then b.total_cycles else 1. in
+  List.map (fun c -> (c.cat_name, c.cat_cycles /. total)) b.cats
+
+let dominant b =
+  match b.cats with
+  | [] -> None
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun acc c -> if c.cat_cycles > acc.cat_cycles then c else acc)
+        first rest
+    in
+    if best.cat_cycles > 0. then Some (best.cat_name, best.cat_cycles)
+    else None
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render ?(label = "") b =
+  let buf = Buffer.create 512 in
+  if label <> "" then
+    Buffer.add_string buf (Printf.sprintf "bottleneck profile: %s\n" label);
+  Buffer.add_string buf
+    (Printf.sprintf "  %-12s %14s %7s %9s\n" "category" "cycles" "share"
+       "insns");
+  let total = if b.total_cycles > 0. then b.total_cycles else 1. in
+  List.iter
+    (fun c ->
+      if c.cat_cycles > 0. || c.cat_insns > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-12s %14.1f %6.1f%% %9d\n" c.cat_name
+             c.cat_cycles
+             (100. *. c.cat_cycles /. total)
+             c.cat_insns))
+    b.cats;
+  Buffer.add_string buf
+    (Printf.sprintf "  %-12s %14.1f %6.1f%%\n" "total" b.total_cycles 100.);
+  let pressure =
+    List.filter_map
+      (fun (p, n) -> if n > 0 then Some (Printf.sprintf "%s:%d" p n) else None)
+      b.ports
+  in
+  if pressure <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  port pressure (uops): %s\n"
+         (String.concat " " pressure));
+  if b.chain <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "  critical path (%d dynamic hops):\n" b.chain_hops);
+    List.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf "    pc %-3d %-32s x%-6d %10.1f cyc\n" e.ce_pc
+             e.ce_name e.ce_count e.ce_edge))
+      b.chain
+  end;
+  Buffer.contents buf
+
+(* A folded-stack frame must contain neither the [;] separator nor
+   the count-separating space, so disassembly text is mangled. *)
+let frame s =
+  String.map (fun ch -> if ch = ';' || ch = ' ' || ch = '\t' then '_' else ch) s
+
+(* Folded-stack (flamegraph collapsed) output: one "frame;frame N"
+   line per category with a positive integer cycle weight, rooted at
+   [root] (typically the variant id), plus the critical path as a
+   deepening stack so the chain renders as a flame tower. *)
+let folded ~root b =
+  let root = frame root in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun c ->
+      let n = int_of_float (Float.round c.cat_cycles) in
+      if n > 0 then
+        Buffer.add_string buf (Printf.sprintf "%s;%s %d\n" root c.cat_name n))
+    b.cats;
+  let stack = ref [ "critical_path"; root ] in
+  List.iter
+    (fun e ->
+      stack := frame (Printf.sprintf "pc%d:%s" e.ce_pc e.ce_name) :: !stack;
+      let n = int_of_float (Float.round e.ce_edge) in
+      if n > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s %d\n" (String.concat ";" (List.rev !stack)) n))
+    b.chain;
+  Buffer.contents buf

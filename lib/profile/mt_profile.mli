@@ -1,0 +1,56 @@
+(** Bottleneck profiles: the user-facing shape of the simulator's
+    cycle attribution (see [Mt_machine.Attribution]).
+
+    A {!breakdown} freezes one measured variant's attribution into a
+    plain record: the top-down cycle accounting over the 13 categories
+    (frontend / window / dependency / six execution ports / four
+    memory levels, summing to the attributed cycles), the per-port
+    uop pressure, and the critical path — the longest RAW chain,
+    aggregated per static instruction and named by disassembly. *)
+
+type category = {
+  cat_name : string;
+  cat_cycles : float;
+  cat_insns : int;  (** dynamic instructions attributed to the category *)
+}
+
+type chain_entry = {
+  ce_pc : int;
+  ce_name : string;  (** disassembly of the instruction at [ce_pc] *)
+  ce_count : int;  (** dynamic occurrences on the walked chain *)
+  ce_edge : float;  (** summed chain-link latency across occurrences *)
+}
+
+type breakdown = {
+  total_cycles : float;
+  cats : category list;  (** all 13 categories, fixed order *)
+  ports : (string * int) list;  (** uops booked per execution port *)
+  chain : chain_entry list;  (** critical path, aggregated per pc *)
+  chain_hops : int;  (** dynamic length of the walked chain *)
+}
+
+(** The 13 category display names, in category-index order. *)
+val category_names : string array
+
+(** Freeze an attribution sink.  [name] renders a static pc to its
+    disassembly (typically [Core.disassemble]); [max_hops] bounds the
+    critical-path walk (default 4096 dynamic links). *)
+val of_attribution :
+  ?max_hops:int -> name:(int -> string) -> Mt_machine.Attribution.t -> breakdown
+
+(** Normalized category shares, every category present (zeros kept) so
+    vectors from different runs align positionally. *)
+val vector : breakdown -> (string * float) list
+
+(** The category with the largest attributed cycle count, when any
+    cycles were attributed. *)
+val dominant : breakdown -> (string * float) option
+
+(** Human-readable table: per-category cycles/share/instructions, port
+    pressure, and the critical path. *)
+val render : ?label:string -> breakdown -> string
+
+(** Flamegraph-compatible collapsed-stack lines rooted at [root]
+    (e.g. the variant id): one line per category plus the critical
+    path as a deepening stack, integer cycle weights. *)
+val folded : root:string -> breakdown -> string

@@ -27,6 +27,7 @@ type run_options = {
   wall_budget_s : float option;
   sim_budget : int option;
   faults : Mt_resilience.Fault.t list;
+  profile : bool;
 }
 
 type submission = {
@@ -98,6 +99,7 @@ let default_run_options =
     wall_budget_s = None;
     sim_budget = None;
     faults = [];
+    profile = false;
   }
 
 module Run_config = Microtools.Study.Run_config
@@ -115,6 +117,7 @@ let run_options_of_config (c : Run_config.t) =
     wall_budget_s = p.Mt_resilience.Policy.wall_budget_s;
     sim_budget = p.Mt_resilience.Policy.sim_budget;
     faults = c.Run_config.faults;
+    profile = c.Run_config.profile;
   }
 
 (* Overlay the wire options onto the daemon's base config.  The base
@@ -132,6 +135,7 @@ let config_into_base run (base : Run_config.t) =
   |> Run_config.with_adaptive run.adaptive
   |> Run_config.with_policy policy
   |> Run_config.with_faults run.faults
+  |> Run_config.with_profile run.profile
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -169,6 +173,7 @@ let run_options_to_json r =
         J.List
           (List.map (fun f -> J.Str (Mt_resilience.Fault.to_spec f)) r.faults)
       );
+      ("profile", J.Bool r.profile);
     ]
 
 let submission_to_json s =
@@ -215,43 +220,16 @@ let metrics_to_json m =
         J.Obj (List.map (fun (k, s) -> (k, summary_to_json s)) m.m_summaries) );
     ]
 
-(* Prometheus text exposition (version 0.0.4): dotted metric names
-   become underscore-separated, counters get a _total-free name kept
-   verbatim (these are internal dashboards, not a public contract),
-   summaries expand to quantile-labelled samples plus _sum/_count. *)
-let prometheus_name name =
-  String.map
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
-      | _ -> '_')
-    name
-
+(* Prometheus text exposition: the generic encoder lives in
+   Mt_telemetry (the one-shot binaries' --metrics-out FILE.prom uses it
+   too); this wrapper just reshapes the wire metrics record. *)
 let prometheus_of_metrics m =
-  let buf = Buffer.create 1024 in
-  List.iter
-    (fun (k, v) ->
-      let n = prometheus_name k in
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
-    m.m_counters;
-  List.iter
-    (fun (k, v) ->
-      let n = prometheus_name k in
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %g\n" n n v))
-    m.m_gauges;
-  List.iter
-    (fun (k, s) ->
-      let n = prometheus_name k in
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
-      List.iter
-        (fun (q, v) ->
-          Buffer.add_string buf
-            (Printf.sprintf "%s{quantile=\"%g\"} %g\n" n q v))
-        s.m_quantiles;
-      Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" n s.m_sum);
-      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n s.m_count))
-    m.m_summaries;
-  Buffer.contents buf
+  Mt_telemetry.prometheus_exposition ~gauges:m.m_gauges
+    ~summaries:
+      (List.map
+         (fun (k, s) -> (k, (s.m_count, s.m_sum, s.m_quantiles)))
+         m.m_summaries)
+    m.m_counters
 
 let request_to_json = function
   | Submit s -> J.Obj [ ("type", J.Str "submit"); ("job", submission_to_json s) ]
@@ -409,6 +387,12 @@ let run_options_of_json doc =
         (Ok []) items
       |> Result.map List.rev
   in
+  (* Absent in pre-profile clients: default off, never an error. *)
+  let profile =
+    match Option.bind (J.member "profile" doc) J.to_bool with
+    | Some b -> b
+    | None -> false
+  in
   Ok
     {
       seed;
@@ -421,6 +405,7 @@ let run_options_of_json doc =
       wall_budget_s;
       sim_budget;
       faults;
+      profile;
     }
 
 let submission_of_json doc =

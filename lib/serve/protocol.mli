@@ -31,6 +31,11 @@ type run_options = {
   wall_budget_s : float option;
   sim_budget : int option;
   faults : Mt_resilience.Fault.t list;
+  profile : bool;
+      (** record bottleneck attribution during the daemon's measured
+          calls; the streamed snapshot then carries per-variant profile
+          vectors.  Absent on the wire means off, so pre-profile
+          clients keep working. *)
 }
 
 type submission = {

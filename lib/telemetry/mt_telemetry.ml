@@ -303,6 +303,62 @@ let metrics_csv t =
     (histograms t);
   Mt_stats.Csv.to_string doc
 
+(* Prometheus text exposition (version 0.0.4), shared by the mt_serve
+   metrics endpoint and the one-shot binaries' --metrics-out FILE.prom
+   path: dotted metric names become underscore-separated (these are
+   internal dashboards, not a public contract), counters keep their
+   name verbatim, summaries expand to quantile-labelled samples plus
+   _sum/_count. *)
+let prometheus_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let prometheus_exposition ?(gauges = []) ?(summaries = []) counters =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) ->
+      let n = prometheus_name k in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    counters;
+  List.iter
+    (fun (k, v) ->
+      let n = prometheus_name k in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %g\n" n n v))
+    gauges;
+  List.iter
+    (fun (k, (count, sum, quantiles)) ->
+      let n = prometheus_name k in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"%g\"} %g\n" n q v))
+        quantiles;
+      Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" n sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n count))
+    summaries;
+  Buffer.contents buf
+
+(* A handle's histograms expose as summaries: quantiles from the live
+   reservoir, sum/count from the lifetime totals. *)
+let metrics_prometheus t =
+  let summaries =
+    List.map
+      (fun (k, h) ->
+        let quantiles =
+          List.filter_map
+            (fun p -> Option.map (fun v -> (p /. 100., v)) (quantile t k p))
+            [ 50.; 90.; 99. ]
+        in
+        (k, (h.count, h.sum, quantiles)))
+      (histograms t)
+  in
+  prometheus_exposition ~summaries (counters t)
+
 let write_file path data =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
@@ -311,3 +367,5 @@ let write_file path data =
 let write_chrome_trace t path = write_file path (chrome_trace t)
 
 let write_metrics_csv t path = write_file path (metrics_csv t)
+
+let write_metrics_prometheus t path = write_file path (metrics_prometheus t)

@@ -157,6 +157,27 @@ val metrics_csv : t -> string
 (** A [key,value] CSV (RFC-4180-quoted): one row per counter, five rows
     ([.count]/[.sum]/[.min]/[.max]/[.mean]) per histogram. *)
 
+val prometheus_name : string -> string
+(** Sanitize a dotted metric name for Prometheus: every character
+    outside [[a-zA-Z0-9_]] becomes an underscore. *)
+
+val prometheus_exposition :
+  ?gauges:(string * float) list ->
+  ?summaries:(string * (int * float * (float * float) list)) list ->
+  (string * int) list ->
+  string
+(** Render counters (and optionally gauges and summaries, the latter as
+    [(count, sum, (quantile, value) list)]) as Prometheus text
+    exposition format 0.0.4, with [# TYPE] comments.  The generic
+    encoder behind both the mt_serve metrics endpoint and
+    {!metrics_prometheus}. *)
+
+val metrics_prometheus : t -> string
+(** A handle's counters and histograms (as summaries with live
+    p50/p90/p99 quantiles) in Prometheus text exposition format. *)
+
 val write_chrome_trace : t -> string -> unit
 
 val write_metrics_csv : t -> string -> unit
+
+val write_metrics_prometheus : t -> string -> unit

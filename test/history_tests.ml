@@ -240,6 +240,26 @@ let test_sparkline () =
   let s = Microtools.Ascii_plot.sparkline [| 2.0; 2.0; 2.0; 3.0; 3.0 |] in
   check_int "one glyph (3 bytes) per point" 15 (String.length s)
 
+let test_sparkline_edge_cases () =
+  let spark = Microtools.Ascii_plot.sparkline in
+  check_string "single sample renders one low glyph" "\xe2\x96\x81"
+    (spark [| 42.0 |]);
+  (* A stray NaN (a corrupt history cell) must not blank the line: the
+     finite neighbours keep their scale and the NaN gets a placeholder. *)
+  check_string "nan renders as a placeholder between real glyphs"
+    "\xe2\x96\x81?\xe2\x96\x88"
+    (spark [| 1.0; Float.nan; 8.0 |]);
+  check_string "all-nan series renders all placeholders" "???"
+    (spark [| Float.nan; Float.nan; Float.nan |]);
+  check_string "infinities clamp to the extreme glyphs"
+    "\xe2\x96\x88\xe2\x96\x81\xe2\x96\x81\xe2\x96\x88"
+    (spark [| Float.infinity; Float.neg_infinity; 3.0; 9.0 |]);
+  (* With no finite samples at all the scale is empty but every sample
+     still renders something defined. *)
+  check_string "inf-only series still renders"
+    "\xe2\x96\x88\xe2\x96\x81"
+    (spark [| Float.infinity; Float.neg_infinity |])
+
 let tests =
   [
     Alcotest.test_case "trend: step regression" `Quick test_trend_step_regression;
@@ -265,4 +285,5 @@ let tests =
     Alcotest.test_case "history: missing dir errors" `Quick
       test_history_load_missing_dir;
     Alcotest.test_case "sparkline rendering" `Quick test_sparkline;
+    Alcotest.test_case "sparkline edge cases" `Quick test_sparkline_edge_cases;
   ]

@@ -157,7 +157,7 @@ let test_job_cycles_positive () =
   | Ok c -> check_bool "positive" true (c > 0.)
   | Error msg -> Alcotest.fail msg
 
-let test_options_count () = check_int "the option surface keeps growing" 39 Options.count
+let test_options_count () = check_int "the option surface keeps growing" 40 Options.count
 
 let tests =
   [

@@ -143,6 +143,7 @@ let noisy ?(verdict = Mt_quality.Stable) key median =
     outliers = 0;
     warmup_trend = false;
     verdict;
+    profile = [];
   }
 
 let snap_of variants =

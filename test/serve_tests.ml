@@ -40,6 +40,7 @@ let full_submission =
         wall_budget_s = Some 1.5;
         sim_budget = Some 100_000;
         faults = [ fault "variant=2:raise@1"; fault "variant=5:timeout" ];
+        profile = true;
       };
   }
 

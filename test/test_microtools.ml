@@ -15,6 +15,7 @@ let () =
       ("machine", Machine_tests.tests);
       ("core-sim", Core_sim_tests.tests);
       ("fastpath", Fastpath_tests.tests);
+      ("profile", Profile_tests.tests);
       ("creator", Creator_tests.tests);
       ("launcher", Launcher_tests.tests);
       ("openmp", Openmp_tests.tests);
