@@ -252,6 +252,31 @@ let trace_detail_arg =
            instruction), or full.  Takes effect when $(b,--trace-out) is \
            given.")
 
+(* Loading happens inside the conv so a bad --plan is a cmdliner usage
+   error before anything runs, in every binary, with one definition. *)
+let plan_conv =
+  let parse path =
+    match Mt_optimize.Plan.load path with
+    | Ok plan -> Ok plan
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf (plan : Mt_optimize.Plan.t) =
+    Format.pp_print_string ppf (Mt_optimize.Plan.summary plan)
+  in
+  Arg.conv ~docv:"FILE" (parse, print)
+
+let plan_arg =
+  Arg.(
+    value
+    & opt (some plan_conv) None
+    & info [ "plan" ] ~docv:"FILE" ~docs:docs_run
+        ~doc:
+          "Shape the run by a study plan written by $(b,mt_optimize): \
+           only the variants the plan keeps are measured, and variants \
+           the optimizer judged stable run at the plan's floored \
+           experiment count.  Variants the plan has never seen still \
+           run at the default budget.")
+
 (* Not part of {!term}: client-mode routing, composed only by binaries
    that can submit to an mt_serve daemon (currently mt_study). *)
 let submit_arg =
@@ -274,7 +299,7 @@ let submit_arg =
 let build jobs cache_dir cache_max_mb no_cache adaptive rciw_target
     max_experiments retries backoff_ms resilience_seed timeout sim_budget
     faults journal resume trace_out metrics_out snapshot_out history_append
-    trace_detail profile profile_folded =
+    trace_detail profile profile_folded plan =
   let cache =
     if no_cache then None
     else
@@ -296,7 +321,7 @@ let build jobs cache_dir cache_max_mb no_cache adaptive rciw_target
     ~policy ~faults ?journal_out:journal ?resume_from:resume ?trace_out
     ?metrics_out ?snapshot_out ?history_append ~trace_detail
     ~profile:(profile || profile_folded <> None)
-    ?profile_folded ()
+    ?profile_folded ?plan ()
 
 let term =
   Term.(
@@ -305,7 +330,8 @@ let term =
     $ rciw_target_arg $ max_exps_arg $ retries_arg $ backoff_ms_arg
     $ resilience_seed_arg $ timeout_arg $ sim_budget_arg $ faults_arg
     $ journal_arg $ resume_arg $ trace_arg $ metrics_arg $ snapshot_arg
-    $ history_arg $ trace_detail_arg $ profile_arg $ profile_folded_arg)
+    $ history_arg $ trace_detail_arg $ profile_arg $ profile_folded_arg
+    $ plan_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Shared runtime plumbing                                             *)

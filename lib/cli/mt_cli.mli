@@ -10,7 +10,7 @@
     checkpoint/resume ([--journal], [--resume]) and the observability
     outputs ([--trace-out], [--metrics-out], [--snapshot-out],
     [--history-append], [--trace-detail], [--profile],
-    [--profile-folded]) — into one
+    [--profile-folded]) plus the study plan ([--plan]) — into one
     {!Microtools.Study.Run_config.t}.
     Binaries compose it with their kernel-specific arguments and must
     not re-declare any of these flags themselves. *)
@@ -21,6 +21,14 @@ val term : t Cmdliner.Term.t
 (** The shared flag set as a Cmdliner term.  Builds the cache eagerly
     (unless [--no-cache]) and folds the resilience flags into
     [config.policy]. *)
+
+val plan_arg : Mt_optimize.Plan.t option Cmdliner.Term.t
+(** The [--plan FILE] flag on its own — the single definition, already
+    composed into {!term} (where it lands in [config.plan]); exposed
+    separately for binaries that consume a plan without the full
+    run-shaping set (mt_report).  The file is loaded and validated at
+    parse time, so a bad plan is a usage error, not a mid-run
+    failure. *)
 
 val submit_arg : string option Cmdliner.Term.t
 (** The [--submit SOCKET] flag routing a run to an mt_serve daemon

@@ -49,6 +49,7 @@ module Run_config = struct
     trace_detail : Mt_telemetry.detail;
     profile : bool;
     profile_folded : string option;
+    plan : Mt_optimize.Plan.t option;
   }
 
   let default =
@@ -68,13 +69,14 @@ module Run_config = struct
       trace_detail = Mt_telemetry.Off;
       profile = false;
       profile_folded = None;
+      plan = None;
     }
 
   let make ?(domains = default.domains) ?cache ?seed ?adaptive
       ?(policy = default.policy) ?(faults = []) ?journal_out ?resume_from
       ?trace_out ?metrics_out ?snapshot_out ?history_append
       ?(trace_detail = default.trace_detail) ?(profile = default.profile)
-      ?profile_folded () =
+      ?profile_folded ?plan () =
     {
       domains;
       cache;
@@ -91,6 +93,7 @@ module Run_config = struct
       trace_detail;
       profile;
       profile_folded;
+      plan;
     }
 
   let with_domains domains t = { t with domains }
@@ -123,6 +126,8 @@ module Run_config = struct
 
   let with_profile_folded profile_folded t = { t with profile_folded }
 
+  let with_plan plan t = { t with plan }
+
   let effective_domains t =
     if t.domains <= 0 then Mt_parallel.Pool.available_domains ()
     else t.domains
@@ -152,6 +157,17 @@ module Run_config = struct
     | None -> opts
     | Some fuel ->
       { opts with Options.max_instructions = min fuel opts.Options.max_instructions }
+
+  (* The plan's per-variant floor: an exact experiment count for a
+     variant the optimizer judged stable.  Under the adaptive
+     controller this is the starting (minimum) count — the controller
+     can still grow a series that turns noisy. *)
+  let plan_options t ~variant_id (opts : Options.t) =
+    match Option.bind t.plan (fun p ->
+              Mt_optimize.Plan.experiments_override p variant_id)
+    with
+    | None -> opts
+    | Some n -> { opts with Options.experiments = max 1 n }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -231,6 +247,9 @@ let corrupt_bytes = "!! corrupt cache entry (injected fault) !!"
 let run_variant ~(config : Run_config.t) ~options ~journal ~resumed ~index
     variant =
   let tel = Mt_telemetry.global () in
+  let options =
+    Run_config.plan_options config ~variant_id:(Variant.id variant) options
+  in
   let key = cache_key options variant in
   match Mt_resilience.Journal.find resumed ~key with
   | Some entry when decode_payload entry.Mt_resilience.Journal.data <> None ->
@@ -284,6 +303,22 @@ let run ?(config = Run_config.default) t =
   let options = Run_config.apply_options config t.options in
   let tel = Mt_telemetry.global () in
   let vs = variants t in
+  (* Plan filtering happens here, not in [variants]: the generated
+     space stays cached whole, so the same study value can run pruned
+     and unpruned.  Unknown variants stay in (Plan.selects). *)
+  let vs =
+    match config.Run_config.plan with
+    | None -> vs
+    | Some plan ->
+      let kept, pruned =
+        List.partition
+          (fun v -> Mt_optimize.Plan.selects plan (Variant.id v))
+          vs
+      in
+      Mt_telemetry.add tel "plan.kept" (List.length kept);
+      Mt_telemetry.add tel "plan.dropped" (List.length pruned);
+      kept
+  in
   let resumed =
     match config.Run_config.resume_from with
     | None -> []
@@ -310,9 +345,6 @@ let run ?(config = Run_config.default) t =
             (fun (index, variant) ->
               run_variant ~config ~options ~journal ~resumed ~index variant)
             (List.mapi (fun i v -> (i, v)) vs)))
-
-let run_legacy ?(domains = 1) ?cache ?seed t =
-  run ~config:{ Run_config.default with Run_config.domains; cache; seed } t
 
 let resumed_count outcomes =
   List.length (List.filter (fun o -> o.exec.resumed) outcomes)

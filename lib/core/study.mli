@@ -52,6 +52,10 @@ module Run_config : sig
     profile_folded : string option;
         (** write a folded-stack flamegraph of the attribution here
             (binaries; implies [profile]) *)
+    plan : Mt_optimize.Plan.t option;
+        (** study plan from [mt_optimize]: restricts the run to the
+            variants the plan selects and floors planned experiment
+            counts — the canonical variant/experiment selection path *)
   }
 
   val default : t
@@ -75,6 +79,7 @@ module Run_config : sig
     ?trace_detail:Mt_telemetry.detail ->
     ?profile:bool ->
     ?profile_folded:string ->
+    ?plan:Mt_optimize.Plan.t ->
     unit ->
     t
 
@@ -108,6 +113,8 @@ module Run_config : sig
 
   val with_profile_folded : string option -> t -> t
 
+  val with_plan : Mt_optimize.Plan.t option -> t -> t
+
   val effective_domains : t -> int
   (** [domains], resolving [<= 0] to
       {!Mt_parallel.Pool.available_domains}. *)
@@ -119,6 +126,13 @@ module Run_config : sig
       clamped onto [max_instructions].  {!run}
       applies this itself; exposed for callers that build options
       elsewhere (e.g. [microlauncher]). *)
+
+  val plan_options :
+    t -> variant_id:string -> Mt_launcher.Options.t -> Mt_launcher.Options.t
+  (** The plan's per-variant experiment floor applied to already
+      {!apply_options}-shaped options; identity without a plan or for
+      unfloored variants.  Under the adaptive controller the floor is
+      the starting (minimum) count.  {!run} applies this itself. *)
 end
 
 (** Execution history the supervisor attaches to each variant. *)
@@ -165,17 +179,17 @@ val run : ?config:Run_config.t -> t -> outcome list
     {!csv} output.
     @raise Failure when [config.resume_from] cannot be read.
 
+    Planning: with [config.plan], only variants the plan selects are
+    measured (a variant the plan has never seen still runs — see
+    {!Mt_optimize.Plan.selects}), floored variants use the plan's
+    experiment count, and the [plan.kept] / [plan.dropped] telemetry
+    counters record the pruning.
+
     When the global {!Mt_telemetry} handle is enabled, the run is a
     [study.run] span containing [study.variant] and
     [resilience.attempt] spans, [sim.variants] plus the
     [resilience.retry/timeout/quarantine/fault.injected/resume.*]
     counters. *)
-
-val run_legacy :
-  ?domains:int -> ?cache:Mt_parallel.Cache.t -> ?seed:int -> t -> outcome list
-  [@@ocaml.deprecated "use Study.run ?config with Study.Run_config"]
-(** The pre-[Run_config] signature, kept for one release as a thin shim
-    over {!run}. *)
 
 val cache_key : Options.t -> Variant.t -> string
 (** The content address {!run} uses: a digest of the variant's

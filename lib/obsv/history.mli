@@ -68,10 +68,36 @@ val keys : ?entries:entry list -> t -> string list
 (** Union of variant keys across the given entries (default: all), in
     order of first appearance. *)
 
-val series : ?entries:entry list -> t -> key:string -> (entry * Snapshot.variant_stat) list
+val series : ?entries:entry list -> t -> variant:string -> (entry * Snapshot.variant_stat) list
 (** The per-run time series of one variant: every given entry whose
-    snapshot contains [key], oldest first.  Runs missing the variant
-    (or with unreadable documents) simply drop out. *)
+    snapshot contains [variant], oldest first.  Runs missing the
+    variant (or with unreadable documents) simply drop out. *)
+
+(** {1 Lineages}
+
+    A shared archive interleaves runs of different kernels and
+    machines; a {e lineage} is the comparable sub-history of one
+    (kernel hash, machine hash) pair.  [mt_report --history] and
+    [mt_optimize] both read the archive through this accessor instead
+    of re-filtering manifest entries themselves. *)
+
+type lineage = {
+  l_kernel_name : string;
+  l_kernel_hash : string;
+  l_machine_name : string;
+  l_machine_hash : string;
+  l_entries : entry list;  (** ascending [seq] order *)
+}
+
+val lineages : t -> lineage list
+(** The archive partitioned into lineages, in order of each lineage's
+    first appearance.  Names are taken from the lineage's oldest entry
+    (hashes, not names, define identity). *)
+
+val latest_lineage : t -> lineage option
+(** The lineage the newest archived run belongs to — what a fresh run
+    of "whatever was measured last" compares against.  [None] only for
+    an empty archive. *)
 
 val pooled_noise : (entry * Snapshot.variant_stat) list -> float
 (** Pooled within-run coefficient of variation across the series —

@@ -1,0 +1,34 @@
+(** Derive a pruned {!Plan} from a history lineage — the μOpTime move:
+    per-variant stability metrics (pooled CoV, worst-run RCIW,
+    {!Mt_stats.Trend} classification over the archived medians) decide
+    which variants can drop to a floor experiment count, and Spearman
+    rank correlation between median series decides which variants are
+    redundant with a kept canary and need not be measured at all.
+
+    Safety posture: only {e stable} variants are ever floored or
+    dropped; anything noisy, drifting, stepping, or simply absent from
+    part of the lineage keeps its full adaptive budget.  Lineages
+    shorter than [knobs.min_runs] produce a plan that keeps everything
+    unchanged — too little history to prune on. *)
+
+val default_knobs : Plan.knobs
+(** [min_runs] 4, [corr_threshold] 0.95, [cov_stable] 0.01,
+    [rciw_stable] 0.02, [min_experiments] 2. *)
+
+val optimize :
+  ?knobs:Plan.knobs ->
+  ?created_at:float ->
+  Mt_obsv.History.t ->
+  Mt_obsv.History.lineage ->
+  (Plan.t, string) result
+(** Score every variant of the lineage and emit the plan.  Canary
+    assignment is greedy in variant-key first-appearance order: each
+    stable variant is dropped onto the first already-kept stable
+    variant whose series covers the same runs and whose |Spearman|
+    clears [corr_threshold]; otherwise it is kept (floored) and becomes
+    a candidate canary itself.  Errors on an empty lineage.
+    [created_at] defaults to the current wall clock. *)
+
+val render : Plan.t -> string
+(** Terminal table: one row per variant (kept, floored or dropped, with
+    its metrics and canary), then the plan's {!Plan.summary} line. *)

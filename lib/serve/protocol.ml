@@ -28,6 +28,7 @@ type run_options = {
   sim_budget : int option;
   faults : Mt_resilience.Fault.t list;
   profile : bool;
+  plan : Mt_optimize.Plan.t option;
 }
 
 type submission = {
@@ -100,6 +101,7 @@ let default_run_options =
     sim_budget = None;
     faults = [];
     profile = false;
+    plan = None;
   }
 
 module Run_config = Microtools.Study.Run_config
@@ -118,6 +120,7 @@ let run_options_of_config (c : Run_config.t) =
     sim_budget = p.Mt_resilience.Policy.sim_budget;
     faults = c.Run_config.faults;
     profile = c.Run_config.profile;
+    plan = c.Run_config.plan;
   }
 
 (* Overlay the wire options onto the daemon's base config.  The base
@@ -136,6 +139,12 @@ let config_into_base run (base : Run_config.t) =
   |> Run_config.with_policy policy
   |> Run_config.with_faults run.faults
   |> Run_config.with_profile run.profile
+  (* A submitted plan wins; a plan-less submission keeps whatever plan
+     the daemon itself was started with. *)
+  |> fun cfg ->
+  match run.plan with
+  | None -> cfg
+  | Some _ -> Run_config.with_plan run.plan cfg
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -174,6 +183,10 @@ let run_options_to_json r =
           (List.map (fun f -> J.Str (Mt_resilience.Fault.to_spec f)) r.faults)
       );
       ("profile", J.Bool r.profile);
+      ( "plan",
+        match r.plan with
+        | None -> J.Null
+        | Some p -> Mt_optimize.Plan.to_json p );
     ]
 
 let submission_to_json s =
@@ -393,6 +406,16 @@ let run_options_of_json doc =
     | Some b -> b
     | None -> false
   in
+  (* Same posture for pre-plan clients: no plan travels, the daemon's
+     base config (which may carry its own --plan) stays in force. *)
+  let* plan =
+    match J.member "plan" doc with
+    | None | Some J.Null -> Ok None
+    | Some p -> (
+      match Mt_optimize.Plan.of_json p with
+      | Ok plan -> Ok (Some plan)
+      | Error msg -> Error (Printf.sprintf "field \"plan\": %s" msg))
+  in
   Ok
     {
       seed;
@@ -406,6 +429,7 @@ let run_options_of_json doc =
       sim_budget;
       faults;
       profile;
+      plan;
     }
 
 let submission_of_json doc =

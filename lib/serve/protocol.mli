@@ -36,6 +36,11 @@ type run_options = {
           calls; the streamed snapshot then carries per-variant profile
           vectors.  Absent on the wire means off, so pre-profile
           clients keep working. *)
+  plan : Mt_optimize.Plan.t option;
+      (** study plan shaping the daemon-side run ([mt_study --submit
+          --plan] embeds the whole plan document in the submission).
+          Absent on the wire means none, and the daemon's own [--plan]
+          base stays in force — pre-plan clients keep working. *)
 }
 
 type submission = {
@@ -116,8 +121,9 @@ val config_into_base :
   run_options -> Microtools.Study.Run_config.t -> Microtools.Study.Run_config.t
 (** [config_into_base run base] overlays the wire options onto the
     daemon's base config, keeping [base]'s domains, cache and output
-    routing.  Right inverse of {!run_options_of_config} on the
-    serializable fields. *)
+    routing.  A submitted plan replaces the base's; a plan-less
+    submission keeps the daemon's own.  Right inverse of
+    {!run_options_of_config} on the serializable fields. *)
 
 (** {1 JSON codecs} *)
 

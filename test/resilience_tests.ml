@@ -420,22 +420,64 @@ let test_study_quarantine_journals_and_resumes () =
     (List.length (Microtools.Study.quarantined resumed));
   Sys.remove journal
 
-(* The deprecated shim: silence the alert locally, prove it still
-   behaves like the new API. *)
-module Legacy_shim = struct
-  [@@@ocaml.alert "-deprecated"]
-  [@@@ocaml.warning "-3"]
-
-  let run_legacy study = Microtools.Study.run_legacy ~domains:1 study
-end
-
-let test_run_legacy_shim () =
+(* Run_config is the only way to shape a run now (run_legacy is gone);
+   with_plan is the newest knob — a plan dropping all but one variant
+   must prune the run without disturbing the survivor's measurement. *)
+let test_run_config_with_plan () =
   let study = Microtools.Study.create small_spec quick_opts in
-  let via_shim = Legacy_shim.run_legacy study in
-  let via_config = Microtools.Study.run ~config:(config_with ()) study in
-  check_string "shim matches Run_config"
-    (Mt_stats.Csv.to_string (Microtools.Study.csv via_config))
-    (Mt_stats.Csv.to_string (Microtools.Study.csv via_shim))
+  let full = Microtools.Study.run ~config:(config_with ()) study in
+  match
+    List.map
+      (fun (o : Microtools.Study.outcome) ->
+        Mt_creator.Variant.id o.Microtools.Study.variant)
+      full
+  with
+  | [] | [ _ ] -> Alcotest.fail "expected several variants"
+  | first :: rest ->
+    let plan =
+      {
+        Mt_optimize.Plan.schema = Mt_optimize.Plan.schema_version;
+        created_at = 0.;
+        history_dir = "";
+        runs = 0;
+        kernel_name = "test";
+        kernel_hash = "";
+        machine_name = "test";
+        machine_hash = "";
+        knobs = Mt_optimize.Optimizer.default_knobs;
+        keep =
+          [
+            {
+              Mt_optimize.Plan.variant = first;
+              experiments = None;
+              stable = true;
+              cov = 0.;
+              rciw = 0.;
+              trend = "stationary";
+            };
+          ];
+        drop =
+          List.map
+            (fun v ->
+              { Mt_optimize.Plan.variant = v; canary = first; correlation = 1. })
+            rest;
+      }
+    in
+    let config =
+      Microtools.Study.Run_config.with_plan (Some plan) (config_with ())
+    in
+    let pruned = Microtools.Study.run ~config study in
+    check_int "plan prunes to one variant" 1 (List.length pruned);
+    (match (pruned, full) with
+    | [ p ], f :: _ ->
+      check_string "survivor is the planned variant" first
+        (Mt_creator.Variant.id p.Microtools.Study.variant);
+      check_bool "survivor's measurement is undisturbed" true
+        (match (p.Microtools.Study.result, f.Microtools.Study.result) with
+        | Ok a, Ok b ->
+          a.Mt_launcher.Report.value = b.Mt_launcher.Report.value
+        | _ -> false)
+    | _ -> Alcotest.fail "unexpected outcome shape")
 
 let tests =
   [
@@ -483,5 +525,6 @@ let tests =
       test_study_journal_resume_byte_identical;
     Alcotest.test_case "study: quarantine journals and resumes" `Quick
       test_study_quarantine_journals_and_resumes;
-    Alcotest.test_case "run_legacy shim" `Quick test_run_legacy_shim;
+    Alcotest.test_case "Run_config with_plan prunes" `Quick
+      test_run_config_with_plan;
   ]

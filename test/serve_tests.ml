@@ -41,7 +41,50 @@ let full_submission =
         sim_budget = Some 100_000;
         faults = [ fault "variant=2:raise@1"; fault "variant=5:timeout" ];
         profile = true;
+        plan = None;
       };
+  }
+
+(* A small but fully-populated plan, for wire-fidelity checks: a
+   submission carrying a plan must decode to the identical plan. *)
+let sample_plan =
+  {
+    Mt_optimize.Plan.schema = Mt_optimize.Plan.schema_version;
+    created_at = 1700000000.5;
+    history_dir = "/tmp/hist";
+    runs = 6;
+    kernel_name = "copy";
+    kernel_hash = "kh-1";
+    machine_name = "laptop";
+    machine_hash = "mh-1";
+    knobs = Mt_optimize.Optimizer.default_knobs;
+    keep =
+      [
+        {
+          Mt_optimize.Plan.variant = "movss_u1";
+          experiments = Some 2;
+          stable = true;
+          cov = 0.001;
+          rciw = 0.002;
+          trend = "stationary";
+        };
+        {
+          Mt_optimize.Plan.variant = "movss_u3";
+          experiments = None;
+          stable = false;
+          cov = 0.09;
+          rciw = 0.2;
+          trend = "drift";
+        };
+      ];
+    drop =
+      [
+        {
+          Mt_optimize.Plan.variant = "movss_u2";
+          canary = "movss_u1";
+          correlation = 0.99;
+        };
+      ];
   }
 
 let roundtrip_request req =
@@ -64,6 +107,11 @@ let test_request_roundtrip () =
           full_submission with
           Protocol.machine = Protocol.Preset "nehalem_x5650_2s";
           run = Protocol.default_run_options;
+        };
+      Protocol.Submit
+        {
+          full_submission with
+          Protocol.run = { full_submission.run with plan = Some sample_plan };
         };
       Protocol.Ping;
       Protocol.Stats;
